@@ -1,0 +1,106 @@
+// Package cedarfs is the public API of the Cedar FSD reproduction: a
+// user-space reimplementation of the file system described in Robert
+// Hagmann's "Reimplementing the Cedar File System Using Logging and Group
+// Commit" (SOSP 1987), together with the simulated Trident-class disk it
+// runs on.
+//
+// The quickest start:
+//
+//	vol, err := cedarfs.NewVolume()          // 300 MB simulated volume
+//	f, err := vol.Create("notes.txt", data)  // one synchronous I/O
+//	f2, err := vol.Open("notes.txt", 0)      // no I/O when the name table is warm
+//	data, err := f2.ReadAll()
+//	err = vol.Shutdown()                     // saves the VAM, stamps clean
+//
+// Crash behaviour: drop the Volume without Shutdown (or call Crash), revive
+// the disk, and Mount — the metadata log replays in seconds and the
+// allocation map is reconstructed from the file name table.
+//
+// The baselines the paper compares against are available as subpackages for
+// benchmark use: internal/cfs (the old label-based Cedar file system) and
+// internal/unixfs (a 4.2/4.3 BSD FFS analogue).
+package cedarfs
+
+import (
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Re-exported core types. See internal/core for full documentation.
+type (
+	// Volume is a mounted FSD volume.
+	Volume = core.Volume
+	// File is an open-file handle.
+	File = core.File
+	// Entry is one file name table record.
+	Entry = core.Entry
+	// Config tunes a volume; the zero value is the paper's design point.
+	Config = core.Config
+	// MountStats reports what mounting had to do (log replay, VAM
+	// reconstruction).
+	MountStats = core.MountStats
+	// Class distinguishes local files, symbolic links, and cached copies
+	// of remote files.
+	Class = core.Class
+)
+
+// Entry classes.
+const (
+	Local   = core.Local
+	SymLink = core.SymLink
+	Cached  = core.Cached
+)
+
+// Errors.
+var (
+	ErrNotFound  = core.ErrNotFound
+	ErrClosed    = core.ErrClosed
+	ErrIsSymlink = core.ErrIsSymlink
+)
+
+// Disk and clock types for callers that want to build their own device.
+type (
+	// Disk is the simulated sector-addressable drive.
+	Disk = disk.Disk
+	// Geometry describes a drive's physical layout.
+	Geometry = disk.Geometry
+	// DiskParams holds seek/rotation timing.
+	DiskParams = disk.Params
+	// Clock is the simulation time source.
+	Clock = sim.Clock
+	// VirtualClock is the deterministic clock used by tests and
+	// benchmarks.
+	VirtualClock = sim.VirtualClock
+)
+
+// DefaultGeometry is the 300 MB Trident-class volume of the paper.
+var DefaultGeometry = disk.DefaultGeometry
+
+// DefaultDiskParams approximates the drive timing of the paper's hardware.
+var DefaultDiskParams = disk.DefaultParams
+
+// NewDisk creates a simulated drive on a fresh virtual clock.
+func NewDisk(g Geometry) (*Disk, *VirtualClock, error) {
+	clk := sim.NewVirtualClock()
+	d, err := disk.New(g, disk.DefaultParams, clk)
+	return d, clk, err
+}
+
+// NewVolume formats an FSD volume on a fresh 300 MB simulated disk with the
+// paper's configuration (half-second group commit, thirds log, doubled name
+// table) and returns it mounted.
+func NewVolume() (*Volume, error) {
+	d, _, err := NewDisk(DefaultGeometry)
+	if err != nil {
+		return nil, err
+	}
+	return core.Format(d, Config{})
+}
+
+// Format initializes an FSD volume on d and returns it mounted.
+func Format(d *Disk, cfg Config) (*Volume, error) { return core.Format(d, cfg) }
+
+// Mount attaches to a formatted volume, replaying the metadata log and
+// reconstructing the allocation map as needed.
+func Mount(d *Disk, cfg Config) (*Volume, MountStats, error) { return core.Mount(d, cfg) }

@@ -1,0 +1,85 @@
+package cedarfs_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	cedarfs "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	vol, err := cedarfs.NewVolume()
+	if err != nil {
+		t.Fatalf("NewVolume: %v", err)
+	}
+	data := []byte("the quick brown fox")
+	if _, err := vol.Create("notes.txt", data); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	f, err := vol.Open("notes.txt", 0)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, err := f.ReadAll()
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("ReadAll: %q, %v", got, err)
+	}
+	if err := vol.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestCrashRecoveryThroughFacade(t *testing.T) {
+	d, _, err := cedarfs.NewDisk(cedarfs.DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := cedarfs.Format(d, cedarfs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vol.Create("survivor", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.Force(); err != nil {
+		t.Fatal(err)
+	}
+	vol.Crash()
+	d.Revive()
+	vol2, ms, err := cedarfs.Mount(d, cedarfs.Config{})
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	if ms.CleanShutdown {
+		t.Fatal("crash misreported as clean")
+	}
+	f, err := vol2.Open("survivor", 0)
+	if err != nil {
+		t.Fatalf("Open after recovery: %v", err)
+	}
+	got, _ := f.ReadAll()
+	if string(got) != "payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	vol, err := cedarfs.NewVolume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vol.Open("missing", 0); !errors.Is(err, cedarfs.ErrNotFound) {
+		t.Fatalf("Open missing: %v", err)
+	}
+	if _, err := vol.CreateLink("lnk", "[srv]<d>f!1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vol.Open("lnk", 0); !errors.Is(err, cedarfs.ErrIsSymlink) {
+		t.Fatalf("Open symlink: %v", err)
+	}
+	vol.Shutdown()
+	if _, err := vol.Create("late", nil); !errors.Is(err, cedarfs.ErrClosed) {
+		t.Fatalf("Create after shutdown: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+// Benchtab regenerates every table and measured claim of the paper's
+// evaluation on full-size simulated volumes and prints a paper-vs-measured
+// comparison.
+//
+// Usage:
+//
+//	benchtab                 # all tables
+//	benchtab -table 2        # just Table 2
+//	benchtab -table gc       # the group-commit statistics (5.4)
+//	benchtab -table model    # the analytical-model validation (6)
+//	benchtab -table recovery # recovery comparison (7)
+//	benchtab -table ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, ablations, all")
+	flag.Parse()
+
+	type gen struct {
+		name string
+		fn   func() (bench.Table, error)
+	}
+	all := []gen{
+		{"hw", bench.Hardware},
+		{"1", bench.Table1},
+		{"2", bench.Table2},
+		{"3", bench.Table3},
+		{"4", bench.Table4},
+		{"5", bench.Table5},
+		{"gc", bench.GroupCommit},
+		{"model", bench.ModelValidation},
+		{"recovery", bench.Recovery},
+		{"recovery", bench.RecoveryScaling},
+	}
+	ablations := []gen{
+		{"ablations", bench.AblationCommitInterval},
+		{"ablations", bench.AblationThirds},
+		{"ablations", bench.AblationDoubleWrite},
+		{"ablations", bench.AblationPlacement},
+		{"ablations", bench.AblationAllocator},
+		{"ablations", bench.AblationVAMLogging},
+		{"ablations", bench.AblationLogSize},
+	}
+
+	want := strings.ToLower(*table)
+	ran := 0
+	out := func(format string, args ...interface{}) { fmt.Printf(format, args...) }
+	for _, g := range append(all, ablations...) {
+		if want != "all" && want != g.name {
+			continue
+		}
+		t, err := g.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", g.name, err)
+			os.Exit(1)
+		}
+		t.Print(out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// withStdin feeds data to os.Stdin for one run() call.
+func withStdin(t *testing.T, data []byte, fn func()) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = r
+	done := make(chan struct{})
+	go func() {
+		w.Write(data)
+		w.Close()
+		close(done)
+	}()
+	fn()
+	<-done
+	os.Stdin = old
+}
+
+// captureStdout collects what fn prints.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	fn()
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	return out
+}
+
+func TestCLIRoundTripWithCrash(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "vol.img")
+
+	if err := run(img, []string{"format"}); err != nil {
+		t.Fatalf("format: %v", err)
+	}
+
+	content := []byte("persisted through the image file")
+	withStdin(t, content, func() {
+		if err := run(img, []string{"put", "notes.txt"}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	})
+
+	out := captureStdout(t, func() {
+		if err := run(img, []string{"get", "notes.txt"}); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+	})
+	if !bytes.Equal(out, content) {
+		t.Fatalf("get = %q", out)
+	}
+
+	// ls sees the file.
+	out = captureStdout(t, func() {
+		if err := run(img, []string{"ls"}); err != nil {
+			t.Fatalf("ls: %v", err)
+		}
+	})
+	if !bytes.Contains(out, []byte("notes.txt")) {
+		t.Fatalf("ls output: %q", out)
+	}
+
+	// stat works.
+	out = captureStdout(t, func() {
+		if err := run(img, []string{"stat", "notes.txt"}); err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+	})
+	if !bytes.Contains(out, []byte("notes.txt!1")) {
+		t.Fatalf("stat output: %q", out)
+	}
+
+	// Crash the volume; the next command must recover and still see the
+	// file (it was committed by the clean finish of `put`).
+	if err := run(img, []string{"crash"}); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	out = captureStdout(t, func() {
+		if err := run(img, []string{"get", "notes.txt"}); err != nil {
+			t.Fatalf("get after crash: %v", err)
+		}
+	})
+	if !bytes.Equal(out, content) {
+		t.Fatalf("get after crash = %q", out)
+	}
+
+	// rm removes it.
+	if err := run(img, []string{"rm", "notes.txt"}); err != nil {
+		t.Fatalf("rm: %v", err)
+	}
+	if err := run(img, []string{"get", "notes.txt"}); err == nil {
+		t.Fatal("get after rm succeeded")
+	}
+
+	// info and fsck run clean.
+	if err := run(img, []string{"info"}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := run(img, []string{"fsck"}); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "vol.img")
+	if err := run(img, []string{"get", "x"}); err == nil {
+		t.Fatal("get on missing image succeeded")
+	}
+	if err := run(img, []string{"format"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(img, []string{"bogus-command"}); err == nil {
+		t.Fatal("bogus command accepted")
+	}
+	if err := run(img, []string{"put"}); err == nil {
+		t.Fatal("put without name accepted")
+	}
+}
+
+func TestCLIBurstRecovers(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "vol.img")
+	if err := run(img, []string{"format"}); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if err := run(img, []string{"burst", "30"}); err != nil {
+			t.Fatalf("burst: %v", err)
+		}
+	})
+	if !bytes.Contains(out, []byte("crashed")) {
+		t.Fatalf("burst output: %q", out)
+	}
+	// The next command recovers; committed burst files are listed.
+	out = captureStdout(t, func() {
+		if err := run(img, []string{"ls", "burst/"}); err != nil {
+			t.Fatalf("ls after burst: %v", err)
+		}
+	})
+	if !bytes.Contains(out, []byte("burst/f0000")) {
+		t.Fatalf("no burst files after recovery: %q", out)
+	}
+	// Files committed by the periodic forces must be present.
+	if !bytes.Contains(out, []byte("burst/f0020")) {
+		t.Fatalf("committed burst file missing: %q", out)
+	}
+}

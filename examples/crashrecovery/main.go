@@ -1,0 +1,96 @@
+// Crashrecovery kills a volume mid-burst and brings it back, demonstrating
+// the paper's recovery story end to end:
+//
+//   - metadata committed by group commit survives the crash;
+//   - updates inside the final half-second window are lost — "the
+//     uncertainty is only half a second";
+//   - the name table is structurally intact after replay (no scavenge);
+//   - the allocation map is reconstructed from the name table;
+//   - recovery takes seconds of simulated time, not the hour a CFS
+//     scavenge needs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cedarfs "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	d, _, err := cedarfs.NewDisk(cedarfs.DefaultGeometry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vol, err := cedarfs.Format(d, cedarfs.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A burst of activity: 300 files.
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("work/f%03d", i)
+		if _, err := vol.Create(name, workload.Payload(900, byte(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Group commit has been forcing the log every simulated half second
+	// as the creates advanced the clock; force once more so everything
+	// up to here is durable.
+	if err := vol.Force(); err != nil {
+		log.Fatal(err)
+	}
+
+	// These ride the final window and are NOT forced before the crash.
+	for i := 0; i < 5; i++ {
+		if _, err := vol.Create(fmt.Sprintf("window/w%d", i), []byte("doomed")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("pulling the plug mid-burst...")
+	vol.Crash()
+	d.Revive()
+
+	vol2, ms, err := cedarfs.Mount(d, cedarfs.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered in %.2f s simulated: %d log records replayed, %d images applied, VAM rebuilt=%v (%.2f s)\n",
+		ms.Elapsed.Seconds(), ms.LogRecords, ms.LogImagesApplied, ms.VAMReconstructed, ms.VAMElapsed.Seconds())
+
+	// Every committed file is intact.
+	intact := 0
+	for i := 0; i < 300; i++ {
+		f, err := vol2.Open(fmt.Sprintf("work/f%03d", i), 0)
+		if err != nil {
+			log.Fatalf("committed file lost: %v", err)
+		}
+		data, err := f.ReadAll()
+		if err != nil || len(data) != 900 {
+			log.Fatalf("committed file corrupted: %v", err)
+		}
+		intact++
+	}
+	fmt.Printf("all %d committed files intact\n", intact)
+
+	// The unforced window files are gone — the documented half-second
+	// uncertainty — and their pages did not leak.
+	lost := 0
+	for i := 0; i < 5; i++ {
+		if _, err := vol2.Open(fmt.Sprintf("window/w%d", i), 0); err != nil {
+			lost++
+		}
+	}
+	fmt.Printf("%d/5 files from the uncommitted window lost (expected: 5)\n", lost)
+
+	// The volume is fully usable immediately.
+	if _, err := vol2.Create("work/after-crash", []byte("back in business")); err != nil {
+		log.Fatal(err)
+	}
+	if err := vol2.Shutdown(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("volume healthy after recovery")
+}

@@ -1,0 +1,175 @@
+// Robustness walks through the six error classes Section 5.8 says FSD
+// survives that CFS did not, injecting each fault against a live volume and
+// showing the system's response — plus the leader-page cross-check that
+// replaces the Trident labels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cedarfs "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("FSD robustness demonstration (paper section 5.8)")
+	fmt.Println()
+
+	// 1+2: multi-page B-tree updates are atomic, and a torn name-table
+	// write cannot produce an inconsistent page — both via the log.
+	demo("atomic multi-page updates + torn-write protection", func() error {
+		d, _, err := cedarfs.NewDisk(cedarfs.DefaultGeometry)
+		if err != nil {
+			return err
+		}
+		vol, err := cedarfs.Format(d, cedarfs.Config{})
+		if err != nil {
+			return err
+		}
+		// Enough creates to split B-tree pages repeatedly, then crash
+		// without any shutdown.
+		for i := 0; i < 500; i++ {
+			if _, err := vol.Create(fmt.Sprintf("burst/f%04d", i), workload.Payload(300, byte(i))); err != nil {
+				return err
+			}
+		}
+		vol.Crash()
+		d.Revive()
+		vol2, ms, err := cedarfs.Mount(d, cedarfs.Config{})
+		if err != nil {
+			return err
+		}
+		n := 0
+		vol2.List("burst/", func(cedarfs.Entry) bool { n++; return true })
+		fmt.Printf("   crash mid-burst: %d log records replayed, %d files listed, name table consistent\n",
+			ms.LogRecords, n)
+		return nil
+	})
+
+	// 3: the file name table survives bad pages — it is replicated.
+	demo("name table survives damaged pages (double write)", func() error {
+		d, _, err := cedarfs.NewDisk(cedarfs.DefaultGeometry)
+		if err != nil {
+			return err
+		}
+		vol, err := cedarfs.Format(d, cedarfs.Config{})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := vol.Create(fmt.Sprintf("dw/f%03d", i), workload.Payload(100, byte(i))); err != nil {
+				return err
+			}
+		}
+		if err := vol.Shutdown(); err != nil {
+			return err
+		}
+		// Damage two consecutive sectors (the failure model's worst
+		// case) in the middle of name-table copy A.
+		d.CorruptSectors(d.Geometry().Sectors()/2+2404+8, 2)
+		vol2, _, err := cedarfs.Mount(d, cedarfs.Config{})
+		if err != nil {
+			return err
+		}
+		ok := 0
+		for i := 0; i < 100; i++ {
+			if _, err := vol2.Open(fmt.Sprintf("dw/f%03d", i), 0); err == nil {
+				ok++
+			}
+		}
+		fmt.Printf("   2 consecutive sectors of copy A destroyed: %d/100 files still reachable\n", ok)
+		return nil
+	})
+
+	// 4: VAM disk errors are recovered by reconstruction.
+	demo("allocation map recovered by reconstruction", func() error {
+		d, _, err := cedarfs.NewDisk(cedarfs.DefaultGeometry)
+		if err != nil {
+			return err
+		}
+		vol, err := cedarfs.Format(d, cedarfs.Config{})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 50; i++ {
+			if _, err := vol.Create(fmt.Sprintf("vam/f%02d", i), workload.Payload(5000, byte(i))); err != nil {
+				return err
+			}
+		}
+		free := vol.VAM().FreeCount()
+		vol.Crash() // the saved VAM is stale/invalid after a crash
+		d.Revive()
+		vol2, ms, err := cedarfs.Mount(d, cedarfs.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   VAM reconstructed from the name table in %.1f s simulated (free count %d -> %d)\n",
+			ms.VAMElapsed.Seconds(), free, vol2.VAM().FreeCount())
+		return nil
+	})
+
+	// 5: boot pages are replicated.
+	demo("boot pages replicated", func() error {
+		d, _, err := cedarfs.NewDisk(cedarfs.DefaultGeometry)
+		if err != nil {
+			return err
+		}
+		vol, err := cedarfs.Format(d, cedarfs.Config{})
+		if err != nil {
+			return err
+		}
+		vol.Create("boot/file", []byte("still here"))
+		vol.Shutdown()
+		d.CorruptSectors(0, 1) // the primary volume root page
+		vol2, _, err := cedarfs.Mount(d, cedarfs.Config{})
+		if err != nil {
+			return err
+		}
+		f, err := vol2.Open("boot/file", 0)
+		if err != nil {
+			return err
+		}
+		data, _ := f.ReadAll()
+		fmt.Printf("   primary root page destroyed; volume boots from the replica: %q\n", data)
+		return nil
+	})
+
+	// 6: leader pages catch bugs the labels used to catch.
+	demo("leader page cross-check (the label replacement)", func() error {
+		d, _, err := cedarfs.NewDisk(cedarfs.DefaultGeometry)
+		if err != nil {
+			return err
+		}
+		vol, err := cedarfs.Format(d, cedarfs.Config{})
+		if err != nil {
+			return err
+		}
+		f, err := vol.Create("guarded", workload.Payload(2000, 7))
+		if err != nil {
+			return err
+		}
+		e := f.Entry()
+		leaderAddr, _ := e.LeaderAddr()
+		// A wild write (buggy software) silently smashes the leader.
+		d.SmashSector(leaderAddr, workload.Payload(512, 0xEE), nil)
+		g, err := vol.Open("guarded", 0)
+		if err != nil {
+			return err
+		}
+		if _, err := g.ReadAll(); err != nil {
+			fmt.Printf("   wild write onto the leader detected at first access:\n      %v\n", err)
+			return nil
+		}
+		return fmt.Errorf("cross-check missed the wild write")
+	})
+	fmt.Println("all six error classes handled, as Table-less section 5.8 promises")
+}
+
+func demo(title string, fn func() error) {
+	fmt.Printf("%s\n", title)
+	if err := fn(); err != nil {
+		log.Fatalf("   FAILED: %v", err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,202 @@
+// Package alloc implements FSD's run (extent) allocator with separate small-
+// and big-file areas (Section 5.6 of the paper).
+//
+// The data region of the volume is split by a boundary: files at or below
+// the size threshold are allocated from the low end growing upward, big
+// files from the high end growing downward — "similar to many memory
+// allocators: dynamic storage is grown starting from small addresses, while
+// the stack is grown from the end of memory towards small addresses". The
+// areas are only hints; when the preferred area has no space the other area
+// is used, so allocation never fails while free pages exist.
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/vam"
+)
+
+// Run is a contiguous extent of disk pages.
+type Run struct {
+	Start uint32
+	Len   uint32
+}
+
+// Config describes the data region served by an allocator.
+type Config struct {
+	Lo int // first data page (inclusive)
+	Hi int // last data page (exclusive)
+	// SmallThreshold is the largest allocation (in pages) treated as a
+	// small file. The paper: 50% of files are under 4,000 bytes (8
+	// pages) but use only 8% of the sectors.
+	SmallThreshold int
+	// SmallFraction is the fraction (percent) of the region reserved as
+	// the small-file area hint. Zero means 25%.
+	SmallFraction int
+	// MaxRuns bounds the number of extents per allocation so run tables
+	// stay small enough for a name-table entry. Zero means 16.
+	MaxRuns int
+}
+
+func (c Config) smallFraction() int {
+	if c.SmallFraction == 0 {
+		return 25
+	}
+	return c.SmallFraction
+}
+
+func (c Config) maxRuns() int {
+	if c.MaxRuns == 0 {
+		return 16
+	}
+	return c.MaxRuns
+}
+
+// boundary returns the page index separating the small and big areas.
+func (c Config) boundary() int {
+	return c.Lo + (c.Hi-c.Lo)*c.smallFraction()/100
+}
+
+// Allocator hands out runs of pages against a VAM. It is not safe for
+// concurrent use.
+type Allocator struct {
+	v   *vam.VAM
+	cfg Config
+}
+
+// New returns an allocator over the data region described by cfg.
+func New(v *vam.VAM, cfg Config) (*Allocator, error) {
+	if cfg.Lo < 0 || cfg.Hi > v.Pages() || cfg.Lo >= cfg.Hi {
+		return nil, fmt.Errorf("alloc: bad region [%d,%d)", cfg.Lo, cfg.Hi)
+	}
+	return &Allocator{v: v, cfg: cfg}, nil
+}
+
+// Config returns the allocator's region description.
+func (a *Allocator) Config() Config { return a.cfg }
+
+// Alloc returns runs covering exactly pages disk pages, preferring a single
+// contiguous run in the area suited to the allocation's size. The pages are
+// marked allocated in the VAM. On failure nothing is allocated.
+func (a *Allocator) Alloc(pages int) ([]Run, error) {
+	if pages <= 0 {
+		return nil, fmt.Errorf("alloc: request for %d pages", pages)
+	}
+	small := pages <= a.cfg.SmallThreshold
+	b := a.cfg.boundary()
+	// Preference order of (lo, hi, dir) windows.
+	type window struct{ lo, hi, dir int }
+	var order []window
+	if small {
+		order = []window{{a.cfg.Lo, b, 1}, {b, a.cfg.Hi, 1}}
+	} else {
+		order = []window{{b, a.cfg.Hi, -1}, {a.cfg.Lo, b, -1}}
+	}
+	var runs []Run
+	remaining := pages
+	for remaining > 0 {
+		if len(runs) >= a.cfg.maxRuns() {
+			a.release(runs)
+			return nil, fmt.Errorf("alloc: allocation of %d pages needs more than %d runs (fragmentation)", pages, a.cfg.maxRuns())
+		}
+		got := false
+		for _, w := range order {
+			s, l := a.v.FindRun(remaining, w.lo, w.hi, w.dir)
+			if l == remaining {
+				a.v.MarkAllocated(s, l)
+				runs = append(runs, Run{Start: uint32(s), Len: uint32(l)})
+				remaining = 0
+				got = true
+				break
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if !got {
+			// No single run satisfies the remainder anywhere: take
+			// the largest run available across both windows.
+			bestS, bestL := 0, 0
+			for _, w := range order {
+				s, l := a.v.FindRun(remaining, w.lo, w.hi, w.dir)
+				if l > bestL {
+					bestS, bestL = s, l
+				}
+			}
+			if bestL == 0 {
+				a.release(runs)
+				return nil, vam.ErrNoSpace
+			}
+			a.v.MarkAllocated(bestS, bestL)
+			runs = append(runs, Run{Start: uint32(bestS), Len: uint32(bestL)})
+			remaining -= bestL
+		}
+	}
+	return runs, nil
+}
+
+// release undoes a partial allocation.
+func (a *Allocator) release(runs []Run) {
+	for _, r := range runs {
+		a.v.MarkFree(int(r.Start), int(r.Len))
+	}
+}
+
+// FreeNow returns runs to the VAM immediately (used when an allocation is
+// abandoned before anything was made durable).
+func (a *Allocator) FreeNow(runs []Run) {
+	a.release(runs)
+}
+
+// FreeOnCommit moves runs to the shadow bitmap; they become allocatable at
+// the next commit.
+func (a *Allocator) FreeOnCommit(runs []Run) {
+	for _, r := range runs {
+		a.v.ShadowFree(int(r.Start), int(r.Len))
+	}
+}
+
+// Pages sums the lengths of runs.
+func Pages(runs []Run) int {
+	n := 0
+	for _, r := range runs {
+		n += int(r.Len)
+	}
+	return n
+}
+
+// Fragmentation statistics for the ablation benchmarks.
+
+// LargestFreeRun returns the size of the largest contiguous free run in the
+// allocator's region.
+func (a *Allocator) LargestFreeRun() int {
+	_, l := a.v.FindRun(a.cfg.Hi-a.cfg.Lo+1, a.cfg.Lo, a.cfg.Hi, 1)
+	return l
+}
+
+// FreeRunHistogram buckets the free runs in the region by size; bucket i
+// counts runs of length >= 1<<i and < 1<<(i+1).
+func (a *Allocator) FreeRunHistogram() []int {
+	hist := make([]int, 24)
+	runLen := 0
+	flush := func() {
+		if runLen == 0 {
+			return
+		}
+		b := 0
+		for 1<<(b+1) <= runLen {
+			b++
+		}
+		hist[b]++
+		runLen = 0
+	}
+	for i := a.cfg.Lo; i < a.cfg.Hi; i++ {
+		if a.v.IsFree(i) {
+			runLen++
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return hist
+}

@@ -1,0 +1,93 @@
+// Package btree implements the page-oriented B+tree used for the Cedar file
+// name table.
+//
+// The tree operates on fixed-size pages supplied by a Pager, so the same
+// tree code runs over three very different backing stores: an in-memory
+// pager (tests), the CFS pager (synchronous in-place writes with no
+// atomicity — the paper's "multi-page B-tree updates were not atomic"), and
+// the FSD pager (a write-back cache whose page images are captured by the
+// redo log and whose home writes are deferred; see internal/core).
+//
+// The tree is not safe for concurrent use; the file systems serialize access
+// with their own monitor, as Cedar did.
+package btree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pager provides a flat space of fixed-size pages addressed by index. Page 0
+// is reserved for the tree's meta page; the tree allocates the rest itself
+// via a free list threaded through the meta page, so page allocation is
+// captured by whatever mechanism the Pager uses to persist writes.
+type Pager interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// NumPages returns the number of pages in the space.
+	NumPages() int
+	// Read returns the contents of page id. The returned slice is owned
+	// by the caller only until the next call on the Pager; callers that
+	// retain data must copy it.
+	Read(id uint32) ([]byte, error)
+	// Write replaces the contents of page id. The Pager may buffer, log,
+	// or write through, but a subsequent Read must observe the data.
+	Write(id uint32, data []byte) error
+}
+
+// Errors returned by tree operations.
+var (
+	ErrNotFound  = errors.New("btree: key not found")
+	ErrTooLarge  = errors.New("btree: key/value too large for page")
+	ErrCorrupt   = errors.New("btree: structural corruption detected")
+	ErrCollision = errors.New("btree: key already present")
+	ErrFull      = errors.New("btree: page space exhausted")
+)
+
+// MemPager is an in-memory Pager for tests and for staging structures before
+// they are written to disk (the CFS scavenger rebuilds the name table in a
+// MemPager first).
+type MemPager struct {
+	pageSize int
+	pages    [][]byte
+	// Writes counts Write calls, so tests can assert write amplification.
+	Writes int
+}
+
+// NewMemPager returns a MemPager with n pages of the given size.
+func NewMemPager(pageSize, n int) *MemPager {
+	return &MemPager{pageSize: pageSize, pages: make([][]byte, n)}
+}
+
+// PageSize implements Pager.
+func (p *MemPager) PageSize() int { return p.pageSize }
+
+// NumPages implements Pager.
+func (p *MemPager) NumPages() int { return len(p.pages) }
+
+// Read implements Pager.
+func (p *MemPager) Read(id uint32) ([]byte, error) {
+	if int(id) >= len(p.pages) {
+		return nil, fmt.Errorf("btree: page %d out of range", id)
+	}
+	if p.pages[id] == nil {
+		p.pages[id] = make([]byte, p.pageSize)
+	}
+	return p.pages[id], nil
+}
+
+// Write implements Pager.
+func (p *MemPager) Write(id uint32, data []byte) error {
+	if int(id) >= len(p.pages) {
+		return fmt.Errorf("btree: page %d out of range", id)
+	}
+	if len(data) != p.pageSize {
+		return fmt.Errorf("btree: write of %d bytes to %d-byte page", len(data), p.pageSize)
+	}
+	if p.pages[id] == nil {
+		p.pages[id] = make([]byte, p.pageSize)
+	}
+	copy(p.pages[id], data)
+	p.Writes++
+	return nil
+}

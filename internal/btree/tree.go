@@ -1,0 +1,503 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Meta page layout (page 0). Bytes 10..15 are reserved for the storage
+// layer on every page kind (the FSD cache stamps a CRC there), so the meta
+// fields sit past them:
+//
+//	0       kind = meta
+//	16..19  magic
+//	20..23  root page id
+//	24..27  height (1 = root is a leaf)
+//	28..31  nextFresh: first never-allocated page id
+//	32..35  freeHead: head of the free-page list (0 = empty)
+const (
+	metaMagic = 0xCEDA12F5
+
+	offMagic     = 16
+	offRoot      = 20
+	offHeight    = 24
+	offNextFresh = 28
+	offFreeHead  = 32
+
+	// offFreeNext is where a free page stores the next free page id
+	// (bytes 4..7, clear of the reserved window).
+	offFreeNext = 4
+)
+
+// Tree is a B+tree over a Pager. Keys and values are arbitrary byte strings;
+// keys are ordered lexicographically. The zero Tree is not usable; obtain
+// one from Create or Open.
+type Tree struct {
+	p Pager
+
+	root      uint32
+	height    uint32
+	nextFresh uint32
+	freeHead  uint32
+}
+
+// MaxCell returns the largest key+value payload a tree over pages of size ps
+// accepts. Three maximal cells must fit in a page so splits always succeed.
+func MaxCell(ps int) int { return (ps - hdrSize - 3*slotSize) / 3 }
+
+// Create initializes an empty tree in the pager, overwriting pages 0 and 1.
+func Create(p Pager) (*Tree, error) {
+	if p.NumPages() < 2 {
+		return nil, fmt.Errorf("btree: pager has %d pages, need at least 2", p.NumPages())
+	}
+	t := &Tree{p: p, root: 1, height: 1, nextFresh: 2}
+	rootLeaf := newNode(1, p.PageSize(), kindLeaf)
+	if err := p.Write(1, rootLeaf.data); err != nil {
+		return nil, err
+	}
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open attaches to an existing tree. It fails with ErrCorrupt if the meta
+// page does not carry the expected magic — the cue for a scavenge.
+func Open(p Pager) (*Tree, error) {
+	buf, err := p.Read(0)
+	if err != nil {
+		return nil, err
+	}
+	if buf[offKind] != kindMeta || binary.BigEndian.Uint32(buf[offMagic:]) != metaMagic {
+		return nil, fmt.Errorf("%w: bad meta page", ErrCorrupt)
+	}
+	t := &Tree{
+		p:         p,
+		root:      binary.BigEndian.Uint32(buf[offRoot:]),
+		height:    binary.BigEndian.Uint32(buf[offHeight:]),
+		nextFresh: binary.BigEndian.Uint32(buf[offNextFresh:]),
+		freeHead:  binary.BigEndian.Uint32(buf[offFreeHead:]),
+	}
+	if t.root == 0 || t.height == 0 || int(t.nextFresh) > p.NumPages() {
+		return nil, fmt.Errorf("%w: implausible meta page", ErrCorrupt)
+	}
+	return t, nil
+}
+
+// Height returns the tree height (1 = the root is a leaf).
+func (t *Tree) Height() int { return int(t.height) }
+
+// Pager returns the underlying pager.
+func (t *Tree) Pager() Pager { return t.p }
+
+// AllocatedPages returns the number of pages ever allocated (a capacity
+// metric; freed pages are not subtracted).
+func (t *Tree) AllocatedPages() int { return int(t.nextFresh) }
+
+func (t *Tree) writeMeta() error {
+	buf := make([]byte, t.p.PageSize())
+	buf[offKind] = kindMeta
+	binary.BigEndian.PutUint32(buf[offMagic:], metaMagic)
+	binary.BigEndian.PutUint32(buf[offRoot:], t.root)
+	binary.BigEndian.PutUint32(buf[offHeight:], t.height)
+	binary.BigEndian.PutUint32(buf[offNextFresh:], t.nextFresh)
+	binary.BigEndian.PutUint32(buf[offFreeHead:], t.freeHead)
+	return t.p.Write(0, buf)
+}
+
+// load reads page id into a private copy wrapped as a node.
+func (t *Tree) load(id uint32) (node, error) {
+	buf, err := t.p.Read(id)
+	if err != nil {
+		return node{}, err
+	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	return node{id: id, data: cp}, nil
+}
+
+func (t *Tree) store(n node) error { return t.p.Write(n.id, n.data) }
+
+// alloc returns a fresh page id, popping the free list first.
+func (t *Tree) alloc() (uint32, error) {
+	if t.freeHead != 0 {
+		id := t.freeHead
+		buf, err := t.p.Read(id)
+		if err != nil {
+			return 0, err
+		}
+		t.freeHead = binary.BigEndian.Uint32(buf[offFreeNext:])
+		return id, nil
+	}
+	if int(t.nextFresh) >= t.p.NumPages() {
+		return 0, ErrFull
+	}
+	id := t.nextFresh
+	t.nextFresh++
+	return id, nil
+}
+
+// freePage pushes id onto the free list.
+func (t *Tree) freePage(id uint32) error {
+	buf := make([]byte, t.p.PageSize())
+	buf[offKind] = kindFree
+	binary.BigEndian.PutUint32(buf[offFreeNext:], t.freeHead)
+	if err := t.p.Write(id, buf); err != nil {
+		return err
+	}
+	t.freeHead = id
+	return nil
+}
+
+// pathEl records one step of a root-to-leaf descent: the page visited and
+// the slot index taken (-1 means the leftmost child).
+type pathEl struct {
+	id  uint32
+	idx int
+}
+
+// descend walks from the root to the leaf responsible for key, returning the
+// internal-node path and the leaf.
+func (t *Tree) descend(key []byte) ([]pathEl, node, error) {
+	var path []pathEl
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.load(id)
+		if err != nil {
+			return nil, node{}, err
+		}
+		if n.kind() != kindInternal {
+			return nil, node{}, fmt.Errorf("%w: page %d expected internal", ErrCorrupt, id)
+		}
+		idx, _ := n.search(key)
+		path = append(path, pathEl{id: id, idx: idx})
+		if idx < 0 {
+			id = n.link()
+		} else {
+			id = n.child(idx)
+		}
+		if id == 0 {
+			return nil, node{}, fmt.Errorf("%w: nil child under page %d", ErrCorrupt, n.id)
+		}
+	}
+	leaf, err := t.load(id)
+	if err != nil {
+		return nil, node{}, err
+	}
+	if leaf.kind() != kindLeaf {
+		return nil, node{}, fmt.Errorf("%w: page %d expected leaf", ErrCorrupt, id)
+	}
+	return path, leaf, nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	_, leaf, err := t.descend(key)
+	if err != nil {
+		return nil, err
+	}
+	idx, found := leaf.search(key)
+	if !found {
+		return nil, ErrNotFound
+	}
+	// leaf.data is a private copy, so the value may be returned directly.
+	return leaf.value(idx), nil
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) (bool, error) {
+	_, err := t.Get(key)
+	if err == nil {
+		return true, nil
+	}
+	if err == ErrNotFound {
+		return false, nil
+	}
+	return false, err
+}
+
+// Put inserts or replaces the value under key.
+func (t *Tree) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("btree: empty key")
+	}
+	if leafCellSize(key, value) > MaxCell(t.p.PageSize()) {
+		return ErrTooLarge
+	}
+	path, leaf, err := t.descend(key)
+	if err != nil {
+		return err
+	}
+	idx, found := leaf.search(key)
+	if found {
+		leaf.deleteSlot(idx)
+	}
+	if leaf.ensureSpace(leafCellSize(key, value)) {
+		leaf.insertLeafCell(idx, key, value)
+		return t.store(leaf)
+	}
+	return t.splitLeafAndInsert(path, leaf, idx, key, value)
+}
+
+// kvPair is a materialized leaf cell used during splits.
+type kvPair struct{ k, v []byte }
+
+// splitLeafAndInsert repacks the leaf plus the new cell into two pages and
+// propagates the new separator up the path.
+func (t *Tree) splitLeafAndInsert(path []pathEl, leaf node, idx int, key, value []byte) error {
+	cells := make([]kvPair, 0, leaf.nslots()+1)
+	for i := 0; i < leaf.nslots(); i++ {
+		if i == idx {
+			cells = append(cells, kvPair{k: key, v: value})
+		}
+		cells = append(cells, kvPair{k: append([]byte(nil), leaf.key(i)...), v: append([]byte(nil), leaf.value(i)...)})
+	}
+	if idx == leaf.nslots() {
+		cells = append(cells, kvPair{k: key, v: value})
+	}
+	total := 0
+	for _, c := range cells {
+		total += leafCellSize(c.k, c.v)
+	}
+	// Choose the split so the left page holds about half the bytes.
+	splitAt, acc := 0, 0
+	for i, c := range cells {
+		acc += leafCellSize(c.k, c.v)
+		if acc >= total/2 {
+			splitAt = i + 1
+			break
+		}
+	}
+	if splitAt == 0 || splitAt >= len(cells) {
+		splitAt = len(cells) / 2
+		if splitAt == 0 {
+			splitAt = 1
+		}
+	}
+	rightID, err := t.alloc()
+	if err != nil {
+		return err
+	}
+	left := newNode(leaf.id, t.p.PageSize(), kindLeaf)
+	right := newNode(rightID, t.p.PageSize(), kindLeaf)
+	for i, c := range cells[:splitAt] {
+		left.insertLeafCell(i, c.k, c.v)
+	}
+	for i, c := range cells[splitAt:] {
+		right.insertLeafCell(i, c.k, c.v)
+	}
+	right.setLink(leaf.link())
+	left.setLink(rightID)
+	// Write the new right page before the left page that points at it;
+	// under a non-atomic pager a crash between the two leaves garbage
+	// rather than a dangling pointer. (Under the logged pager the batch
+	// is atomic anyway.)
+	if err := t.store(right); err != nil {
+		return err
+	}
+	if err := t.store(left); err != nil {
+		return err
+	}
+	sep := append([]byte(nil), right.key(0)...)
+	if err := t.insertSeparator(path, sep, rightID); err != nil {
+		return err
+	}
+	return t.writeMeta()
+}
+
+// icell is a materialized internal cell used during splits.
+type icell struct {
+	k     []byte
+	child uint32
+}
+
+// insertSeparator inserts (sep -> right) into the deepest node of path,
+// splitting upward as needed. It updates t.root/t.height when the root
+// splits; the caller writes the meta page.
+func (t *Tree) insertSeparator(path []pathEl, sep []byte, right uint32) error {
+	for level := len(path) - 1; level >= 0; level-- {
+		n, err := t.load(path[level].id)
+		if err != nil {
+			return err
+		}
+		idx, _ := n.search(sep)
+		at := idx + 1 // first slot with key > sep
+		if n.ensureSpace(internalCellSize(sep)) {
+			n.insertInternalCell(at, sep, right)
+			return t.store(n)
+		}
+		// Split the internal node: gather cells, insert, promote middle.
+		cells := make([]icell, 0, n.nslots()+1)
+		for i := 0; i < n.nslots(); i++ {
+			if i == at {
+				cells = append(cells, icell{k: sep, child: right})
+			}
+			cells = append(cells, icell{k: append([]byte(nil), n.key(i)...), child: n.child(i)})
+		}
+		if at == n.nslots() {
+			cells = append(cells, icell{k: sep, child: right})
+		}
+		mid := len(cells) / 2
+		rightID, err := t.alloc()
+		if err != nil {
+			return err
+		}
+		left := newNode(n.id, t.p.PageSize(), kindInternal)
+		left.setLink(n.link())
+		for i, c := range cells[:mid] {
+			left.insertInternalCell(i, c.k, c.child)
+		}
+		rn := newNode(rightID, t.p.PageSize(), kindInternal)
+		rn.setLink(cells[mid].child)
+		for i, c := range cells[mid+1:] {
+			rn.insertInternalCell(i, c.k, c.child)
+		}
+		if err := t.store(rn); err != nil {
+			return err
+		}
+		if err := t.store(left); err != nil {
+			return err
+		}
+		sep = append([]byte(nil), cells[mid].k...)
+		right = rightID
+	}
+	// The root itself split: grow the tree.
+	newRootID, err := t.alloc()
+	if err != nil {
+		return err
+	}
+	nr := newNode(newRootID, t.p.PageSize(), kindInternal)
+	nr.setLink(t.root)
+	nr.insertInternalCell(0, sep, right)
+	if err := t.store(nr); err != nil {
+		return err
+	}
+	t.root = newRootID
+	t.height++
+	return nil
+}
+
+// Delete removes key. Underfull pages are not rebalanced (deletion is lazy,
+// as in many production trees); a leaf that empties completely is left in
+// the chain and skipped by scans.
+func (t *Tree) Delete(key []byte) error {
+	_, leaf, err := t.descend(key)
+	if err != nil {
+		return err
+	}
+	idx, found := leaf.search(key)
+	if !found {
+		return ErrNotFound
+	}
+	leaf.deleteSlot(idx)
+	return t.store(leaf)
+}
+
+// Scan calls fn for every entry with key >= start in ascending order until
+// fn returns false or the tree is exhausted. The key and value slices are
+// only valid during the callback.
+func (t *Tree) Scan(start []byte, fn func(key, value []byte) bool) error {
+	_, leaf, err := t.descend(start)
+	if err != nil {
+		return err
+	}
+	idx, _ := leaf.search(start)
+	for {
+		for ; idx < leaf.nslots(); idx++ {
+			if !fn(leaf.key(idx), leaf.value(idx)) {
+				return nil
+			}
+		}
+		next := leaf.link()
+		if next == 0 {
+			return nil
+		}
+		leaf, err = t.load(next)
+		if err != nil {
+			return err
+		}
+		if leaf.kind() != kindLeaf {
+			return fmt.Errorf("%w: leaf chain reached non-leaf page %d", ErrCorrupt, leaf.id)
+		}
+		idx = 0
+	}
+}
+
+// Len counts the entries by scanning; it is O(n) and intended for tests and
+// tools.
+func (t *Tree) Len() (int, error) {
+	n := 0
+	err := t.Scan(nil, func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Check walks the entire tree verifying structural invariants: node kinds,
+// key ordering within and across pages, uniform leaf depth, and leaf-chain
+// consistency. It is the corruption detector used after crash tests.
+func (t *Tree) Check() error {
+	var firstLeaf uint32
+	var prevKey []byte
+	var walk func(id uint32, depth uint32, lo, hi []byte) error
+	walk = func(id uint32, depth uint32, lo, hi []byte) error {
+		n, err := t.load(id)
+		if err != nil {
+			return err
+		}
+		if err := n.validate(); err != nil {
+			return err
+		}
+		if depth == t.height {
+			if !n.isLeaf() {
+				return fmt.Errorf("%w: page %d at leaf depth is internal", ErrCorrupt, id)
+			}
+			if firstLeaf == 0 {
+				firstLeaf = id
+			}
+			for i := 0; i < n.nslots(); i++ {
+				k := n.key(i)
+				if lo != nil && bytes.Compare(k, lo) < 0 {
+					return fmt.Errorf("%w: page %d key below separator", ErrCorrupt, id)
+				}
+				if hi != nil && bytes.Compare(k, hi) >= 0 {
+					return fmt.Errorf("%w: page %d key above separator", ErrCorrupt, id)
+				}
+				if prevKey != nil && bytes.Compare(prevKey, k) >= 0 {
+					return fmt.Errorf("%w: global key order violated at page %d", ErrCorrupt, id)
+				}
+				prevKey = append(prevKey[:0], k...)
+			}
+			return nil
+		}
+		if n.isLeaf() {
+			return fmt.Errorf("%w: page %d is a leaf above leaf depth", ErrCorrupt, id)
+		}
+		childLo := lo
+		for i := -1; i < n.nslots(); i++ {
+			var cid uint32
+			var childHi []byte
+			if i < 0 {
+				cid = n.link()
+			} else {
+				cid = n.child(i)
+				childLo = append([]byte(nil), n.key(i)...)
+			}
+			if i+1 < n.nslots() {
+				childHi = append([]byte(nil), n.key(i+1)...)
+			} else {
+				childHi = hi
+			}
+			if i < 0 && n.nslots() > 0 {
+				childHi = append([]byte(nil), n.key(0)...)
+			}
+			if err := walk(cid, depth+1, childLo, childHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, nil, nil); err != nil {
+		return err
+	}
+	return nil
+}

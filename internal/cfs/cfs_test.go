@@ -1,0 +1,373 @@
+package cfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{NTPages: 256, CacheSize: 64}
+}
+
+func newTestVolume(t *testing.T) (*Volume, *disk.Disk, *sim.VirtualClock) {
+	t.Helper()
+	clk := sim.NewVirtualClock()
+	d, err := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Format(d, testConfig())
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	return v, d, clk
+}
+
+func payload(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestCreateOpenReadRoundTrip(t *testing.T) {
+	v, _, _ := newTestVolume(t)
+	data := payload(1500, 3)
+	if _, err := v.Create("doc.mesa", data); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	f, err := v.Open("doc.mesa", 0)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("contents mismatch")
+	}
+	if f.Entry().ByteSize != 1500 {
+		t.Fatalf("ByteSize = %d", f.Entry().ByteSize)
+	}
+}
+
+func TestCreateUsesAtLeastSixIOs(t *testing.T) {
+	v, d, _ := newTestVolume(t)
+	if _, err := v.Create("warm", payload(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if _, err := v.Create("one-byte", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	delta := d.Stats().Sub(before)
+	// Paper: "Note that this is (at least) six I/Os."
+	if delta.Ops < 6 {
+		t.Fatalf("CFS small create did %d I/Os, paper says at least 6", delta.Ops)
+	}
+}
+
+func TestOpenAlwaysReadsHeader(t *testing.T) {
+	v, d, _ := newTestVolume(t)
+	if _, err := v.Create("f", payload(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Even with a warm name table, open costs a header read.
+	if _, err := v.Open("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if _, err := v.Open("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	delta := d.Stats().Sub(before)
+	if delta.Reads != 1 {
+		t.Fatalf("warm CFS open did %d reads, want exactly 1 (the header)", delta.Reads)
+	}
+}
+
+func TestVersionsAndDelete(t *testing.T) {
+	v, _, _ := newTestVolume(t)
+	for i := 1; i <= 3; i++ {
+		if _, err := v.Create("v", payload(10*i, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := v.Open("v", 0)
+	if err != nil || f.Entry().Version != 3 {
+		t.Fatalf("newest open: %v", err)
+	}
+	if err := v.Delete("v", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Open("v", 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted version open: %v", err)
+	}
+	if _, err := v.Open("v", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteFreesLabelsAndPages(t *testing.T) {
+	v, d, _ := newTestVolume(t)
+	f, err := v.Create("temp", payload(3000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := f.Entry().HeaderAddr
+	free0 := v.VAM().FreeCount()
+	if err := v.Delete("temp", 0); err != nil {
+		t.Fatal(err)
+	}
+	if v.VAM().FreeCount() <= free0 {
+		t.Fatal("delete did not free pages")
+	}
+	if lab := d.PeekLabel(hdr); lab != disk.FreeLabel {
+		t.Fatalf("header label not freed: %v", lab)
+	}
+}
+
+func TestLabelsCatchWildWrite(t *testing.T) {
+	v, d, _ := newTestVolume(t)
+	f, err := v.Create("guarded", payload(600, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wild write from buggy software smashes a data sector AND its
+	// label (the failure labels were designed to catch).
+	e := f.Entry()
+	addr := int(e.Runs[0].Start)
+	d.SmashSector(addr, payload(512, 0xBB), &disk.Label{FileID: 999, Page: 0, Type: disk.PageData})
+	if _, err := f.ReadPages(0, 1); err == nil {
+		t.Fatal("label verification missed a wild write")
+	}
+}
+
+func TestStaleVAMHintRepaired(t *testing.T) {
+	v, _, _ := newTestVolume(t)
+	f, err := v.Create("a", payload(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the hint: mark the file's pages free in the VAM. The next
+	// create must detect via labels that they are taken and go elsewhere.
+	e := f.Entry()
+	v.VAM().MarkFree(e.HeaderAddr, 2)
+	g, err := v.Create("b", payload(100, 2))
+	if err != nil {
+		t.Fatalf("create with stale VAM: %v", err)
+	}
+	if g.Entry().HeaderAddr == e.HeaderAddr {
+		t.Fatal("allocator reused live pages")
+	}
+	// Both files intact.
+	for _, name := range []string{"a", "b"} {
+		h, err := v.Open(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.ReadAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestListReadsHeaders(t *testing.T) {
+	v, d, _ := newTestVolume(t)
+	for i := 0; i < 10; i++ {
+		if _, err := v.Create(fmt.Sprintf("dir/f%02d", i), payload(100, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.Stats()
+	count := 0
+	if err := v.List("dir/", func(e Entry) bool {
+		if e.ByteSize != 100 {
+			t.Fatalf("entry %s missing header properties", e.Name)
+		}
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("listed %d files", count)
+	}
+	delta := d.Stats().Sub(before)
+	if delta.Reads < 10 {
+		t.Fatalf("CFS list of 10 files did %d reads; must read each header", delta.Reads)
+	}
+}
+
+func TestMountRequiresScavengeAfterCrash(t *testing.T) {
+	v, d, _ := newTestVolume(t)
+	if _, err := v.Create("x", payload(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	v.Crash()
+	d.Revive()
+	if _, err := Mount(d, testConfig()); !errors.Is(err, ErrNeedScavenge) {
+		t.Fatalf("mount after crash: %v, want ErrNeedScavenge", err)
+	}
+}
+
+func TestCleanShutdownMount(t *testing.T) {
+	v, d, _ := newTestVolume(t)
+	for i := 0; i < 10; i++ {
+		if _, err := v.Create(fmt.Sprintf("s%d", i), payload(200, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Mount(d, testConfig())
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		f, err := v2.Open(fmt.Sprintf("s%d", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.ReadAll()
+		if err != nil || !bytes.Equal(got, payload(200, byte(i))) {
+			t.Fatalf("s%d corrupted: %v", i, err)
+		}
+	}
+}
+
+func TestScavengeRecoversFiles(t *testing.T) {
+	v, d, _ := newTestVolume(t)
+	want := map[string][]byte{}
+	for i := 0; i < 25; i++ {
+		name := fmt.Sprintf("sc%02d", i)
+		data := payload(100+37*i, byte(i))
+		if _, err := v.Create(name, data); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = data
+	}
+	v.Crash()
+	d.Revive()
+	v2, st, err := Scavenge(d, testConfig())
+	if err != nil {
+		t.Fatalf("Scavenge: %v", err)
+	}
+	if st.FilesRecovered != 25 {
+		t.Fatalf("recovered %d files, want 25", st.FilesRecovered)
+	}
+	if st.SectorsScanned == 0 || st.Elapsed == 0 {
+		t.Fatalf("implausible scavenge stats: %+v", st)
+	}
+	for name, data := range want {
+		f, err := v2.Open(name, 0)
+		if err != nil {
+			t.Fatalf("open %s after scavenge: %v", name, err)
+		}
+		got, err := f.ReadAll()
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%s corrupted after scavenge: %v", name, err)
+		}
+	}
+	// New creates work after scavenge.
+	if _, err := v2.Create("post", payload(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScavengeAfterTornNameTableSplit(t *testing.T) {
+	// The paper's motivating failure: a crash during a multi-page B-tree
+	// update leaves the name table inconsistent; only a scavenge — built
+	// from labels and headers, not the name table — recovers.
+	v, d, _ := newTestVolume(t)
+	// Fill until close to the first leaf split, then make writes fail
+	// partway to tear the name table.
+	for i := 0; i < 20; i++ {
+		if _, err := v.Create(fmt.Sprintf("pre%02d", i), payload(50, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.SetWriteFault(disk.FailAfterWrites(3, 1))
+	for i := 0; i < 30; i++ {
+		if _, err := v.Create(fmt.Sprintf("torn%02d", i), payload(50, byte(i))); err != nil {
+			break // the crash
+		}
+	}
+	d.Revive()
+	v2, st, err := Scavenge(d, testConfig())
+	if err != nil {
+		t.Fatalf("Scavenge after torn update: %v", err)
+	}
+	if st.FilesRecovered < 20 {
+		t.Fatalf("scavenge recovered only %d files", st.FilesRecovered)
+	}
+	// All pre-crash files are back.
+	for i := 0; i < 20; i++ {
+		if _, err := v2.Open(fmt.Sprintf("pre%02d", i), 0); err != nil {
+			t.Fatalf("pre%02d lost: %v", i, err)
+		}
+	}
+}
+
+func TestTouchCostsHeaderReadAndWrite(t *testing.T) {
+	v, d, _ := newTestVolume(t)
+	if _, err := v.Create("t", payload(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if err := v.Touch("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	delta := d.Stats().Sub(before)
+	if delta.Reads < 1 || delta.Writes < 1 {
+		t.Fatalf("Touch did %d reads %d writes; want header read + rewrite", delta.Reads, delta.Writes)
+	}
+}
+
+func TestWritePages(t *testing.T) {
+	v, _, _ := newTestVolume(t)
+	f, err := v.Create("w", payload(4*512, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WritePages(1, payload(512, 0x77)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadPages(1, 1)
+	if err != nil || got[0] != 0x77 {
+		t.Fatalf("WritePages round trip: %v", err)
+	}
+}
+
+func TestLargeFile(t *testing.T) {
+	v, _, _ := newTestVolume(t)
+	data := payload(300*512, 5)
+	if _, err := v.Create("big", data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := v.Open("big", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAll()
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("large file round trip failed")
+	}
+}
+
+func TestUIDsMonotonic(t *testing.T) {
+	v, _, _ := newTestVolume(t)
+	f1, _ := v.Create("a", payload(10, 1))
+	f2, _ := v.Create("b", payload(10, 2))
+	if f2.Entry().UID <= f1.Entry().UID {
+		t.Fatal("uids not monotonic")
+	}
+}

@@ -1,0 +1,135 @@
+package cfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/disk"
+)
+
+// File headers: two labelled sectors preceding the file's data. Sector 0
+// holds the properties (replicating the text name, as the paper notes);
+// sector 1 holds the run table.
+
+const (
+	hdrMagicProps = 0xCF5EADE0
+	hdrMagicRuns  = 0xCF5EADE1
+)
+
+func headerLabels(uid uint64) []disk.Label {
+	return []disk.Label{
+		{FileID: uid, Page: 0, Type: disk.PageHeader},
+		{FileID: uid, Page: 1, Type: disk.PageHeader},
+	}
+}
+
+func dataLabels(uid uint64, first, n int) []disk.Label {
+	labs := make([]disk.Label, n)
+	for i := range labs {
+		labs[i] = disk.Label{FileID: uid, Page: int32(first + i), Type: disk.PageData}
+	}
+	return labs
+}
+
+func freeLabels(n int) []disk.Label {
+	return make([]disk.Label, n) // zero value is the free label
+}
+
+// encodeHeader produces both header sectors.
+func encodeHeader(e *Entry) []byte {
+	buf := make([]byte, 2*disk.SectorSize)
+	be := binary.BigEndian
+
+	// Sector 0: properties.
+	be.PutUint32(buf[0:], hdrMagicProps)
+	be.PutUint64(buf[4:], e.UID)
+	be.PutUint32(buf[12:], e.Version)
+	be.PutUint16(buf[16:], e.Keep)
+	be.PutUint64(buf[18:], e.ByteSize)
+	be.PutUint64(buf[26:], uint64(e.CreateTime))
+	be.PutUint16(buf[34:], uint16(len(e.Name)))
+	copy(buf[36:], e.Name)
+	off := 36 + len(e.Name)
+	be.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+
+	// Sector 1: run table.
+	s1 := buf[disk.SectorSize:]
+	be.PutUint32(s1[0:], hdrMagicRuns)
+	be.PutUint64(s1[4:], e.UID)
+	be.PutUint16(s1[12:], uint16(len(e.Runs)))
+	o := 14
+	for _, r := range e.Runs {
+		be.PutUint32(s1[o:], r.Start)
+		be.PutUint32(s1[o+4:], r.Len)
+		o += 8
+	}
+	be.PutUint32(s1[o:], crc32.ChecksumIEEE(s1[:o]))
+	return buf
+}
+
+// decodeHeader fills the header-resident fields of e from both sectors,
+// cross-checking the uid.
+func decodeHeader(e *Entry, buf []byte) error {
+	be := binary.BigEndian
+	if be.Uint32(buf[0:]) != hdrMagicProps {
+		return fmt.Errorf("cfs: %q!%d: bad header properties sector", e.Name, e.Version)
+	}
+	nameLen := int(be.Uint16(buf[34:]))
+	off := 36 + nameLen
+	if off+4 > disk.SectorSize || be.Uint32(buf[off:]) != crc32.ChecksumIEEE(buf[:off]) {
+		return fmt.Errorf("cfs: %q!%d: header properties checksum", e.Name, e.Version)
+	}
+	if uid := be.Uint64(buf[4:]); uid != e.UID {
+		return fmt.Errorf("cfs: %q!%d: header uid %d != %d", e.Name, e.Version, uid, e.UID)
+	}
+	if name := string(buf[36 : 36+nameLen]); name != e.Name {
+		return fmt.Errorf("cfs: header name %q != %q", name, e.Name)
+	}
+	e.ByteSize = be.Uint64(buf[18:])
+	e.CreateTime = time.Duration(be.Uint64(buf[26:]))
+
+	s1 := buf[disk.SectorSize:]
+	if be.Uint32(s1[0:]) != hdrMagicRuns || be.Uint64(s1[4:]) != e.UID {
+		return fmt.Errorf("cfs: %q!%d: bad run-table sector", e.Name, e.Version)
+	}
+	n := int(be.Uint16(s1[12:]))
+	o := 14 + 8*n
+	if o+4 > disk.SectorSize || be.Uint32(s1[o:]) != crc32.ChecksumIEEE(s1[:o]) {
+		return fmt.Errorf("cfs: %q!%d: run-table checksum", e.Name, e.Version)
+	}
+	e.Runs = e.Runs[:0]
+	for i := 0; i < n; i++ {
+		e.Runs = append(e.Runs, alloc.Run{
+			Start: be.Uint32(s1[14+8*i:]),
+			Len:   be.Uint32(s1[18+8*i:]),
+		})
+	}
+	return nil
+}
+
+// decodeHeaderStandalone parses a header read by the scavenger, where no
+// name-table entry exists to check against.
+func decodeHeaderStandalone(buf []byte) (*Entry, error) {
+	be := binary.BigEndian
+	if be.Uint32(buf[0:]) != hdrMagicProps {
+		return nil, fmt.Errorf("cfs: not a header sector")
+	}
+	e := &Entry{UID: be.Uint64(buf[4:])}
+	e.Version = be.Uint32(buf[12:])
+	e.Keep = be.Uint16(buf[16:])
+	nameLen := int(be.Uint16(buf[34:]))
+	off := 36 + nameLen
+	if off+4 > disk.SectorSize || be.Uint32(buf[off:]) != crc32.ChecksumIEEE(buf[:off]) {
+		return nil, fmt.Errorf("cfs: header checksum")
+	}
+	e.Name = string(buf[36 : 36+nameLen])
+	e.ByteSize = be.Uint64(buf[18:])
+	e.CreateTime = time.Duration(be.Uint64(buf[26:]))
+	if err := decodeHeader(e, buf); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

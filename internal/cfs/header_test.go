@@ -1,0 +1,132 @@
+package cfs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/disk"
+)
+
+func sampleHeaderEntry() *Entry {
+	return &Entry{
+		Name:       "lib/runtime.bcd",
+		Version:    4,
+		Keep:       2,
+		UID:        987654,
+		HeaderAddr: 4242,
+		ByteSize:   55555,
+		CreateTime: 17 * time.Second,
+		Runs:       []alloc.Run{{Start: 4244, Len: 100}, {Start: 9000, Len: 9}},
+	}
+}
+
+func TestHeaderEncodeDecodeRoundTrip(t *testing.T) {
+	e := sampleHeaderEntry()
+	buf := encodeHeader(e)
+	if len(buf) != 2*disk.SectorSize {
+		t.Fatalf("header is %d bytes", len(buf))
+	}
+	got := &Entry{Name: e.Name, Version: e.Version, UID: e.UID, HeaderAddr: e.HeaderAddr, Keep: e.Keep}
+	if err := decodeHeader(got, buf); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.ByteSize != e.ByteSize || got.CreateTime != e.CreateTime || !reflect.DeepEqual(got.Runs, e.Runs) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestHeaderDecodeCrossChecks(t *testing.T) {
+	e := sampleHeaderEntry()
+	buf := encodeHeader(e)
+	// Wrong uid in the expecting entry.
+	wrong := *e
+	wrong.UID++
+	if err := decodeHeader(&wrong, buf); err == nil {
+		t.Fatal("uid mismatch accepted")
+	}
+	// Wrong name.
+	wrong = *e
+	wrong.Name = "other"
+	if err := decodeHeader(&wrong, buf); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	// Corrupted properties sector.
+	bad := append([]byte(nil), buf...)
+	bad[20] ^= 0xFF
+	if err := decodeHeader(e, bad); err == nil {
+		t.Fatal("corrupt properties accepted")
+	}
+	// Corrupted run table sector.
+	bad = append([]byte(nil), buf...)
+	bad[disk.SectorSize+20] ^= 0xFF
+	if err := decodeHeader(e, bad); err == nil {
+		t.Fatal("corrupt run table accepted")
+	}
+}
+
+func TestHeaderStandaloneDecode(t *testing.T) {
+	e := sampleHeaderEntry()
+	got, err := decodeHeaderStandalone(encodeHeader(e))
+	if err != nil {
+		t.Fatalf("standalone decode: %v", err)
+	}
+	if got.Name != e.Name || got.Version != e.Version || got.UID != e.UID ||
+		got.ByteSize != e.ByteSize || !reflect.DeepEqual(got.Runs, e.Runs) {
+		t.Fatalf("standalone mismatch: %+v", got)
+	}
+	if _, err := decodeHeaderStandalone(make([]byte, 2*disk.SectorSize)); err == nil {
+		t.Fatal("zero sector accepted as header")
+	}
+}
+
+// Property: headers round-trip for arbitrary well-formed entries.
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	f := func(name string, ver uint32, keep uint16, uid uint64, size uint64, runs []struct{ S, L uint32 }) bool {
+		name = strings.Map(func(r rune) rune {
+			if r == 0 {
+				return 'x'
+			}
+			return r
+		}, name)
+		if name == "" || len(name) > 200 {
+			return true
+		}
+		if len(runs) > 40 {
+			return true
+		}
+		e := &Entry{Name: name, Version: ver, Keep: keep, UID: uid, ByteSize: size, CreateTime: time.Second}
+		for _, r := range runs {
+			e.Runs = append(e.Runs, alloc.Run{Start: r.S, Len: r.L})
+		}
+		got, err := decodeHeaderStandalone(encodeHeader(e))
+		if err != nil {
+			return false
+		}
+		if len(e.Runs) == 0 && len(got.Runs) == 0 {
+			return got.Name == e.Name && got.UID == e.UID
+		}
+		return got.Name == e.Name && got.UID == e.UID && reflect.DeepEqual(got.Runs, e.Runs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	labs := headerLabels(9)
+	if len(labs) != 2 || labs[0].Type != disk.PageHeader || labs[1].Page != 1 {
+		t.Fatalf("headerLabels: %v", labs)
+	}
+	dl := dataLabels(9, 5, 3)
+	if len(dl) != 3 || dl[0].Page != 5 || dl[2].Page != 7 || dl[0].Type != disk.PageData {
+		t.Fatalf("dataLabels: %v", dl)
+	}
+	fl := freeLabels(2)
+	if fl[0] != disk.FreeLabel || fl[1] != disk.FreeLabel {
+		t.Fatalf("freeLabels: %v", fl)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/disk"
+)
+
+// Byte-granular convenience I/O over the page operations, and rename —
+// the remaining pieces of the FS-level interface Cedar clients used.
+
+// ReadAt reads len(p) bytes at byte offset off, implementing io.ReaderAt
+// semantics: it returns io.EOF when the read reaches the file's byte size.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("core: negative offset")
+	}
+	size := int64(f.e.ByteSize)
+	if off >= size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if off+want > size {
+		want = size - off
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	firstPage := int(off / disk.SectorSize)
+	lastPage := int((off + want - 1) / disk.SectorSize)
+	buf, err := f.ReadPages(firstPage, lastPage-firstPage+1)
+	if err != nil {
+		return 0, err
+	}
+	n := copy(p, buf[off-int64(firstPage)*disk.SectorSize:][:want])
+	if int64(n) < int64(len(p)) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt writes p at byte offset off within the file's allocated pages,
+// extending the recorded byte size if the write grows the file (but never
+// past the allocation — use Extend first). Partial first/last pages are
+// read-modify-written.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("core: negative offset")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	end := off + int64(len(p))
+	if end > int64(f.Pages())*disk.SectorSize {
+		return 0, fmt.Errorf("core: write [%d,%d) beyond %d allocated pages (Extend first)", off, end, f.Pages())
+	}
+	firstPage := int(off / disk.SectorSize)
+	lastPage := int((end - 1) / disk.SectorSize)
+	span := lastPage - firstPage + 1
+	buf := make([]byte, span*disk.SectorSize)
+	// Read-modify-write only the partial edge pages that hold live data.
+	headPartial := off%disk.SectorSize != 0
+	tailPartial := end%disk.SectorSize != 0
+	if headPartial || (tailPartial && int64(lastPage)*disk.SectorSize < int64(f.e.ByteSize)) {
+		old, err := f.ReadPages(firstPage, span)
+		if err == nil {
+			copy(buf, old)
+		}
+	}
+	copy(buf[off-int64(firstPage)*disk.SectorSize:], p)
+	if err := f.WritePages(firstPage, buf); err != nil {
+		return 0, err
+	}
+	if uint64(end) > f.e.ByteSize {
+		if err := f.SetByteSize(uint64(end)); err != nil {
+			return len(p), err
+		}
+	}
+	return len(p), nil
+}
+
+// Rename moves every version of oldName to newName — a pure name-table
+// operation, logged like any other metadata update; no data pages move.
+// It fails if any version of newName already exists.
+func (v *Volume) Rename(oldName, newName string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return err
+	}
+	if err := ValidateName(newName); err != nil {
+		return err
+	}
+	if hi, err := v.highestVersionLocked(newName); err != nil {
+		return err
+	} else if hi != 0 {
+		return fmt.Errorf("%w: %q", ErrExists, newName)
+	}
+	var versions []uint32
+	prefix := namePrefix(oldName)
+	err := v.nt.Scan(prefix, func(k, _ []byte) bool {
+		n, ver, ok := splitKey(k)
+		if !ok || n != oldName {
+			return false
+		}
+		versions = append(versions, ver)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if len(versions) == 0 {
+		return fmt.Errorf("%w: %q", ErrNotFound, oldName)
+	}
+	for _, ver := range versions {
+		e, err := v.statLocked(oldName, ver)
+		if err != nil {
+			return err
+		}
+		e.Name = newName
+		if err := v.putEntryLocked(e); err != nil {
+			return err
+		}
+		if err := v.nt.Delete(entryKey(oldName, ver)); err != nil {
+			return err
+		}
+		v.cpu.Charge(2 * csumCost)
+	}
+	return nil
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/disk"
+	"repro/internal/wal"
+)
+
+// ntCRCOff is where the cache stamps a CRC32 into each name-table page; the
+// B-tree reserves bytes 10..15 of its header for the storage layer.
+const ntCRCOff = 12
+
+// ntPage is one cached name-table page and its logging state.
+type ntPage struct {
+	id  uint32
+	cur []byte // current contents (what the B-tree sees)
+	// logged is the snapshot equal to what log replay would reproduce
+	// for this page (its content at the last force); it is what a
+	// third-crossing flush writes home, so home copies never get ahead
+	// of the log (see DESIGN.md).
+	logged     []byte
+	dirty      bool // cur differs from the home copies
+	pendingLog bool // images staged in the WAL but not yet forced
+	// lastThird tracks, per 512-byte sector, the log division holding
+	// that sector's newest image; -1 if none. Logging is sector-granular,
+	// so different sectors of one page can live in different thirds.
+	lastThird [NTPageSectors]int
+	lruSeq    uint64
+}
+
+func newNTPage(id uint32, cur []byte) *ntPage {
+	p := &ntPage{id: id, cur: cur}
+	for j := range p.lastThird {
+		p.lastThird[j] = -1
+	}
+	return p
+}
+
+// inLog reports whether any sector of the page has a live logged image.
+func (p *ntPage) inLog() bool {
+	for _, t := range p.lastThird {
+		if t >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ntCache is the write-back cache for file-name-table pages. It implements
+// btree.Pager: B-tree reads hit the cache, B-tree writes dirty cached pages
+// and stage their sector images for the next group commit. Pages are kept
+// logically read-only between updates by CRC-checking on every cache read
+// ("this is to catch wild stores").
+type ntCache struct {
+	v     *Volume
+	pages map[uint32]*ntPage
+	cap   int
+	seq   uint64
+
+	// Counters for the benchmarks.
+	Hits, Misses int
+	HomeWrites   int
+}
+
+func newNTCache(v *Volume, capacity int) *ntCache {
+	return &ntCache{v: v, pages: make(map[uint32]*ntPage), cap: capacity}
+}
+
+// PageSize implements btree.Pager.
+func (c *ntCache) PageSize() int { return NTPageSize }
+
+// NumPages implements btree.Pager.
+func (c *ntCache) NumPages() int { return c.v.lay.ntPages }
+
+func stampCRC(p []byte) {
+	binary.BigEndian.PutUint32(p[ntCRCOff:], 0)
+	binary.BigEndian.PutUint32(p[ntCRCOff:], pageCRC(p))
+}
+
+func pageCRC(p []byte) uint32 {
+	var z [4]byte
+	h := crc32.NewIEEE()
+	h.Write(p[:ntCRCOff])
+	h.Write(z[:])
+	h.Write(p[ntCRCOff+4:])
+	return h.Sum32()
+}
+
+func crcOK(p []byte) bool {
+	return binary.BigEndian.Uint32(p[ntCRCOff:]) == pageCRC(p)
+}
+
+// Read implements btree.Pager. On a miss both home copies are read and
+// checked, per the paper ("when a page is read, both copies are read and
+// checked"), unless the volume is configured to read one.
+func (c *ntCache) Read(id uint32) ([]byte, error) {
+	if p, ok := c.pages[id]; ok {
+		c.Hits++
+		c.seq++
+		p.lruSeq = c.seq
+		c.v.cpu.Charge(0) // navigation cost charged by callers per op
+		if !crcOK(p.cur) && !isVirgin(p.cur) {
+			return nil, fmt.Errorf("core: wild store detected in cached name-table page %d", id)
+		}
+		return p.cur, nil
+	}
+	c.Misses++
+	addrA, addrB := c.v.lay.ntPageAddrs(id)
+	bufA, errA := c.v.d.ReadSectors(addrA, NTPageSectors)
+	okA := errA == nil && (crcOK(bufA) || isVirgin(bufA))
+	var bufB []byte
+	okB := false
+	if !c.v.cfg.ReadOneCopy && !c.v.cfg.SingleCopyNT {
+		var errB error
+		bufB, errB = c.v.d.ReadSectors(addrB, NTPageSectors)
+		okB = errB == nil && (crcOK(bufB) || isVirgin(bufB))
+		c.v.cpu.Charge(2 * csumCost)
+	} else {
+		c.v.cpu.Charge(csumCost)
+	}
+	var data []byte
+	switch {
+	case okA:
+		data = bufA
+	case okB:
+		data = bufB
+	case c.v.cfg.ReadOneCopy && !c.v.cfg.SingleCopyNT:
+		// One-copy read mode falls back to the replica on damage.
+		bufB, errB := c.v.d.ReadSectors(addrB, NTPageSectors)
+		if errB == nil && (crcOK(bufB) || isVirgin(bufB)) {
+			data = bufB
+		}
+	}
+	if data == nil {
+		return nil, fmt.Errorf("core: name-table page %d unreadable in all copies (A: %v)", id, errA)
+	}
+	p := newNTPage(id, data)
+	c.insert(p)
+	return p.cur, nil
+}
+
+// isVirgin reports an all-zero page (never written; CRC field legitimately
+// absent).
+func isVirgin(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Write implements btree.Pager: update the cached page and stage images of
+// the changed sectors for the next group commit. Logging is sector-granular
+// — the paper logs 512-byte "physical pages", so a small property update
+// inside a 2 KB name-table page produces a one- or two-page log record, not
+// four. Nothing touches the home copies here.
+func (c *ntCache) Write(id uint32, data []byte) error {
+	if len(data) != NTPageSize {
+		return fmt.Errorf("core: name-table write of %d bytes", len(data))
+	}
+	p, ok := c.pages[id]
+	if !ok {
+		// Never read and never written: the diff base is the home
+		// content, which for a fresh page is all zeroes. Reading it
+		// would cost an I/O the real system does not do (it knows
+		// fresh pages are virgin), so start from zeroes; for safety
+		// this is only correct because the B-tree always reads
+		// existing pages before rewriting them.
+		p = newNTPage(id, make([]byte, NTPageSize))
+		c.insert(p)
+	}
+	fresh := make([]byte, NTPageSize)
+	copy(fresh, data)
+	stampCRC(fresh)
+	c.v.cpu.Charge(csumCost)
+	var images []wal.PageImage
+	for j := 0; j < NTPageSectors; j++ {
+		lo, hi := j*disk.SectorSize, (j+1)*disk.SectorSize
+		if bytes.Equal(fresh[lo:hi], p.cur[lo:hi]) {
+			continue
+		}
+		images = append(images, wal.PageImage{
+			Kind:   wal.KindNameTable,
+			Target: uint64(id)*NTPageSectors + uint64(j),
+			Data:   fresh[lo:hi],
+		})
+	}
+	p.cur = fresh
+	if len(images) == 0 {
+		return nil
+	}
+	p.dirty = true
+	p.pendingLog = true
+	return c.v.log.Append(images...)
+}
+
+// insert adds a page, evicting a clean page if over capacity. Dirty or
+// pending pages are never evicted ("the 'dirty but logged' pages are kept
+// in the cache"); if everything is dirty the cache grows past cap.
+func (c *ntCache) insert(p *ntPage) {
+	c.seq++
+	p.lruSeq = c.seq
+	c.pages[p.id] = p
+	if len(c.pages) <= c.cap {
+		return
+	}
+	var victim *ntPage
+	for _, q := range c.pages {
+		if q.dirty || q.pendingLog || q.inLog() || q == p {
+			continue
+		}
+		if victim == nil || q.lruSeq < victim.lruSeq {
+			victim = q
+		}
+	}
+	if victim != nil {
+		delete(c.pages, victim.id)
+	}
+}
+
+// onLogged records that page images made it into the log (called from the
+// WAL once per sector image; the whole-page snapshot refresh is idempotent
+// across the sectors of one page).
+func (c *ntCache) onLogged(target uint64, third int) {
+	id := uint32(target / NTPageSectors)
+	p, ok := c.pages[id]
+	if !ok {
+		return
+	}
+	// Snapshot exactly the sector that was logged — and only it. During
+	// a force cur is stable, but a multi-record force logs the batch in
+	// pieces: a whole-page snapshot here could capture sectors whose
+	// images ride a LATER record of the same force, and a third-crossing
+	// flush between the records would then write content home that the
+	// log does not yet (and, if the force tears, never will) contain.
+	if p.logged == nil {
+		p.logged = make([]byte, NTPageSize)
+	}
+	sub := int(target % NTPageSectors)
+	copy(p.logged[sub*disk.SectorSize:(sub+1)*disk.SectorSize], p.cur[sub*disk.SectorSize:(sub+1)*disk.SectorSize])
+	p.lastThird[sub] = third
+	p.pendingLog = false
+}
+
+// flushThird writes home every sector whose newest logged image is in the
+// division about to be overwritten. It writes from the logged snapshot, not
+// the possibly newer cache contents, so the home copies never reflect
+// updates the log has not yet committed.
+func (c *ntCache) flushThird(third int) (int, error) {
+	n := 0
+	for _, p := range c.pages {
+		for j := 0; j < NTPageSectors; j++ {
+			if p.lastThird[j] != third {
+				continue
+			}
+			if err := c.writeHomeSector(p.id, j, p.logged[j*disk.SectorSize:(j+1)*disk.SectorSize]); err != nil {
+				return n, err
+			}
+			n++
+			p.lastThird[j] = -1
+		}
+		if !p.pendingLog && !p.inLog() && p.logged != nil && bytes.Equal(p.logged, p.cur) {
+			p.dirty = false
+			p.logged = nil
+		}
+	}
+	return n, nil
+}
+
+// writeHomeSector writes one sector of a page to both home copies.
+func (c *ntCache) writeHomeSector(id uint32, sub int, data []byte) error {
+	addrA, addrB := c.v.lay.ntPageAddrs(id)
+	if err := c.v.d.WriteSectors(addrA+sub, data); err != nil {
+		return err
+	}
+	c.HomeWrites++
+	if c.v.cfg.SingleCopyNT {
+		return nil
+	}
+	if err := c.v.d.WriteSectors(addrB+sub, data); err != nil {
+		return err
+	}
+	c.HomeWrites++
+	return nil
+}
+
+// writeHome writes a page image to both home copies (two operations with
+// independent failure modes).
+func (c *ntCache) writeHome(id uint32, data []byte) error {
+	addrA, addrB := c.v.lay.ntPageAddrs(id)
+	if err := c.v.d.WriteSectors(addrA, data); err != nil {
+		return err
+	}
+	c.HomeWrites++
+	if c.v.cfg.SingleCopyNT {
+		return nil
+	}
+	if err := c.v.d.WriteSectors(addrB, data); err != nil {
+		return err
+	}
+	c.HomeWrites++
+	return nil
+}
+
+// flushAll writes home every dirty page; the caller must have forced the
+// log first so cur is committed. Used by clean shutdown.
+func (c *ntCache) flushAll() error {
+	for _, p := range c.pages {
+		if !p.dirty {
+			continue
+		}
+		if err := c.writeHome(p.id, p.cur); err != nil {
+			return err
+		}
+		p.dirty = false
+		p.pendingLog = false
+		for j := range p.lastThird {
+			p.lastThird[j] = -1
+		}
+		p.logged = nil
+	}
+	return nil
+}
+
+// dropAll empties the cache (after crash recovery rewrites home pages).
+func (c *ntCache) dropAll() {
+	c.pages = make(map[uint32]*ntPage)
+}

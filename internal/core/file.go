@@ -1,0 +1,622 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/btree"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// MaxTransferSectors bounds a single disk request, as the real controller
+// did; long reads and writes are issued in chunks of this many sectors.
+const MaxTransferSectors = 64
+
+// File is an open-file handle. Handles are invalidated by deleting the file;
+// using a stale handle after the delete commits reads reallocated pages.
+type File struct {
+	v              *Volume
+	e              Entry
+	leaderVerified bool
+}
+
+// Entry returns a copy of the file's name-table entry as of open time.
+func (f *File) Entry() Entry { return f.e }
+
+// Size returns the file's byte size.
+func (f *File) Size() int64 { return int64(f.e.ByteSize) }
+
+// Pages returns the number of data pages.
+func (f *File) Pages() int { return f.e.Pages() }
+
+// highestVersionLocked returns the newest version of name, 0 if none.
+func (v *Volume) highestVersionLocked(name string) (uint32, error) {
+	prefix := namePrefix(name)
+	var highest uint32
+	err := v.nt.Scan(prefix, func(k, _ []byte) bool {
+		n, ver, ok := splitKey(k)
+		if !ok || n != name {
+			return false
+		}
+		highest = ver
+		return true
+	})
+	v.cpu.Charge(sim.CostBTreeOp)
+	return highest, err
+}
+
+// statLocked fetches an entry; version 0 means newest.
+func (v *Volume) statLocked(name string, version uint32) (*Entry, error) {
+	if version == 0 {
+		var err error
+		version, err = v.highestVersionLocked(name)
+		if err != nil {
+			return nil, err
+		}
+		if version == 0 {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+	}
+	val, err := v.nt.Get(entryKey(name, version))
+	if errors.Is(err, btree.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %q!%d", ErrNotFound, name, version)
+	}
+	if err != nil {
+		return nil, err
+	}
+	v.cpu.Charge(sim.CostBTreeOp)
+	return decodeEntry(name, version, val)
+}
+
+// putEntryLocked writes an entry into the name table.
+func (v *Volume) putEntryLocked(e *Entry) error {
+	v.cpu.Charge(sim.CostBTreeOp)
+	return v.nt.Put(entryKey(e.Name, e.Version), encodeEntry(e))
+}
+
+// Create makes a new version of name holding data and returns an open
+// handle. The create costs one synchronous I/O in the common case: the
+// combined write of the leader page and the data ("a file create typically
+// does one I/O synchronously"). The name-table update is buffered and
+// logged asynchronously by group commit.
+func (v *Volume) Create(name string, data []byte) (*File, error) {
+	return v.createClass(name, data, Local, "")
+}
+
+// CreateCached makes a new version of name marked as a cached copy of a
+// remote file.
+func (v *Volume) CreateCached(name string, data []byte) (*File, error) {
+	return v.createClass(name, data, Cached, "")
+}
+
+// CreateLink makes a new version of name that is a symbolic link to a
+// remote file name. Links occupy no data pages.
+func (v *Volume) CreateLink(name, target string) (*Entry, error) {
+	f, err := v.createClass(name, nil, SymLink, target)
+	if err != nil {
+		return nil, err
+	}
+	return &f.e, nil
+}
+
+func (v *Volume) createClass(name string, data []byte, class Class, linkTarget string) (*File, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return nil, err
+	}
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	highest, err := v.highestVersionLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	var keep uint16
+	if highest > 0 {
+		if prev, err := v.statLocked(name, highest); err == nil {
+			keep = prev.Keep
+		}
+	}
+	v.cpu.Charge(sim.CostFileCreate)
+	e := &Entry{
+		Name:       name,
+		Version:    highest + 1,
+		Class:      class,
+		Keep:       keep,
+		UID:        v.nextUID(),
+		ByteSize:   uint64(len(data)),
+		CreateTime: v.clk.Now(),
+		LastUsed:   v.clk.Now(),
+		LinkTarget: linkTarget,
+	}
+	if class != SymLink {
+		pages := 1 + (len(data)+disk.SectorSize-1)/disk.SectorSize // leader + data
+		e.Runs, err = v.al.Alloc(pages)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := v.putEntryLocked(e); err != nil {
+		if e.Runs != nil {
+			v.al.FreeNow(e.Runs)
+		}
+		return nil, err
+	}
+	v.ops.Creates++
+	if class != SymLink {
+		leader := encodeLeader(e)
+		if len(data) > 0 {
+			if err := v.writeLeaderAndData(e, leader, data); err != nil {
+				return nil, err
+			}
+		} else {
+			// Empty file: the leader write is deferred — logged now,
+			// written home by a later piggyback or third flush.
+			addr, _ := e.LeaderAddr()
+			v.pendingLeaders[addr] = leader
+			if err := v.log.Append(wal.PageImage{Kind: wal.KindLeader, Target: uint64(addr), Data: leader}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if keep > 0 {
+		if err := v.applyKeepLocked(name, e.Version, keep); err != nil {
+			return nil, err
+		}
+	}
+	return &File{v: v, e: *e, leaderVerified: true}, nil
+}
+
+// writeLeaderAndData writes the leader and the file contents, combining the
+// leader with the first data pages into a single transfer when they are
+// contiguous (they always are for a fresh allocation).
+func (v *Volume) writeLeaderAndData(e *Entry, leader, data []byte) error {
+	pages := (len(data) + disk.SectorSize - 1) / disk.SectorSize
+	padded := make([]byte, pages*disk.SectorSize)
+	copy(padded, data)
+	v.cpu.Charge(time.Duration(pages+1) * sim.CostPerSectorCopy)
+	written := 0
+	for i, r := range e.Runs {
+		chunk := int(r.Len)
+		buf := padded[written:]
+		addr := int(r.Start)
+		if i == 0 {
+			// First run starts with the leader page.
+			chunk--
+			if chunk > len(buf)/disk.SectorSize {
+				chunk = len(buf) / disk.SectorSize
+			}
+			head := chunk
+			if head > MaxTransferSectors-1 {
+				head = MaxTransferSectors - 1
+			}
+			joined := make([]byte, 0, (1+head)*disk.SectorSize)
+			joined = append(joined, leader...)
+			joined = append(joined, buf[:head*disk.SectorSize]...)
+			if err := v.d.WriteSectors(addr, joined); err != nil {
+				return err
+			}
+			for off := head; off < chunk; off += MaxTransferSectors {
+				end := off + MaxTransferSectors
+				if end > chunk {
+					end = chunk
+				}
+				if err := v.d.WriteSectors(addr+1+off, buf[off*disk.SectorSize:end*disk.SectorSize]); err != nil {
+					return err
+				}
+			}
+		} else {
+			if chunk > len(buf)/disk.SectorSize {
+				chunk = len(buf) / disk.SectorSize
+			}
+			if chunk == 0 {
+				break
+			}
+			for off := 0; off < chunk; off += MaxTransferSectors {
+				end := off + MaxTransferSectors
+				if end > chunk {
+					end = chunk
+				}
+				if err := v.d.WriteSectors(addr+off, buf[off*disk.SectorSize:end*disk.SectorSize]); err != nil {
+					return err
+				}
+			}
+		}
+		written += chunk * disk.SectorSize
+	}
+	v.ops.Writes++
+	return nil
+}
+
+// applyKeepLocked deletes versions older than newest-keep+1.
+func (v *Volume) applyKeepLocked(name string, newest uint32, keep uint16) error {
+	if uint32(keep) >= newest {
+		return nil
+	}
+	cutoff := newest - uint32(keep) // delete versions <= cutoff
+	var doomed []uint32
+	prefix := namePrefix(name)
+	err := v.nt.Scan(prefix, func(k, _ []byte) bool {
+		n, ver, ok := splitKey(k)
+		if !ok || n != name {
+			return false
+		}
+		if ver <= cutoff {
+			doomed = append(doomed, ver)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, ver := range doomed {
+		if err := v.deleteLocked(name, ver); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open returns a handle on a file; version 0 opens the newest. Opening a
+// cached file updates its last-used time — the canonical group-commit
+// hot-spot update. Open normally costs no I/O: all properties, including
+// the run table, are in the (cached) name table.
+func (v *Volume) Open(name string, version uint32) (*File, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return nil, err
+	}
+	e, err := v.statLocked(name, version)
+	if err != nil {
+		return nil, err
+	}
+	if e.Class == SymLink {
+		return nil, fmt.Errorf("%w: %q -> %q", ErrIsSymlink, name, e.LinkTarget)
+	}
+	v.ops.Opens++
+	if e.Class == Cached {
+		e.LastUsed = v.clk.Now()
+		if err := v.putEntryLocked(e); err != nil {
+			return nil, err
+		}
+	}
+	return &File{v: v, e: *e}, nil
+}
+
+// Stat returns a file's entry without opening it; version 0 = newest.
+func (v *Volume) Stat(name string, version uint32) (*Entry, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return nil, err
+	}
+	return v.statLocked(name, version)
+}
+
+// Touch updates a file's last-used time (the property update the paper uses
+// as its one-page log record example).
+func (v *Volume) Touch(name string, version uint32) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return err
+	}
+	e, err := v.statLocked(name, version)
+	if err != nil {
+		return err
+	}
+	e.LastUsed = v.clk.Now()
+	v.ops.Touches++
+	return v.putEntryLocked(e)
+}
+
+// SetKeep sets the keep count on the newest version of name; it takes
+// effect at the next create.
+func (v *Volume) SetKeep(name string, keep uint16) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return err
+	}
+	e, err := v.statLocked(name, 0)
+	if err != nil {
+		return err
+	}
+	e.Keep = keep
+	return v.putEntryLocked(e)
+}
+
+// Delete removes a file version (0 = newest). Its pages become allocatable
+// when the deletion commits — at the next log force.
+func (v *Volume) Delete(name string, version uint32) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return err
+	}
+	if version == 0 {
+		var err error
+		version, err = v.highestVersionLocked(name)
+		if err != nil {
+			return err
+		}
+		if version == 0 {
+			return fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+	}
+	v.ops.Deletes++
+	return v.deleteLocked(name, version)
+}
+
+func (v *Volume) deleteLocked(name string, version uint32) error {
+	e, err := v.statLocked(name, version)
+	if err != nil {
+		return err
+	}
+	v.cpu.Charge(sim.CostBTreeOp)
+	if err := v.nt.Delete(entryKey(name, version)); err != nil {
+		return err
+	}
+	if len(e.Runs) > 0 {
+		v.al.FreeOnCommit(e.Runs)
+		// Cancel any deferred leader write: the sectors may be
+		// reallocated after the commit.
+		addr, _ := e.LeaderAddr()
+		delete(v.pendingLeaders, addr)
+		delete(v.leaderThird, addr)
+	}
+	return nil
+}
+
+// List calls fn for every entry whose name starts with prefix, in name then
+// version order, until fn returns false. Properties need no extra I/O:
+// "there is no need for a disk read for the properties since they are
+// already available in the file name table."
+func (v *Volume) List(prefix string, fn func(Entry) bool) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return err
+	}
+	v.ops.Lists++
+	stop := errors.New("stop")
+	err := v.nt.Scan([]byte(prefix), func(k, val []byte) bool {
+		name, ver, ok := splitKey(k)
+		if !ok {
+			return true
+		}
+		if len(name) < len(prefix) || name[:len(prefix)] != prefix {
+			return false
+		}
+		e, err := decodeEntry(name, ver, val)
+		if err != nil {
+			return true
+		}
+		v.cpu.Charge(sim.CostBTreeOp / 8)
+		return fn(*e)
+	})
+	if errors.Is(err, stop) {
+		return nil
+	}
+	return err
+}
+
+// ReadPages reads n data pages starting at logical page `page`. The first
+// access to a file verifies the leader by piggybacking its read onto the
+// data transfer: "the leader page is the previous physical page on the
+// disk... it usually costs only the transfer time for a page".
+func (f *File) ReadPages(page, n int) ([]byte, error) {
+	v := f.v
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return nil, err
+	}
+	if page < 0 || n <= 0 || page+n > f.e.Pages() {
+		return nil, fmt.Errorf("core: read [%d,%d) outside %q!%d (%d pages)", page, page+n, f.e.Name, f.e.Version, f.e.Pages())
+	}
+	v.ops.Reads++
+	out := make([]byte, 0, n*disk.SectorSize)
+	remaining := n
+	cur := page
+	for remaining > 0 {
+		addr, cnt, err := f.e.ContiguousFrom(cur, remaining)
+		if err != nil {
+			return nil, err
+		}
+		if cnt > MaxTransferSectors {
+			cnt = MaxTransferSectors
+		}
+		leaderAddr, _ := f.e.LeaderAddr()
+		if !f.leaderVerified && cur == page && addr == leaderAddr+1 {
+			// Piggyback the leader read on the first data access.
+			buf, err := v.d.ReadSectors(addr-1, cnt+1)
+			if err != nil {
+				return nil, err
+			}
+			if lerr := f.verifyLeaderBuf(buf[:disk.SectorSize]); lerr != nil {
+				return nil, lerr
+			}
+			out = append(out, buf[disk.SectorSize:]...)
+		} else {
+			buf, err := v.d.ReadSectors(addr, cnt)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, buf...)
+		}
+		v.cpu.Charge(time.Duration(cnt) * sim.CostPerSectorCopy)
+		cur += cnt
+		remaining -= cnt
+	}
+	return out, nil
+}
+
+// verifyLeaderBuf checks a freshly read leader page; the volume must hold
+// its monitor. A pending (not yet home-written) leader is verified from
+// memory instead.
+func (f *File) verifyLeaderBuf(buf []byte) error {
+	addr, _ := f.e.LeaderAddr()
+	if pending, ok := f.v.pendingLeaders[addr]; ok {
+		buf = pending
+	}
+	if err := verifyLeader(buf, &f.e); err != nil {
+		return err
+	}
+	f.leaderVerified = true
+	return nil
+}
+
+// ReadAll returns the whole file contents, trimmed to its byte size.
+func (f *File) ReadAll() ([]byte, error) {
+	if f.e.Pages() == 0 {
+		return nil, nil
+	}
+	buf, err := f.ReadPages(0, f.e.Pages())
+	if err != nil {
+		return nil, err
+	}
+	return buf[:f.e.ByteSize], nil
+}
+
+// WritePages overwrites n = len(data)/512 data pages starting at `page`.
+// If the file's leader page is still pending, the write to page 0 carries
+// it along for free.
+func (f *File) WritePages(page int, data []byte) error {
+	v := f.v
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return err
+	}
+	if len(data)%disk.SectorSize != 0 {
+		return fmt.Errorf("core: write of %d bytes not page-aligned", len(data))
+	}
+	n := len(data) / disk.SectorSize
+	if page < 0 || n <= 0 || page+n > f.e.Pages() {
+		return fmt.Errorf("core: write [%d,%d) outside %q!%d", page, page+n, f.e.Name, f.e.Version)
+	}
+	v.ops.Writes++
+	written := 0
+	cur := page
+	for written < n {
+		addr, cnt, err := f.e.ContiguousFrom(cur, n-written)
+		if err != nil {
+			return err
+		}
+		if cnt > MaxTransferSectors {
+			cnt = MaxTransferSectors
+		}
+		chunk := data[written*disk.SectorSize : (written+cnt)*disk.SectorSize]
+		leaderAddr, _ := f.e.LeaderAddr()
+		if pending, ok := v.pendingLeaders[leaderAddr]; ok && cur == page && addr == leaderAddr+1 {
+			joined := make([]byte, 0, len(chunk)+disk.SectorSize)
+			joined = append(joined, pending...)
+			joined = append(joined, chunk...)
+			if err := v.d.WriteSectors(addr-1, joined); err != nil {
+				return err
+			}
+			delete(v.pendingLeaders, leaderAddr)
+			delete(v.leaderThird, leaderAddr)
+			f.leaderVerified = true
+		} else {
+			if err := v.d.WriteSectors(addr, chunk); err != nil {
+				return err
+			}
+		}
+		v.cpu.Charge(time.Duration(cnt) * sim.CostPerSectorCopy)
+		cur += cnt
+		written += cnt
+	}
+	return nil
+}
+
+// Extend grows the file by morePages data pages, allocating new runs and
+// updating the name-table entry (a logged metadata operation, no
+// synchronous I/O).
+func (f *File) Extend(morePages int) error {
+	v := f.v
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return err
+	}
+	runs, err := v.al.Alloc(morePages)
+	if err != nil {
+		return err
+	}
+	e := f.e
+	e.Runs = append(append([]alloc.Run(nil), e.Runs...), runs...)
+	if err := v.putEntryLocked(&e); err != nil {
+		v.al.FreeNow(runs)
+		return err
+	}
+	f.e = e
+	return nil
+}
+
+// Contract trims the file to newPages data pages; the freed tail becomes
+// allocatable at the next commit.
+func (f *File) Contract(newPages int) error {
+	v := f.v
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return err
+	}
+	if newPages < 0 || newPages > f.e.Pages() {
+		return fmt.Errorf("core: contract to %d pages of %d", newPages, f.e.Pages())
+	}
+	keepSectors := newPages + 1 // leader stays
+	e := f.e
+	var kept []alloc.Run
+	var freed []alloc.Run
+	for _, r := range e.Runs {
+		if keepSectors >= int(r.Len) {
+			kept = append(kept, r)
+			keepSectors -= int(r.Len)
+		} else if keepSectors > 0 {
+			kept = append(kept, alloc.Run{Start: r.Start, Len: uint32(keepSectors)})
+			freed = append(freed, alloc.Run{Start: r.Start + uint32(keepSectors), Len: r.Len - uint32(keepSectors)})
+			keepSectors = 0
+		} else {
+			freed = append(freed, r)
+		}
+	}
+	e.Runs = kept
+	if e.ByteSize > uint64(newPages*disk.SectorSize) {
+		e.ByteSize = uint64(newPages * disk.SectorSize)
+	}
+	if err := v.putEntryLocked(&e); err != nil {
+		return err
+	}
+	v.al.FreeOnCommit(freed)
+	f.e = e
+	return nil
+}
+
+// SetByteSize records a new byte size (within the allocated pages).
+func (f *File) SetByteSize(n uint64) error {
+	v := f.v
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.begin(); err != nil {
+		return err
+	}
+	if n > uint64(f.e.Pages())*disk.SectorSize {
+		return fmt.Errorf("core: byte size %d exceeds %d allocated pages", n, f.e.Pages())
+	}
+	e := f.e
+	e.ByteSize = n
+	if err := v.putEntryLocked(&e); err != nil {
+		return err
+	}
+	f.e = e
+	return nil
+}

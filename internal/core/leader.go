@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/alloc"
+	"repro/internal/disk"
+)
+
+// Leader pages (Section 5.2). Every file's first physical page is a leader
+// holding the file's uid, a preamble of its run table, and a checksum of the
+// whole run table (Table 1). The leader carries no information needed for
+// operation — it is a cross-check maintained by different code paths than
+// the name table, so bugs in either show up as a mismatch. It is not used
+// in recovery.
+
+const (
+	leaderMagic    = 0x1EADE4F5
+	leaderPreamble = 8 // run-table entries stored verbatim in the leader
+)
+
+func runTableCRC(runs []alloc.Run) uint32 {
+	h := crc32.NewIEEE()
+	var b [8]byte
+	for _, r := range runs {
+		binary.BigEndian.PutUint32(b[0:], r.Start)
+		binary.BigEndian.PutUint32(b[4:], r.Len)
+		h.Write(b[:])
+	}
+	return h.Sum32()
+}
+
+// encodeLeader builds the 512-byte leader page for an entry.
+func encodeLeader(e *Entry) []byte {
+	buf := make([]byte, disk.SectorSize)
+	be := binary.BigEndian
+	be.PutUint32(buf[0:], leaderMagic)
+	be.PutUint64(buf[4:], e.UID)
+	be.PutUint32(buf[12:], e.Version)
+	be.PutUint32(buf[16:], runTableCRC(e.Runs))
+	n := len(e.Runs)
+	if n > leaderPreamble {
+		n = leaderPreamble
+	}
+	be.PutUint16(buf[20:], uint16(len(e.Runs)))
+	be.PutUint16(buf[22:], uint16(n))
+	off := 24
+	for _, r := range e.Runs[:n] {
+		be.PutUint32(buf[off:], r.Start)
+		be.PutUint32(buf[off+4:], r.Len)
+		off += 8
+	}
+	be.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	return buf
+}
+
+// leaderUID extracts the owning uid from a leader page, reporting whether
+// the page is a structurally valid leader.
+func leaderUID(buf []byte) (uint64, bool) {
+	be := binary.BigEndian
+	if be.Uint32(buf[0:]) != leaderMagic {
+		return 0, false
+	}
+	n := int(be.Uint16(buf[22:]))
+	if n > leaderPreamble {
+		return 0, false
+	}
+	off := 24 + 8*n
+	if off+4 > len(buf) || be.Uint32(buf[off:]) != crc32.ChecksumIEEE(buf[:off]) {
+		return 0, false
+	}
+	return be.Uint64(buf[4:]), true
+}
+
+// verifyLeader cross-checks a leader page against the name-table entry. A
+// mismatch means a bug in the page allocator, the logging code, or crash
+// recovery scribbled somewhere it should not have.
+func verifyLeader(buf []byte, e *Entry) error {
+	uid, ok := leaderUID(buf)
+	if !ok {
+		return fmt.Errorf("core: %q!%d: leader page is not a leader", e.Name, e.Version)
+	}
+	be := binary.BigEndian
+	if uid != e.UID {
+		return fmt.Errorf("core: %q!%d: leader uid %d != entry uid %d", e.Name, e.Version, uid, e.UID)
+	}
+	if v := be.Uint32(buf[12:]); v != e.Version {
+		return fmt.Errorf("core: %q!%d: leader version %d", e.Name, e.Version, v)
+	}
+	if c := be.Uint32(buf[16:]); c != runTableCRC(e.Runs) {
+		return fmt.Errorf("core: %q!%d: leader run-table checksum mismatch", e.Name, e.Version)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// TestSoakMultiBootLifecycle runs the volume through several boot cycles —
+// alternating clean shutdowns and crashes — with continued activity in
+// between, verifying after every boot that all committed state survives,
+// uids stay monotonic, and the log's boot-count machinery never confuses
+// records from different lives of the volume.
+func TestSoakMultiBootLifecycle(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, err := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Format(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	committed := map[string][]byte{}
+	var lastUID uint64
+	nextFile := 0
+
+	phase := func(boot int, files int) {
+		for i := 0; i < files; i++ {
+			name := fmt.Sprintf("soak/f%05d", nextFile)
+			nextFile++
+			data := payload(100+rng.Intn(1500), byte(nextFile))
+			f, err := v.Create(name, data)
+			if err != nil {
+				t.Fatalf("boot %d: create: %v", boot, err)
+			}
+			if f.Entry().UID <= lastUID {
+				t.Fatalf("boot %d: uid regression %d <= %d", boot, f.Entry().UID, lastUID)
+			}
+			lastUID = f.Entry().UID
+			committed[name] = data
+			// Occasionally delete something old.
+			if rng.Intn(4) == 0 && len(committed) > 10 {
+				for victim := range committed {
+					if err := v.Delete(victim, 0); err != nil {
+						t.Fatalf("boot %d: delete: %v", boot, err)
+					}
+					delete(committed, victim)
+					break
+				}
+			}
+		}
+		if err := v.Force(); err != nil {
+			t.Fatalf("boot %d: force: %v", boot, err)
+		}
+	}
+
+	verify := func(boot int) {
+		for name, data := range committed {
+			f, err := v.Open(name, 0)
+			if err != nil {
+				t.Fatalf("boot %d: %s lost: %v", boot, name, err)
+			}
+			got, err := f.ReadAll()
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("boot %d: %s corrupted: %v", boot, name, err)
+			}
+		}
+	}
+
+	const boots = 8
+	for boot := 1; boot <= boots; boot++ {
+		phase(boot, 25)
+		verify(boot)
+		if boot%2 == 0 {
+			if err := v.Shutdown(); err != nil {
+				t.Fatalf("boot %d: shutdown: %v", boot, err)
+			}
+		} else {
+			v.Crash()
+			d.Revive()
+		}
+		var ms MountStats
+		v, ms, err = Mount(d, testConfig())
+		if err != nil {
+			t.Fatalf("boot %d: mount: %v", boot, err)
+		}
+		if boot%2 == 0 && !ms.CleanShutdown {
+			t.Fatalf("boot %d: clean shutdown not recognized", boot)
+		}
+		if boot%2 == 1 && ms.CleanShutdown {
+			t.Fatalf("boot %d: crash mistaken for clean shutdown", boot)
+		}
+		verify(boot)
+	}
+	if err := v.nt.Check(); err != nil {
+		t.Fatalf("tree corrupt after %d boots: %v", boots, err)
+	}
+	if err := v.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentClients hammers one volume from several goroutines; the
+// volume's monitor must serialize everything without corruption. Run under
+// -race for full value.
+func TestConcurrentClients(t *testing.T) {
+	v, _, _ := newTestVolume(t)
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("conc/w%d-f%03d", w, i)
+				data := payload(200+i, byte(w*16+i))
+				f, err := v.Create(name, data)
+				if err != nil {
+					errs <- fmt.Errorf("w%d create: %w", w, err)
+					return
+				}
+				got, err := f.ReadAll()
+				if err != nil || !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("w%d readback: %v", w, err)
+					return
+				}
+				if i%5 == 4 {
+					if err := v.Delete(name, 0); err != nil {
+						errs <- fmt.Errorf("w%d delete: %w", w, err)
+						return
+					}
+				}
+				if i%9 == 8 {
+					if err := v.Force(); err != nil {
+						errs <- fmt.Errorf("w%d force: %w", w, err)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Final structural check and a count.
+	v.mu.Lock()
+	err := v.nt.Check()
+	v.mu.Unlock()
+	if err != nil {
+		t.Fatalf("tree corrupt after concurrent load: %v", err)
+	}
+	n := 0
+	if err := v.List("conc/", func(Entry) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	want := workers * perWorker * 4 / 5 // every 5th deleted
+	if n != want {
+		t.Fatalf("listed %d files, want %d", n, want)
+	}
+}

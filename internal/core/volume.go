@@ -1,0 +1,641 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/btree"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/vam"
+	"repro/internal/wal"
+)
+
+const csumCost = sim.CostChecksumPage
+
+// Errors returned by volume operations.
+var (
+	ErrNotFound  = errors.New("core: file not found")
+	ErrExists    = errors.New("core: file version already exists")
+	ErrClosed    = errors.New("core: volume is shut down")
+	ErrRootLost  = errors.New("core: both volume root pages unreadable")
+	ErrIsSymlink = errors.New("core: entry is a symbolic link")
+)
+
+// MountStats reports what mounting had to do.
+type MountStats struct {
+	CleanShutdown    bool
+	LogRecords       int
+	LogImagesApplied int
+	LogRepaired      int
+	VAMReconstructed bool
+	// VAMElapsed is the portion of Elapsed spent scanning the name table
+	// to rebuild the allocation map (the paper's ~20 s on a Dorado).
+	VAMElapsed time.Duration
+	Elapsed    time.Duration
+}
+
+// OpStats counts logical file-system operations for the benchmark tables.
+type OpStats struct {
+	Creates, Opens, Deletes, Lists, Reads, Writes, Touches int
+}
+
+// Volume is a mounted FSD volume. All public methods are safe for
+// concurrent use; a single monitor serializes operations, as in Cedar.
+type Volume struct {
+	d   *disk.Disk
+	clk sim.Clock
+	cpu *sim.CPU
+	cfg Config
+	lay layout
+
+	mu    sync.Mutex
+	log   *wal.Log
+	cache *ntCache
+	nt    *btree.Tree
+	vm    *vam.VAM
+	al    *alloc.Allocator
+
+	uidNext uint64
+	// pendingLeaders holds leader pages created but not yet written to
+	// their home sector; the write piggybacks on the file's next data
+	// write, or happens when the leader's log third is overwritten.
+	pendingLeaders map[int][]byte
+	leaderThird    map[int]int
+
+	// VAM-logging state (Config.LogVAM; see vamlog.go).
+	vamDirty   map[int]bool
+	vamSectors map[int]*vamSector
+
+	closed bool
+	ops    OpStats
+
+	// stopTicker stops the real-time group-commit goroutine, if any.
+	stopTicker chan struct{}
+}
+
+// CPU returns the simulated CPU the volume charges.
+func (v *Volume) CPU() *sim.CPU { return v.cpu }
+
+// Disk returns the underlying device.
+func (v *Volume) Disk() *disk.Disk { return v.d }
+
+// Log exposes the redo log for stats and explicit forcing in benchmarks.
+func (v *Volume) Log() *wal.Log { return v.log }
+
+// VAM exposes the allocation map (read-only use).
+func (v *Volume) VAM() *vam.VAM { return v.vm }
+
+// Ops returns the logical operation counters.
+func (v *Volume) Ops() OpStats { return v.ops }
+
+// CacheStats returns (hits, misses, homeWrites) of the name-table cache.
+func (v *Volume) CacheStats() (int, int, int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.cache.Hits, v.cache.Misses, v.cache.HomeWrites
+}
+
+// newVolume wires up the common structure.
+func newVolume(d *disk.Disk, cfg Config, lay layout) *Volume {
+	v := &Volume{
+		d:              d,
+		clk:            d.Clock(),
+		cpu:            sim.NewCPU(d.Clock()),
+		cfg:            cfg,
+		lay:            lay,
+		pendingLeaders: make(map[int][]byte),
+		leaderThird:    make(map[int]int),
+	}
+	d.SetClassifier(func(addr int) disk.Class {
+		if lay.metaRange(addr) {
+			return disk.ClassMeta
+		}
+		return disk.ClassData
+	})
+	return v
+}
+
+// hookLog installs the WAL callbacks.
+func (v *Volume) hookLog() {
+	v.log.FlushHook = func(third int) (int, error) {
+		n, err := v.cache.flushThird(third)
+		if err != nil {
+			return n, err
+		}
+		m, err := v.flushLeaders(third)
+		if err != nil {
+			return n + m, err
+		}
+		k, err := v.flushVAMSectors(third)
+		return n + m + k, err
+	}
+	v.log.OnLogged = func(kind uint8, target uint64, third int) {
+		switch kind {
+		case wal.KindNameTable:
+			v.cache.onLogged(target, third)
+		case wal.KindLeader:
+			if _, ok := v.pendingLeaders[int(target)]; ok {
+				v.leaderThird[int(target)] = third
+			}
+		case wal.KindVAM:
+			v.onVAMLogged(target, third)
+		}
+	}
+	v.log.OnCommit = func() {
+		// Pages of deleted files become allocatable once the delete
+		// is durable.
+		v.vm.Commit()
+	}
+}
+
+// flushLeaders writes home pending leader pages last logged in third.
+func (v *Volume) flushLeaders(third int) (int, error) {
+	n := 0
+	for addr, t := range v.leaderThird {
+		if t != third {
+			continue
+		}
+		data, ok := v.pendingLeaders[addr]
+		if !ok {
+			delete(v.leaderThird, addr)
+			continue
+		}
+		if err := v.d.WriteSectors(addr, data); err != nil {
+			return n, err
+		}
+		delete(v.pendingLeaders, addr)
+		delete(v.leaderThird, addr)
+		n++
+	}
+	return n, nil
+}
+
+func (v *Volume) writeRoot(r rootPage) error {
+	buf := encodeRoot(r)
+	if err := v.d.WriteSectors(v.lay.rootA, buf); err != nil {
+		return err
+	}
+	return v.d.WriteSectors(v.lay.rootB, buf)
+}
+
+func readRoot(d *disk.Disk) (rootPage, error) {
+	for _, addr := range []int{0, 2} {
+		buf, err := d.ReadSectors(addr, 1)
+		if err != nil {
+			continue
+		}
+		if r, ok := decodeRoot(buf); ok {
+			return r, nil
+		}
+	}
+	return rootPage{}, ErrRootLost
+}
+
+// Format initializes an FSD volume on d and returns it mounted. Everything
+// on the device is considered garbage.
+func Format(d *disk.Disk, cfg Config) (*Volume, error) {
+	lay, err := computeLayout(d.Geometry(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	v := newVolume(d, cfg, lay)
+	v.log, err = wal.Format(d, lay.logBase, lay.logSize, v.clk, wal.Config{
+		Interval: cfg.interval(),
+		Thirds:   cfg.Thirds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.cache = newNTCache(v, cfg.cacheSize())
+	v.hookLog()
+
+	// Free-page map: data region free, metadata allocated.
+	v.vm = vam.New(lay.total)
+	v.vm.MarkFree(lay.dataLo, lay.total-lay.dataLo)
+	metaLo, metaHi := lay.logBase, lay.vamBase+lay.vamSectors
+	if metaHi > metaLo {
+		v.vm.MarkAllocated(metaLo, metaHi-metaLo)
+	}
+	v.al, err = alloc.New(v.vm, alloc.Config{
+		Lo:             lay.dataLo,
+		Hi:             lay.dataHi,
+		SmallThreshold: cfg.smallThreshold(),
+		SmallFraction:  (lay.boundary - lay.dataLo) * 100 / (lay.dataHi - lay.dataLo),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the empty name table through the logged cache, then force
+	// and flush so the home copies exist.
+	v.nt, err = btree.Create(v.cache)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.log.Force(); err != nil {
+		return nil, err
+	}
+	if err := v.cache.flushAll(); err != nil {
+		return nil, err
+	}
+
+	v.uidNext = 1 << 32
+	if err := v.writeRoot(rootPage{layout: lay, clean: false, logVAM: cfg.LogVAM, uidChunk: 1, formatted: v.clk.Now()}); err != nil {
+		return nil, err
+	}
+	if cfg.LogVAM {
+		// Write the full base image the logged deltas will apply over.
+		if err := v.vm.Save(v.d, lay.vamBase); err != nil {
+			return nil, err
+		}
+		v.enableVAMLogging()
+	}
+	// Format-time activity should not pollute measurements.
+	v.log.ResetStats()
+	v.d.ResetStats()
+	v.startTicker()
+	return v, nil
+}
+
+// Mount attaches to a previously formatted volume, replaying the log and
+// reconstructing the allocation map as needed. Behavioural Config fields
+// (commit interval, cache size) apply; layout fields come from the volume
+// root page.
+func Mount(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
+	var ms MountStats
+	start := d.Clock().Now()
+	root, err := readRoot(d)
+	if err != nil {
+		return nil, ms, err
+	}
+	lay := root.layout
+	// The VAM-logging mode is a property of the volume, recorded at
+	// format: honour it regardless of what the mount config says (a
+	// non-LogVAM volume has no valid save-area base to apply deltas to).
+	cfg.LogVAM = root.logVAM
+	v := newVolume(d, cfg, lay)
+	wasClean := root.clean
+	ms.CleanShutdown = wasClean
+
+	// From this moment the volume is in use: a crash must recover.
+	root.clean = false
+	root.uidChunk++
+	if err := v.writeRoot(root); err != nil {
+		return nil, ms, err
+	}
+	v.uidNext = root.uidChunk << 32
+
+	v.log, err = wal.Open(d, lay.logBase, lay.logSize, v.clk, wal.Config{
+		Interval: cfg.interval(),
+		Thirds:   cfg.Thirds,
+	})
+	if err != nil {
+		return nil, ms, err
+	}
+	v.cache = newNTCache(v, cfg.cacheSize())
+
+	// Replay: images are buffered last-writer-wins and only the final
+	// image of each page touches the disk, in ascending address order —
+	// the redo pass is then a short sequential sweep over the hot
+	// name-table pages rather than a write per logged image. Leader
+	// images are additionally validated against the post-replay name
+	// table, so a leader image of a since-deleted file can never stomp a
+	// reallocated page.
+	leaderImages := make(map[int][]byte)
+	ntImages := make(map[uint64][]byte)
+	vamImages := make(map[int][]byte)
+	rs, err := v.log.Recover(func(kind uint8, target uint64, data []byte) error {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		switch kind {
+		case wal.KindNameTable:
+			ntImages[target] = cp
+		case wal.KindLeader:
+			leaderImages[int(target)] = cp
+		case wal.KindVAM:
+			vamImages[int(target)] = cp
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, ms, err
+	}
+	ntTargets := make([]uint64, 0, len(ntImages))
+	for tgt := range ntImages {
+		ntTargets = append(ntTargets, tgt)
+	}
+	sort.Slice(ntTargets, func(i, j int) bool { return ntTargets[i] < ntTargets[j] })
+	for _, tgt := range ntTargets {
+		id := uint32(tgt / NTPageSectors)
+		sub := int(tgt % NTPageSectors)
+		a, b := lay.ntPageAddrs(id)
+		if err := v.d.WriteSectors(a+sub, ntImages[tgt]); err != nil {
+			return nil, ms, err
+		}
+		if !cfg.SingleCopyNT {
+			if err := v.d.WriteSectors(b+sub, ntImages[tgt]); err != nil {
+				return nil, ms, err
+			}
+		}
+	}
+	ms.LogRecords = rs.Records
+	ms.LogImagesApplied = rs.Images
+	ms.LogRepaired = rs.Repaired
+	v.hookLog()
+
+	v.nt, err = btree.Open(v.cache)
+	if err != nil {
+		return nil, ms, fmt.Errorf("core: name table unreadable after replay: %w", err)
+	}
+
+	// Allocation map: load the saved copy after a clean shutdown,
+	// otherwise reconstruct from the name table (~20 s on a full 300 MB
+	// volume, per the paper) — unless VAM logging is on, in which case
+	// the replayed sector images over the save-area base reproduce the
+	// committed map directly ("about two seconds").
+	needScan := len(leaderImages) > 0
+	if wasClean {
+		v.vm, err = vam.Load(d, lay.vamBase, lay.total)
+		if err != nil {
+			ms.VAMReconstructed = true
+		}
+	} else if cfg.LogVAM {
+		if vm, ok := v.recoverVAMFromLog(vamImages); ok {
+			v.vm = vm
+		} else {
+			ms.VAMReconstructed = true
+		}
+	} else {
+		ms.VAMReconstructed = true
+	}
+	var leaderOwners map[int]uint64
+	if ms.VAMReconstructed || needScan {
+		scanStart := v.clk.Now()
+		leaderOwners, err = v.scanForRebuild(ms.VAMReconstructed)
+		if err != nil {
+			return nil, ms, err
+		}
+		ms.VAMElapsed = v.clk.Now() - scanStart
+	}
+	if cfg.LogVAM {
+		// Rebase: a fresh full save becomes the foundation for the next
+		// run's logged deltas; the stamp stays valid because the log
+		// keeps the area consistent from here on.
+		if err := v.vm.Save(d, lay.vamBase); err != nil {
+			return nil, ms, err
+		}
+	} else if err := vam.Invalidate(d, lay.vamBase); err != nil {
+		return nil, ms, err
+	}
+
+	// Apply surviving leader images whose file still owns the sector.
+	for addr, img := range leaderImages {
+		uid, ok := leaderUID(img)
+		if !ok {
+			continue
+		}
+		if owner, present := leaderOwners[addr]; present && owner == uid {
+			if err := v.d.WriteSectors(addr, img); err != nil {
+				return nil, ms, err
+			}
+		}
+	}
+
+	v.al, err = alloc.New(v.vm, alloc.Config{
+		Lo:             lay.dataLo,
+		Hi:             lay.dataHi,
+		SmallThreshold: cfg.smallThreshold(),
+		SmallFraction:  (lay.boundary - lay.dataLo) * 100 / (lay.dataHi - lay.dataLo),
+	})
+	if err != nil {
+		return nil, ms, err
+	}
+	if cfg.LogVAM {
+		v.enableVAMLogging()
+	}
+	ms.Elapsed = v.clk.Now() - start
+	v.startTicker()
+	return v, ms, nil
+}
+
+// scanForRebuild walks the whole name table once, optionally rebuilding the
+// VAM, and always returning the leader-sector ownership map. "Since the
+// file name table is a compact structure with a great deal of locality, it
+// can be processed quickly."
+func (v *Volume) scanForRebuild(rebuildVAM bool) (map[int]uint64, error) {
+	owners := make(map[int]uint64)
+	if rebuildVAM {
+		v.vm = vam.New(v.lay.total)
+		v.vm.MarkFree(v.lay.dataLo, v.lay.total-v.lay.dataLo)
+		metaLo, metaHi := v.lay.logBase, v.lay.vamBase+v.lay.vamSectors
+		if metaHi > metaLo {
+			v.vm.MarkAllocated(metaLo, metaHi-metaLo)
+		}
+	}
+	err := v.nt.Scan(nil, func(k, val []byte) bool {
+		name, ver, ok := splitKey(k)
+		if !ok {
+			return true
+		}
+		e, err := decodeEntry(name, ver, val)
+		if err != nil {
+			return true
+		}
+		v.cpu.Charge(sim.CostBTreeOp / 4)
+		if len(e.Runs) > 0 {
+			owners[int(e.Runs[0].Start)] = e.UID
+		}
+		if rebuildVAM {
+			for _, r := range e.Runs {
+				v.vm.MarkAllocated(int(r.Start), int(r.Len))
+			}
+		}
+		return true
+	})
+	return owners, err
+}
+
+// startTicker launches the group-commit goroutine when running on a real
+// clock. On a virtual clock forcing is driven by MaybeForce at operation
+// boundaries, which observes the same half-second deadline.
+func (v *Volume) startTicker() {
+	if _, ok := v.clk.(*sim.RealClock); !ok {
+		return
+	}
+	interval := v.cfg.interval()
+	if interval == 0 {
+		return
+	}
+	stop := make(chan struct{})
+	v.stopTicker = stop
+	go func() {
+		t := time.NewTicker(interval / sim.RealTimeScale)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				v.mu.Lock()
+				if !v.closed {
+					v.log.MaybeForce()
+				}
+				v.mu.Unlock()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Force makes all buffered metadata updates durable now ("clients may force
+// the log").
+func (v *Volume) Force() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	return v.log.Force()
+}
+
+// Tick gives the group-commit engine a chance to run; simulations call it
+// when virtual time passes without file-system activity.
+func (v *Volume) Tick() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	return v.log.MaybeForce()
+}
+
+// Shutdown performs a controlled shutdown: force the log, write all dirty
+// metadata home, save the allocation map, and stamp the volume clean.
+func (v *Volume) Shutdown() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	if v.stopTicker != nil {
+		close(v.stopTicker)
+	}
+	if err := v.log.Force(); err != nil {
+		return err
+	}
+	if err := v.cache.flushAll(); err != nil {
+		return err
+	}
+	for addr, data := range v.pendingLeaders {
+		if err := v.d.WriteSectors(addr, data); err != nil {
+			return err
+		}
+	}
+	v.pendingLeaders = make(map[int][]byte)
+	v.leaderThird = make(map[int]int)
+	if err := v.vm.Save(v.d, v.lay.vamBase); err != nil {
+		return err
+	}
+	root, err := readRoot(v.d)
+	if err != nil {
+		return err
+	}
+	root.clean = true
+	if err := v.writeRoot(root); err != nil {
+		return err
+	}
+	v.closed = true
+	return nil
+}
+
+// Crash abandons the volume without any cleanup and halts the device,
+// modelling a power failure. The device can be Revived and re-Mounted.
+func (v *Volume) Crash() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.stopTicker != nil {
+		close(v.stopTicker)
+		v.stopTicker = nil
+	}
+	v.closed = true
+	v.d.Halt()
+}
+
+// DropCaches forces pending metadata, writes everything home, and empties
+// the name-table cache, so the next operations run cold. For measurement
+// harnesses only.
+func (v *Volume) DropCaches() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	if err := v.log.Force(); err != nil {
+		return err
+	}
+	if err := v.cache.flushAll(); err != nil {
+		return err
+	}
+	for addr, data := range v.pendingLeaders {
+		if err := v.d.WriteSectors(addr, data); err != nil {
+			return err
+		}
+		delete(v.pendingLeaders, addr)
+		delete(v.leaderThird, addr)
+	}
+	v.cache.dropAll()
+	return nil
+}
+
+// LogRegion reports the log's sector region for diagnostic tooling.
+func (v *Volume) LogRegion() (base, size int) {
+	return v.lay.logBase, v.lay.logSize
+}
+
+// LogRegionOf reads a volume's root page and returns its log region without
+// mounting (cmd/logdump uses it on crashed images).
+func LogRegionOf(d *disk.Disk) (base, size int, err error) {
+	root, err := readRoot(d)
+	if err != nil {
+		return 0, 0, err
+	}
+	return root.layout.logBase, root.layout.logSize, nil
+}
+
+// ModelInfo reports the layout facts the analytical model's scripts need:
+// the cylinder distances from the active data area to the name table and
+// the log.
+func (v *Volume) ModelInfo() (dataToNTCyl, dataToLogCyl int) {
+	g := v.d.Geometry()
+	dataCyl := g.Cylinder(v.lay.dataLo)
+	nt := g.Cylinder(v.lay.ntA) - dataCyl
+	if nt < 0 {
+		nt = -nt
+	}
+	lg := g.Cylinder(v.lay.logBase) - dataCyl
+	if lg < 0 {
+		lg = -lg
+	}
+	return nt, lg
+}
+
+// nextUID allocates a volume-unique file identifier.
+func (v *Volume) nextUID() uint64 {
+	u := v.uidNext
+	v.uidNext++
+	return u
+}
+
+// begin is the common entry for public operations. Callers must not hold
+// v.mu.
+func (v *Volume) begin() error {
+	if v.closed {
+		return ErrClosed
+	}
+	v.cpu.Charge(sim.CostSyscall)
+	return v.log.MaybeForce()
+}

@@ -1,0 +1,592 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Errors returned by disk operations.
+var (
+	// ErrHalted is returned once the disk has been halted by Halt or by a
+	// write fault; it models the device disappearing at a crash.
+	ErrHalted = errors.New("disk: halted")
+	// ErrOutOfRange is returned for addresses outside the volume.
+	ErrOutOfRange = errors.New("disk: sector address out of range")
+)
+
+// DamagedError reports an unreadable sector, the failure mode the paper's
+// robustness requirements are written against (one or two consecutive
+// sectors at a time).
+type DamagedError struct{ Addr int }
+
+func (e *DamagedError) Error() string { return fmt.Sprintf("disk: sector %d damaged", e.Addr) }
+
+// LabelError reports a label-verification failure, the Trident hardware's
+// way of catching wild writes and stale-address bugs.
+type LabelError struct {
+	Addr int
+	Want Label
+	Got  Label
+}
+
+func (e *LabelError) Error() string {
+	return fmt.Sprintf("disk: label mismatch at sector %d: want %v, got %v", e.Addr, e.Want, e.Got)
+}
+
+// Class partitions sector addresses for I/O accounting. The file systems
+// register a classifier so that Table 3's "metadata I/Os" can be separated
+// from data traffic without threading tags through every call site.
+type Class int
+
+// Address classes.
+const (
+	ClassData Class = iota
+	ClassMeta
+	numClasses
+)
+
+// Stats accumulates device activity. All counters are cumulative; use
+// TakeStats to window a measurement.
+type Stats struct {
+	Ops            int // total I/O operations issued
+	Reads, Writes  int // operations by direction
+	SectorsRead    int
+	SectorsWritten int
+	Seeks          int // arm moves beyond ShortSeekMax
+	ShortSeeks     int // arm moves of 1..ShortSeekMax cylinders
+	LostRevs       int // rotational waits of >= 0.75 revolution
+	SeekTime       time.Duration
+	RotTime        time.Duration
+	TransferTime   time.Duration
+	OpsByClass     [numClasses]int
+}
+
+// BusyTime returns total device time consumed.
+func (s Stats) BusyTime() time.Duration { return s.SeekTime + s.RotTime + s.TransferTime }
+
+// Sub returns s - o field-wise; useful for windowed measurements.
+func (s Stats) Sub(o Stats) Stats {
+	s.Ops -= o.Ops
+	s.Reads -= o.Reads
+	s.Writes -= o.Writes
+	s.SectorsRead -= o.SectorsRead
+	s.SectorsWritten -= o.SectorsWritten
+	s.Seeks -= o.Seeks
+	s.ShortSeeks -= o.ShortSeeks
+	s.LostRevs -= o.LostRevs
+	s.SeekTime -= o.SeekTime
+	s.RotTime -= o.RotTime
+	s.TransferTime -= o.TransferTime
+	for i := range s.OpsByClass {
+		s.OpsByClass[i] -= o.OpsByClass[i]
+	}
+	return s
+}
+
+// WriteFault describes an injected partial write, modelling the paper's
+// weak-atomic property: a multi-sector write interrupted by a crash persists
+// a prefix, and the sector at the break (and possibly the one before it) is
+// detectably damaged.
+type WriteFault struct {
+	Persist       int  // number of leading sectors fully transferred
+	DamageAtBreak bool // damage the sector where the write stopped
+	DamagePrev    bool // also damage the last persisted sector
+	Halt          bool // halt the device after this fault
+}
+
+// WriteFaultFunc inspects a write about to be issued and optionally injects
+// a fault. addr is the first sector, n the sector count. Returning nil lets
+// the write proceed normally.
+type WriteFaultFunc func(addr, n int) *WriteFault
+
+// Disk is a simulated sector-addressable drive with labels and timing. All
+// methods are safe for concurrent use; each operation atomically advances
+// the simulation clock by the device time it consumes.
+type Disk struct {
+	geom Geometry
+	par  Params
+	clk  sim.Clock
+
+	mu       sync.Mutex
+	data     map[int][]byte
+	labels   map[int]Label
+	damaged  map[int]bool
+	curCyl   int
+	stats    Stats
+	fault    WriteFaultFunc
+	classify func(addr int) Class
+	halted   bool
+}
+
+// New returns a freshly formatted (all-zero, all-free-labelled) disk.
+func New(g Geometry, p Params, clk sim.Clock) (*Disk, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Disk{
+		geom:    g,
+		par:     p,
+		clk:     clk,
+		data:    make(map[int][]byte),
+		labels:  make(map[int]Label),
+		damaged: make(map[int]bool),
+	}, nil
+}
+
+// Geometry returns the drive geometry.
+func (d *Disk) Geometry() Geometry { return d.geom }
+
+// Params returns the drive timing parameters.
+func (d *Disk) Params() Params { return d.par }
+
+// Clock returns the simulation clock the drive advances.
+func (d *Disk) Clock() sim.Clock { return d.clk }
+
+// SetClassifier registers the address classifier used for per-class I/O
+// accounting. Passing nil classifies everything as data.
+func (d *Disk) SetClassifier(f func(addr int) Class) {
+	d.mu.Lock()
+	d.classify = f
+	d.mu.Unlock()
+}
+
+// SetWriteFault installs a fault injector consulted before every write.
+func (d *Disk) SetWriteFault(f WriteFaultFunc) {
+	d.mu.Lock()
+	d.fault = f
+	d.mu.Unlock()
+}
+
+// Halt stops the device: every subsequent operation fails with ErrHalted.
+// In-memory file-system state is lost by discarding the file-system object;
+// the platters retain exactly what had been written.
+func (d *Disk) Halt() {
+	d.mu.Lock()
+	d.halted = true
+	d.mu.Unlock()
+}
+
+// Revive restarts a halted device, modelling the reboot after a crash.
+func (d *Disk) Revive() {
+	d.mu.Lock()
+	d.halted = false
+	d.fault = nil
+	d.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters and returns the previous snapshot.
+func (d *Disk) ResetStats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	d.stats = Stats{}
+	return s
+}
+
+// CorruptSectors marks n sectors starting at addr as damaged, as a media
+// flaw or failed write would. Reads of a damaged sector fail until it is
+// rewritten.
+func (d *Disk) CorruptSectors(addr, n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < n; i++ {
+		d.damaged[addr+i] = true
+	}
+}
+
+// SmashSector overwrites a sector's contents (and optionally its label)
+// without going through the normal write path, modelling a wild write from
+// buggy software. No damage flag is set: the corruption is silent.
+func (d *Disk) SmashSector(addr int, data []byte, lab *Label) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	buf := make([]byte, SectorSize)
+	copy(buf, data)
+	d.data[addr] = buf
+	if lab != nil {
+		d.labels[addr] = *lab
+	}
+}
+
+// PeekLabel returns a sector's label without device timing or verification;
+// it is a test and tooling hook, not part of the device interface.
+func (d *Disk) PeekLabel(addr int) Label {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.labels[addr]
+}
+
+// IsDamaged reports whether a sector is currently unreadable.
+func (d *Disk) IsDamaged(addr int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.damaged[addr]
+}
+
+// checkRange validates [addr, addr+n).
+func (d *Disk) checkRange(addr, n int) error {
+	if n <= 0 || addr < 0 || addr+n > d.geom.Sectors() {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// motion charges seek and rotational time to position the head at addr,
+// assuming the previous sector transferred (if any) ended at prevEnd.
+// It must be called with d.mu held. It returns the per-sector transfer time.
+func (d *Disk) motion(addr int) {
+	cyl := d.geom.Cylinder(addr)
+	dist := cyl - d.curCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist != 0 {
+		st := d.par.SeekTime(dist)
+		d.stats.SeekTime += st
+		if dist <= d.par.ShortSeekMax {
+			d.stats.ShortSeeks++
+		} else {
+			d.stats.Seeks++
+		}
+		d.clk.Advance(st)
+		d.curCyl = cyl
+	}
+	// Rotational wait until the target slot is under the head.
+	secT := d.par.SectorTime(d.geom)
+	rev := d.par.Revolution()
+	now := d.clk.Now()
+	pos := now % rev // angular position expressed as time into the revolution
+	target := time.Duration(d.geom.RotationalSlot(addr)) * secT
+	wait := target - pos
+	if wait < 0 {
+		wait += rev
+	}
+	if wait > 0 {
+		d.stats.RotTime += wait
+		if wait >= rev*3/4 {
+			d.stats.LostRevs++
+		}
+		d.clk.Advance(wait)
+	}
+}
+
+// transferOne charges the transfer time of one sector and advances the arm
+// across cylinder boundaries. Must be called with d.mu held, immediately
+// after motion() for the first sector.
+func (d *Disk) transferOne(addr int) {
+	cyl := d.geom.Cylinder(addr)
+	if cyl != d.curCyl {
+		// Crossing a cylinder boundary mid-transfer: settle, then
+		// realign rotationally for the target sector.
+		st := d.par.SeekTime(1)
+		d.stats.SeekTime += st
+		d.stats.ShortSeeks++
+		d.clk.Advance(st)
+		d.curCyl = cyl
+		d.realign(addr)
+	}
+	secT := d.par.SectorTime(d.geom)
+	d.stats.TransferTime += secT
+	d.clk.Advance(secT)
+}
+
+// realign waits for the rotational slot of addr. Must hold d.mu.
+func (d *Disk) realign(addr int) {
+	secT := d.par.SectorTime(d.geom)
+	rev := d.par.Revolution()
+	now := d.clk.Now()
+	pos := now % rev
+	target := time.Duration(d.geom.RotationalSlot(addr)) * secT
+	wait := target - pos
+	if wait < 0 {
+		wait += rev
+	}
+	if wait > 0 {
+		d.stats.RotTime += wait
+		if wait >= rev*3/4 {
+			d.stats.LostRevs++
+		}
+		d.clk.Advance(wait)
+	}
+}
+
+// beginOp performs common bookkeeping. Must hold d.mu.
+func (d *Disk) beginOp(addr, n int, write bool) error {
+	if d.halted {
+		return ErrHalted
+	}
+	if err := d.checkRange(addr, n); err != nil {
+		return err
+	}
+	d.stats.Ops++
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	cls := ClassData
+	if d.classify != nil {
+		cls = d.classify(addr)
+	}
+	d.stats.OpsByClass[cls]++
+	return nil
+}
+
+// readSector copies the stored contents of addr into buf. Must hold d.mu.
+func (d *Disk) readSector(addr int, buf []byte) error {
+	if d.damaged[addr] {
+		return &DamagedError{Addr: addr}
+	}
+	if s, ok := d.data[addr]; ok {
+		copy(buf, s)
+	} else {
+		for i := range buf[:SectorSize] {
+			buf[i] = 0
+		}
+	}
+	return nil
+}
+
+// writeSector stores buf as the contents of addr, clearing damage. Must
+// hold d.mu.
+func (d *Disk) writeSector(addr int, buf []byte) {
+	s, ok := d.data[addr]
+	if !ok {
+		s = make([]byte, SectorSize)
+		d.data[addr] = s
+	}
+	copy(s, buf)
+	delete(d.damaged, addr)
+}
+
+// ReadSectors reads n sectors starting at addr into a new buffer. The whole
+// run is transferred in one operation (one I/O). Label fields are ignored —
+// this is the path a label-free (FSD-style) system uses.
+func (d *Disk) ReadSectors(addr, n int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.beginOp(addr, n, false); err != nil {
+		return nil, err
+	}
+	d.motion(addr)
+	buf := make([]byte, n*SectorSize)
+	for i := 0; i < n; i++ {
+		d.transferOne(addr + i)
+		d.stats.SectorsRead++
+		if err := d.readSector(addr+i, buf[i*SectorSize:(i+1)*SectorSize]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// WriteSectors writes len(data)/SectorSize sectors starting at addr in one
+// operation. Labels are left untouched. If a write fault is injected the
+// prefix persists per the weak-atomic property and the error is ErrHalted.
+func (d *Disk) WriteSectors(addr int, data []byte) error {
+	return d.writeCommon(addr, data, nil, nil)
+}
+
+// VerifyRead reads n=len(want) sectors, checking each sector's label before
+// its data transfers, as the Trident microcode did. The first mismatch or
+// damaged sector aborts the operation.
+func (d *Disk) VerifyRead(addr int, want []Label) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(want)
+	if err := d.beginOp(addr, n, false); err != nil {
+		return nil, err
+	}
+	d.motion(addr)
+	buf := make([]byte, n*SectorSize)
+	for i := 0; i < n; i++ {
+		d.transferOne(addr + i)
+		d.stats.SectorsRead++
+		if d.damaged[addr+i] {
+			return nil, &DamagedError{Addr: addr + i}
+		}
+		if got := d.labels[addr+i]; !got.Equal(want[i]) {
+			return nil, &LabelError{Addr: addr + i, Want: want[i], Got: got}
+		}
+		if err := d.readSector(addr+i, buf[i*SectorSize:(i+1)*SectorSize]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// ReadLabels reads the labels of n consecutive sectors in one operation.
+// This is the scavenger's workhorse: label transfer costs the same
+// rotational time as data transfer but no data is copied.
+func (d *Disk) ReadLabels(addr, n int) ([]Label, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.beginOp(addr, n, false); err != nil {
+		return nil, err
+	}
+	d.motion(addr)
+	labs := make([]Label, n)
+	for i := 0; i < n; i++ {
+		d.transferOne(addr + i)
+		d.stats.SectorsRead++
+		if d.damaged[addr+i] {
+			return labs[:i], &DamagedError{Addr: addr + i}
+		}
+		labs[i] = d.labels[addr+i]
+	}
+	return labs, nil
+}
+
+// VerifyWrite checks each sector's current label and then overwrites the
+// sector's data, leaving the label unchanged. Because verification reads
+// the label on one pass and the data is written on the next pass of the
+// platter, the operation inherently costs a revolution per verified run;
+// the simulator charges that by realigning after the verification pass.
+func (d *Disk) VerifyWrite(addr int, want []Label, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(want)
+	if err := d.beginOp(addr, n, true); err != nil {
+		return err
+	}
+	if len(data) != n*SectorSize {
+		return fmt.Errorf("disk: VerifyWrite data length %d != %d sectors", len(data), n)
+	}
+	d.motion(addr)
+	// Verification pass: labels stream under the head.
+	for i := 0; i < n; i++ {
+		d.transferOne(addr + i)
+		if d.damaged[addr+i] {
+			return &DamagedError{Addr: addr + i}
+		}
+		if got := d.labels[addr+i]; !got.Equal(want[i]) {
+			return &LabelError{Addr: addr + i, Want: want[i], Got: got}
+		}
+	}
+	// Write pass: wait for the first sector to come around again.
+	d.realign(addr)
+	return d.writeLocked(addr, data, nil)
+}
+
+// WriteLabels rewrites only the labels of n consecutive sectors (claiming
+// or freeing pages in CFS). Data is untouched.
+func (d *Disk) WriteLabels(addr int, labs []Label) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(labs)
+	if err := d.beginOp(addr, n, true); err != nil {
+		return err
+	}
+	d.motion(addr)
+	fault := d.takeFault(addr, n)
+	for i := 0; i < n; i++ {
+		d.transferOne(addr + i)
+		if fault != nil && i >= fault.Persist {
+			return d.applyFault(addr, fault)
+		}
+		d.stats.SectorsWritten++
+		d.labels[addr+i] = labs[i]
+		delete(d.damaged, addr+i)
+	}
+	return nil
+}
+
+// WriteLabelsData writes labels and data together for n consecutive sectors
+// in one operation, as the Trident controller could.
+func (d *Disk) WriteLabelsData(addr int, labs []Label, data []byte) error {
+	if len(data) != len(labs)*SectorSize {
+		return fmt.Errorf("disk: WriteLabelsData data length %d != %d sectors", len(data), len(labs))
+	}
+	return d.writeCommon(addr, data, labs, nil)
+}
+
+// writeCommon is the shared full-operation write path.
+func (d *Disk) writeCommon(addr int, data []byte, labs []Label, _ interface{}) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(data)%SectorSize != 0 {
+		return fmt.Errorf("disk: write length %d not sector-aligned", len(data))
+	}
+	n := len(data) / SectorSize
+	if err := d.beginOp(addr, n, true); err != nil {
+		return err
+	}
+	d.motion(addr)
+	return d.writeLocked(addr, data, labs)
+}
+
+// writeLocked transfers a write already positioned at addr. Must hold d.mu.
+func (d *Disk) writeLocked(addr int, data []byte, labs []Label) error {
+	n := len(data) / SectorSize
+	fault := d.takeFault(addr, n)
+	for i := 0; i < n; i++ {
+		d.transferOne(addr + i)
+		if fault != nil && i >= fault.Persist {
+			return d.applyFault(addr, fault)
+		}
+		d.stats.SectorsWritten++
+		d.writeSector(addr+i, data[i*SectorSize:(i+1)*SectorSize])
+		if labs != nil {
+			d.labels[addr+i] = labs[i]
+		}
+	}
+	return nil
+}
+
+// takeFault consults the injector. Must hold d.mu.
+func (d *Disk) takeFault(addr, n int) *WriteFault {
+	if d.fault == nil {
+		return nil
+	}
+	return d.fault(addr, n)
+}
+
+// applyFault damages sectors per the fault description and halts if asked.
+// Must hold d.mu.
+func (d *Disk) applyFault(addr int, f *WriteFault) error {
+	breakAt := addr + f.Persist
+	if f.DamageAtBreak && breakAt < d.geom.Sectors() {
+		d.damaged[breakAt] = true
+	}
+	if f.DamagePrev && f.Persist > 0 {
+		d.damaged[breakAt-1] = true
+	}
+	if f.Halt {
+		d.halted = true
+	}
+	return ErrHalted
+}
+
+// FailAfterWrites returns a WriteFaultFunc that lets countdown whole write
+// operations through, then interrupts the next one after persistSectors
+// sectors, damaging the sector at the break point and halting the device.
+// It reproduces "a partial write of the file name table could produce an
+// inconsistent page".
+func FailAfterWrites(countdown, persistSectors int) WriteFaultFunc {
+	remaining := countdown
+	return func(addr, n int) *WriteFault {
+		if remaining > 0 {
+			remaining--
+			return nil
+		}
+		p := persistSectors
+		if p >= n {
+			p = n - 1
+			if p < 0 {
+				p = 0
+			}
+		}
+		return &WriteFault{Persist: p, DamageAtBreak: true, Halt: true}
+	}
+}

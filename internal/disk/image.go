@@ -1,0 +1,133 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// Image persistence lets the CLI keep a volume across runs. The format is a
+// simple sparse dump: a header, then one record per materialized sector
+// (address, label, damage flag, 512 bytes of data).
+
+const (
+	imageMagic   = 0x43454441 // "CEDA"
+	imageVersion = 1
+)
+
+// SaveImage writes the disk's sparse contents to path atomically (write to
+// a temporary file, then rename).
+func (d *Disk) SaveImage(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	d.mu.Lock()
+	err = d.encodeLocked(w)
+	d.mu.Unlock()
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (d *Disk) encodeLocked(w io.Writer) error {
+	hdr := make([]byte, 28)
+	binary.BigEndian.PutUint32(hdr[0:], imageMagic)
+	binary.BigEndian.PutUint32(hdr[4:], imageVersion)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(d.geom.SectorsPerTrack))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(d.geom.TracksPerCylinder))
+	binary.BigEndian.PutUint32(hdr[16:], uint32(d.geom.Cylinders))
+	binary.BigEndian.PutUint64(hdr[20:], uint64(len(d.data)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 8+13+1+SectorSize)
+	for addr, sector := range d.data {
+		binary.BigEndian.PutUint64(rec[0:], uint64(addr))
+		lab := d.labels[addr]
+		binary.BigEndian.PutUint64(rec[8:], lab.FileID)
+		binary.BigEndian.PutUint32(rec[16:], uint32(lab.Page))
+		rec[20] = byte(lab.Type)
+		if d.damaged[addr] {
+			rec[21] = 1
+		} else {
+			rec[21] = 0
+		}
+		copy(rec[22:], sector)
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadImage reads a disk image produced by SaveImage. The timing parameters
+// are supplied by the caller since they are a property of the simulated
+// drive, not of its contents.
+func LoadImage(path string, p Params, clk sim.Clock) (*Disk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	hdr := make([]byte, 28)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("disk: short image header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != imageMagic {
+		return nil, fmt.Errorf("disk: %s is not a disk image", path)
+	}
+	if v := binary.BigEndian.Uint32(hdr[4:]); v != imageVersion {
+		return nil, fmt.Errorf("disk: unsupported image version %d", v)
+	}
+	g := Geometry{
+		SectorsPerTrack:   int(binary.BigEndian.Uint32(hdr[8:])),
+		TracksPerCylinder: int(binary.BigEndian.Uint32(hdr[12:])),
+		Cylinders:         int(binary.BigEndian.Uint32(hdr[16:])),
+	}
+	d, err := New(g, p, clk)
+	if err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint64(hdr[20:])
+	rec := make([]byte, 8+13+1+SectorSize)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			return nil, fmt.Errorf("disk: truncated image at record %d: %w", i, err)
+		}
+		addr := int(binary.BigEndian.Uint64(rec[0:]))
+		if addr < 0 || addr >= g.Sectors() {
+			return nil, fmt.Errorf("disk: image record %d has bad address %d", i, addr)
+		}
+		lab := Label{
+			FileID: binary.BigEndian.Uint64(rec[8:]),
+			Page:   int32(binary.BigEndian.Uint32(rec[16:])),
+			Type:   PageType(rec[20]),
+		}
+		buf := make([]byte, SectorSize)
+		copy(buf, rec[22:])
+		d.data[addr] = buf
+		if lab != (Label{}) {
+			d.labels[addr] = lab
+		}
+		if rec[21] == 1 {
+			d.damaged[addr] = true
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,63 @@
+package disk
+
+import "fmt"
+
+// PageType is the page classification stored in a sector label. The Trident
+// interface let the file system tag every sector; CFS used the tag plus the
+// owning file and page number to detect wild writes and to scavenge.
+type PageType uint8
+
+// Page types used by the file systems in this repository.
+const (
+	PageFree      PageType = iota // unallocated sector
+	PageHeader                    // CFS file header sector
+	PageData                      // file data sector
+	PageLeader                    // FSD leader page
+	PageLog                       // log sector
+	PageNameTable                 // file name table sector
+	PageBoot                      // volume root / boot sector
+	PageVAM                       // saved allocation map sector
+)
+
+func (t PageType) String() string {
+	switch t {
+	case PageFree:
+		return "free"
+	case PageHeader:
+		return "header"
+	case PageData:
+		return "data"
+	case PageLeader:
+		return "leader"
+	case PageLog:
+		return "log"
+	case PageNameTable:
+		return "nametable"
+	case PageBoot:
+		return "boot"
+	case PageVAM:
+		return "vam"
+	default:
+		return fmt.Sprintf("PageType(%d)", uint8(t))
+	}
+}
+
+// Label is the per-sector label field of the Trident disk interface. In
+// normal CFS operation the label is verified in microcode before a sector's
+// data is read or written, so a software bug that computes the wrong sector
+// address surfaces as a label mismatch instead of silent corruption.
+type Label struct {
+	FileID uint64   // unique identifier of the owning file; 0 when free
+	Page   int32    // page number within the file
+	Type   PageType // page classification
+}
+
+// FreeLabel is the label carried by an unallocated sector.
+var FreeLabel = Label{Type: PageFree}
+
+// Equal reports whether two labels match exactly.
+func (l Label) Equal(o Label) bool { return l == o }
+
+func (l Label) String() string {
+	return fmt.Sprintf("{file=%d page=%d type=%s}", l.FileID, l.Page, l.Type)
+}

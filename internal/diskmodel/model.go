@@ -1,0 +1,144 @@
+// Package diskmodel implements the paper's analytical performance model
+// (Section 6): simple scripts of seeks, latencies, rotational alignments,
+// transfers, and CPU charges whose expected times are computed from the
+// drive parameters — no file-system code runs.
+//
+// "Based on the code or documentation, analyze the algorithm to find out
+// where it will do I/Os. If an I/O will be on the same (or nearby) cylinder
+// or if the rotational position of the disk is known, then take this
+// rotational and radial position into account in computing the time for the
+// I/O."
+//
+// The evaluator tracks rotational position across steps exactly as the
+// scripts in the paper do (e.g. step 2 of the CFS create script costs "a
+// revolution less three page transfers" because the two header sectors have
+// just passed under the head). The package also carries cache hit/miss
+// mixes: "compute both the cache hit and cache miss cases, and compute a
+// weighted average."
+package diskmodel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disk"
+)
+
+// Step kinds.
+type stepKind int
+
+const (
+	kSeek       stepKind = iota // arm move of Cyl cylinders
+	kLatency                    // average rotational latency (half a revolution)
+	kAlignAfter                 // wait until the sector Gap after the last transfer
+	kTransfer                   // N sectors under the head
+	kCPU                        // processor time
+)
+
+// Step is one entry of a script.
+type Step struct {
+	kind stepKind
+	cyl  int
+	gap  int
+	n    int
+	d    time.Duration
+	note string
+}
+
+// Seek moves the arm dist cylinders.
+func Seek(dist int) Step { return Step{kind: kSeek, cyl: dist, note: fmt.Sprintf("seek %d cyl", dist)} }
+
+// AvgSeek is a convenience for a random seek of one third of the volume.
+func AvgSeek(g disk.Geometry) Step { return Seek(g.Cylinders / 3) }
+
+// Latency is an average rotational latency (half a revolution).
+func Latency() Step { return Step{kind: kLatency, note: "latency"} }
+
+// AlignAfter waits until the sector `gap` positions after the end of the
+// previous transfer arrives under the head. AlignAfter(-3) after a 3-sector
+// read reproduces "revolution less the time for a three page transfer".
+func AlignAfter(gap int) Step {
+	return Step{kind: kAlignAfter, gap: gap, note: fmt.Sprintf("align %+d", gap)}
+}
+
+// Transfer moves n sectors under the head.
+func Transfer(n int) Step { return Step{kind: kTransfer, n: n, note: fmt.Sprintf("xfer %d", n)} }
+
+// CPU charges processor time.
+func CPU(d time.Duration) Step { return Step{kind: kCPU, d: d, note: "cpu"} }
+
+// Script is a sequence of steps modelling one operation.
+type Script []Step
+
+// Time evaluates the script against drive parameters, tracking rotational
+// position across steps.
+func (s Script) Time(g disk.Geometry, p disk.Params) time.Duration {
+	rev := p.Revolution()
+	secT := p.SectorTime(g)
+	var t time.Duration
+	// lastEndSlot is the rotational slot (in sector-times) where the last
+	// transfer finished, expressed as a time-position within the
+	// revolution at the moment it finished.
+	lastEnd := time.Duration(-1)
+	for _, st := range s {
+		switch st.kind {
+		case kSeek:
+			t += p.SeekTime(st.cyl)
+		case kLatency:
+			t += rev / 2
+		case kAlignAfter:
+			if lastEnd < 0 {
+				t += rev / 2 // unknown position: average latency
+				break
+			}
+			target := (lastEnd + time.Duration(st.gap)*secT) % rev
+			if target < 0 {
+				target += rev
+			}
+			pos := t % rev
+			wait := target - pos
+			for wait < 0 {
+				wait += rev
+			}
+			t += wait
+		case kTransfer:
+			t += time.Duration(st.n) * secT
+			lastEnd = t % rev
+		case kCPU:
+			t += st.d
+		}
+	}
+	return t
+}
+
+// Weighted is one branch of a hit/miss mix.
+type Weighted struct {
+	Weight float64
+	S      Script
+}
+
+// Mix is a probability-weighted set of scripts.
+type Mix []Weighted
+
+// Expected computes the weighted average time.
+func (m Mix) Expected(g disk.Geometry, p disk.Params) time.Duration {
+	var total float64
+	var t float64
+	for _, w := range m {
+		total += w.Weight
+		t += w.Weight * float64(w.S.Time(g, p))
+	}
+	if total == 0 {
+		return 0
+	}
+	return time.Duration(t / total)
+}
+
+// Concat joins scripts.
+func Concat(ss ...Script) Script {
+	var out Script
+	for _, s := range ss {
+		out = append(out, s...)
+	}
+	return out
+}

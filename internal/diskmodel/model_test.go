@@ -1,0 +1,130 @@
+package diskmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+)
+
+func TestTransferTime(t *testing.T) {
+	g, p := disk.DefaultGeometry, disk.DefaultParams
+	s := Script{Transfer(g.SectorsPerTrack)}
+	got := s.Time(g, p)
+	want := p.Revolution()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Microsecond {
+		t.Fatalf("full-track transfer = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyIsHalfRevolution(t *testing.T) {
+	g, p := disk.DefaultGeometry, disk.DefaultParams
+	if got := (Script{Latency()}).Time(g, p); got != p.Revolution()/2 {
+		t.Fatalf("latency = %v", got)
+	}
+}
+
+func TestAlignAfterReproducesLostRevolution(t *testing.T) {
+	g, p := disk.DefaultGeometry, disk.DefaultParams
+	// Read 3 sectors, then rewrite the first two: the paper's "time of a
+	// disk revolution less the time for a three page transfer".
+	s := Script{Transfer(3), AlignAfter(-3), Transfer(2)}
+	got := s.Time(g, p)
+	want := 3*p.SectorTime(g) + (p.Revolution() - 3*p.SectorTime(g)) + 2*p.SectorTime(g)
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2*time.Microsecond {
+		t.Fatalf("script = %v, want %v", got, want)
+	}
+}
+
+func TestAlignAfterAccountsForCPURotation(t *testing.T) {
+	g, p := disk.DefaultGeometry, disk.DefaultParams
+	// CPU time of exactly one revolution: the target sector is back under
+	// the head, so the wait is ~zero.
+	s := Script{Transfer(1), CPU(p.Revolution()), AlignAfter(0)}
+	noCPU := Script{Transfer(1), AlignAfter(0)}
+	if s.Time(g, p)-p.Revolution() > noCPU.Time(g, p)+2*time.Microsecond {
+		t.Fatalf("CPU rotation not accounted: %v vs %v", s.Time(g, p), noCPU.Time(g, p))
+	}
+}
+
+func TestAlignAfterUnknownPositionIsLatency(t *testing.T) {
+	g, p := disk.DefaultGeometry, disk.DefaultParams
+	if got := (Script{AlignAfter(0)}).Time(g, p); got != p.Revolution()/2 {
+		t.Fatalf("align with no prior transfer = %v, want half revolution", got)
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	g, p := disk.DefaultGeometry, disk.DefaultParams
+	a := Script{CPU(10 * time.Millisecond)}
+	b := Script{CPU(30 * time.Millisecond)}
+	m := Mix{{Weight: 3, S: a}, {Weight: 1, S: b}}
+	if got := m.Expected(g, p); got != 15*time.Millisecond {
+		t.Fatalf("mix expected = %v, want 15ms", got)
+	}
+	if (Mix{}).Expected(g, p) != 0 {
+		t.Fatal("empty mix should be 0")
+	}
+}
+
+func TestSeekUsesParams(t *testing.T) {
+	g, p := disk.DefaultGeometry, disk.DefaultParams
+	if (Script{Seek(100)}).Time(g, p) != p.SeekTime(100) {
+		t.Fatal("seek step mismatch")
+	}
+	if (Script{Seek(0)}).Time(g, p) != 0 {
+		t.Fatal("zero seek should be free")
+	}
+}
+
+func TestPaperCreateFirstStepsArithmetic(t *testing.T) {
+	g, p := disk.DefaultGeometry, disk.DefaultParams
+	e := Env{G: g, P: p}
+	s := PaperCreateFirstSteps(e)
+	got := s.Time(g, p)
+	// Hand arithmetic: avg seek + half rev + 3x + (rev-3x) + 2x + 0 + 1x.
+	x := p.SectorTime(g)
+	want := p.SeekTime(g.Cylinders/3) + p.Revolution()/2 + 3*x + (p.Revolution() - 3*x) + 2*x + 1*x
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 5*time.Microsecond {
+		t.Fatalf("paper script = %v, want %v", got, want)
+	}
+}
+
+func TestScriptsProduceSensibleOrdering(t *testing.T) {
+	g, p := disk.DefaultGeometry, disk.DefaultParams
+	e := Env{G: g, P: p, DataToNTCyl: 300, DataToLogCyl: 5, ForceEvery: 25, ForceSectors: 33}
+	fsdCreate := FSDSmallCreate(e).Expected(g, p)
+	cfsCreate := CFSSmallCreate(e).Expected(g, p)
+	fsdOpen := FSDOpen(e).Expected(g, p)
+	cfsOpen := CFSOpen(e).Expected(g, p)
+	fsdDelete := FSDDelete(e).Expected(g, p)
+	cfsDelete := CFSSmallDelete(e).Expected(g, p)
+	// The paper's Table 2 orderings must hold in the model.
+	if !(fsdCreate < cfsCreate) {
+		t.Fatalf("create: FSD %v !< CFS %v", fsdCreate, cfsCreate)
+	}
+	if !(fsdOpen < cfsOpen) {
+		t.Fatalf("open: FSD %v !< CFS %v", fsdOpen, cfsOpen)
+	}
+	if !(fsdDelete < cfsDelete) {
+		t.Fatalf("delete: FSD %v !< CFS %v", fsdDelete, cfsDelete)
+	}
+	// Rough magnitudes: CFS create speedup should be in the 2x..8x band
+	// around the paper's 3.77.
+	ratio := float64(cfsCreate) / float64(fsdCreate)
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("modelled create speedup %.2f outside [2,8]", ratio)
+	}
+}

@@ -1,0 +1,211 @@
+// Package fscache implements FS's remote-file cache on top of an FSD
+// volume: the layer whose behaviour motivates several FSD design points.
+//
+// In Cedar, most local small files were cached copies of files on file
+// servers ("most of the small files are cached copies of files stored on
+// file servers. The size of these files are known when they are fetched and
+// the sizes never change"). Every open of a cached copy updates its
+// last-used time — the canonical group-commit hot spot ("an open of a
+// cached file from a file server changes the last-used-time in the file
+// properties") — and the cache manager uses those times to pick flush
+// victims when the cache budget is exceeded ("new versions of files may be
+// cached, but old versions are immutable (except that they may be
+// flushed)").
+package fscache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Fetcher retrieves a remote file's content by its remote name, modelling
+// the file-server RPC. The returned version is the server's version number
+// for the content.
+type Fetcher func(remote string) (data []byte, version uint32, err error)
+
+// ErrNoFetcher is returned when a miss occurs and no fetcher is configured.
+var ErrNoFetcher = errors.New("fscache: cache miss and no fetcher configured")
+
+// Config tunes the cache.
+type Config struct {
+	// BudgetBytes caps the total bytes of cached copies; exceeding it
+	// flushes least-recently-used entries. Zero means 8 MB.
+	BudgetBytes int64
+	// Prefix is the local-name prefix under which cached copies live.
+	// Empty means "cache/".
+	Prefix string
+}
+
+func (c Config) budget() int64 {
+	if c.BudgetBytes == 0 {
+		return 8 << 20
+	}
+	return c.BudgetBytes
+}
+
+func (c Config) prefix() string {
+	if c.Prefix == "" {
+		return "cache/"
+	}
+	return c.Prefix
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits    int
+	Misses  int
+	Fetches int
+	Flushes int
+}
+
+// Cache manages cached copies of remote files on a volume. It is not safe
+// for concurrent use (the volume itself is; the cache keeps its own
+// bookkeeping simple, as FS did under the Cedar monitor).
+type Cache struct {
+	v     *core.Volume
+	fetch Fetcher
+	cfg   Config
+	stats Stats
+}
+
+// New attaches a cache manager to a volume. Existing cached copies under
+// the prefix are adopted.
+func New(v *core.Volume, fetch Fetcher, cfg Config) *Cache {
+	return &Cache{v: v, fetch: fetch, cfg: cfg}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// localName maps a remote name to its cache-resident local name.
+func (c *Cache) localName(remote string) string { return c.cfg.prefix() + remote }
+
+// Open returns the cached copy of remote, fetching it on a miss. The open
+// itself refreshes the copy's last-used time (that is what Cached-class
+// opens do), which is the information Flush uses to pick victims.
+func (c *Cache) Open(remote string) (*core.File, error) {
+	local := c.localName(remote)
+	f, err := c.v.Open(local, 0)
+	if err == nil {
+		c.stats.Hits++
+		return f, nil
+	}
+	if !errors.Is(err, core.ErrNotFound) {
+		return nil, err
+	}
+	c.stats.Misses++
+	if c.fetch == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoFetcher, remote)
+	}
+	data, _, err := c.fetch(remote)
+	if err != nil {
+		return nil, fmt.Errorf("fscache: fetch %s: %w", remote, err)
+	}
+	c.stats.Fetches++
+	if _, err := c.v.CreateCached(local, data); err != nil {
+		return nil, err
+	}
+	if err := c.EnforceBudget(); err != nil {
+		return nil, err
+	}
+	// Reopen through the normal path so the last-used update happens.
+	return c.v.Open(local, 0)
+}
+
+// Refresh fetches the current server version unconditionally, making a new
+// immutable cached version; the previous version remains until flushed.
+func (c *Cache) Refresh(remote string) (*core.File, error) {
+	if c.fetch == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoFetcher, remote)
+	}
+	data, _, err := c.fetch(remote)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Fetches++
+	f, err := c.v.CreateCached(c.localName(remote), data)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.EnforceBudget(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// entry is one cached version on the volume.
+type entry struct {
+	name     string
+	version  uint32
+	bytes    int64
+	lastUsed int64
+	newest   bool
+}
+
+// scan enumerates cached copies under the prefix.
+func (c *Cache) scan() ([]entry, int64, error) {
+	var out []entry
+	var total int64
+	newestIdx := map[string]int{}
+	err := c.v.List(c.cfg.prefix(), func(e core.Entry) bool {
+		if e.Class != core.Cached {
+			return true
+		}
+		out = append(out, entry{
+			name:     e.Name,
+			version:  e.Version,
+			bytes:    int64(e.ByteSize),
+			lastUsed: int64(e.LastUsed),
+		})
+		total += int64(e.ByteSize)
+		newestIdx[e.Name] = len(out) - 1 // versions scan ascending
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, i := range newestIdx {
+		out[i].newest = true
+	}
+	return out, total, nil
+}
+
+// Usage returns the current cached-bytes total.
+func (c *Cache) Usage() (int64, error) {
+	_, total, err := c.scan()
+	return total, err
+}
+
+// EnforceBudget flushes cached copies — old versions first, then the least
+// recently used — until usage fits the budget.
+func (c *Cache) EnforceBudget() error {
+	entries, total, err := c.scan()
+	if err != nil {
+		return err
+	}
+	if total <= c.cfg.budget() {
+		return nil
+	}
+	// Flush order: superseded versions (oldest lastUsed first), then
+	// newest versions by lastUsed.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].newest != entries[j].newest {
+			return !entries[i].newest
+		}
+		return entries[i].lastUsed < entries[j].lastUsed
+	})
+	for _, e := range entries {
+		if total <= c.cfg.budget() {
+			break
+		}
+		if err := c.v.Delete(e.name, e.version); err != nil {
+			return err
+		}
+		c.stats.Flushes++
+		total -= e.bytes
+	}
+	return nil
+}

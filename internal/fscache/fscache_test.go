@@ -1,0 +1,256 @@
+package fscache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// server is a fake file server with per-name versioned content.
+type server struct {
+	files   map[string][]byte
+	vers    map[string]uint32
+	fetches int
+	fail    bool
+}
+
+func newServer() *server {
+	return &server{files: map[string][]byte{}, vers: map[string]uint32{}}
+}
+
+func (s *server) put(name string, data []byte) {
+	s.files[name] = data
+	s.vers[name]++
+}
+
+func (s *server) fetch(remote string) ([]byte, uint32, error) {
+	if s.fail {
+		return nil, 0, errors.New("server unreachable")
+	}
+	data, ok := s.files[remote]
+	if !ok {
+		return nil, 0, fmt.Errorf("no such remote file %q", remote)
+	}
+	s.fetches++
+	return data, s.vers[remote], nil
+}
+
+func newTestCache(t *testing.T, budget int64) (*Cache, *server, *core.Volume, *sim.VirtualClock) {
+	t.Helper()
+	clk := sim.NewVirtualClock()
+	d, err := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.Format(d, core.Config{LogSectors: 4 + 3*200, NTPages: 256, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer()
+	return New(v, srv.fetch, Config{BudgetBytes: budget}), srv, v, clk
+}
+
+func payload(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestMissFetchesThenHits(t *testing.T) {
+	c, srv, _, _ := newTestCache(t, 1<<20)
+	srv.put("[ivy]<cedar>io.mesa", payload(900, 1))
+	f, err := c.Open("[ivy]<cedar>io.mesa")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, err := f.ReadAll()
+	if err != nil || !bytes.Equal(got, payload(900, 1)) {
+		t.Fatalf("content: %v", err)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Fetches != 1 || st.Hits != 0 {
+		t.Fatalf("stats after miss: %+v", st)
+	}
+	// Second open is a pure local hit: no server traffic.
+	if _, err := c.Open("[ivy]<cedar>io.mesa"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Fetches != 1 {
+		t.Fatalf("stats after hit: %+v", st)
+	}
+	if srv.fetches != 1 {
+		t.Fatalf("server fetched %d times", srv.fetches)
+	}
+}
+
+func TestOpenUpdatesLastUsed(t *testing.T) {
+	c, srv, v, clk := newTestCache(t, 1<<20)
+	srv.put("r", payload(100, 1))
+	if _, err := c.Open("r"); err != nil {
+		t.Fatal(err)
+	}
+	st0, err := v.Stat("cache/r", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if _, err := c.Open("r"); err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := v.Stat("cache/r", 0)
+	if st1.LastUsed <= st0.LastUsed {
+		t.Fatal("cache hit did not refresh last-used time")
+	}
+}
+
+func TestBudgetFlushesLRU(t *testing.T) {
+	c, srv, _, clk := newTestCache(t, 3000)
+	for i := 0; i < 5; i++ {
+		srv.put(fmt.Sprintf("f%d", i), payload(1000, byte(i)))
+	}
+	// Touch f0..f4 in order; budget 3000 holds 3 files.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Open(fmt.Sprintf("f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+	}
+	usage, err := c.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage > 3000 {
+		t.Fatalf("usage %d exceeds budget", usage)
+	}
+	if c.Stats().Flushes == 0 {
+		t.Fatal("no flushes despite exceeding budget")
+	}
+	// The most recently used survive; the oldest were flushed.
+	if _, err := c.Open("f4"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 5 { // f4 still resident
+		t.Fatalf("f4 should be a hit: %+v", st)
+	}
+	before := srv.fetches
+	if _, err := c.Open("f0"); err != nil { // flushed: refetch
+		t.Fatal(err)
+	}
+	if srv.fetches != before+1 {
+		t.Fatal("f0 should have been refetched after flush")
+	}
+}
+
+func TestRefreshMakesNewVersion(t *testing.T) {
+	c, srv, v, _ := newTestCache(t, 1<<20)
+	srv.put("doc", payload(500, 1))
+	if _, err := c.Open("doc"); err != nil {
+		t.Fatal(err)
+	}
+	srv.put("doc", payload(600, 2)) // server content changed
+	f, err := c.Refresh("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Entry().Version != 2 {
+		t.Fatalf("refresh made version %d", f.Entry().Version)
+	}
+	// Newest open sees the new content; the old version is still there
+	// (immutable until flushed).
+	g, _ := c.Open("doc")
+	got, _ := g.ReadAll()
+	if !bytes.Equal(got, payload(600, 2)) {
+		t.Fatal("refresh content not visible")
+	}
+	if _, err := v.Open("cache/doc", 1); err != nil {
+		t.Fatalf("old version flushed prematurely: %v", err)
+	}
+}
+
+func TestOldVersionsFlushFirst(t *testing.T) {
+	c, srv, v, clk := newTestCache(t, 2600)
+	srv.put("a", payload(1000, 1))
+	if _, err := c.Open("a"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	srv.put("a", payload(1000, 2))
+	if _, err := c.Refresh("a"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	srv.put("b", payload(1000, 3))
+	if _, err := c.Open("b"); err != nil { // pushes usage to 3000 > 2600
+		t.Fatal(err)
+	}
+	// The superseded a!1 must be the flush victim, not the LRU newest.
+	if _, err := v.Open("cache/a", 1); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("superseded version not flushed first: %v", err)
+	}
+	if _, err := v.Open("cache/a", 2); err != nil {
+		t.Fatalf("newest version of a flushed while old versions existed: %v", err)
+	}
+}
+
+func TestFetchErrorPropagates(t *testing.T) {
+	c, srv, _, _ := newTestCache(t, 1<<20)
+	srv.fail = true
+	if _, err := c.Open("anything"); err == nil {
+		t.Fatal("fetch failure not propagated")
+	}
+}
+
+func TestNoFetcher(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	v, err := core.Format(d, core.Config{LogSectors: 4 + 3*200, NTPages: 256, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(v, nil, Config{})
+	if _, err := c.Open("x"); !errors.Is(err, ErrNoFetcher) {
+		t.Fatalf("want ErrNoFetcher, got %v", err)
+	}
+}
+
+func TestCacheSurvivesCrash(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	v, err := core.Format(d, core.Config{LogSectors: 4 + 3*200, NTPages: 256, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer()
+	srv.put("keep", payload(700, 9))
+	c := New(v, srv.fetch, Config{})
+	if _, err := c.Open("keep"); err != nil {
+		t.Fatal(err)
+	}
+	v.Force()
+	v.Crash()
+	d.Revive()
+	v2, _, err := core.Mount(d, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(v2, srv.fetch, Config{})
+	before := srv.fetches
+	f, err := c2.Open("keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.ReadAll()
+	if !bytes.Equal(got, payload(700, 9)) {
+		t.Fatal("cached copy corrupted across crash")
+	}
+	if srv.fetches != before {
+		t.Fatal("committed cached copy refetched after crash")
+	}
+}

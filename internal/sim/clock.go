@@ -1,0 +1,99 @@
+// Package sim provides the deterministic simulation substrate shared by the
+// disk simulator and the file systems built on it: a virtual clock that
+// advances only when simulated work is performed, CPU cost accounting, and a
+// seeded random source.
+//
+// All timing results in the reproduction (Tables 2 and 5 of the paper, the
+// recovery times, the analytical-model validation) are measured against a
+// Clock. Using VirtualClock makes every benchmark bit-for-bit reproducible;
+// RealClock exists for interactive use where the group-commit daemon runs on
+// a wall-clock ticker.
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source for the simulation. Durations are measured from
+// an arbitrary epoch (boot of the simulated machine).
+type Clock interface {
+	// Now returns the current simulated time since the epoch.
+	Now() time.Duration
+	// Advance moves simulated time forward by d. On a RealClock this
+	// blocks for d of wall time so that relative pacing is preserved.
+	Advance(d time.Duration)
+}
+
+// VirtualClock is a deterministic Clock. It never advances on its own; the
+// disk simulator and the CPU cost model advance it explicitly.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewVirtualClock returns a VirtualClock positioned at the epoch.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance implements Clock. Negative durations are ignored so that callers
+// computing deltas do not need to guard against rounding.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Set positions the clock at an absolute simulated time. It is intended for
+// tests; time never moves backward.
+func (c *VirtualClock) Set(t time.Duration) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// RealClock is a Clock backed by the wall clock. Advance sleeps, so the
+// simulated device appears to take real time; this is only useful for the
+// interactive CLI and is never used in tests or benchmarks.
+type RealClock struct {
+	epoch time.Time
+	once  sync.Once
+}
+
+// NewRealClock returns a RealClock whose epoch is the time of the first call
+// to Now or Advance.
+func NewRealClock() *RealClock { return &RealClock{} }
+
+func (c *RealClock) init() { c.once.Do(func() { c.epoch = time.Now() }) }
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration {
+	c.init()
+	return time.Since(c.epoch)
+}
+
+// Advance implements Clock by sleeping. The sleep is scaled down by
+// RealTimeScale so that a simulated hour-long scavenge does not take a real
+// hour in the CLI.
+func (c *RealClock) Advance(d time.Duration) {
+	c.init()
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d / RealTimeScale)
+}
+
+// RealTimeScale divides simulated durations when a RealClock sleeps. A scale
+// of 1000 renders a simulated hour as 3.6 wall seconds.
+const RealTimeScale = 1000

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// CPU models the processor of the simulated workstation. File-system code
+// charges it for the instructions an operation would execute; the charge
+// advances the clock and is accumulated separately from disk time so that
+// Table 5's %CPU column can be computed.
+//
+// The paper notes that the FSD design "was very stingy with disk I/Os, but
+// the CPU was sometimes a slight bottleneck" on the Dorado; the per-operation
+// costs here are calibrated to that machine class and are documented next to
+// each constant.
+type CPU struct {
+	clk Clock
+
+	mu       sync.Mutex
+	busy     time.Duration
+	detached bool
+}
+
+// SetDetached switches the CPU to overlap mode: charges accumulate in the
+// busy counter but do not advance the clock, modelling a pipeline where the
+// processor works concurrently with the device (4.2 BSD's asynchronous
+// delayed writes in Table 5).
+func (c *CPU) SetDetached(v bool) {
+	c.mu.Lock()
+	c.detached = v
+	c.mu.Unlock()
+}
+
+// NewCPU returns a CPU that charges time against clk.
+func NewCPU(clk Clock) *CPU { return &CPU{clk: clk} }
+
+// Charge advances the clock by d and records it as CPU-busy time.
+func (c *CPU) Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.busy += d
+	det := c.detached
+	c.mu.Unlock()
+	if !det {
+		c.clk.Advance(d)
+	}
+}
+
+// Busy returns the total CPU time charged so far.
+func (c *CPU) Busy() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.busy
+}
+
+// ResetBusy zeroes the busy accumulator (the clock itself is unaffected) and
+// returns the value it held. Benchmarks use it to window measurements.
+func (c *CPU) ResetBusy() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.busy
+	c.busy = 0
+	return b
+}
+
+// Representative per-operation CPU costs for a Dorado-class workstation (a
+// couple of MIPS running garbage-collected Cedar code). These feed the %CPU
+// column of Table 5 and the CPU-bound rows of Table 2 (e.g. FSD open at
+// 11.7 ms with no I/O). They are calibrated once against Table 2 and then
+// held fixed for every experiment; see EXPERIMENTS.md.
+const (
+	// CostSyscall is the fixed cost of entering the file system.
+	CostSyscall = 2 * time.Millisecond
+	// CostPerSectorCopy is the cost of moving one 512-byte sector between
+	// a device buffer and a client buffer.
+	CostPerSectorCopy = 150 * time.Microsecond
+	// CostBTreeOp is the cost of one B-tree operation (name parse,
+	// descent, slot shuffling) on a cached page.
+	CostBTreeOp = 3 * time.Millisecond
+	// CostChecksumPage is the cost of checksumming one 2 KB metadata page.
+	CostChecksumPage = 400 * time.Microsecond
+	// CostLabelInterpret is the cost the CFS scavenger pays to interpret
+	// one sector label and fold it into its reconstruction tables.
+	CostLabelInterpret = 4 * time.Millisecond
+	// CostFileCreate is the fixed processor work of creating a file
+	// object (property assembly, allocator bookkeeping, handle setup) —
+	// charged by FSD and CFS alike; it is why the paper's FSD small
+	// create costs 70 ms despite doing a single I/O.
+	CostFileCreate = 15 * time.Millisecond
+)

@@ -1,0 +1,81 @@
+package unixfs
+
+// blockCache is the buffer cache: reads are cached; writes are synchronous
+// write-through (metadata) — 4.3 BSD's consistency discipline, which is
+// exactly the cost logging avoids in FSD.
+type blockCache struct {
+	fs    *FS
+	cap   int
+	seq   uint64
+	cache map[int]*cachedBlock
+
+	Hits, Misses, Writes int
+}
+
+type cachedBlock struct {
+	data []byte
+	seq  uint64
+}
+
+func newBlockCache(fs *FS, capacity int) *blockCache {
+	return &blockCache{fs: fs, cap: capacity, cache: make(map[int]*cachedBlock)}
+}
+
+// read returns the cached block, loading it with one block I/O on a miss.
+// The returned slice is the cache's buffer: callers may modify it only if
+// they follow with writeThrough.
+func (c *blockCache) read(blk int) ([]byte, error) {
+	if b, ok := c.cache[blk]; ok {
+		c.Hits++
+		c.seq++
+		b.seq = c.seq
+		return b.data, nil
+	}
+	c.Misses++
+	data, err := c.fs.d.ReadSectors(blk*BlockSectors, BlockSectors)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(blk, data)
+	return data, nil
+}
+
+// writeThrough writes the block synchronously and caches it.
+func (c *blockCache) writeThrough(blk int, data []byte) error {
+	c.Writes++
+	if err := c.fs.d.WriteSectors(blk*BlockSectors, data); err != nil {
+		return err
+	}
+	if b, ok := c.cache[blk]; ok {
+		if &b.data[0] != &data[0] {
+			copy(b.data, data)
+		}
+		return nil
+	}
+	cp := make([]byte, BlockSize)
+	copy(cp, data)
+	c.insert(blk, cp)
+	return nil
+}
+
+func (c *blockCache) insert(blk int, data []byte) {
+	c.seq++
+	c.cache[blk] = &cachedBlock{data: data, seq: c.seq}
+	if len(c.cache) <= c.cap {
+		return
+	}
+	var victim int
+	var oldest uint64 = ^uint64(0)
+	for k, b := range c.cache {
+		if b.seq < oldest {
+			oldest, victim = b.seq, k
+		}
+	}
+	delete(c.cache, victim)
+}
+
+// invalidate drops one block.
+func (c *blockCache) invalidate(blk int) { delete(c.cache, blk) }
+
+// drop empties the cache.
+func (c *blockCache) drop() { c.cache = make(map[int]*cachedBlock) }

@@ -1,0 +1,442 @@
+package unixfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Directory entries are fixed 64-byte slots: inum u32 | name (NUL-padded).
+const dirEntSize = 64
+
+// blockCPU is the per-block CPU cost of the read path (buffer management
+// plus copyout) on the VAX-class machine of Table 5.
+const blockCPU = BlockSectors*sim.CostPerSectorCopy + 2*time.Millisecond
+
+// writeBlockCPU is the per-block CPU cost of the write path (block
+// allocation, bitmap update, copyin) — the reason 4.2 BSD writes ran at
+// 95% CPU.
+const writeBlockCPU = BlockSectors*sim.CostPerSectorCopy + 5500*time.Microsecond
+
+func (fs *FS) begin() error {
+	if fs.closed {
+		return fmt.Errorf("unixfs: unmounted")
+	}
+	fs.cpu.Charge(sim.CostSyscall)
+	return nil
+}
+
+// lookup finds name in the directory inode dirIno.
+func (fs *FS) lookup(dirInum int, dirIno *Inode, name string) (int, error) {
+	if dirIno.Mode != modeDir {
+		return 0, ErrNotDir
+	}
+	blocks := int((dirIno.Size + BlockSize - 1) / BlockSize)
+	for b := 0; b < blocks; b++ {
+		blk, err := fs.inodeBlockNo(dirIno, b)
+		if err != nil {
+			return 0, err
+		}
+		buf, err := fs.cache.read(blk)
+		if err != nil {
+			return 0, err
+		}
+		for off := 0; off+dirEntSize <= BlockSize; off += dirEntSize {
+			inum := int(binary.BigEndian.Uint32(buf[off:]))
+			if inum == 0 {
+				continue
+			}
+			if entName(buf[off:]) == name {
+				return inum, nil
+			}
+		}
+	}
+	return 0, ErrNotFound
+}
+
+func entName(ent []byte) string {
+	n := ent[4 : 4+60]
+	for i, c := range n {
+		if c == 0 {
+			return string(n[:i])
+		}
+	}
+	return string(n)
+}
+
+// inodeBlockNo maps a file-relative block index to a disk block number.
+func (fs *FS) inodeBlockNo(ino *Inode, i int) (int, error) {
+	if i < NDirect {
+		return int(ino.Direct[i]), nil
+	}
+	i -= NDirect
+	if i >= PtrsPerBlock || ino.Indirect == 0 {
+		return 0, fmt.Errorf("unixfs: block index out of range")
+	}
+	buf, err := fs.cache.read(int(ino.Indirect))
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint32(buf[4*i:])), nil
+}
+
+// resolve walks a path to (inum, inode). The parent return values support
+// create/unlink.
+func (fs *FS) resolve(path string) (inum int, ino Inode, parentInum int, parent Inode, last string, err error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, Inode{}, 0, Inode{}, "", err
+	}
+	inum = RootInum
+	ino, err = fs.readInode(inum)
+	if err != nil {
+		return
+	}
+	parentInum, parent = inum, ino
+	for i, p := range parts {
+		last = p
+		parentInum, parent = inum, ino
+		child, lerr := fs.lookup(inum, &ino, p)
+		if lerr != nil {
+			if i == len(parts)-1 {
+				// Parent resolved; leaf missing.
+				return 0, Inode{}, parentInum, parent, p, lerr
+			}
+			// An intermediate component is missing: wrap so callers
+			// that treat a bare ErrNotFound as "creatable leaf" do
+			// not create the file under the wrong parent.
+			err = fmt.Errorf("unixfs: %q: intermediate component %q: %w", path, p, lerr)
+			return
+		}
+		inum = child
+		ino, err = fs.readInode(inum)
+		if err != nil {
+			return
+		}
+		fs.cpu.Charge(sim.CostBTreeOp / 4) // name comparison and walk
+	}
+	if len(parts) == 0 {
+		last = ""
+	}
+	return
+}
+
+// MkDir creates a directory. New directories go to the emptiest cylinder
+// group, spreading the tree across the disk as FFS does.
+func (fs *FS) MkDir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.begin(); err != nil {
+		return err
+	}
+	_, _, parentInum, parent, name, err := fs.resolve(path)
+	if err == nil {
+		return ErrExists
+	}
+	if err != ErrNotFound {
+		return err
+	}
+	best := 0
+	for gi := range fs.groups {
+		if fs.groups[gi].freeInodes > fs.groups[best].freeInodes {
+			best = gi
+		}
+	}
+	inum, err := fs.allocInode(best, modeDir)
+	if err != nil {
+		return err
+	}
+	ino := Inode{Mode: modeDir, Nlink: 2, Mtime: fs.clk.Now()}
+	if err := fs.writeInode(inum, &ino); err != nil {
+		return err
+	}
+	return fs.addEntry(parentInum, &parent, name, inum)
+}
+
+// addEntry inserts (name, inum) into a directory, growing it if needed,
+// with synchronous writes of the directory block and the directory inode.
+func (fs *FS) addEntry(dirInum int, dirIno *Inode, name string, inum int) error {
+	blocks := int((dirIno.Size + BlockSize - 1) / BlockSize)
+	for b := 0; b < blocks; b++ {
+		blk, err := fs.inodeBlockNo(dirIno, b)
+		if err != nil {
+			return err
+		}
+		buf, err := fs.cache.read(blk)
+		if err != nil {
+			return err
+		}
+		for off := 0; off+dirEntSize <= BlockSize; off += dirEntSize {
+			if binary.BigEndian.Uint32(buf[off:]) != 0 {
+				continue
+			}
+			writeEnt(buf[off:], inum, name)
+			if err := fs.cache.writeThrough(blk, buf); err != nil {
+				return err
+			}
+			dirIno.Mtime = fs.clk.Now()
+			return fs.writeInode(dirInum, dirIno)
+		}
+	}
+	// Grow the directory by one block.
+	if blocks >= NDirect {
+		return fmt.Errorf("unixfs: directory too large")
+	}
+	nb, err := fs.allocBlock(fs.groupOf(dirInum))
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, BlockSize)
+	writeEnt(buf, inum, name)
+	if err := fs.cache.writeThrough(nb, buf); err != nil {
+		return err
+	}
+	dirIno.Direct[blocks] = uint32(nb)
+	dirIno.Size = uint64(blocks+1) * BlockSize
+	dirIno.Mtime = fs.clk.Now()
+	return fs.writeInode(dirInum, dirIno)
+}
+
+func writeEnt(ent []byte, inum int, name string) {
+	binary.BigEndian.PutUint32(ent, uint32(inum))
+	for i := 0; i < 60; i++ {
+		ent[4+i] = 0
+	}
+	copy(ent[4:], name)
+}
+
+// removeEntry deletes name from a directory.
+func (fs *FS) removeEntry(dirInum int, dirIno *Inode, name string) error {
+	blocks := int((dirIno.Size + BlockSize - 1) / BlockSize)
+	for b := 0; b < blocks; b++ {
+		blk, err := fs.inodeBlockNo(dirIno, b)
+		if err != nil {
+			return err
+		}
+		buf, err := fs.cache.read(blk)
+		if err != nil {
+			return err
+		}
+		for off := 0; off+dirEntSize <= BlockSize; off += dirEntSize {
+			if binary.BigEndian.Uint32(buf[off:]) == 0 || entName(buf[off:]) != name {
+				continue
+			}
+			binary.BigEndian.PutUint32(buf[off:], 0)
+			if err := fs.cache.writeThrough(blk, buf); err != nil {
+				return err
+			}
+			dirIno.Mtime = fs.clk.Now()
+			return fs.writeInode(dirInum, dirIno)
+		}
+	}
+	return ErrNotFound
+}
+
+// Create writes a new file. 4.3 BSD ordering: allocate and write the inode
+// synchronously, write the data blocks one block per I/O, then write the
+// directory entry and directory inode synchronously.
+func (fs *FS) Create(path string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.begin(); err != nil {
+		return err
+	}
+	_, _, parentInum, parent, name, err := fs.resolve(path)
+	if err == nil {
+		return ErrExists
+	}
+	if err != ErrNotFound {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("unixfs: empty file name")
+	}
+	// Inode in the directory's cylinder group.
+	inum, err := fs.allocInode(fs.groupOf(parentInum), modeFile)
+	if err != nil {
+		return err
+	}
+	ino := Inode{Mode: modeFile, Nlink: 1, Size: uint64(len(data)), Mtime: fs.clk.Now()}
+	nblocks := (len(data) + BlockSize - 1) / BlockSize
+	var indirect []byte
+	for b := 0; b < nblocks; b++ {
+		blk, err := fs.allocBlock(fs.groupOf(inum))
+		if err != nil {
+			return err
+		}
+		chunk := make([]byte, BlockSize)
+		copy(chunk, data[b*BlockSize:min(len(data), (b+1)*BlockSize)])
+		fs.cpu.Charge(writeBlockCPU)
+		if err := fs.cache.writeThrough(blk, chunk); err != nil {
+			return err
+		}
+		if b < NDirect {
+			ino.Direct[b] = uint32(blk)
+		} else {
+			if indirect == nil {
+				ib, err := fs.allocBlock(fs.groupOf(inum))
+				if err != nil {
+					return err
+				}
+				ino.Indirect = uint32(ib)
+				indirect = make([]byte, BlockSize)
+			}
+			binary.BigEndian.PutUint32(indirect[4*(b-NDirect):], uint32(blk))
+		}
+	}
+	if indirect != nil {
+		if err := fs.cache.writeThrough(int(ino.Indirect), indirect); err != nil {
+			return err
+		}
+	}
+	// Synchronous inode write before the create returns.
+	if err := fs.writeInode(inum, &ino); err != nil {
+		return err
+	}
+	return fs.addEntry(parentInum, &parent, name, inum)
+}
+
+// Stat returns the inode for a path.
+func (fs *FS) Stat(path string) (Inode, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.begin(); err != nil {
+		return Inode{}, err
+	}
+	_, ino, _, _, _, err := fs.resolve(path)
+	return ino, err
+}
+
+// ReadAll returns a file's contents, one block per I/O through the buffer
+// cache.
+func (fs *FS) ReadAll(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.begin(); err != nil {
+		return nil, err
+	}
+	_, ino, _, _, _, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if ino.Mode != modeFile {
+		return nil, ErrIsDir
+	}
+	out := make([]byte, 0, ino.Size)
+	nblocks := int((ino.Size + BlockSize - 1) / BlockSize)
+	for b := 0; b < nblocks; b++ {
+		blk, err := fs.inodeBlockNo(&ino, b)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := fs.cache.read(blk)
+		if err != nil {
+			return nil, err
+		}
+		fs.cpu.Charge(blockCPU)
+		out = append(out, buf...)
+	}
+	return out[:ino.Size], nil
+}
+
+// Unlink removes a file, freeing its blocks and inode.
+func (fs *FS) Unlink(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.begin(); err != nil {
+		return err
+	}
+	inum, ino, parentInum, parent, name, err := fs.resolve(path)
+	if err != nil {
+		return err
+	}
+	if ino.Mode == modeDir {
+		return ErrIsDir
+	}
+	nblocks := int((ino.Size + BlockSize - 1) / BlockSize)
+	for b := 0; b < nblocks; b++ {
+		blk, err := fs.inodeBlockNo(&ino, b)
+		if err == nil && blk != 0 {
+			fs.freeBlock(blk)
+		}
+	}
+	if ino.Indirect != 0 {
+		fs.freeBlock(int(ino.Indirect))
+		fs.cache.invalidate(int(ino.Indirect))
+	}
+	gi := fs.groupOf(inum)
+	// Free the inode (synchronous write of its block) and the bitmap.
+	dead := Inode{}
+	if err := fs.writeInode(inum, &dead); err != nil {
+		return err
+	}
+	fs.groups[gi].freeInodes++
+	if err := fs.writeBitmap(gi); err != nil {
+		return err
+	}
+	return fs.removeEntry(parentInum, &parent, name)
+}
+
+// DirEntry is one List result.
+type DirEntry struct {
+	Name  string
+	Size  uint64
+	IsDir bool
+}
+
+// List enumerates a directory "ls -l"-style: the directory blocks plus the
+// inode of every entry (inode blocks amortize across entries in the same
+// group).
+func (fs *FS) List(path string) ([]DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.begin(); err != nil {
+		return nil, err
+	}
+	_, ino, _, _, _, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if ino.Mode != modeDir {
+		return nil, ErrNotDir
+	}
+	found := map[string]int{}
+	blocks := int((ino.Size + BlockSize - 1) / BlockSize)
+	for b := 0; b < blocks; b++ {
+		blk, err := fs.inodeBlockNo(&ino, b)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := fs.cache.read(blk)
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off+dirEntSize <= BlockSize; off += dirEntSize {
+			if inum := int(binary.BigEndian.Uint32(buf[off:])); inum != 0 {
+				found[entName(buf[off:])] = inum
+			}
+		}
+	}
+	var out []DirEntry
+	for _, name := range sortedDirNames(found) {
+		child, err := fs.readInode(found[name])
+		if err != nil {
+			return nil, err
+		}
+		fs.cpu.Charge(sim.CostBTreeOp / 8)
+		out = append(out, DirEntry{Name: name, Size: child.Size, IsDir: child.Mode == modeDir})
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ = disk.SectorSize // keep the import for the shared constant

@@ -1,0 +1,538 @@
+// Package unixfs implements a 4.2/4.3 BSD FFS-like file system, the
+// comparison system of Tables 4 and 5 of the paper.
+//
+// It has the structural features the comparison depends on: cylinder
+// groups, inodes colocated with their directory's group, 4 KB blocks
+// transferred one block per I/O, rotational-gap block allocation (the 4.2
+// BSD behaviour that caps sequential bandwidth near 50%), synchronous
+// writes of inodes and directories on create ("a file create in UNIX writes
+// the inode to disk before returning"), and an fsck that walks every inode
+// and directory. It does not double-write anything — the paper notes 4.3
+// BSD "is doing less work for a create than FSD".
+package unixfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Geometry of the file system.
+const (
+	BlockSectors   = 8 // 4 KB blocks
+	BlockSize      = BlockSectors * disk.SectorSize
+	InodeSize      = 128
+	InodesPerBlock = BlockSize / InodeSize
+	NDirect        = 12
+	PtrsPerBlock   = BlockSize / 4
+
+	RootInum = 2
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("unixfs: no such file or directory")
+	ErrExists   = errors.New("unixfs: file exists")
+	ErrNotDir   = errors.New("unixfs: not a directory")
+	ErrIsDir    = errors.New("unixfs: is a directory")
+	ErrNoSpace  = errors.New("unixfs: out of space")
+	ErrNotClean = errors.New("unixfs: file system not cleanly unmounted; run fsck")
+)
+
+// Config parameterizes the file system.
+type Config struct {
+	// CylindersPerGroup sets cylinder-group size. Zero means 52.
+	CylindersPerGroup int
+	// InodesPerGroup sets inode-table size per group. Zero means 512.
+	InodesPerGroup int
+	// RotGap is the sector gap the allocator leaves between consecutive
+	// blocks of a file, modelling 4.2 BSD's rotational delay. The gap
+	// lets the CPU finish per-block work before the next block arrives
+	// under the head — at the price of capping bandwidth near 50%.
+	// Zero means 8 (one block). Set Contiguous for gap 0.
+	RotGap int
+	// Contiguous allocates blocks back-to-back (no rotational gap).
+	Contiguous bool
+	// CacheBlocks is the buffer-cache capacity. Zero means 256 (1 MB).
+	CacheBlocks int
+}
+
+func (c Config) cpg() int {
+	if c.CylindersPerGroup == 0 {
+		return 52
+	}
+	return c.CylindersPerGroup
+}
+
+func (c Config) ipg() int {
+	if c.InodesPerGroup == 0 {
+		return 512
+	}
+	return c.InodesPerGroup
+}
+
+func (c Config) rotGap() int {
+	if c.Contiguous {
+		return 0
+	}
+	if c.RotGap == 0 {
+		return 8
+	}
+	return c.RotGap
+}
+
+func (c Config) cacheBlocks() int {
+	if c.CacheBlocks == 0 {
+		return 256
+	}
+	return c.CacheBlocks
+}
+
+// Mode values.
+const (
+	modeFree uint16 = 0
+	modeFile uint16 = 1
+	modeDir  uint16 = 2
+)
+
+// Inode is the in-memory form of an on-disk inode.
+type Inode struct {
+	Mode     uint16
+	Nlink    uint16
+	Size     uint64
+	Mtime    time.Duration
+	Direct   [NDirect]uint32
+	Indirect uint32
+}
+
+func (ino *Inode) encode(buf []byte) {
+	be := binary.BigEndian
+	be.PutUint16(buf[0:], ino.Mode)
+	be.PutUint16(buf[2:], ino.Nlink)
+	be.PutUint64(buf[4:], ino.Size)
+	be.PutUint64(buf[12:], uint64(ino.Mtime))
+	for i, b := range ino.Direct {
+		be.PutUint32(buf[20+4*i:], b)
+	}
+	be.PutUint32(buf[20+4*NDirect:], ino.Indirect)
+}
+
+func decodeInode(buf []byte) Inode {
+	be := binary.BigEndian
+	var ino Inode
+	ino.Mode = be.Uint16(buf[0:])
+	ino.Nlink = be.Uint16(buf[2:])
+	ino.Size = be.Uint64(buf[4:])
+	ino.Mtime = time.Duration(be.Uint64(buf[12:]))
+	for i := range ino.Direct {
+		ino.Direct[i] = be.Uint32(buf[20+4*i:])
+	}
+	ino.Indirect = be.Uint32(buf[20+4*NDirect:])
+	return ino
+}
+
+// group describes one cylinder group's layout (all in block numbers).
+type group struct {
+	firstBlock  int // first block of the group
+	inodeBlock  int // first inode-table block
+	bitmapBlock int
+	dataBlock   int // first data block
+	nblocks     int // total blocks in group
+
+	freeBitmap []uint64 // in-memory mirror; bit set = block free
+	lastAlloc  int      // rotational allocation cursor (block index in group)
+	freeBlocks int
+	freeInodes int
+}
+
+// FS is a mounted unixfs volume.
+type FS struct {
+	d   *disk.Disk
+	clk sim.Clock
+	cpu *sim.CPU
+	cfg Config
+
+	mu      sync.Mutex
+	groups  []group
+	ninodes int
+	cache   *blockCache
+	closed  bool
+	clean   bool
+}
+
+// CPU returns the simulated CPU.
+func (fs *FS) CPU() *sim.CPU { return fs.cpu }
+
+// Disk returns the device.
+func (fs *FS) Disk() *disk.Disk { return fs.d }
+
+const sbMagic = 0x42534446 // "BSDF"
+
+// Format initializes the file system and returns it mounted.
+func Format(d *disk.Disk, cfg Config) (*FS, error) {
+	fs := &FS{d: d, clk: d.Clock(), cpu: sim.NewCPU(d.Clock()), cfg: cfg}
+	fs.cache = newBlockCache(fs, cfg.cacheBlocks())
+	g := d.Geometry()
+	blocksTotal := g.Sectors() / BlockSectors
+	blocksPerGroup := g.SectorsPerTrack * g.TracksPerCylinder * cfg.cpg() / BlockSectors
+	if blocksPerGroup < 8 {
+		return nil, fmt.Errorf("unixfs: cylinder group too small")
+	}
+	ngroups := (blocksTotal - 1) / blocksPerGroup
+	if ngroups < 1 {
+		return nil, fmt.Errorf("unixfs: volume too small")
+	}
+	inodeBlocks := (cfg.ipg() + InodesPerBlock - 1) / InodesPerBlock
+	for gi := 0; gi < ngroups; gi++ {
+		first := 1 + gi*blocksPerGroup // block 0 is the superblock
+		grp := group{
+			firstBlock:  first,
+			inodeBlock:  first,
+			bitmapBlock: first + inodeBlocks,
+			dataBlock:   first + inodeBlocks + 1,
+			nblocks:     blocksPerGroup,
+		}
+		grp.freeBitmap = make([]uint64, (blocksPerGroup+63)/64)
+		for b := grp.dataBlock; b < first+blocksPerGroup; b++ {
+			i := b - first
+			grp.freeBitmap[i/64] |= 1 << (i % 64)
+			grp.freeBlocks++
+		}
+		grp.freeInodes = cfg.ipg()
+		fs.groups = append(fs.groups, grp)
+	}
+	fs.ninodes = ngroups * cfg.ipg()
+
+	// Zero the inode tables (one write per table) and write bitmaps.
+	for gi := range fs.groups {
+		grp := &fs.groups[gi]
+		zero := make([]byte, inodeBlocks*BlockSize)
+		if err := d.WriteSectors(grp.inodeBlock*BlockSectors, zero); err != nil {
+			return nil, err
+		}
+		if err := fs.writeBitmap(gi); err != nil {
+			return nil, err
+		}
+	}
+	// Root directory.
+	rootGroup := 0
+	fs.groups[rootGroup].freeInodes--
+	root := Inode{Mode: modeDir, Nlink: 2, Mtime: fs.clk.Now()}
+	if err := fs.writeInode(RootInum, &root); err != nil {
+		return nil, err
+	}
+	if err := fs.writeSuper(false); err != nil {
+		return nil, err
+	}
+	d.ResetStats()
+	return fs, nil
+}
+
+func (fs *FS) writeSuper(clean bool) error {
+	buf := make([]byte, BlockSize)
+	be := binary.BigEndian
+	be.PutUint32(buf[0:], sbMagic)
+	be.PutUint32(buf[4:], uint32(len(fs.groups)))
+	be.PutUint32(buf[8:], uint32(fs.cfg.ipg()))
+	be.PutUint32(buf[12:], uint32(fs.cfg.cpg()))
+	if clean {
+		buf[16] = 1
+	}
+	return fs.d.WriteSectors(0, buf)
+}
+
+// Mount attaches to a formatted volume. An unclean volume needs Fsck first.
+func Mount(d *disk.Disk, cfg Config) (*FS, error) {
+	buf, err := d.ReadSectors(0, BlockSectors)
+	if err != nil {
+		return nil, err
+	}
+	be := binary.BigEndian
+	if be.Uint32(buf[0:]) != sbMagic {
+		return nil, fmt.Errorf("unixfs: bad superblock")
+	}
+	cfg.InodesPerGroup = int(be.Uint32(buf[8:]))
+	cfg.CylindersPerGroup = int(be.Uint32(buf[12:]))
+	if buf[16] != 1 {
+		return nil, ErrNotClean
+	}
+	fs, err := rebuild(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fs, fs.writeSuper(false)
+}
+
+// rebuild constructs the in-memory state by reading bitmaps and scanning
+// inode allocation (cheap compared to fsck, which also validates).
+func rebuild(d *disk.Disk, cfg Config) (*FS, error) {
+	fs := &FS{d: d, clk: d.Clock(), cpu: sim.NewCPU(d.Clock()), cfg: cfg}
+	fs.cache = newBlockCache(fs, cfg.cacheBlocks())
+	g := d.Geometry()
+	blocksTotal := g.Sectors() / BlockSectors
+	blocksPerGroup := g.SectorsPerTrack * g.TracksPerCylinder * cfg.cpg() / BlockSectors
+	ngroups := (blocksTotal - 1) / blocksPerGroup
+	inodeBlocks := (cfg.ipg() + InodesPerBlock - 1) / InodesPerBlock
+	for gi := 0; gi < ngroups; gi++ {
+		first := 1 + gi*blocksPerGroup
+		grp := group{
+			firstBlock:  first,
+			inodeBlock:  first,
+			bitmapBlock: first + inodeBlocks,
+			dataBlock:   first + inodeBlocks + 1,
+			nblocks:     blocksPerGroup,
+		}
+		bm, err := d.ReadSectors(grp.bitmapBlock*BlockSectors, BlockSectors)
+		if err != nil {
+			return nil, err
+		}
+		grp.freeBitmap = make([]uint64, (blocksPerGroup+63)/64)
+		for i := range grp.freeBitmap {
+			grp.freeBitmap[i] = binary.BigEndian.Uint64(bm[i*8:])
+		}
+		for b := 0; b < blocksPerGroup; b++ {
+			if grp.freeBitmap[b/64]&(1<<(b%64)) != 0 {
+				grp.freeBlocks++
+			}
+		}
+		fs.groups = append(fs.groups, grp)
+	}
+	fs.ninodes = ngroups * cfg.ipg()
+	// Count free inodes by scanning the tables.
+	for gi := range fs.groups {
+		grp := &fs.groups[gi]
+		for b := 0; b < inodeBlocks; b++ {
+			blk, err := fs.cache.read(grp.inodeBlock + b)
+			if err != nil {
+				return nil, err
+			}
+			for k := 0; k < InodesPerBlock; k++ {
+				ino := decodeInode(blk[k*InodeSize:])
+				if ino.Mode == modeFree {
+					grp.freeInodes++
+				}
+			}
+		}
+	}
+	return fs, nil
+}
+
+// Unmount flushes and marks the volume clean.
+func (fs *FS) Unmount() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return errors.New("unixfs: already unmounted")
+	}
+	for gi := range fs.groups {
+		if err := fs.writeBitmap(gi); err != nil {
+			return err
+		}
+	}
+	if err := fs.writeSuper(true); err != nil {
+		return err
+	}
+	fs.closed = true
+	return nil
+}
+
+// Crash abandons the volume and halts the device.
+func (fs *FS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.closed = true
+	fs.d.Halt()
+}
+
+// DropCaches empties the buffer cache (for cold-cache measurements).
+func (fs *FS) DropCaches() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.cache.drop()
+}
+
+func (fs *FS) writeBitmap(gi int) error {
+	grp := &fs.groups[gi]
+	buf := make([]byte, BlockSize)
+	for i, w := range grp.freeBitmap {
+		if (i+1)*8 <= len(buf) {
+			binary.BigEndian.PutUint64(buf[i*8:], w)
+		}
+	}
+	return fs.d.WriteSectors(grp.bitmapBlock*BlockSectors, buf)
+}
+
+// inodeLoc maps an inode number to (group, block, offset-in-block).
+func (fs *FS) inodeLoc(inum int) (gi, blk, off int) {
+	ipg := fs.cfg.ipg()
+	gi = inum / ipg
+	idx := inum % ipg
+	inodeBlocks := (ipg + InodesPerBlock - 1) / InodesPerBlock
+	_ = inodeBlocks
+	blk = fs.groups[gi].inodeBlock + idx/InodesPerBlock
+	off = (idx % InodesPerBlock) * InodeSize
+	return gi, blk, off
+}
+
+// readInode fetches an inode through the block cache — "a disk read fetches
+// several inodes", which is why reading 100 same-directory files costs only
+// ~4 inode-block reads.
+func (fs *FS) readInode(inum int) (Inode, error) {
+	_, blk, off := fs.inodeLoc(inum)
+	buf, err := fs.cache.read(blk)
+	if err != nil {
+		return Inode{}, err
+	}
+	return decodeInode(buf[off:]), nil
+}
+
+// writeInode synchronously writes the inode's block, 4.3 BSD style.
+func (fs *FS) writeInode(inum int, ino *Inode) error {
+	_, blk, off := fs.inodeLoc(inum)
+	buf, err := fs.cache.read(blk)
+	if err != nil {
+		return err
+	}
+	ino.encode(buf[off:])
+	return fs.cache.writeThrough(blk, buf)
+}
+
+// allocInode finds a free inode, preferring the given group (the directory's
+// group for files; a fresh group for directories).
+func (fs *FS) allocInode(prefGroup int, mode uint16) (int, error) {
+	order := make([]int, 0, len(fs.groups))
+	order = append(order, prefGroup)
+	for gi := range fs.groups {
+		if gi != prefGroup {
+			order = append(order, gi)
+		}
+	}
+	for _, gi := range order {
+		if fs.groups[gi].freeInodes == 0 {
+			continue
+		}
+		ipg := fs.cfg.ipg()
+		for idx := 0; idx < ipg; idx++ {
+			inum := gi*ipg + idx
+			if inum == 0 || inum == 1 || inum == RootInum {
+				continue
+			}
+			ino, err := fs.readInode(inum)
+			if err != nil {
+				return 0, err
+			}
+			if ino.Mode == modeFree {
+				fs.groups[gi].freeInodes--
+				return inum, nil
+			}
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// allocBlock allocates one block in the given group, leaving the configured
+// rotational gap after the group's previous allocation.
+func (fs *FS) allocBlock(gi int) (int, error) {
+	order := make([]int, 0, len(fs.groups))
+	order = append(order, gi)
+	for g := range fs.groups {
+		if g != gi {
+			order = append(order, g)
+		}
+	}
+	gapBlocks := (fs.cfg.rotGap() + BlockSectors - 1) / BlockSectors
+	if fs.cfg.rotGap() == 0 {
+		gapBlocks = 0
+	}
+	for _, g := range order {
+		grp := &fs.groups[g]
+		if grp.freeBlocks == 0 {
+			continue
+		}
+		// Leave gapBlocks between the previous allocation and this one
+		// so the block arrives under the head just as the per-block
+		// CPU work finishes (4.2 BSD rotational delay).
+		start := grp.lastAlloc + 1 + gapBlocks
+		n := grp.nblocks
+		for i := 0; i < n; i++ {
+			b := (start + i) % n
+			if grp.firstBlock+b < grp.dataBlock {
+				continue
+			}
+			if grp.freeBitmap[b/64]&(1<<(b%64)) != 0 {
+				grp.freeBitmap[b/64] &^= 1 << (b % 64)
+				grp.freeBlocks--
+				grp.lastAlloc = b
+				return grp.firstBlock + b, nil
+			}
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// freeBlock returns a block to its group.
+func (fs *FS) freeBlock(blk int) {
+	for gi := range fs.groups {
+		grp := &fs.groups[gi]
+		if blk >= grp.firstBlock && blk < grp.firstBlock+grp.nblocks {
+			b := blk - grp.firstBlock
+			if grp.freeBitmap[b/64]&(1<<(b%64)) == 0 {
+				grp.freeBitmap[b/64] |= 1 << (b % 64)
+				grp.freeBlocks++
+			}
+			return
+		}
+	}
+}
+
+// groupOf returns the cylinder group containing an inode.
+func (fs *FS) groupOf(inum int) int { return inum / fs.cfg.ipg() }
+
+// splitPath cleans and splits a path.
+func splitPath(path string) ([]string, error) {
+	parts := []string{}
+	for _, p := range strings.Split(path, "/") {
+		if p == "" || p == "." {
+			continue
+		}
+		if p == ".." {
+			return nil, fmt.Errorf("unixfs: .. not supported in %q", path)
+		}
+		if len(p) > 60 {
+			return nil, fmt.Errorf("unixfs: name component %q too long", p)
+		}
+		parts = append(parts, p)
+	}
+	return parts, nil
+}
+
+// FreeBlocks returns the total free block count (for tests).
+func (fs *FS) FreeBlocks() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	total := 0
+	for gi := range fs.groups {
+		total += fs.groups[gi].freeBlocks
+	}
+	return total
+}
+
+// Groups returns the number of cylinder groups.
+func (fs *FS) Groups() int { return len(fs.groups) }
+
+// sortedDirNames is a helper for List.
+func sortedDirNames(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

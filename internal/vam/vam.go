@@ -1,0 +1,320 @@
+// Package vam implements the Volume Allocation Map: the bitmap of free disk
+// pages that FSD keeps entirely in volatile memory (Section 5.5 of the
+// paper).
+//
+// No disk writes happen during normal operation. On a controlled shutdown
+// the map is written to a save area with a validity stamp; at boot it is
+// loaded if properly saved and otherwise reconstructed from the file name
+// table. Pages of deleted-but-uncommitted files live in a shadow bitmap and
+// only become allocatable when the next group commit makes the deletion
+// durable.
+package vam
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+
+	"repro/internal/disk"
+)
+
+// ErrNoSpace is returned when an allocation cannot be satisfied at all.
+var ErrNoSpace = errors.New("vam: no free pages")
+
+// ErrNotSaved is returned by Load when the save area does not hold a validly
+// stamped map, signalling the mount path to reconstruct instead.
+var ErrNotSaved = errors.New("vam: allocation map was not properly saved")
+
+// VAM is the in-memory free-page bitmap plus the shadow bitmap of pending
+// frees. It is not safe for concurrent use; the file system serializes
+// access.
+type VAM struct {
+	n       int
+	free    []uint64 // bit set = page free
+	shadow  []uint64 // bit set = freed by an uncommitted delete
+	nfree   int
+	nshadow int
+
+	// Tracker, when set, is invoked with every page range whose free
+	// bits change. The VAM-logging extension uses it to find the dirty
+	// sectors of the save-area image.
+	Tracker func(p, count int)
+}
+
+// New returns a VAM of n pages with every page marked allocated; callers
+// free the regions that are actually available.
+func New(n int) *VAM {
+	words := (n + 63) / 64
+	return &VAM{n: n, free: make([]uint64, words), shadow: make([]uint64, words)}
+}
+
+// Pages returns the total number of pages tracked.
+func (v *VAM) Pages() int { return v.n }
+
+// FreeCount returns the number of allocatable pages (excluding shadowed).
+func (v *VAM) FreeCount() int { return v.nfree }
+
+// ShadowCount returns the number of pages awaiting commit before they free.
+func (v *VAM) ShadowCount() int { return v.nshadow }
+
+// IsFree reports whether page p is allocatable.
+func (v *VAM) IsFree(p int) bool {
+	return v.free[p/64]&(1<<(p%64)) != 0
+}
+
+func (v *VAM) checkRange(p, count int) {
+	if p < 0 || count < 0 || p+count > v.n {
+		panic(fmt.Sprintf("vam: range [%d,%d) out of [0,%d)", p, p+count, v.n))
+	}
+}
+
+// MarkFree marks count pages starting at p as allocatable immediately.
+func (v *VAM) MarkFree(p, count int) {
+	v.checkRange(p, count)
+	if v.Tracker != nil {
+		v.Tracker(p, count)
+	}
+	for i := p; i < p+count; i++ {
+		w, b := i/64, uint64(1)<<(i%64)
+		if v.free[w]&b == 0 {
+			v.free[w] |= b
+			v.nfree++
+		}
+	}
+}
+
+// MarkAllocated marks count pages starting at p as in use.
+func (v *VAM) MarkAllocated(p, count int) {
+	v.checkRange(p, count)
+	if v.Tracker != nil {
+		v.Tracker(p, count)
+	}
+	for i := p; i < p+count; i++ {
+		w, b := i/64, uint64(1)<<(i%64)
+		if v.free[w]&b != 0 {
+			v.free[w] &^= b
+			v.nfree--
+		}
+	}
+}
+
+// ShadowFree records count pages starting at p as freed by a delete that has
+// not yet committed. They cannot be allocated — a new file written there
+// would be destroyed if the delete never commits.
+func (v *VAM) ShadowFree(p, count int) {
+	v.checkRange(p, count)
+	for i := p; i < p+count; i++ {
+		w, b := i/64, uint64(1)<<(i%64)
+		if v.shadow[w]&b == 0 {
+			v.shadow[w] |= b
+			v.nshadow++
+		}
+	}
+}
+
+// Commit merges the shadow bitmap into the free bitmap: all pending deletes
+// are now durable, so their pages become allocatable.
+func (v *VAM) Commit() {
+	for w := range v.shadow {
+		s := v.shadow[w]
+		if s == 0 {
+			continue
+		}
+		if v.Tracker != nil {
+			v.Tracker(w*64, 64)
+		}
+		newlyFree := s &^ v.free[w]
+		v.free[w] |= s
+		v.nfree += bits.OnesCount64(newlyFree)
+		v.shadow[w] = 0
+	}
+	v.nshadow = 0
+}
+
+// FindRun returns the first run of exactly want contiguous free pages within
+// [lo, hi), searching upward from lo when dir > 0 and downward from hi when
+// dir < 0. If no run of want pages exists it returns the largest available
+// run in the region (possibly length 0).
+func (v *VAM) FindRun(want, lo, hi, dir int) (start, length int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.n {
+		hi = v.n
+	}
+	bestStart, bestLen := 0, 0
+	runStart, runLen := -1, 0
+	consider := func(s, l int) bool {
+		if l >= want {
+			if dir < 0 {
+				// Downward: take the top `want` pages of the run.
+				bestStart, bestLen = s+l-want, want
+			} else {
+				bestStart, bestLen = s, want
+			}
+			return true
+		}
+		if l > bestLen {
+			bestStart, bestLen = s, l
+		}
+		return false
+	}
+	if dir >= 0 {
+		for i := lo; i < hi; i++ {
+			if v.IsFree(i) {
+				if runStart < 0 {
+					runStart, runLen = i, 0
+				}
+				runLen++
+			} else if runStart >= 0 {
+				if consider(runStart, runLen) {
+					return bestStart, bestLen
+				}
+				runStart, runLen = -1, 0
+			}
+		}
+		if runStart >= 0 {
+			consider(runStart, runLen)
+		}
+		return bestStart, bestLen
+	}
+	// Downward scan: find runs from the top.
+	for i := hi - 1; i >= lo; i-- {
+		if v.IsFree(i) {
+			if runStart < 0 {
+				runStart, runLen = i, 0
+			}
+			runStart = i
+			runLen++
+		} else if runLen > 0 {
+			if consider(runStart, runLen) {
+				return bestStart, bestLen
+			}
+			runStart, runLen = -1, 0
+		}
+	}
+	if runLen > 0 {
+		consider(runStart, runLen)
+	}
+	return bestStart, bestLen
+}
+
+// Save layout: one header sector then ceil(n/4096) bitmap sectors.
+const (
+	saveMagic = 0x5A4D4156 // "VAMZ"
+)
+
+// SaveSectors returns the size of the save area needed for n pages.
+func SaveSectors(n int) int {
+	return 1 + (n+disk.SectorSize*8-1)/(disk.SectorSize*8)
+}
+
+// Save writes the map and a validity stamp to the save area at base. Only
+// the free bitmap is saved; shadow pages must have been committed first.
+func (v *VAM) Save(d *disk.Disk, base int) error {
+	if v.nshadow != 0 {
+		return fmt.Errorf("vam: %d shadow pages pending at save", v.nshadow)
+	}
+	bitmapSectors := SaveSectors(v.n) - 1
+	buf := make([]byte, bitmapSectors*disk.SectorSize)
+	for i, w := range v.free {
+		binary.BigEndian.PutUint64(buf[i*8:], w)
+	}
+	hdr := make([]byte, disk.SectorSize)
+	binary.BigEndian.PutUint32(hdr[0:], saveMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(v.n))
+	binary.BigEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(buf))
+	// Write the bitmap first, the validity header last: a crash between
+	// the two leaves an unstamped save that Load rejects.
+	if err := d.WriteSectors(base+1, buf); err != nil {
+		return err
+	}
+	return d.WriteSectors(base, hdr)
+}
+
+// Invalidate destroys the validity stamp. Mount calls it right after a
+// successful Load: from that moment the on-disk copy is stale, and a crash
+// must trigger reconstruction.
+func Invalidate(d *disk.Disk, base int) error {
+	return d.WriteSectors(base, make([]byte, disk.SectorSize))
+}
+
+// BitmapSectorOfPage returns the index (within the save area's bitmap
+// sectors) of the sector holding page p's bit.
+func BitmapSectorOfPage(p int) int { return p / (disk.SectorSize * 8) }
+
+// EncodeBitmapSector writes the 512-byte save-area image of bitmap sector
+// idx into buf.
+func (v *VAM) EncodeBitmapSector(idx int, buf []byte) {
+	wordsPerSector := disk.SectorSize / 8
+	for i := 0; i < wordsPerSector; i++ {
+		w := idx*wordsPerSector + i
+		var val uint64
+		if w < len(v.free) {
+			val = v.free[w]
+		}
+		binary.BigEndian.PutUint64(buf[i*8:], val)
+	}
+}
+
+// LoadLoose reads a save area WITHOUT verifying the stamp or checksum. It
+// is used only by the VAM-logging extension, where the save area is kept
+// current by logged sector images and correctness comes from the log; any
+// unreadable sector fails the load so the caller can fall back to
+// reconstruction.
+func LoadLoose(d *disk.Disk, base, n int) (*VAM, error) {
+	bitmapSectors := SaveSectors(n) - 1
+	buf, err := d.ReadSectors(base+1, bitmapSectors)
+	if err != nil {
+		return nil, err
+	}
+	v := New(n)
+	for i := range v.free {
+		v.free[i] = binary.BigEndian.Uint64(buf[i*8:])
+	}
+	if rem := n % 64; rem != 0 {
+		v.free[len(v.free)-1] &= 1<<rem - 1
+	}
+	for _, w := range v.free {
+		v.nfree += bits.OnesCount64(w)
+	}
+	return v, nil
+}
+
+// Load reads a saved map of n pages from base. It returns ErrNotSaved when
+// the stamp is missing or the checksum fails.
+func Load(d *disk.Disk, base, n int) (*VAM, error) {
+	hdr, err := d.ReadSectors(base, 1)
+	if err != nil {
+		return nil, ErrNotSaved
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != saveMagic || binary.BigEndian.Uint32(hdr[4:]) != uint32(n) {
+		return nil, ErrNotSaved
+	}
+	bitmapSectors := SaveSectors(n) - 1
+	buf, err := d.ReadSectors(base+1, bitmapSectors)
+	if err != nil {
+		return nil, ErrNotSaved
+	}
+	if crc32.ChecksumIEEE(buf) != binary.BigEndian.Uint32(hdr[8:]) {
+		return nil, ErrNotSaved
+	}
+	v := New(n)
+	for i := range v.free {
+		v.free[i] = binary.BigEndian.Uint64(buf[i*8:])
+	}
+	for w, bitsW := range v.free {
+		_ = w
+		v.nfree += bits.OnesCount64(bitsW)
+	}
+	// Clear any bits beyond n (defensive; Save never sets them).
+	if rem := n % 64; rem != 0 {
+		last := len(v.free) - 1
+		extra := v.free[last] &^ (1<<rem - 1)
+		v.nfree -= bits.OnesCount64(extra)
+		v.free[last] &= 1<<rem - 1
+	}
+	return v, nil
+}

@@ -1,0 +1,369 @@
+package vam
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+func TestNewAllAllocated(t *testing.T) {
+	v := New(1000)
+	if v.FreeCount() != 0 {
+		t.Fatalf("FreeCount = %d, want 0", v.FreeCount())
+	}
+	if v.IsFree(0) || v.IsFree(999) {
+		t.Fatal("pages free in new map")
+	}
+}
+
+func TestMarkFreeAllocated(t *testing.T) {
+	v := New(1000)
+	v.MarkFree(100, 50)
+	if v.FreeCount() != 50 {
+		t.Fatalf("FreeCount = %d", v.FreeCount())
+	}
+	if !v.IsFree(100) || !v.IsFree(149) || v.IsFree(150) || v.IsFree(99) {
+		t.Fatal("wrong pages freed")
+	}
+	// Double-free is idempotent.
+	v.MarkFree(100, 50)
+	if v.FreeCount() != 50 {
+		t.Fatal("double MarkFree changed count")
+	}
+	v.MarkAllocated(120, 10)
+	if v.FreeCount() != 40 || v.IsFree(125) {
+		t.Fatal("MarkAllocated wrong")
+	}
+	v.MarkAllocated(120, 10)
+	if v.FreeCount() != 40 {
+		t.Fatal("double MarkAllocated changed count")
+	}
+}
+
+func TestRangePanics(t *testing.T) {
+	v := New(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range MarkFree did not panic")
+		}
+	}()
+	v.MarkFree(90, 20)
+}
+
+func TestShadowNotAllocatable(t *testing.T) {
+	v := New(1000)
+	v.MarkFree(0, 100)
+	v.MarkAllocated(10, 20) // a file's pages
+	v.ShadowFree(10, 20)    // delete the file, uncommitted
+	if v.IsFree(15) {
+		t.Fatal("shadowed page allocatable before commit")
+	}
+	if v.ShadowCount() != 20 {
+		t.Fatalf("ShadowCount = %d", v.ShadowCount())
+	}
+	if s, l := v.FindRun(100, 0, 1000, 1); l != 0 || s != 0 {
+		if l >= 100 {
+			t.Fatal("FindRun satisfied through shadowed pages")
+		}
+	}
+	v.Commit()
+	if !v.IsFree(15) {
+		t.Fatal("shadowed page not freed by commit")
+	}
+	if v.ShadowCount() != 0 {
+		t.Fatal("shadow not cleared by commit")
+	}
+	if v.FreeCount() != 100 {
+		t.Fatalf("FreeCount after commit = %d", v.FreeCount())
+	}
+}
+
+func TestCommitIdempotent(t *testing.T) {
+	v := New(100)
+	v.ShadowFree(0, 10)
+	v.Commit()
+	v.Commit()
+	if v.FreeCount() != 10 {
+		t.Fatalf("FreeCount = %d", v.FreeCount())
+	}
+}
+
+func TestFindRunUpward(t *testing.T) {
+	v := New(1000)
+	v.MarkFree(10, 5)
+	v.MarkFree(100, 20)
+	s, l := v.FindRun(10, 0, 1000, 1)
+	if s != 100 || l != 10 {
+		t.Fatalf("FindRun(10) = (%d,%d), want (100,10)", s, l)
+	}
+	// Smaller request takes the first adequate run.
+	s, l = v.FindRun(3, 0, 1000, 1)
+	if s != 10 || l != 3 {
+		t.Fatalf("FindRun(3) = (%d,%d), want (10,3)", s, l)
+	}
+	// Impossible request returns the largest run.
+	s, l = v.FindRun(50, 0, 1000, 1)
+	if s != 100 || l != 20 {
+		t.Fatalf("FindRun(50) = (%d,%d), want largest (100,20)", s, l)
+	}
+}
+
+func TestFindRunDownward(t *testing.T) {
+	v := New(1000)
+	v.MarkFree(100, 20)
+	v.MarkFree(500, 50)
+	s, l := v.FindRun(10, 0, 1000, -1)
+	if s != 540 || l != 10 {
+		t.Fatalf("FindRun down = (%d,%d), want top pages (540,10)", s, l)
+	}
+}
+
+func TestFindRunRespectsWindow(t *testing.T) {
+	v := New(1000)
+	v.MarkFree(0, 1000)
+	s, l := v.FindRun(10, 200, 300, 1)
+	if s != 200 || l != 10 {
+		t.Fatalf("windowed FindRun = (%d,%d)", s, l)
+	}
+	s, l = v.FindRun(10, 200, 300, -1)
+	if s != 290 || l != 10 {
+		t.Fatalf("windowed downward FindRun = (%d,%d)", s, l)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	const n = 10000
+	v := New(n)
+	v.MarkFree(5, 100)
+	v.MarkFree(9000, 500)
+	base := 100
+	if err := v.Save(d, base); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(d, base, n)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.FreeCount() != v.FreeCount() {
+		t.Fatalf("FreeCount %d != %d", got.FreeCount(), v.FreeCount())
+	}
+	for _, p := range []int{4, 5, 104, 105, 8999, 9000, 9499, 9500} {
+		if got.IsFree(p) != v.IsFree(p) {
+			t.Fatalf("page %d differs after reload", p)
+		}
+	}
+}
+
+func TestSaveRefusesPendingShadow(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	v := New(100)
+	v.ShadowFree(0, 1)
+	if err := v.Save(d, 0); err == nil {
+		t.Fatal("Save with pending shadow succeeded")
+	}
+}
+
+func TestLoadRejectsUnsaved(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	if _, err := Load(d, 100, 1000); !errors.Is(err, ErrNotSaved) {
+		t.Fatalf("Load of unsaved area: %v", err)
+	}
+}
+
+func TestInvalidateForcesReconstruction(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	const n = 1000
+	v := New(n)
+	v.MarkFree(0, n)
+	if err := v.Save(d, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(d, 50, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := Invalidate(d, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(d, 50, n); !errors.Is(err, ErrNotSaved) {
+		t.Fatalf("Load after Invalidate: %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptBitmap(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	const n = 100000 // several bitmap sectors
+	v := New(n)
+	v.MarkFree(0, n)
+	if err := v.Save(d, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Smash one bitmap sector silently; the checksum must catch it.
+	d.SmashSector(52, make([]byte, disk.SectorSize), nil)
+	if _, err := Load(d, 50, n); !errors.Is(err, ErrNotSaved) {
+		t.Fatalf("Load of corrupt bitmap: %v", err)
+	}
+}
+
+func TestLoadRejectsWrongSize(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	v := New(1000)
+	if err := v.Save(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(d, 0, 2000); !errors.Is(err, ErrNotSaved) {
+		t.Fatalf("Load with wrong size: %v", err)
+	}
+}
+
+// Property: FreeCount always equals the number of set bits, under any mix of
+// operations.
+func TestQuickCountsConsistent(t *testing.T) {
+	f := func(ops []struct {
+		P, C   uint16
+		Action uint8
+	}) bool {
+		const n = 4096
+		v := New(n)
+		for _, o := range ops {
+			p := int(o.P) % n
+			c := int(o.C) % (n - p)
+			switch o.Action % 4 {
+			case 0:
+				v.MarkFree(p, c)
+			case 1:
+				v.MarkAllocated(p, c)
+			case 2:
+				v.ShadowFree(p, c)
+			case 3:
+				v.Commit()
+			}
+		}
+		count := 0
+		for i := 0; i < n; i++ {
+			if v.IsFree(i) {
+				count++
+			}
+		}
+		return count == v.FreeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FindRun results are always actually free and within the window.
+func TestQuickFindRunSound(t *testing.T) {
+	f := func(frees []uint16, want, lo, hi uint16, down bool) bool {
+		const n = 4096
+		v := New(n)
+		for _, p := range frees {
+			v.MarkFree(int(p)%n, 1)
+		}
+		w := int(want)%64 + 1
+		l, h := int(lo)%n, int(hi)%n
+		if l > h {
+			l, h = h, l
+		}
+		dir := 1
+		if down {
+			dir = -1
+		}
+		s, length := v.FindRun(w, l, h, dir)
+		if length == 0 {
+			return true
+		}
+		if length > w {
+			return false
+		}
+		if s < l || s+length > h {
+			return false
+		}
+		for i := s; i < s+length; i++ {
+			if !v.IsFree(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapSectorHelpers(t *testing.T) {
+	if BitmapSectorOfPage(0) != 0 || BitmapSectorOfPage(4095) != 0 || BitmapSectorOfPage(4096) != 1 {
+		t.Fatal("BitmapSectorOfPage wrong")
+	}
+	v := New(10000)
+	v.MarkFree(0, 10)
+	v.MarkFree(5000, 3)
+	buf := make([]byte, 512)
+	v.EncodeBitmapSector(0, buf)
+	// Page 0..9 free: low 10 bits of word 0 set.
+	if buf[7] != 0xFF || buf[6]&0x03 != 0x03 {
+		t.Fatalf("sector 0 encoding: % x", buf[:8])
+	}
+	v.EncodeBitmapSector(1, buf)
+	// Pages 5000..5002 live in sector 1, word (5000-4096)/64 = 14.
+	w := buf[14*8 : 15*8]
+	if w[0] == 0 && w[1] == 0 && w[2] == 0 && w[3] == 0 && w[4] == 0 && w[5] == 0 && w[6] == 0 && w[7] == 0 {
+		t.Fatal("sector 1 missed the 5000..5002 bits")
+	}
+}
+
+func TestLoadLooseRoundTrip(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	const n = 20000
+	v := New(n)
+	v.MarkFree(100, 5000)
+	if err := v.Save(d, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Invalidate the stamp: strict Load fails, loose load succeeds.
+	if err := Invalidate(d, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(d, 10, n); err == nil {
+		t.Fatal("strict load succeeded without stamp")
+	}
+	got, err := LoadLoose(d, 10, n)
+	if err != nil {
+		t.Fatalf("LoadLoose: %v", err)
+	}
+	if got.FreeCount() != v.FreeCount() || got.Pages() != n {
+		t.Fatalf("LoadLoose FreeCount %d != %d", got.FreeCount(), v.FreeCount())
+	}
+	// Damage makes it fail rather than return garbage.
+	d.CorruptSectors(12, 1)
+	if _, err := LoadLoose(d, 10, n); err == nil {
+		t.Fatal("LoadLoose read through damage")
+	}
+}
+
+func TestTrackerFires(t *testing.T) {
+	v := New(10000)
+	var ranges [][2]int
+	v.Tracker = func(p, n int) { ranges = append(ranges, [2]int{p, n}) }
+	v.MarkFree(10, 5)
+	v.MarkAllocated(10, 2)
+	v.ShadowFree(10, 2) // shadow does not change free bits: no tracking
+	before := len(ranges)
+	if before != 2 {
+		t.Fatalf("tracker fired %d times, want 2", before)
+	}
+	v.Commit() // merges the shadowed pages: tracked
+	if len(ranges) <= before {
+		t.Fatal("Commit did not fire the tracker")
+	}
+}

@@ -1,0 +1,113 @@
+package wal
+
+// Read-only log inspection for diagnostics (cmd/logdump). Unlike Recover it
+// applies nothing and resets nothing, so it can be run against a live image
+// without consuming the log.
+
+import (
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// RecordInfo describes one valid record found in the log.
+type RecordInfo struct {
+	Offset     int // sector offset within the record area
+	RecordNum  uint64
+	BootCount  uint32
+	Images     int
+	Sectors    int // 5 + 2*Images
+	EndOfBatch bool
+	Targets    []ImageRef
+}
+
+// ImageRef names one logged page image.
+type ImageRef struct {
+	Kind   uint8
+	Target uint64
+}
+
+// LogInfo is the inspection result.
+type LogInfo struct {
+	BootCount    uint32
+	AnchorOffset int
+	AnchorRecord uint64
+	Thirds       int
+	ThirdLen     int
+	Records      []RecordInfo
+	// PartialTail counts records of an unterminated final batch.
+	PartialTail int
+}
+
+// Inspect walks the log region read-only and reports every valid record
+// reachable from the anchor.
+func Inspect(d *disk.Disk, base, size int, cfg Config) (LogInfo, error) {
+	clk := sim.NewVirtualClock()
+	l := &Log{d: d, base: base, size: size, clk: clk, cfg: cfg}
+	a, err := l.readAnchor()
+	if err != nil {
+		return LogInfo{}, err
+	}
+	info := LogInfo{
+		BootCount:    a.bootCount,
+		AnchorOffset: int(a.offset),
+		AnchorRecord: a.recordNum,
+		Thirds:       l.thirds(),
+		ThirdLen:     l.thirdLen(),
+	}
+	off := int(a.offset)
+	rec := a.recordNum
+	area := l.thirdLen() * l.thirds()
+	read := 0
+	skipped := false
+	batchLen := 0
+	for read < area+l.thirdLen() {
+		h, ok, viaCopy := l.readHeader(off, rec, a.bootCount)
+		read += 2
+		if !ok {
+			if skipped || off%l.thirdLen() == 0 {
+				break
+			}
+			skipped = true
+			off = ((off/l.thirdLen() + 1) % l.thirds()) * l.thirdLen()
+			continue
+		}
+		recLen := 5 + 2*h.n
+		if off+recLen > area {
+			break
+		}
+		if !l.readEnd(off, h.n, rec, a.bootCount, &RecoveryStats{}) {
+			if viaCopy && !skipped && off%l.thirdLen() != 0 {
+				skipped = true
+				off = ((off/l.thirdLen() + 1) % l.thirds()) * l.thirdLen()
+				continue
+			}
+			break
+		}
+		skipped = false
+		ri := RecordInfo{
+			Offset:     off,
+			RecordNum:  h.recordNum,
+			BootCount:  h.bootCount,
+			Images:     h.n,
+			Sectors:    recLen,
+			EndOfBatch: h.endOfBatch,
+		}
+		for _, dsc := range h.descs {
+			ri.Targets = append(ri.Targets, ImageRef{Kind: dsc.Kind, Target: dsc.Target})
+		}
+		info.Records = append(info.Records, ri)
+		if h.endOfBatch {
+			batchLen = 0
+		} else {
+			batchLen++
+		}
+		read += recLen - 2
+		rec++
+		off += recLen
+		if off >= area {
+			off = 0
+		}
+	}
+	info.PartialTail = batchLen
+	return info, nil
+}

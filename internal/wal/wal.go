@@ -1,0 +1,550 @@
+// Package wal implements FSD's physical redo log and group-commit engine,
+// following Section 5.3 and 5.4 of the paper.
+//
+// The log is a circular region of sectors near the volume's centre
+// cylinders, divided into thirds. Each record carries two copies of every
+// logged 512-byte page image, laid out so that identical data never occupies
+// adjacent sectors:
+//
+//	header | blank | header copy | data[0..n-1] | end | data copies | end copy
+//
+// which is 5 + 2n sectors — the paper's "five pages of overhead and write
+// twice the data", making a one-page record 7 sectors and the largest
+// permitted record (n = 39) 83 sectors, the maximum the paper observed.
+//
+// Updates are staged in a pending batch keyed by target page, so repeated
+// updates to a hot page within one group-commit interval cost one logged
+// image (the paper's "hot spot" effect). Force writes the batch as one or
+// more records in a single synchronous disk operation each.
+//
+// When a write is about to enter a new third, any cached pages whose only
+// durable copy lives in that third are first written to their home
+// locations (via the FlushHook), the anchor in log pages 0 and 2 is advanced
+// to the start of the new oldest third, and only then is the third
+// overwritten. On average 5/6 of the log holds live history.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Image kinds tag logged pages so recovery knows where home is. The WAL does
+// not interpret them; the client's applier does.
+const (
+	KindNameTable = 1 // target = name-table page id (written to both copies)
+	KindLeader    = 2 // target = absolute sector address of a leader page
+	KindVAM       = 3 // target = bitmap sector index in the VAM save area
+)
+
+// MaxImagesPerRecord bounds a single record at 5+2*39 = 83 sectors.
+const MaxImagesPerRecord = 39
+
+const (
+	anchorSectors = 4 // anchor at +0, copy at +2; +1 and +3 unused
+	recMagic      = 0x10C0FFEE
+	anchorMagic   = 0xA2C40855
+	hdrFixed      = 24 // header bytes before descriptors
+	descSize      = 9  // kind u8 | target u32 | crc u32
+)
+
+// Errors.
+var (
+	ErrAnchorLost   = errors.New("wal: both anchor copies unreadable")
+	ErrBatchTooBig  = errors.New("wal: single update batch exceeds log capacity")
+	ErrImageCorrupt = errors.New("wal: both copies of a logged page are damaged")
+)
+
+// PageImage is one 512-byte page staged for logging.
+type PageImage struct {
+	Kind   uint8
+	Target uint64
+	Data   []byte // exactly disk.SectorSize bytes
+}
+
+type imageKey struct {
+	kind   uint8
+	target uint64
+}
+
+// Stats describes log activity since Open.
+type Stats struct {
+	Forces           int // synchronous record writes triggered
+	Records          int // records written
+	ImagesStaged     int // images handed to Append
+	ImagesLogged     int // images actually written (post-dedup)
+	ImagesElided     int // images absorbed by a later update in the same batch
+	SectorsWritten   int
+	MinRecordSectors int
+	MaxRecordSectors int
+	ThirdCrossings   int
+	HomeFlushes      int // pages pushed home at third crossings
+}
+
+// Config parameterizes the log.
+type Config struct {
+	// Interval is the group-commit period; 0 forces at every Append
+	// (the synchronous ablation).
+	Interval time.Duration
+	// Thirds overrides the number of log divisions; the paper uses 3.
+	// Valid values are 2..8. Zero means 3.
+	Thirds int
+}
+
+// Log is the redo log over a contiguous sector region of a disk.
+type Log struct {
+	d    *disk.Disk
+	base int // first sector of the region
+	size int // total sectors including anchors
+	clk  sim.Clock
+	cfg  Config
+
+	// FlushHook is invoked with the third index about to be overwritten;
+	// the client must write home every cached page whose newest logged
+	// image lives in that third, and report how many pages it wrote.
+	FlushHook func(third int) (int, error)
+	// OnCommit is invoked after every successful force; FSD uses it to
+	// make pending deletions final.
+	OnCommit func()
+	// OnLogged is invoked for every image written, with the division its
+	// record landed in. The page cache uses it to tag dirty pages so the
+	// FlushHook can find "pages most recently logged into this third".
+	OnLogged func(kind uint8, target uint64, third int)
+	// PreStage, when set, is invoked at the start of every Force; the
+	// images it returns join the batch. The VAM-logging extension uses
+	// it to stage the allocation-map sectors dirtied since the last
+	// force, so a commit's VAM deltas ride the same record set as its
+	// name-table images.
+	PreStage func() []PageImage
+
+	mu         sync.Mutex
+	pending    []PageImage
+	pendingIdx map[imageKey]int
+	recordNum  uint64
+	bootCount  uint32
+	writeOff   int       // sector offset within the record area
+	curThird   int       // division currently being filled
+	thirdFirst [8]uint64 // first record number written into each division
+	lastForce  time.Duration
+	stats      Stats
+}
+
+func (l *Log) thirds() int {
+	if l.cfg.Thirds == 0 {
+		return 3
+	}
+	return l.cfg.Thirds
+}
+
+// recArea returns the sector count of the record area.
+func (l *Log) recArea() int { return l.size - anchorSectors }
+
+// thirdLen returns the sector length of one division.
+func (l *Log) thirdLen() int { return l.recArea() / l.thirds() }
+
+// MinSize returns the smallest legal log region for a given division count:
+// each division must hold the largest record.
+func MinSize(thirds int) int {
+	if thirds == 0 {
+		thirds = 3
+	}
+	return anchorSectors + thirds*(5+2*MaxImagesPerRecord)
+}
+
+// anchor is the replicated pointer in log pages 0 and 2.
+type anchor struct {
+	bootCount uint32
+	offset    uint32 // record-area offset of the first valid record
+	recordNum uint64 // its record number
+}
+
+func encodeAnchor(a anchor) []byte {
+	buf := make([]byte, disk.SectorSize)
+	binary.BigEndian.PutUint32(buf[0:], anchorMagic)
+	binary.BigEndian.PutUint32(buf[4:], a.bootCount)
+	binary.BigEndian.PutUint32(buf[8:], a.offset)
+	binary.BigEndian.PutUint64(buf[12:], a.recordNum)
+	binary.BigEndian.PutUint32(buf[20:], crc32.ChecksumIEEE(buf[:20]))
+	return buf
+}
+
+func decodeAnchor(buf []byte) (anchor, bool) {
+	if binary.BigEndian.Uint32(buf[0:]) != anchorMagic {
+		return anchor{}, false
+	}
+	if binary.BigEndian.Uint32(buf[20:]) != crc32.ChecksumIEEE(buf[:20]) {
+		return anchor{}, false
+	}
+	return anchor{
+		bootCount: binary.BigEndian.Uint32(buf[4:]),
+		offset:    binary.BigEndian.Uint32(buf[8:]),
+		recordNum: binary.BigEndian.Uint64(buf[12:]),
+	}, true
+}
+
+// writeAnchor writes both anchor copies (two operations: the copies must
+// have independent failure modes, so they are never in one transfer).
+func (l *Log) writeAnchor(a anchor) error {
+	buf := encodeAnchor(a)
+	if err := l.d.WriteSectors(l.base+0, buf); err != nil {
+		return err
+	}
+	return l.d.WriteSectors(l.base+2, buf)
+}
+
+// readAnchor returns the first readable, valid anchor copy.
+func (l *Log) readAnchor() (anchor, error) {
+	for _, off := range []int{0, 2} {
+		buf, err := l.d.ReadSectors(l.base+off, 1)
+		if err != nil {
+			continue
+		}
+		if a, ok := decodeAnchor(buf); ok {
+			return a, nil
+		}
+	}
+	return anchor{}, ErrAnchorLost
+}
+
+// Format initializes an empty log in [base, base+size) with boot count 1.
+func Format(d *disk.Disk, base, size int, clk sim.Clock, cfg Config) (*Log, error) {
+	l := &Log{d: d, base: base, size: size, clk: clk, cfg: cfg}
+	if size < MinSize(l.thirds()) {
+		return nil, fmt.Errorf("wal: log of %d sectors too small (min %d)", size, MinSize(l.thirds()))
+	}
+	l.bootCount = 1
+	l.recordNum = 1
+	if err := l.writeAnchor(anchor{bootCount: 1, offset: 0, recordNum: 1}); err != nil {
+		return nil, err
+	}
+	// Invalidate any stale first header so recovery of a freshly
+	// formatted log stops immediately.
+	if err := l.d.WriteSectors(l.base+anchorSectors, make([]byte, disk.SectorSize)); err != nil {
+		return nil, err
+	}
+	l.lastForce = clk.Now()
+	l.pendingIdx = make(map[imageKey]int)
+	return l, nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// ResetStats zeroes the counters.
+func (l *Log) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats = Stats{}
+}
+
+// PendingImages returns the number of staged, not yet forced images.
+func (l *Log) PendingImages() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending)
+}
+
+// Append stages page images for the next force. Within a batch, a later
+// image of the same (kind, target) replaces the earlier one — this is where
+// group commit absorbs hot-spot writes. If the configured interval is zero
+// the batch is forced immediately.
+func (l *Log) Append(images ...PageImage) error {
+	if err := l.stage(images); err != nil {
+		return err
+	}
+	if l.cfg.Interval == 0 {
+		return l.Force()
+	}
+	return nil
+}
+
+// stage adds images to the pending batch without triggering a force.
+func (l *Log) stage(images []PageImage) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, im := range images {
+		if len(im.Data) != disk.SectorSize {
+			return fmt.Errorf("wal: image of %d bytes, want %d", len(im.Data), disk.SectorSize)
+		}
+		if im.Target > 0xFFFFFFFF {
+			return fmt.Errorf("wal: target %d exceeds 32 bits", im.Target)
+		}
+		l.stats.ImagesStaged++
+		k := imageKey{im.Kind, im.Target}
+		cp := make([]byte, disk.SectorSize)
+		copy(cp, im.Data)
+		im.Data = cp
+		if i, ok := l.pendingIdx[k]; ok {
+			l.pending[i] = im
+			l.stats.ImagesElided++
+		} else {
+			l.pendingIdx[k] = len(l.pending)
+			l.pending = append(l.pending, im)
+		}
+	}
+	return nil
+}
+
+// MaybeForce forces the log if the group-commit interval has elapsed since
+// the last force. The file system calls it at operation boundaries when
+// running on a virtual clock; under a real clock a ticker goroutine calls it.
+func (l *Log) MaybeForce() error {
+	l.mu.Lock()
+	due := l.clk.Now()-l.lastForce >= l.cfg.Interval && len(l.pending) > 0
+	l.mu.Unlock()
+	if !due {
+		return nil
+	}
+	return l.Force()
+}
+
+// Force synchronously writes all staged images to the log, in one record
+// per MaxImagesPerRecord images, then fires OnCommit. An empty batch is a
+// no-op (an empty record would place its end page copies adjacently).
+func (l *Log) Force() error {
+	if l.PreStage != nil {
+		if extra := l.PreStage(); len(extra) > 0 {
+			if err := l.stage(extra); err != nil {
+				return err
+			}
+		}
+	}
+	l.mu.Lock()
+	batch := l.pending
+	l.pending = nil
+	l.pendingIdx = make(map[imageKey]int)
+	l.lastForce = l.clk.Now()
+	if len(batch) == 0 {
+		l.mu.Unlock()
+		if l.OnCommit != nil {
+			l.OnCommit()
+		}
+		return nil
+	}
+	l.stats.Forces++
+	for len(batch) > 0 {
+		consumed, err := l.writeRecord(batch)
+		if err != nil {
+			l.mu.Unlock()
+			return err
+		}
+		batch = batch[consumed:]
+	}
+	l.mu.Unlock()
+	if l.OnCommit != nil {
+		l.OnCommit()
+	}
+	return nil
+}
+
+// writeRecord lays out and writes one record at the current offset, taking
+// up to MaxImagesPerRecord images from batch and returning how many it
+// consumed. It handles third transitions, and it never lets a record end
+// exactly two sectors before a third boundary: at that offset a phantom
+// record's header-copy and end-copy positions coincide with the next
+// record's primary header and end page, so recovery could lock onto a
+// misaligned mirage. The record either moves to the next third or sheds
+// one image to change its length. The final record of a force carries the
+// end-of-batch flag; recovery applies a multi-record batch only when its
+// flagged record survives, so a force can never be half-applied. Caller
+// holds l.mu.
+func (l *Log) writeRecord(batch []PageImage) (int, error) {
+	n := len(batch)
+	if n > MaxImagesPerRecord {
+		n = MaxImagesPerRecord
+	}
+	recLen := 5 + 2*n
+	tl := l.thirdLen()
+	if recLen > tl {
+		return 0, ErrBatchTooBig
+	}
+	// Move to the next third if the record does not fit in the space
+	// remaining in the current one, or if it would end at the dangerous
+	// boundary-2 offset.
+	end := l.writeOff + recLen
+	boundary := (l.curThird + 1) * tl
+	if end > boundary || boundary-end == 2 {
+		if l.writeOff == l.curThird*tl {
+			// Already at the third start (so moving thirds cannot
+			// help): shrink the record by one image instead; the
+			// dropped image rides the next record. n >= 2 here
+			// because tl >= 5+2*MaxImagesPerRecord >> 9.
+			n--
+			recLen -= 2
+		} else {
+			next := (l.curThird + 1) % l.thirds()
+			if err := l.enterThird(next); err != nil {
+				return 0, err
+			}
+			l.curThird = next
+			l.writeOff = next * tl
+			// Re-check the boundary-2 hazard at the new position.
+			if (l.curThird+1)*tl-(l.writeOff+recLen) == 2 {
+				n--
+				recLen -= 2
+			}
+		}
+	}
+	images := batch[:n]
+	endOfBatch := n == len(batch)
+	if l.thirdFirst[l.curThird] == 0 {
+		l.thirdFirst[l.curThird] = l.recordNum
+	}
+
+	buf := make([]byte, recLen*disk.SectorSize)
+	hdr := l.encodeHeader(images, endOfBatch)
+	copy(buf[0*disk.SectorSize:], hdr) // header
+	copy(buf[2*disk.SectorSize:], hdr) // header copy (sector 1 stays blank)
+	for i, im := range images {        // first data copies
+		copy(buf[(3+i)*disk.SectorSize:], im.Data)
+	}
+	endPg := l.encodeEnd()
+	copy(buf[(3+n)*disk.SectorSize:], endPg) // end page
+	for i, im := range images {              // second data copies
+		copy(buf[(4+n+i)*disk.SectorSize:], im.Data)
+	}
+	copy(buf[(4+2*n)*disk.SectorSize:], endPg) // end copy
+
+	addr := l.base + anchorSectors + l.writeOff
+	if err := l.d.WriteSectors(addr, buf); err != nil {
+		return 0, err
+	}
+	l.stats.Records++
+	l.stats.ImagesLogged += n
+	l.stats.SectorsWritten += recLen
+	if recLen > l.stats.MaxRecordSectors {
+		l.stats.MaxRecordSectors = recLen
+	}
+	if l.stats.MinRecordSectors == 0 || recLen < l.stats.MinRecordSectors {
+		l.stats.MinRecordSectors = recLen
+	}
+	l.writeOff += recLen
+	l.recordNum++
+	if l.OnLogged != nil {
+		for _, im := range images {
+			l.OnLogged(im.Kind, im.Target, l.curThird)
+		}
+	}
+	return n, nil
+}
+
+// enterThird prepares third t for overwriting: flush pages homed only
+// there, then advance the anchor to the following third. Caller holds l.mu.
+func (l *Log) enterThird(t int) error {
+	l.stats.ThirdCrossings++
+	if l.FlushHook != nil {
+		// The hook calls back into the page cache, which may not
+		// re-enter the log; release is unnecessary because the cache
+		// writes home pages directly to disk.
+		n, err := l.FlushHook(t)
+		if err != nil {
+			return err
+		}
+		l.stats.HomeFlushes += n
+	}
+	// Third t's content has been flushed home, so its records are no
+	// longer needed. The new oldest valid record is the earliest
+	// (lowest-numbered) first record among the remaining thirds; if no
+	// other third holds data, it is the record about to be written at
+	// the start of t.
+	l.thirdFirst[t] = 0
+	best := -1
+	for c := 0; c < l.thirds(); c++ {
+		if c == t || l.thirdFirst[c] == 0 {
+			continue
+		}
+		if best < 0 || l.thirdFirst[c] < l.thirdFirst[best] {
+			best = c
+		}
+	}
+	a := anchor{bootCount: l.bootCount}
+	if best < 0 {
+		a.offset = uint32(t * l.thirdLen())
+		a.recordNum = l.recordNum
+	} else {
+		a.offset = uint32(best * l.thirdLen())
+		a.recordNum = l.thirdFirst[best]
+	}
+	return l.writeAnchor(a)
+}
+
+func (l *Log) encodeHeader(images []PageImage, endOfBatch bool) []byte {
+	buf := make([]byte, disk.SectorSize)
+	binary.BigEndian.PutUint32(buf[0:], recMagic)
+	binary.BigEndian.PutUint64(buf[4:], l.recordNum)
+	binary.BigEndian.PutUint32(buf[12:], l.bootCount)
+	binary.BigEndian.PutUint16(buf[16:], uint16(len(images)))
+	if endOfBatch {
+		buf[18] = 1
+	}
+	// buf[19] reserved; crc over the descriptor area fills 20:24.
+	for i, im := range images {
+		off := hdrFixed + i*descSize
+		buf[off] = im.Kind
+		binary.BigEndian.PutUint32(buf[off+1:], uint32(im.Target))
+		binary.BigEndian.PutUint32(buf[off+5:], crc32.ChecksumIEEE(im.Data))
+	}
+	binary.BigEndian.PutUint32(buf[20:], crc32.ChecksumIEEE(buf[hdrFixed:]))
+	return buf
+}
+
+func (l *Log) encodeEnd() []byte {
+	buf := make([]byte, disk.SectorSize)
+	binary.BigEndian.PutUint32(buf[0:], recMagic+1)
+	binary.BigEndian.PutUint64(buf[4:], l.recordNum)
+	binary.BigEndian.PutUint32(buf[12:], l.bootCount)
+	return buf
+}
+
+type header struct {
+	recordNum  uint64
+	bootCount  uint32
+	n          int
+	endOfBatch bool
+	descs      []PageImage // Data unset; Kind/Target filled, crc in crcs
+	crcs       []uint32
+}
+
+func decodeHeader(buf []byte) (header, bool) {
+	if binary.BigEndian.Uint32(buf[0:]) != recMagic {
+		return header{}, false
+	}
+	h := header{
+		recordNum:  binary.BigEndian.Uint64(buf[4:]),
+		bootCount:  binary.BigEndian.Uint32(buf[12:]),
+		n:          int(binary.BigEndian.Uint16(buf[16:])),
+		endOfBatch: buf[18] == 1,
+	}
+	if h.n <= 0 || h.n > MaxImagesPerRecord {
+		return header{}, false
+	}
+	if binary.BigEndian.Uint32(buf[20:]) != crc32.ChecksumIEEE(buf[hdrFixed:]) {
+		return header{}, false
+	}
+	for i := 0; i < h.n; i++ {
+		off := hdrFixed + i*descSize
+		h.descs = append(h.descs, PageImage{
+			Kind:   buf[off],
+			Target: uint64(binary.BigEndian.Uint32(buf[off+1:])),
+		})
+		h.crcs = append(h.crcs, binary.BigEndian.Uint32(buf[off+5:]))
+	}
+	return h, true
+}
+
+func (l *Log) validEnd(buf []byte, rec uint64, boot uint32) bool {
+	return binary.BigEndian.Uint32(buf[0:]) == recMagic+1 &&
+		binary.BigEndian.Uint64(buf[4:]) == rec &&
+		binary.BigEndian.Uint32(buf[12:]) == boot
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"strings"
+
+	"repro/internal/cfs"
+	"repro/internal/core"
+	"repro/internal/unixfs"
+)
+
+// FSDTarget drives an FSD volume.
+type FSDTarget struct{ V *core.Volume }
+
+var _ Target = FSDTarget{}
+
+// Create implements Target.
+func (t FSDTarget) Create(name string, data []byte) error {
+	_, err := t.V.Create(name, data)
+	return err
+}
+
+// Read implements Target.
+func (t FSDTarget) Read(name string) ([]byte, error) {
+	f, err := t.V.Open(name, 0)
+	if err != nil {
+		return nil, err
+	}
+	return f.ReadAll()
+}
+
+// Delete implements Target.
+func (t FSDTarget) Delete(name string) error { return t.V.Delete(name, 0) }
+
+// List implements Target.
+func (t FSDTarget) List(prefix string) (int, error) {
+	n := 0
+	err := t.V.List(prefix, func(core.Entry) bool { n++; return true })
+	return n, err
+}
+
+// Touch implements Target.
+func (t FSDTarget) Touch(name string) error { return t.V.Touch(name, 0) }
+
+// CFSTarget drives a CFS volume.
+type CFSTarget struct{ V *cfs.Volume }
+
+var _ Target = CFSTarget{}
+
+// Create implements Target.
+func (t CFSTarget) Create(name string, data []byte) error {
+	_, err := t.V.Create(name, data)
+	return err
+}
+
+// Read implements Target.
+func (t CFSTarget) Read(name string) ([]byte, error) {
+	f, err := t.V.Open(name, 0)
+	if err != nil {
+		return nil, err
+	}
+	return f.ReadAll()
+}
+
+// Delete implements Target.
+func (t CFSTarget) Delete(name string) error { return t.V.Delete(name, 0) }
+
+// List implements Target.
+func (t CFSTarget) List(prefix string) (int, error) {
+	n := 0
+	err := t.V.List(prefix, func(cfs.Entry) bool { n++; return true })
+	return n, err
+}
+
+// Touch implements Target.
+func (t CFSTarget) Touch(name string) error { return t.V.Touch(name, 0) }
+
+// UnixTarget drives the BSD baseline. Flat workload names containing "/"
+// become real directories, created on demand; BSD has no versions, so
+// Create of an existing path replaces it (unlink + create), charging the
+// extra I/Os a real build on UNIX pays.
+type UnixTarget struct{ FS *unixfs.FS }
+
+var _ Target = UnixTarget{}
+
+func (t UnixTarget) ensureDirs(name string) error {
+	parts := strings.Split(name, "/")
+	path := ""
+	for _, p := range parts[:len(parts)-1] {
+		path += "/" + p
+		if _, err := t.FS.Stat(path); err != nil {
+			if err := t.FS.MkDir(path); err != nil && err != unixfs.ErrExists {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Create implements Target.
+func (t UnixTarget) Create(name string, data []byte) error {
+	if err := t.ensureDirs(name); err != nil {
+		return err
+	}
+	path := "/" + name
+	if _, err := t.FS.Stat(path); err == nil {
+		if err := t.FS.Unlink(path); err != nil {
+			return err
+		}
+	}
+	return t.FS.Create(path, data)
+}
+
+// Read implements Target.
+func (t UnixTarget) Read(name string) ([]byte, error) { return t.FS.ReadAll("/" + name) }
+
+// Delete implements Target.
+func (t UnixTarget) Delete(name string) error { return t.FS.Unlink("/" + name) }
+
+// List implements Target.
+func (t UnixTarget) List(prefix string) (int, error) {
+	dir := "/" + strings.TrimSuffix(prefix, "/")
+	entries, err := t.FS.List(dir)
+	if err != nil {
+		return 0, err
+	}
+	return len(entries), nil
+}
+
+// Touch implements Target: rewriting the inode's mtime means a create-less
+// metadata update; model it as stat (inode read) — UNIX utime writes the
+// inode synchronously, so charge a create-less inode write via a tiny
+// rewrite. The baseline has no property write API, so Touch re-creates
+// nothing and reads the inode.
+func (t UnixTarget) Touch(name string) error {
+	_, err := t.FS.Stat("/" + name)
+	return err
+}

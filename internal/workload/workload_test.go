@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/unixfs"
+)
+
+func fsdTarget(t *testing.T) (FSDTarget, *disk.Disk) {
+	t.Helper()
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	v, err := core.Format(d, core.Config{LogSectors: 4 + 3*200, NTPages: 256, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FSDTarget{V: v}, d
+}
+
+func cfsTarget(t *testing.T) (CFSTarget, *disk.Disk) {
+	t.Helper()
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	v, err := cfs.Format(d, cfs.Config{NTPages: 256, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CFSTarget{V: v}, d
+}
+
+func unixTarget(t *testing.T) (UnixTarget, *disk.Disk) {
+	t.Helper()
+	clk := sim.NewVirtualClock()
+	d, _ := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
+	fs, err := unixfs.Format(d, unixfs.Config{CylindersPerGroup: 13, InodesPerGroup: 256, CacheBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return UnixTarget{FS: fs}, d
+}
+
+// targets returns all three systems for interface-conformance runs.
+func targets(t *testing.T) map[string]Target {
+	f, _ := fsdTarget(t)
+	c, _ := cfsTarget(t)
+	u, _ := unixTarget(t)
+	return map[string]Target{"fsd": f, "cfs": c, "unix": u}
+}
+
+func TestTargetConformance(t *testing.T) {
+	for name, tgt := range targets(t) {
+		t.Run(name, func(t *testing.T) {
+			data := Payload(700, 7)
+			if err := tgt.Create("dir/file", data); err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			got, err := tgt.Read("dir/file")
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("Read: %v", err)
+			}
+			if err := tgt.Touch("dir/file"); err != nil {
+				t.Fatalf("Touch: %v", err)
+			}
+			n, err := tgt.List("dir/")
+			if err != nil || n != 1 {
+				t.Fatalf("List = %d, %v", n, err)
+			}
+			if err := tgt.Delete("dir/file"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := tgt.Read("dir/file"); err == nil {
+				t.Fatal("Read after Delete succeeded")
+			}
+		})
+	}
+}
+
+func TestSmallCreatesAndReads(t *testing.T) {
+	for name, tgt := range targets(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := SmallCreates(tgt, "d", 30, 500); err != nil {
+				t.Fatal(err)
+			}
+			if n, err := ListDir(tgt, "d"); err != nil || n != 30 {
+				t.Fatalf("ListDir = %d, %v", n, err)
+			}
+			if err := ReadFiles(tgt, "d", 30); err != nil {
+				t.Fatal(err)
+			}
+			if err := DeleteFiles(tgt, "d", 30); err != nil {
+				t.Fatal(err)
+			}
+			if n, _ := ListDir(tgt, "d"); n != 0 {
+				t.Fatalf("%d files left after delete", n)
+			}
+		})
+	}
+}
+
+func TestMakeDoRunsOnAllTargets(t *testing.T) {
+	cfg := MakeDoConfig{Modules: 10, SourceSize: 2048, DefsSize: 1024, ObjectSize: 3000, Defs: 3}
+	for name, tgt := range targets(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := MakeDoPrepare(tgt, cfg); err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			if err := MakeDoRun(tgt, cfg, rand.New(rand.NewSource(1))); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+}
+
+func TestMakeDoIORatioShape(t *testing.T) {
+	// Table 3: MakeDo on CFS uses ~1.5x the I/Os of FSD.
+	cfg := MakeDoConfig{Modules: 30, SourceSize: 4096, DefsSize: 2048, ObjectSize: 6000, Defs: 6}
+	run := func(tgt Target, d *disk.Disk) int {
+		if err := MakeDoPrepare(tgt, cfg); err != nil {
+			t.Fatal(err)
+		}
+		d.ResetStats()
+		if err := MakeDoRun(tgt, cfg, rand.New(rand.NewSource(2))); err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().Ops
+	}
+	ftgt, fd := fsdTarget(t)
+	ctgt, cd := cfsTarget(t)
+	fsdOps := run(ftgt, fd)
+	cfsOps := run(ctgt, cd)
+	ratio := float64(cfsOps) / float64(fsdOps)
+	if ratio < 1.2 {
+		t.Fatalf("MakeDo CFS/FSD I/O ratio %.2f (cfs=%d fsd=%d); paper shape is ~1.5", ratio, cfsOps, fsdOps)
+	}
+}
+
+func TestBulkUpdate(t *testing.T) {
+	tgt, d := fsdTarget(t)
+	if err := BulkUpdatePrepare(tgt, DefaultBulkUpdate); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	if err := BulkUpdateRun(tgt, DefaultBulkUpdate); err != nil {
+		t.Fatal(err)
+	}
+	// Group commit should make the metadata I/O count far smaller than
+	// the number of touches (200 touches + creates).
+	if ops := d.Stats().Ops; ops > 100 {
+		t.Fatalf("bulk update did %d I/Os; group commit should absorb most", ops)
+	}
+}
+
+func TestFileSizeDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	small, smallBytes, total := 0, int64(0), int64(0)
+	for i := 0; i < n; i++ {
+		s := FileSize(rng)
+		if s < 4000 {
+			small++
+			smallBytes += int64(s)
+		}
+		total += int64(s)
+	}
+	frac := float64(small) / n
+	if frac < 0.40 || frac > 0.60 {
+		t.Fatalf("small-file fraction %.2f, want ~0.5 (paper: 50%%)", frac)
+	}
+	byteFrac := float64(smallBytes) / float64(total)
+	if byteFrac > 0.15 {
+		t.Fatalf("small files hold %.2f of bytes, want <= 0.15 (paper: 8%%)", byteFrac)
+	}
+}
+
+func TestPopulateVolume(t *testing.T) {
+	tgt, _ := fsdTarget(t)
+	names, err := PopulateVolume(tgt, rand.New(rand.NewSource(4)), 2_000_000, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 10 {
+		t.Fatalf("populated only %d files", len(names))
+	}
+	// Spot check a few.
+	for _, name := range names[:5] {
+		if _, err := tgt.Read(name); err != nil {
+			t.Fatalf("populated file %s unreadable: %v", name, err)
+		}
+	}
+}
