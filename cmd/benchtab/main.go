@@ -22,7 +22,8 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, ablations, all")
+	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, ablations, all")
+	concJSON := flag.String("concurrency-json", "", "also write the concurrency report to this path (e.g. BENCH_concurrency.json)")
 	flag.Parse()
 
 	type gen struct {
@@ -40,6 +41,7 @@ func main() {
 		{"model", bench.ModelValidation},
 		{"recovery", bench.Recovery},
 		{"recovery", bench.RecoveryScaling},
+		{"concurrency", bench.Concurrency},
 	}
 	ablations := []gen{
 		{"ablations", bench.AblationCommitInterval},
@@ -69,5 +71,13 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "benchtab: unknown table %q\n", *table)
 		os.Exit(2)
+	}
+	if *concJSON != "" {
+		rep, err := bench.WriteConcurrencyJSON(*concJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: concurrency json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (8-worker speedup %.2fx)\n", *concJSON, rep.Speedup8)
 	}
 }

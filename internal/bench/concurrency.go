@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The concurrent-volume experiment. Cedar serialized every file operation
+// behind one monitor; the split monitor lets lookups share the volume lock
+// and the pipelined group commit keeps a force from blocking staging. This
+// benchmark drives the same mixed workload (weighted like the paper's
+// traffic analysis: opens and whole-small-file reads dominate) from N
+// goroutines against both monitor disciplines and compares throughput in
+// simulated time.
+//
+// Timing model: the CPU runs detached in both runs, so the virtual clock
+// advances only for device time — identical disk timing in both systems, as
+// the comparison requires. Elapsed is then
+//
+//	disk time + CPU busy / overlap
+//
+// where overlap is 1 under the single monitor (one operation owns the
+// volume at a time, so processor work cannot overlap) and the worker count
+// under the split monitor (read-path CPU — name lookups, list scans, buffer
+// copies — overlaps fully; this is the model's optimistic bound, while the
+// single shared device remains fully serialized). The simulated disk has no
+// command queuing, so all of the speedup is CPU overlap — which matches the
+// paper's observation that FSD "was very stingy with disk I/Os, but the CPU
+// was sometimes a slight bottleneck".
+
+// ConcurrencyResult is one run of the mixed workload.
+type ConcurrencyResult struct {
+	Mode       string  `json:"mode"`    // "serial-monitor" or "split-monitor"
+	Workers    int     `json:"workers"` // driving goroutines
+	Ops        int     `json:"ops"`     // logical file operations completed
+	DiskTimeMS float64 `json:"disk_time_ms"`
+	CPUBusyMS  float64 `json:"cpu_busy_ms"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+}
+
+// ConcurrencyReport is what BENCH_concurrency.json holds.
+type ConcurrencyReport struct {
+	Model    string             `json:"model"`
+	Baseline ConcurrencyResult  `json:"baseline"`
+	Runs     []ConcurrencyResult `json:"runs"`
+	Speedup8 float64            `json:"speedup_8_workers"`
+}
+
+// concurrencyMixIters is ops per worker; the mix below is 60% open, 20%
+// list, 10% whole-file read, 10% create.
+const concurrencyMixIters = 240
+
+func concurrencyRun(serial bool, workers int) (ConcurrencyResult, error) {
+	cfg := fsdBenchConfig()
+	cfg.SerialMonitor = serial
+	fe, err := newFSD(cfg)
+	if err != nil {
+		return ConcurrencyResult{}, err
+	}
+	// Working set: small shared files, the paper's common case.
+	const shared = 120
+	sharedData := workload.Payload(2048, 7)
+	for i := 0; i < shared; i++ {
+		if _, err := fe.v.Create(fmt.Sprintf("shared/f%04d", i), sharedData); err != nil {
+			return ConcurrencyResult{}, err
+		}
+	}
+	if err := fe.v.Force(); err != nil {
+		return ConcurrencyResult{}, err
+	}
+	fe.d.ResetStats()
+	fe.v.CPU().SetDetached(true)
+	fe.v.CPU().ResetBusy()
+	diskStart := fe.clk.Now()
+
+	priv := workload.Payload(1024, 9)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < concurrencyMixIters; i++ {
+				k := (w*31 + i*7) % shared
+				var err error
+				switch i % 10 {
+				case 0, 1, 2, 3, 4, 5: // open
+					_, err = fe.v.Open(fmt.Sprintf("shared/f%04d", k), 0)
+				case 6, 7: // list a directory's worth of entries
+					n := 0
+					err = fe.v.List("shared/", func(core.Entry) bool {
+						n++
+						return n < 100
+					})
+				case 8: // whole-small-file read
+					var f *core.File
+					if f, err = fe.v.Open(fmt.Sprintf("shared/f%04d", k), 0); err == nil {
+						_, err = f.ReadAll()
+					}
+				case 9: // small create
+					_, err = fe.v.Create(fmt.Sprintf("priv/w%d-%04d", w, i), priv)
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d op %d: %w", w, i, err)
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return ConcurrencyResult{}, err
+		}
+	}
+	if err := fe.v.Force(); err != nil {
+		return ConcurrencyResult{}, err
+	}
+
+	diskTime := fe.clk.Now() - diskStart
+	busy := fe.v.CPU().Busy()
+	overlap := workers
+	mode := "split-monitor"
+	if serial {
+		overlap = 1
+		mode = "serial-monitor"
+	}
+	elapsed := diskTime + busy/time.Duration(overlap)
+	ops := workers * concurrencyMixIters
+	return ConcurrencyResult{
+		Mode:       mode,
+		Workers:    workers,
+		Ops:        ops,
+		DiskTimeMS: float64(diskTime) / float64(time.Millisecond),
+		CPUBusyMS:  float64(busy) / float64(time.Millisecond),
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		Throughput: float64(ops) / elapsed.Seconds(),
+	}, nil
+}
+
+// ConcurrencyReportRun runs the serialized baseline and the split-monitor
+// workload at several worker counts.
+func ConcurrencyReportRun() (ConcurrencyReport, error) {
+	base, err := concurrencyRun(true, 8)
+	if err != nil {
+		return ConcurrencyReport{}, err
+	}
+	rep := ConcurrencyReport{
+		Model: "elapsed = disk time + cpu busy / overlap; overlap = 1 under the " +
+			"single monitor, = workers under the split monitor; disk fully " +
+			"serialized in both",
+		Baseline: base,
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		r, err := concurrencyRun(false, w)
+		if err != nil {
+			return ConcurrencyReport{}, err
+		}
+		rep.Runs = append(rep.Runs, r)
+		if w == 8 {
+			rep.Speedup8 = r.Throughput / base.Throughput
+		}
+	}
+	return rep, nil
+}
+
+// WriteConcurrencyJSON runs the experiment and records it at path
+// (BENCH_concurrency.json at the repo root), so successive PRs can track
+// the trajectory.
+func WriteConcurrencyJSON(path string) (ConcurrencyReport, error) {
+	rep, err := ConcurrencyReportRun()
+	if err != nil {
+		return rep, err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return rep, err
+	}
+	return rep, os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Concurrency renders the experiment as a benchtab table.
+func Concurrency() (Table, error) {
+	rep, err := ConcurrencyReportRun()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Concurrency",
+		Title:  "Split monitor + pipelined commit vs the paper's single monitor (mixed workload)",
+		Header: []string{"System", "Workers", "Ops", "Disk (ms)", "CPU busy (ms)", "Elapsed (ms)", "Ops/s", "Speedup"},
+	}
+	row := func(r ConcurrencyResult) []string {
+		return []string{
+			r.Mode, fmt.Sprint(r.Workers), fmt.Sprint(r.Ops),
+			fmt.Sprintf("%.0f", r.DiskTimeMS), fmt.Sprintf("%.0f", r.CPUBusyMS),
+			fmt.Sprintf("%.0f", r.ElapsedMS), fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.2f", r.Throughput/rep.Baseline.Throughput),
+		}
+	}
+	t.Rows = append(t.Rows, row(rep.Baseline))
+	for _, r := range rep.Runs {
+		t.Rows = append(t.Rows, row(r))
+	}
+	t.Notes = append(t.Notes,
+		"mix: 60% open, 20% list, 10% whole-file read, 10% small create (the paper's open-dominated traffic)",
+		rep.Model,
+	)
+	return t, nil
+}

@@ -1,0 +1,51 @@
+package btree
+
+import "fmt"
+
+// ForEachLeaf walks the leaf chain left to right, handing each leaf's page
+// bytes to fn until fn returns false or the chain ends. The buffer is a
+// private copy that fn may retain and decode from any goroutine — this is
+// the fan-out point for parallel mount-time scans: one goroutine drives the
+// chain (so pager reads happen in deterministic order) while workers decode
+// the handed-off pages with LeafEntries.
+func (t *Tree) ForEachLeaf(fn func(page []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, leaf, err := t.descend(nil)
+	if err != nil {
+		return err
+	}
+	for {
+		if !fn(leaf.data) {
+			return nil
+		}
+		next := leaf.link()
+		if next == 0 {
+			return nil
+		}
+		leaf, err = t.load(next)
+		if err != nil {
+			return err
+		}
+		if leaf.kind() != kindLeaf {
+			return fmt.Errorf("%w: leaf chain reached non-leaf page %d", ErrCorrupt, leaf.id)
+		}
+	}
+}
+
+// LeafEntries decodes the cells of a leaf page buffer (as handed to a
+// ForEachLeaf callback) in slot order. It touches only the buffer — no
+// pager, no tree state — so any number of goroutines may decode different
+// pages concurrently. The key and value slices alias the buffer.
+func LeafEntries(page []byte, fn func(key, value []byte) bool) error {
+	n := node{data: page}
+	if n.kind() != kindLeaf {
+		return fmt.Errorf("%w: LeafEntries on non-leaf page", ErrCorrupt)
+	}
+	for i := 0; i < n.nslots(); i++ {
+		if !fn(n.key(i), n.value(i)) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -8,13 +8,16 @@
 // the FSD pager (a write-back cache whose page images are captured by the
 // redo log and whose home writes are deferred; see internal/core).
 //
-// The tree is not safe for concurrent use; the file systems serialize access
-// with their own monitor, as Cedar did.
+// The tree serializes its own access with a readers-writer lock: lookups and
+// scans run in parallel, mutations are exclusive. The file systems layer
+// their own locking on top (Cedar used a single monitor; this reproduction's
+// FSD splits it — see internal/core).
 package btree
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Pager provides a flat space of fixed-size pages addressed by index. Page 0
@@ -46,11 +49,16 @@ var (
 
 // MemPager is an in-memory Pager for tests and for staging structures before
 // they are written to disk (the CFS scavenger rebuilds the name table in a
-// MemPager first).
+// MemPager first). It locks internally, so concurrent tree readers (which
+// share the Tree's read lock) never race on the lazy page allocation in
+// Read or the write counter.
 type MemPager struct {
 	pageSize int
-	pages    [][]byte
+
+	mu    sync.Mutex
+	pages [][]byte
 	// Writes counts Write calls, so tests can assert write amplification.
+	// Read it only while no other goroutine is using the pager.
 	Writes int
 }
 
@@ -67,6 +75,8 @@ func (p *MemPager) NumPages() int { return len(p.pages) }
 
 // Read implements Pager.
 func (p *MemPager) Read(id uint32) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if int(id) >= len(p.pages) {
 		return nil, fmt.Errorf("btree: page %d out of range", id)
 	}
@@ -78,6 +88,8 @@ func (p *MemPager) Read(id uint32) ([]byte, error) {
 
 // Write implements Pager.
 func (p *MemPager) Write(id uint32, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if int(id) >= len(p.pages) {
 		return fmt.Errorf("btree: page %d out of range", id)
 	}

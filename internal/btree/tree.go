@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Meta page layout (page 0). Bytes 10..15 are reserved for the storage
@@ -33,9 +34,15 @@ const (
 // Tree is a B+tree over a Pager. Keys and values are arbitrary byte strings;
 // keys are ordered lexicographically. The zero Tree is not usable; obtain
 // one from Create or Open.
+//
+// Concurrency: readers (Get, Has, Scan, Len, Check, ForEachLeaf) take mu
+// for reading and may run in parallel; mutators (Put, Delete) take it
+// exclusively. The lock also covers the Pager calls the tree makes, so a
+// Pager shared only through its Tree needs no locking of its own.
 type Tree struct {
 	p Pager
 
+	mu        sync.RWMutex
 	root      uint32
 	height    uint32
 	nextFresh uint32
@@ -86,14 +93,22 @@ func Open(p Pager) (*Tree, error) {
 }
 
 // Height returns the tree height (1 = the root is a leaf).
-func (t *Tree) Height() int { return int(t.height) }
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int(t.height)
+}
 
 // Pager returns the underlying pager.
 func (t *Tree) Pager() Pager { return t.p }
 
 // AllocatedPages returns the number of pages ever allocated (a capacity
 // metric; freed pages are not subtracted).
-func (t *Tree) AllocatedPages() int { return int(t.nextFresh) }
+func (t *Tree) AllocatedPages() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int(t.nextFresh)
+}
 
 func (t *Tree) writeMeta() error {
 	buf := make([]byte, t.p.PageSize())
@@ -193,6 +208,13 @@ func (t *Tree) descend(key []byte) ([]pathEl, node, error) {
 
 // Get returns the value stored under key, or ErrNotFound.
 func (t *Tree) Get(key []byte) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.get(key)
+}
+
+// get is Get's body; the caller holds mu (either mode).
+func (t *Tree) get(key []byte) ([]byte, error) {
 	_, leaf, err := t.descend(key)
 	if err != nil {
 		return nil, err
@@ -207,7 +229,9 @@ func (t *Tree) Get(key []byte) ([]byte, error) {
 
 // Has reports whether key is present.
 func (t *Tree) Has(key []byte) (bool, error) {
-	_, err := t.Get(key)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, err := t.get(key)
 	if err == nil {
 		return true, nil
 	}
@@ -219,6 +243,8 @@ func (t *Tree) Has(key []byte) (bool, error) {
 
 // Put inserts or replaces the value under key.
 func (t *Tree) Put(key, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(key) == 0 {
 		return fmt.Errorf("btree: empty key")
 	}
@@ -382,6 +408,8 @@ func (t *Tree) insertSeparator(path []pathEl, sep []byte, right uint32) error {
 // as in many production trees); a leaf that empties completely is left in
 // the chain and skipped by scans.
 func (t *Tree) Delete(key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	_, leaf, err := t.descend(key)
 	if err != nil {
 		return err
@@ -398,6 +426,13 @@ func (t *Tree) Delete(key []byte) error {
 // fn returns false or the tree is exhausted. The key and value slices are
 // only valid during the callback.
 func (t *Tree) Scan(start []byte, fn func(key, value []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.scan(start, fn)
+}
+
+// scan is Scan's body; the caller holds mu (either mode).
+func (t *Tree) scan(start []byte, fn func(key, value []byte) bool) error {
 	_, leaf, err := t.descend(start)
 	if err != nil {
 		return err
@@ -427,8 +462,10 @@ func (t *Tree) Scan(start []byte, fn func(key, value []byte) bool) error {
 // Len counts the entries by scanning; it is O(n) and intended for tests and
 // tools.
 func (t *Tree) Len() (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := 0
-	err := t.Scan(nil, func(_, _ []byte) bool { n++; return true })
+	err := t.scan(nil, func(_, _ []byte) bool { n++; return true })
 	return n, err
 }
 
@@ -436,6 +473,8 @@ func (t *Tree) Len() (int, error) {
 // key ordering within and across pages, uniform leaf depth, and leaf-chain
 // consistency. It is the corruption detector used after crash tests.
 func (t *Tree) Check() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var firstLeaf uint32
 	var prevKey []byte
 	var walk func(id uint32, depth uint32, lo, hi []byte) error

@@ -8,7 +8,10 @@ import (
 )
 
 // Byte-granular convenience I/O over the page operations, and rename —
-// the remaining pieces of the FS-level interface Cedar clients used.
+// the remaining pieces of the FS-level interface Cedar clients used. The
+// compound operations here (size check + page I/O, read-modify-write) take
+// the handle lock per step, not across the whole call: concurrent writers
+// to the same handle may interleave at page granularity.
 
 // ReadAt reads len(p) bytes at byte offset off, implementing io.ReaderAt
 // semantics: it returns io.EOF when the read reaches the file's byte size.
@@ -16,7 +19,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("core: negative offset")
 	}
-	size := int64(f.e.ByteSize)
+	size := f.Size()
 	if off >= size {
 		return 0, io.EOF
 	}
@@ -62,7 +65,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	// Read-modify-write only the partial edge pages that hold live data.
 	headPartial := off%disk.SectorSize != 0
 	tailPartial := end%disk.SectorSize != 0
-	if headPartial || (tailPartial && int64(lastPage)*disk.SectorSize < int64(f.e.ByteSize)) {
+	if headPartial || (tailPartial && int64(lastPage)*disk.SectorSize < f.Size()) {
 		old, err := f.ReadPages(firstPage, span)
 		if err == nil {
 			copy(buf, old)
@@ -72,7 +75,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if err := f.WritePages(firstPage, buf); err != nil {
 		return 0, err
 	}
-	if uint64(end) > f.e.ByteSize {
+	if end > f.Size() {
 		if err := f.SetByteSize(uint64(end)); err != nil {
 			return len(p), err
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"repro/internal/disk"
 	"repro/internal/wal"
@@ -22,9 +23,14 @@ type ntPage struct {
 	// for this page (its content at the last force); it is what a
 	// third-crossing flush writes home, so home copies never get ahead
 	// of the log (see DESIGN.md).
-	logged     []byte
-	dirty      bool // cur differs from the home copies
-	pendingLog bool // images staged in the WAL but not yet forced
+	logged []byte
+	dirty  bool // cur differs from the home copies
+	// pendingSeq is the newest log batch holding images staged from this
+	// page; the page has undurable staged updates while pendingSeq
+	// exceeds the log's committed sequence. (A boolean cannot express
+	// this under the pipelined commit: images stage into a batch while
+	// an older batch's force is still writing.)
+	pendingSeq uint64
 	// lastThird tracks, per 512-byte sector, the log division holding
 	// that sector's newest image; -1 if none. Logging is sector-granular,
 	// so different sectors of one page can live in different thirds.
@@ -50,15 +56,29 @@ func (p *ntPage) inLog() bool {
 	return false
 }
 
+// pendingLog reports whether the page has staged images not yet durable,
+// given the log's current committed sequence.
+func (p *ntPage) pendingLog(committed uint64) bool {
+	return p.pendingSeq > committed
+}
+
 // ntCache is the write-back cache for file-name-table pages. It implements
 // btree.Pager: B-tree reads hit the cache, B-tree writes dirty cached pages
 // and stage their sector images for the next group commit. Pages are kept
 // logically read-only between updates by CRC-checking on every cache read
 // ("this is to catch wild stores").
+//
+// The cache locks internally: B-tree readers sharing the tree's read lock
+// hit it concurrently, and the WAL's force callbacks (onLogged, flushThird)
+// enter from the force path while operations run. Page contents stay safe
+// without copying because cur is replaced copy-on-write (only under the
+// tree's write lock) and never mutated in place.
 type ntCache struct {
-	v     *Volume
+	v   *Volume
+	cap int
+
+	mu    sync.Mutex
 	pages map[uint32]*ntPage
-	cap   int
 	seq   uint64
 
 	// Counters for the benchmarks.
@@ -68,6 +88,13 @@ type ntCache struct {
 
 func newNTCache(v *Volume, capacity int) *ntCache {
 	return &ntCache{v: v, pages: make(map[uint32]*ntPage), cap: capacity}
+}
+
+// stats returns (hits, misses, homeWrites).
+func (c *ntCache) stats() (int, int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Hits, c.Misses, c.HomeWrites
 }
 
 // PageSize implements btree.Pager.
@@ -98,6 +125,8 @@ func crcOK(p []byte) bool {
 // checked, per the paper ("when a page is read, both copies are read and
 // checked"), unless the volume is configured to read one.
 func (c *ntCache) Read(id uint32) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if p, ok := c.pages[id]; ok {
 		c.Hits++
 		c.seq++
@@ -163,6 +192,7 @@ func (c *ntCache) Write(id uint32, data []byte) error {
 	if len(data) != NTPageSize {
 		return fmt.Errorf("core: name-table write of %d bytes", len(data))
 	}
+	c.mu.Lock()
 	p, ok := c.pages[id]
 	if !ok {
 		// Never read and never written: the diff base is the home
@@ -192,16 +222,30 @@ func (c *ntCache) Write(id uint32, data []byte) error {
 	}
 	p.cur = fresh
 	if len(images) == 0 {
+		c.mu.Unlock()
 		return nil
 	}
 	p.dirty = true
-	p.pendingLog = true
-	return c.v.log.Append(images...)
+	c.mu.Unlock()
+	// Append outside c.mu: in synchronous mode it forces immediately, and
+	// the force's FlushHook re-enters the cache. Callers are serialized by
+	// the B-tree's write lock, so releasing here admits no second writer.
+	seq, err := c.v.log.Append(images...)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if seq > p.pendingSeq {
+		p.pendingSeq = seq
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // insert adds a page, evicting a clean page if over capacity. Dirty or
 // pending pages are never evicted ("the 'dirty but logged' pages are kept
-// in the cache"); if everything is dirty the cache grows past cap.
+// in the cache"); if everything is dirty the cache grows past cap. The
+// caller holds c.mu.
 func (c *ntCache) insert(p *ntPage) {
 	c.seq++
 	p.lruSeq = c.seq
@@ -209,9 +253,10 @@ func (c *ntCache) insert(p *ntPage) {
 	if len(c.pages) <= c.cap {
 		return
 	}
+	committed := c.v.log.Committed()
 	var victim *ntPage
 	for _, q := range c.pages {
-		if q.dirty || q.pendingLog || q.inLog() || q == p {
+		if q.dirty || q.pendingLog(committed) || q.inLog() || q == p {
 			continue
 		}
 		if victim == nil || q.lruSeq < victim.lruSeq {
@@ -223,28 +268,27 @@ func (c *ntCache) insert(p *ntPage) {
 	}
 }
 
-// onLogged records that page images made it into the log (called from the
-// WAL once per sector image; the whole-page snapshot refresh is idempotent
-// across the sectors of one page).
-func (c *ntCache) onLogged(target uint64, third int) {
+// onLogged records that a page image made it into the log (called from the
+// WAL once per sector image, on the force path).
+func (c *ntCache) onLogged(target uint64, third int, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	id := uint32(target / NTPageSectors)
 	p, ok := c.pages[id]
 	if !ok {
 		return
 	}
-	// Snapshot exactly the sector that was logged — and only it. During
-	// a force cur is stable, but a multi-record force logs the batch in
-	// pieces: a whole-page snapshot here could capture sectors whose
-	// images ride a LATER record of the same force, and a third-crossing
-	// flush between the records would then write content home that the
-	// log does not yet (and, if the force tears, never will) contain.
+	// Snapshot the bytes the log actually wrote — not p.cur, which under
+	// the pipelined commit may already hold newer updates staged while
+	// this force was writing (and, within one force, sectors whose images
+	// ride a later record of the same batch). The snapshot must track the
+	// log exactly: it is what a third-crossing flush writes home.
 	if p.logged == nil {
 		p.logged = make([]byte, NTPageSize)
 	}
 	sub := int(target % NTPageSectors)
-	copy(p.logged[sub*disk.SectorSize:(sub+1)*disk.SectorSize], p.cur[sub*disk.SectorSize:(sub+1)*disk.SectorSize])
+	copy(p.logged[sub*disk.SectorSize:(sub+1)*disk.SectorSize], data)
 	p.lastThird[sub] = third
-	p.pendingLog = false
 }
 
 // flushThird writes home every sector whose newest logged image is in the
@@ -252,6 +296,9 @@ func (c *ntCache) onLogged(target uint64, third int) {
 // the possibly newer cache contents, so the home copies never reflect
 // updates the log has not yet committed.
 func (c *ntCache) flushThird(third int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	committed := c.v.log.Committed()
 	n := 0
 	for _, p := range c.pages {
 		for j := 0; j < NTPageSectors; j++ {
@@ -264,7 +311,7 @@ func (c *ntCache) flushThird(third int) (int, error) {
 			n++
 			p.lastThird[j] = -1
 		}
-		if !p.pendingLog && !p.inLog() && p.logged != nil && bytes.Equal(p.logged, p.cur) {
+		if !p.pendingLog(committed) && !p.inLog() && p.logged != nil && bytes.Equal(p.logged, p.cur) {
 			p.dirty = false
 			p.logged = nil
 		}
@@ -272,7 +319,8 @@ func (c *ntCache) flushThird(third int) (int, error) {
 	return n, nil
 }
 
-// writeHomeSector writes one sector of a page to both home copies.
+// writeHomeSector writes one sector of a page to both home copies. The
+// caller holds c.mu.
 func (c *ntCache) writeHomeSector(id uint32, sub int, data []byte) error {
 	addrA, addrB := c.v.lay.ntPageAddrs(id)
 	if err := c.v.d.WriteSectors(addrA+sub, data); err != nil {
@@ -290,7 +338,7 @@ func (c *ntCache) writeHomeSector(id uint32, sub int, data []byte) error {
 }
 
 // writeHome writes a page image to both home copies (two operations with
-// independent failure modes).
+// independent failure modes). The caller holds c.mu.
 func (c *ntCache) writeHome(id uint32, data []byte) error {
 	addrA, addrB := c.v.lay.ntPageAddrs(id)
 	if err := c.v.d.WriteSectors(addrA, data); err != nil {
@@ -310,6 +358,8 @@ func (c *ntCache) writeHome(id uint32, data []byte) error {
 // flushAll writes home every dirty page; the caller must have forced the
 // log first so cur is committed. Used by clean shutdown.
 func (c *ntCache) flushAll() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, p := range c.pages {
 		if !p.dirty {
 			continue
@@ -318,7 +368,7 @@ func (c *ntCache) flushAll() error {
 			return err
 		}
 		p.dirty = false
-		p.pendingLog = false
+		p.pendingSeq = 0
 		for j := range p.lastThird {
 			p.lastThird[j] = -1
 		}
@@ -329,5 +379,7 @@ func (c *ntCache) flushAll() error {
 
 // dropAll empties the cache (after crash recovery rewrites home pages).
 func (c *ntCache) dropAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.pages = make(map[uint32]*ntPage)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/alloc"
@@ -18,22 +19,44 @@ const MaxTransferSectors = 64
 
 // File is an open-file handle. Handles are invalidated by deleting the file;
 // using a stale handle after the delete commits reads reallocated pages.
+//
+// A handle is safe for concurrent use: mu guards its entry snapshot and
+// leader-verification flag, so operations on one handle serialize against
+// each other while handles of different files (or even separate handles on
+// the same file) proceed in parallel. Compound byte-level sequences
+// (read-modify-write through ReadAt/WriteAt) are not transactional across
+// concurrent users of the same handle.
 type File struct {
-	v              *Volume
+	v *Volume
+
+	mu             sync.Mutex
 	e              Entry
 	leaderVerified bool
 }
 
 // Entry returns a copy of the file's name-table entry as of open time.
-func (f *File) Entry() Entry { return f.e }
+func (f *File) Entry() Entry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.e
+}
 
 // Size returns the file's byte size.
-func (f *File) Size() int64 { return int64(f.e.ByteSize) }
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(f.e.ByteSize)
+}
 
 // Pages returns the number of data pages.
-func (f *File) Pages() int { return f.e.Pages() }
+func (f *File) Pages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.e.Pages()
+}
 
-// highestVersionLocked returns the newest version of name, 0 if none.
+// highestVersionLocked returns the newest version of name, 0 if none. The
+// caller holds the monitor (either mode).
 func (v *Volume) highestVersionLocked(name string) (uint32, error) {
 	prefix := namePrefix(name)
 	var highest uint32
@@ -49,7 +72,8 @@ func (v *Volume) highestVersionLocked(name string) (uint32, error) {
 	return highest, err
 }
 
-// statLocked fetches an entry; version 0 means newest.
+// statLocked fetches an entry; version 0 means newest. The caller holds the
+// monitor (either mode).
 func (v *Volume) statLocked(name string, version uint32) (*Entry, error) {
 	if version == 0 {
 		var err error
@@ -72,7 +96,9 @@ func (v *Volume) statLocked(name string, version uint32) (*Entry, error) {
 	return decodeEntry(name, version, val)
 }
 
-// putEntryLocked writes an entry into the name table.
+// putEntryLocked writes an entry into the name table. The caller holds the
+// monitor; the B-tree's own write lock serializes the update, so read-mode
+// holders (a cached-file open refreshing LastUsed) may call it too.
 func (v *Volume) putEntryLocked(e *Entry) error {
 	v.cpu.Charge(sim.CostBTreeOp)
 	return v.nt.Put(entryKey(e.Name, e.Version), encodeEntry(e))
@@ -136,18 +162,22 @@ func (v *Volume) createClass(name string, data []byte, class Class, linkTarget s
 	}
 	if class != SymLink {
 		pages := 1 + (len(data)+disk.SectorSize-1)/disk.SectorSize // leader + data
+		v.vmMu.Lock()
 		e.Runs, err = v.al.Alloc(pages)
+		v.vmMu.Unlock()
 		if err != nil {
 			return nil, err
 		}
 	}
 	if err := v.putEntryLocked(e); err != nil {
 		if e.Runs != nil {
+			v.vmMu.Lock()
 			v.al.FreeNow(e.Runs)
+			v.vmMu.Unlock()
 		}
 		return nil, err
 	}
-	v.ops.Creates++
+	v.ops.creates.Add(1)
 	if class != SymLink {
 		leader := encodeLeader(e)
 		if len(data) > 0 {
@@ -158,8 +188,10 @@ func (v *Volume) createClass(name string, data []byte, class Class, linkTarget s
 			// Empty file: the leader write is deferred — logged now,
 			// written home by a later piggyback or third flush.
 			addr, _ := e.LeaderAddr()
+			v.lmu.Lock()
 			v.pendingLeaders[addr] = leader
-			if err := v.log.Append(wal.PageImage{Kind: wal.KindLeader, Target: uint64(addr), Data: leader}); err != nil {
+			v.lmu.Unlock()
+			if _, err := v.log.Append(wal.PageImage{Kind: wal.KindLeader, Target: uint64(addr), Data: leader}); err != nil {
 				return nil, err
 			}
 		}
@@ -229,7 +261,7 @@ func (v *Volume) writeLeaderAndData(e *Entry, leader, data []byte) error {
 		}
 		written += chunk * disk.SectorSize
 	}
-	v.ops.Writes++
+	v.ops.writes.Add(1)
 	return nil
 }
 
@@ -267,8 +299,7 @@ func (v *Volume) applyKeepLocked(name string, newest uint32, keep uint16) error 
 // hot-spot update. Open normally costs no I/O: all properties, including
 // the run table, are in the (cached) name table.
 func (v *Volume) Open(name string, version uint32) (*File, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	defer v.rlock()()
 	if err := v.begin(); err != nil {
 		return nil, err
 	}
@@ -279,7 +310,7 @@ func (v *Volume) Open(name string, version uint32) (*File, error) {
 	if e.Class == SymLink {
 		return nil, fmt.Errorf("%w: %q -> %q", ErrIsSymlink, name, e.LinkTarget)
 	}
-	v.ops.Opens++
+	v.ops.opens.Add(1)
 	if e.Class == Cached {
 		e.LastUsed = v.clk.Now()
 		if err := v.putEntryLocked(e); err != nil {
@@ -291,8 +322,7 @@ func (v *Volume) Open(name string, version uint32) (*File, error) {
 
 // Stat returns a file's entry without opening it; version 0 = newest.
 func (v *Volume) Stat(name string, version uint32) (*Entry, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	defer v.rlock()()
 	if err := v.begin(); err != nil {
 		return nil, err
 	}
@@ -312,7 +342,7 @@ func (v *Volume) Touch(name string, version uint32) error {
 		return err
 	}
 	e.LastUsed = v.clk.Now()
-	v.ops.Touches++
+	v.ops.touches.Add(1)
 	return v.putEntryLocked(e)
 }
 
@@ -350,7 +380,7 @@ func (v *Volume) Delete(name string, version uint32) error {
 			return fmt.Errorf("%w: %q", ErrNotFound, name)
 		}
 	}
-	v.ops.Deletes++
+	v.ops.deletes.Add(1)
 	return v.deleteLocked(name, version)
 }
 
@@ -364,12 +394,17 @@ func (v *Volume) deleteLocked(name string, version uint32) error {
 		return err
 	}
 	if len(e.Runs) > 0 {
-		v.al.FreeOnCommit(e.Runs)
+		// Defer the free to the commit of the batch carrying this
+		// deletion (freeOnCommit tags it after the Delete staged its
+		// images above).
+		v.freeOnCommit(e.Runs)
 		// Cancel any deferred leader write: the sectors may be
 		// reallocated after the commit.
 		addr, _ := e.LeaderAddr()
+		v.lmu.Lock()
 		delete(v.pendingLeaders, addr)
 		delete(v.leaderThird, addr)
+		v.lmu.Unlock()
 	}
 	return nil
 }
@@ -379,12 +414,11 @@ func (v *Volume) deleteLocked(name string, version uint32) error {
 // "there is no need for a disk read for the properties since they are
 // already available in the file name table."
 func (v *Volume) List(prefix string, fn func(Entry) bool) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	defer v.rlock()()
 	if err := v.begin(); err != nil {
 		return err
 	}
-	v.ops.Lists++
+	v.ops.lists.Add(1)
 	stop := errors.New("stop")
 	err := v.nt.Scan([]byte(prefix), func(k, val []byte) bool {
 		name, ver, ok := splitKey(k)
@@ -413,15 +447,16 @@ func (v *Volume) List(prefix string, fn func(Entry) bool) error {
 // disk... it usually costs only the transfer time for a page".
 func (f *File) ReadPages(page, n int) ([]byte, error) {
 	v := f.v
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	defer v.rlock()()
 	if err := v.begin(); err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if page < 0 || n <= 0 || page+n > f.e.Pages() {
 		return nil, fmt.Errorf("core: read [%d,%d) outside %q!%d (%d pages)", page, page+n, f.e.Name, f.e.Version, f.e.Pages())
 	}
-	v.ops.Reads++
+	v.ops.reads.Add(1)
 	out := make([]byte, 0, n*disk.SectorSize)
 	remaining := n
 	cur := page
@@ -458,14 +493,16 @@ func (f *File) ReadPages(page, n int) ([]byte, error) {
 	return out, nil
 }
 
-// verifyLeaderBuf checks a freshly read leader page; the volume must hold
-// its monitor. A pending (not yet home-written) leader is verified from
-// memory instead.
+// verifyLeaderBuf checks a freshly read leader page; the caller holds the
+// monitor (either mode) and f.mu. A pending (not yet home-written) leader
+// is verified from memory instead.
 func (f *File) verifyLeaderBuf(buf []byte) error {
 	addr, _ := f.e.LeaderAddr()
+	f.v.lmu.Lock()
 	if pending, ok := f.v.pendingLeaders[addr]; ok {
 		buf = pending
 	}
+	f.v.lmu.Unlock()
 	if err := verifyLeader(buf, &f.e); err != nil {
 		return err
 	}
@@ -475,26 +512,30 @@ func (f *File) verifyLeaderBuf(buf []byte) error {
 
 // ReadAll returns the whole file contents, trimmed to its byte size.
 func (f *File) ReadAll() ([]byte, error) {
-	if f.e.Pages() == 0 {
+	if f.Pages() == 0 {
 		return nil, nil
 	}
-	buf, err := f.ReadPages(0, f.e.Pages())
+	buf, err := f.ReadPages(0, f.Pages())
 	if err != nil {
 		return nil, err
 	}
-	return buf[:f.e.ByteSize], nil
+	return buf[:f.Size()], nil
 }
 
 // WritePages overwrites n = len(data)/512 data pages starting at `page`.
 // If the file's leader page is still pending, the write to page 0 carries
-// it along for free.
+// it along for free. Data writes share the monitor: they touch no
+// name-table state, and the deferred-leader maps are guarded by their own
+// lock. (A delete of the same file takes the monitor exclusively, so a
+// handle's pages cannot be freed mid-write.)
 func (f *File) WritePages(page int, data []byte) error {
 	v := f.v
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	defer v.rlock()()
 	if err := v.begin(); err != nil {
 		return err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if len(data)%disk.SectorSize != 0 {
 		return fmt.Errorf("core: write of %d bytes not page-aligned", len(data))
 	}
@@ -502,7 +543,7 @@ func (f *File) WritePages(page int, data []byte) error {
 	if page < 0 || n <= 0 || page+n > f.e.Pages() {
 		return fmt.Errorf("core: write [%d,%d) outside %q!%d", page, page+n, f.e.Name, f.e.Version)
 	}
-	v.ops.Writes++
+	v.ops.writes.Add(1)
 	written := 0
 	cur := page
 	for written < n {
@@ -515,15 +556,23 @@ func (f *File) WritePages(page int, data []byte) error {
 		}
 		chunk := data[written*disk.SectorSize : (written+cnt)*disk.SectorSize]
 		leaderAddr, _ := f.e.LeaderAddr()
-		if pending, ok := v.pendingLeaders[leaderAddr]; ok && cur == page && addr == leaderAddr+1 {
+		v.lmu.Lock()
+		pending, havePending := v.pendingLeaders[leaderAddr]
+		v.lmu.Unlock()
+		if havePending && cur == page && addr == leaderAddr+1 {
 			joined := make([]byte, 0, len(chunk)+disk.SectorSize)
 			joined = append(joined, pending...)
 			joined = append(joined, chunk...)
 			if err := v.d.WriteSectors(addr-1, joined); err != nil {
 				return err
 			}
+			// A concurrent third-crossing flush may have written the
+			// same leader bytes home meanwhile — benign; deleting an
+			// already-removed entry is a no-op.
+			v.lmu.Lock()
 			delete(v.pendingLeaders, leaderAddr)
 			delete(v.leaderThird, leaderAddr)
+			v.lmu.Unlock()
 			f.leaderVerified = true
 		} else {
 			if err := v.d.WriteSectors(addr, chunk); err != nil {
@@ -547,14 +596,20 @@ func (f *File) Extend(morePages int) error {
 	if err := v.begin(); err != nil {
 		return err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v.vmMu.Lock()
 	runs, err := v.al.Alloc(morePages)
+	v.vmMu.Unlock()
 	if err != nil {
 		return err
 	}
 	e := f.e
 	e.Runs = append(append([]alloc.Run(nil), e.Runs...), runs...)
 	if err := v.putEntryLocked(&e); err != nil {
+		v.vmMu.Lock()
 		v.al.FreeNow(runs)
+		v.vmMu.Unlock()
 		return err
 	}
 	f.e = e
@@ -570,6 +625,8 @@ func (f *File) Contract(newPages int) error {
 	if err := v.begin(); err != nil {
 		return err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if newPages < 0 || newPages > f.e.Pages() {
 		return fmt.Errorf("core: contract to %d pages of %d", newPages, f.e.Pages())
 	}
@@ -596,7 +653,7 @@ func (f *File) Contract(newPages int) error {
 	if err := v.putEntryLocked(&e); err != nil {
 		return err
 	}
-	v.al.FreeOnCommit(freed)
+	v.freeOnCommit(freed)
 	f.e = e
 	return nil
 }
@@ -609,6 +666,8 @@ func (f *File) SetByteSize(n uint64) error {
 	if err := v.begin(); err != nil {
 		return err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if n > uint64(f.e.Pages())*disk.SectorSize {
 		return fmt.Errorf("core: byte size %d exceeds %d allocated pages", n, f.e.Pages())
 	}

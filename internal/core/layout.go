@@ -57,6 +57,23 @@ type Config struct {
 	// twenty five seconds to about two seconds" by skipping the
 	// name-table scan.
 	LogVAM bool
+	// SerialMonitor restores the paper's single-monitor discipline:
+	// every operation, including reads, takes the volume lock
+	// exclusively. It is the baseline the concurrent read path is
+	// benchmarked against; see DESIGN.md "Concurrency model".
+	SerialMonitor bool
+	// MountWorkers sets the fan-out for the mount-time name-table scan
+	// and log-replay image application. 0 or 1 runs them sequentially
+	// (the legacy path); larger values divide the decode CPU across
+	// that many workers while keeping disk reads in chain order.
+	MountWorkers int
+}
+
+func (c Config) mountWorkers() int {
+	if c.MountWorkers <= 1 {
+		return 1
+	}
+	return c.MountWorkers
 }
 
 func (c Config) interval() time.Duration {

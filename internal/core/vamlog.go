@@ -40,6 +40,8 @@ type vamSector struct {
 func (v *Volume) enableVAMLogging() {
 	v.vamDirty = make(map[int]bool)
 	v.vamSectors = make(map[int]*vamSector)
+	// The tracker fires from inside VAM mutations, whose callers already
+	// hold vmMu — it must not lock anything itself.
 	v.vm.Tracker = func(p, count int) {
 		lo := vam.BitmapSectorOfPage(p)
 		hi := vam.BitmapSectorOfPage(p + count - 1)
@@ -47,7 +49,12 @@ func (v *Volume) enableVAMLogging() {
 			v.vamDirty[s] = true
 		}
 	}
+	// PreStage runs on the force path under forceMu, concurrently with
+	// staging operations that mutate the VAM, so it snapshots the dirty
+	// set and sector contents under vmMu.
 	v.log.PreStage = func() []wal.PageImage {
+		v.vmMu.Lock()
+		defer v.vmMu.Unlock()
 		if len(v.vamDirty) == 0 {
 			return nil
 		}
@@ -67,8 +74,11 @@ func (v *Volume) enableVAMLogging() {
 	}
 }
 
-// onVAMLogged records a logged bitmap sector (from the WAL's OnLogged).
-func (v *Volume) onVAMLogged(target uint64, third int) {
+// onVAMLogged records a logged bitmap sector (from the WAL's OnLogged,
+// under forceMu — vamSectors is only ever touched on the force path). The
+// snapshot copies the image bytes that were actually written to the log:
+// with pipelined commit the live VAM may already be newer.
+func (v *Volume) onVAMLogged(target uint64, third int, data []byte) {
 	if v.vamSectors == nil {
 		return
 	}
@@ -80,9 +90,7 @@ func (v *Volume) onVAMLogged(target uint64, third int) {
 	if s.logged == nil {
 		s.logged = make([]byte, disk.SectorSize)
 	}
-	// During a force no operation runs, so the live VAM equals what the
-	// log now reproduces for this sector.
-	v.vm.EncodeBitmapSector(int(target), s.logged)
+	copy(s.logged, data)
 	s.third = third
 }
 

@@ -24,10 +24,13 @@ type VerifyStats struct {
 // FSD analogue of fsck — but unlike fsck it is advisory: FSD never needs it
 // for recovery.
 func (v *Volume) Verify() (VerifyStats, error) {
+	// Exclusive: a whole-volume audit wants a quiescent name table. Log
+	// forces (WaitCommitted, the ticker's in-flight tick) can still run,
+	// so the shared maps they touch are locked at their use sites below.
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	var st VerifyStats
-	if v.closed {
+	if v.closed.Load() {
 		return st, ErrClosed
 	}
 	start := v.clk.Now()
@@ -74,7 +77,10 @@ func (v *Volume) Verify() (VerifyStats, error) {
 					break
 				}
 				owned[p] = fmt.Sprintf("%s!%d", name, ver)
-				if v.vm.IsFree(int(p)) {
+				v.vmMu.Lock()
+				free := v.vm.IsFree(int(p))
+				v.vmMu.Unlock()
+				if free {
 					addProblem("%s!%d: page %d owned but marked free", name, ver, p)
 					break
 				}
@@ -89,7 +95,10 @@ func (v *Volume) Verify() (VerifyStats, error) {
 			return true
 		}
 		st.Leaders++
-		if pending, okp := v.pendingLeaders[addr]; okp {
+		v.lmu.Lock()
+		pending, okp := v.pendingLeaders[addr]
+		v.lmu.Unlock()
+		if okp {
 			st.LeadersPending++
 			if err := verifyLeader(pending, e); err != nil {
 				addProblem("%v", err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alloc"
@@ -44,8 +45,41 @@ type OpStats struct {
 	Creates, Opens, Deletes, Lists, Reads, Writes, Touches int
 }
 
-// Volume is a mounted FSD volume. All public methods are safe for
-// concurrent use; a single monitor serializes operations, as in Cedar.
+// opCounters is the race-free internal form of OpStats.
+type opCounters struct {
+	creates, opens, deletes, lists, reads, writes, touches atomic.Int64
+}
+
+// taggedFree is a deferred page free tagged with the log batch whose
+// durability makes it safe: the runs belonged to a deleted (or contracted)
+// file whose name-table images were staged into batch seq, so they may be
+// reallocated only once Committed() >= seq — reallocating earlier would let
+// new data land on pages a crash's replay would hand back to the old file.
+type taggedFree struct {
+	seq  uint64
+	runs []alloc.Run
+}
+
+// Volume is a mounted FSD volume. All public methods are safe for concurrent
+// use. Cedar serialized every operation behind a single monitor; here the
+// monitor is split so the common read path scales (see DESIGN.md
+// "Concurrency model"):
+//
+//   - mu, a readers-writer lock, is the monitor. Lookups (Open, Stat, List,
+//     ReadPages, Verify) share it; name-space mutations (Create, Delete,
+//     Touch, Rename, Extend, ...) and lifecycle ops take it exclusively.
+//     With Config.SerialMonitor everything takes it exclusively — the
+//     paper-faithful baseline.
+//   - each File handle has its own lock for its entry snapshot.
+//   - lmu guards the deferred-leader maps, which the read path (leader
+//     verification) shares with the force path (third flushes).
+//   - vmMu guards the allocation map, the allocator, and the deferred
+//     frees, shared between operations and the commit callback.
+//
+// Lock order: mu → File.mu → (B-tree → cache) → lmu/vmMu. The log's force
+// path (forceMu inside the WAL) acquires cache/lmu/vmMu through its
+// callbacks and never mu, so a force in flight blocks neither readers nor
+// staging writers.
 type Volume struct {
 	d   *disk.Disk
 	clk sim.Clock
@@ -53,26 +87,36 @@ type Volume struct {
 	cfg Config
 	lay layout
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	log   *wal.Log
 	cache *ntCache
 	nt    *btree.Tree
 	vm    *vam.VAM
 	al    *alloc.Allocator
 
-	uidNext uint64
-	// pendingLeaders holds leader pages created but not yet written to
-	// their home sector; the write piggybacks on the file's next data
-	// write, or happens when the leader's log third is overwritten.
+	uidNext atomic.Uint64
+
+	// lmu guards pendingLeaders and leaderThird. pendingLeaders holds
+	// leader pages created but not yet written to their home sector; the
+	// write piggybacks on the file's next data write, or happens when the
+	// leader's log third is overwritten.
+	lmu            sync.Mutex
 	pendingLeaders map[int][]byte
 	leaderThird    map[int]int
 
-	// VAM-logging state (Config.LogVAM; see vamlog.go).
-	vamDirty   map[int]bool
+	// vmMu guards vm, al, vamDirty, and pendingFrees. The VAM's Tracker
+	// callback runs inside vm mutations, so it relies on the caller
+	// already holding vmMu rather than locking itself.
+	vmMu         sync.Mutex
+	vamDirty     map[int]bool
+	pendingFrees []taggedFree
+
+	// vamSectors is touched only from the WAL's force-serialized
+	// callbacks (OnLogged, FlushHook), so it needs no lock of its own.
 	vamSectors map[int]*vamSector
 
-	closed bool
-	ops    OpStats
+	closed atomic.Bool
+	ops    opCounters
 
 	// stopTicker stops the real-time group-commit goroutine, if any.
 	stopTicker chan struct{}
@@ -90,14 +134,34 @@ func (v *Volume) Log() *wal.Log { return v.log }
 // VAM exposes the allocation map (read-only use).
 func (v *Volume) VAM() *vam.VAM { return v.vm }
 
-// Ops returns the logical operation counters.
-func (v *Volume) Ops() OpStats { return v.ops }
+// Ops returns a snapshot of the logical operation counters.
+func (v *Volume) Ops() OpStats {
+	return OpStats{
+		Creates: int(v.ops.creates.Load()),
+		Opens:   int(v.ops.opens.Load()),
+		Deletes: int(v.ops.deletes.Load()),
+		Lists:   int(v.ops.lists.Load()),
+		Reads:   int(v.ops.reads.Load()),
+		Writes:  int(v.ops.writes.Load()),
+		Touches: int(v.ops.touches.Load()),
+	}
+}
 
 // CacheStats returns (hits, misses, homeWrites) of the name-table cache.
 func (v *Volume) CacheStats() (int, int, int) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.cache.Hits, v.cache.Misses, v.cache.HomeWrites
+	return v.cache.stats()
+}
+
+// rlock acquires the monitor for a read-path operation and returns the
+// matching unlock. Under Config.SerialMonitor reads take the monitor
+// exclusively, reproducing the paper's fully serialized volume.
+func (v *Volume) rlock() func() {
+	if v.cfg.SerialMonitor {
+		v.mu.Lock()
+		return v.mu.Unlock
+	}
+	v.mu.RLock()
+	return v.mu.RUnlock
 }
 
 // newVolume wires up the common structure.
@@ -134,27 +198,56 @@ func (v *Volume) hookLog() {
 		k, err := v.flushVAMSectors(third)
 		return n + m + k, err
 	}
-	v.log.OnLogged = func(kind uint8, target uint64, third int) {
+	v.log.OnLogged = func(kind uint8, target uint64, third int, data []byte) {
 		switch kind {
 		case wal.KindNameTable:
-			v.cache.onLogged(target, third)
+			v.cache.onLogged(target, third, data)
 		case wal.KindLeader:
+			v.lmu.Lock()
 			if _, ok := v.pendingLeaders[int(target)]; ok {
 				v.leaderThird[int(target)] = third
 			}
+			v.lmu.Unlock()
 		case wal.KindVAM:
-			v.onVAMLogged(target, third)
+			v.onVAMLogged(target, third, data)
 		}
 	}
-	v.log.OnCommit = func() {
-		// Pages of deleted files become allocatable once the delete
-		// is durable.
-		v.vm.Commit()
+	v.log.OnCommit = func(seq uint64) {
+		// Pages of deleted files become allocatable once the batch
+		// carrying the deletion is durable. With the pipelined commit,
+		// frees staged into a batch newer than seq stay deferred.
+		v.vmMu.Lock()
+		kept := v.pendingFrees[:0]
+		for _, pf := range v.pendingFrees {
+			if pf.seq <= seq {
+				v.al.FreeNow(pf.runs)
+			} else {
+				kept = append(kept, pf)
+			}
+		}
+		v.pendingFrees = kept
+		v.vmMu.Unlock()
 	}
+}
+
+// freeOnCommit defers runs until the log batch holding the caller's staged
+// name-table images is durable. The tag is read after staging, so it can
+// only name the images' batch or a later one — conservative: a free is
+// never applied before its deletion commits, at worst one force late.
+func (v *Volume) freeOnCommit(runs []alloc.Run) {
+	if len(runs) == 0 {
+		return
+	}
+	seq := v.log.Seq()
+	v.vmMu.Lock()
+	v.pendingFrees = append(v.pendingFrees, taggedFree{seq: seq, runs: runs})
+	v.vmMu.Unlock()
 }
 
 // flushLeaders writes home pending leader pages last logged in third.
 func (v *Volume) flushLeaders(third int) (int, error) {
+	v.lmu.Lock()
+	defer v.lmu.Unlock()
 	n := 0
 	for addr, t := range v.leaderThird {
 		if t != third {
@@ -212,7 +305,6 @@ func Format(d *disk.Disk, cfg Config) (*Volume, error) {
 		return nil, err
 	}
 	v.cache = newNTCache(v, cfg.cacheSize())
-	v.hookLog()
 
 	// Free-page map: data region free, metadata allocated.
 	v.vm = vam.New(lay.total)
@@ -230,6 +322,7 @@ func Format(d *disk.Disk, cfg Config) (*Volume, error) {
 	if err != nil {
 		return nil, err
 	}
+	v.hookLog()
 
 	// Build the empty name table through the logged cache, then force
 	// and flush so the home copies exist.
@@ -244,7 +337,7 @@ func Format(d *disk.Disk, cfg Config) (*Volume, error) {
 		return nil, err
 	}
 
-	v.uidNext = 1 << 32
+	v.uidNext.Store(1 << 32)
 	if err := v.writeRoot(rootPage{layout: lay, clean: false, logVAM: cfg.LogVAM, uidChunk: 1, formatted: v.clk.Now()}); err != nil {
 		return nil, err
 	}
@@ -264,8 +357,8 @@ func Format(d *disk.Disk, cfg Config) (*Volume, error) {
 
 // Mount attaches to a previously formatted volume, replaying the log and
 // reconstructing the allocation map as needed. Behavioural Config fields
-// (commit interval, cache size) apply; layout fields come from the volume
-// root page.
+// (commit interval, cache size, mount workers) apply; layout fields come
+// from the volume root page.
 func Mount(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	var ms MountStats
 	start := d.Clock().Now()
@@ -288,7 +381,7 @@ func Mount(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	if err := v.writeRoot(root); err != nil {
 		return nil, ms, err
 	}
-	v.uidNext = root.uidChunk << 32
+	v.uidNext.Store(root.uidChunk << 32)
 
 	v.log, err = wal.Open(d, lay.logBase, lay.logSize, v.clk, wal.Config{
 		Interval: cfg.interval(),
@@ -325,23 +418,8 @@ func Mount(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	if err != nil {
 		return nil, ms, err
 	}
-	ntTargets := make([]uint64, 0, len(ntImages))
-	for tgt := range ntImages {
-		ntTargets = append(ntTargets, tgt)
-	}
-	sort.Slice(ntTargets, func(i, j int) bool { return ntTargets[i] < ntTargets[j] })
-	for _, tgt := range ntTargets {
-		id := uint32(tgt / NTPageSectors)
-		sub := int(tgt % NTPageSectors)
-		a, b := lay.ntPageAddrs(id)
-		if err := v.d.WriteSectors(a+sub, ntImages[tgt]); err != nil {
-			return nil, ms, err
-		}
-		if !cfg.SingleCopyNT {
-			if err := v.d.WriteSectors(b+sub, ntImages[tgt]); err != nil {
-				return nil, ms, err
-			}
-		}
+	if err := v.applyNTImages(ntImages); err != nil {
+		return nil, ms, err
 	}
 	ms.LogRecords = rs.Records
 	ms.LogImagesApplied = rs.Images
@@ -423,12 +501,82 @@ func Mount(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	return v, ms, nil
 }
 
+// applyNTImages writes the surviving name-table images home. With
+// MountWorkers > 1 the writes fan out over a worker pool, each worker
+// sweeping a contiguous chunk of the sorted targets (pFSCK-style); the
+// simulated device still serializes the transfers, so on the virtual clock
+// the win is structural, but a real controller with command queuing would
+// overlap them. Sequential mode preserves the exact single-sweep order.
+func (v *Volume) applyNTImages(ntImages map[uint64][]byte) error {
+	ntTargets := make([]uint64, 0, len(ntImages))
+	for tgt := range ntImages {
+		ntTargets = append(ntTargets, tgt)
+	}
+	sort.Slice(ntTargets, func(i, j int) bool { return ntTargets[i] < ntTargets[j] })
+	writeOne := func(tgt uint64) error {
+		id := uint32(tgt / NTPageSectors)
+		sub := int(tgt % NTPageSectors)
+		a, b := v.lay.ntPageAddrs(id)
+		if err := v.d.WriteSectors(a+sub, ntImages[tgt]); err != nil {
+			return err
+		}
+		if !v.cfg.SingleCopyNT {
+			if err := v.d.WriteSectors(b+sub, ntImages[tgt]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := v.cfg.mountWorkers()
+	if workers <= 1 || len(ntTargets) < 2*workers {
+		for _, tgt := range ntTargets {
+			if err := writeOne(tgt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	chunk := (len(ntTargets) + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ntTargets) {
+			hi = len(ntTargets)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, tgt := range ntTargets[lo:hi] {
+				if err := writeOne(tgt); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // scanForRebuild walks the whole name table once, optionally rebuilding the
 // VAM, and always returning the leader-sector ownership map. "Since the
 // file name table is a compact structure with a great deal of locality, it
-// can be processed quickly."
+// can be processed quickly." With MountWorkers > 1 the walk is pipelined:
+// one goroutine drives the leaf chain (so page reads keep their exact
+// sequential disk order) while workers decode the entries, and the decode
+// CPU — the bulk of the paper's ~20 s — is charged divided by the worker
+// count.
 func (v *Volume) scanForRebuild(rebuildVAM bool) (map[int]uint64, error) {
-	owners := make(map[int]uint64)
 	if rebuildVAM {
 		v.vm = vam.New(v.lay.total)
 		v.vm.MarkFree(v.lay.dataLo, v.lay.total-v.lay.dataLo)
@@ -437,6 +585,10 @@ func (v *Volume) scanForRebuild(rebuildVAM bool) (map[int]uint64, error) {
 			v.vm.MarkAllocated(metaLo, metaHi-metaLo)
 		}
 	}
+	if workers := v.cfg.mountWorkers(); workers > 1 {
+		return v.scanForRebuildParallel(rebuildVAM, workers)
+	}
+	owners := make(map[int]uint64)
 	err := v.nt.Scan(nil, func(k, val []byte) bool {
 		name, ver, ok := splitKey(k)
 		if !ok {
@@ -460,6 +612,77 @@ func (v *Volume) scanForRebuild(rebuildVAM bool) (map[int]uint64, error) {
 	return owners, err
 }
 
+// scanResult is one worker's share of a parallel rebuild scan.
+type scanResult struct {
+	owners map[int]uint64
+	runs   []alloc.Run
+	cpu    time.Duration
+}
+
+// scanForRebuildParallel is the pFSCK-style fan-out: the calling goroutine
+// reads leaf pages in chain order (identical disk timing to the sequential
+// scan) and hands each page to a decode worker. Workers accumulate results
+// and CPU cost privately; the merge is order-independent (owner entries are
+// keyed by unique leader addresses, the VAM is a bitmap), so the rebuilt
+// state is byte-identical to the sequential scan's, while the decode CPU is
+// charged as elapsed/workers.
+func (v *Volume) scanForRebuildParallel(rebuildVAM bool, workers int) (map[int]uint64, error) {
+	pageCh := make(chan []byte, workers*2)
+	results := make([]scanResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(res *scanResult) {
+			defer wg.Done()
+			res.owners = make(map[int]uint64)
+			for page := range pageCh {
+				btree.LeafEntries(page, func(k, val []byte) bool {
+					name, ver, ok := splitKey(k)
+					if !ok {
+						return true
+					}
+					e, err := decodeEntry(name, ver, val)
+					if err != nil {
+						return true
+					}
+					res.cpu += sim.CostBTreeOp / 4
+					if len(e.Runs) > 0 {
+						res.owners[int(e.Runs[0].Start)] = e.UID
+					}
+					if rebuildVAM {
+						res.runs = append(res.runs, e.Runs...)
+					}
+					return true
+				})
+			}
+		}(&results[w])
+	}
+	err := v.nt.ForEachLeaf(func(page []byte) bool {
+		pageCh <- page
+		return true
+	})
+	close(pageCh)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	owners := make(map[int]uint64)
+	var cpuTotal time.Duration
+	for _, res := range results {
+		for addr, uid := range res.owners {
+			owners[addr] = uid
+		}
+		if rebuildVAM {
+			for _, r := range res.runs {
+				v.vm.MarkAllocated(int(r.Start), int(r.Len))
+			}
+		}
+		cpuTotal += res.cpu
+	}
+	v.cpu.Charge(cpuTotal / time.Duration(workers))
+	return owners, nil
+}
+
 // startTicker launches the group-commit goroutine when running on a real
 // clock. On a virtual clock forcing is driven by MaybeForce at operation
 // boundaries, which observes the same half-second deadline.
@@ -479,11 +702,13 @@ func (v *Volume) startTicker() {
 		for {
 			select {
 			case <-t.C:
-				v.mu.Lock()
-				if !v.closed {
+				// Shared mode: forcing runs concurrently with
+				// operations; the read lock only fences Shutdown.
+				v.mu.RLock()
+				if !v.closed.Load() {
 					v.log.MaybeForce()
 				}
-				v.mu.Unlock()
+				v.mu.RUnlock()
 			case <-stop:
 				return
 			}
@@ -494,20 +719,35 @@ func (v *Volume) startTicker() {
 // Force makes all buffered metadata updates durable now ("clients may force
 // the log").
 func (v *Volume) Force() error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
+	defer v.rlock()()
+	if v.closed.Load() {
 		return ErrClosed
 	}
 	return v.log.Force()
 }
 
+// CommitSeq returns the log sequence number covering every metadata update
+// staged so far: once the log's committed sequence reaches it, all of them
+// are durable. Pair with WaitCommitted for group-commit-aware fsync.
+func (v *Volume) CommitSeq() uint64 {
+	return v.log.Seq()
+}
+
+// WaitCommitted blocks until log batch seq is durable, forcing as needed.
+// It intentionally takes no volume lock: waiting must not serialize other
+// operations (that is the point of the pipelined commit).
+func (v *Volume) WaitCommitted(seq uint64) error {
+	if v.closed.Load() {
+		return ErrClosed
+	}
+	return v.log.WaitCommitted(seq)
+}
+
 // Tick gives the group-commit engine a chance to run; simulations call it
 // when virtual time passes without file-system activity.
 func (v *Volume) Tick() error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
+	defer v.rlock()()
+	if v.closed.Load() {
 		return ErrClosed
 	}
 	return v.log.MaybeForce()
@@ -518,7 +758,7 @@ func (v *Volume) Tick() error {
 func (v *Volume) Shutdown() error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if v.closed {
+	if v.closed.Load() {
 		return ErrClosed
 	}
 	if v.stopTicker != nil {
@@ -530,13 +770,16 @@ func (v *Volume) Shutdown() error {
 	if err := v.cache.flushAll(); err != nil {
 		return err
 	}
+	v.lmu.Lock()
 	for addr, data := range v.pendingLeaders {
 		if err := v.d.WriteSectors(addr, data); err != nil {
+			v.lmu.Unlock()
 			return err
 		}
 	}
 	v.pendingLeaders = make(map[int][]byte)
 	v.leaderThird = make(map[int]int)
+	v.lmu.Unlock()
 	if err := v.vm.Save(v.d, v.lay.vamBase); err != nil {
 		return err
 	}
@@ -548,7 +791,7 @@ func (v *Volume) Shutdown() error {
 	if err := v.writeRoot(root); err != nil {
 		return err
 	}
-	v.closed = true
+	v.closed.Store(true)
 	return nil
 }
 
@@ -561,7 +804,7 @@ func (v *Volume) Crash() {
 		close(v.stopTicker)
 		v.stopTicker = nil
 	}
-	v.closed = true
+	v.closed.Store(true)
 	v.d.Halt()
 }
 
@@ -571,7 +814,7 @@ func (v *Volume) Crash() {
 func (v *Volume) DropCaches() error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if v.closed {
+	if v.closed.Load() {
 		return ErrClosed
 	}
 	if err := v.log.Force(); err != nil {
@@ -580,13 +823,16 @@ func (v *Volume) DropCaches() error {
 	if err := v.cache.flushAll(); err != nil {
 		return err
 	}
+	v.lmu.Lock()
 	for addr, data := range v.pendingLeaders {
 		if err := v.d.WriteSectors(addr, data); err != nil {
+			v.lmu.Unlock()
 			return err
 		}
 		delete(v.pendingLeaders, addr)
 		delete(v.leaderThird, addr)
 	}
+	v.lmu.Unlock()
 	v.cache.dropAll()
 	return nil
 }
@@ -625,15 +871,13 @@ func (v *Volume) ModelInfo() (dataToNTCyl, dataToLogCyl int) {
 
 // nextUID allocates a volume-unique file identifier.
 func (v *Volume) nextUID() uint64 {
-	u := v.uidNext
-	v.uidNext++
-	return u
+	return v.uidNext.Add(1) - 1
 }
 
-// begin is the common entry for public operations. Callers must not hold
-// v.mu.
+// begin is the common entry for public operations; the caller holds the
+// monitor in the mode matching the operation.
 func (v *Volume) begin() error {
-	if v.closed {
+	if v.closed.Load() {
 		return ErrClosed
 	}
 	v.cpu.Charge(sim.CostSyscall)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -103,9 +104,64 @@ type WriteFault struct {
 // the write proceed normally.
 type WriteFaultFunc func(addr, n int) *WriteFault
 
+// counters is the lock-free accumulator behind Stats. The device mutex
+// serializes the operations that bump them, but keeping them atomic lets
+// Stats() take a consistent-enough snapshot without blocking behind an
+// in-flight transfer — concurrent workers sample I/O accounting freely.
+type counters struct {
+	ops            atomic.Int64
+	reads, writes  atomic.Int64
+	sectorsRead    atomic.Int64
+	sectorsWritten atomic.Int64
+	seeks          atomic.Int64
+	shortSeeks     atomic.Int64
+	lostRevs       atomic.Int64
+	seekTime       atomic.Int64 // nanoseconds
+	rotTime        atomic.Int64
+	transferTime   atomic.Int64
+	opsByClass     [numClasses]atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	var s Stats
+	s.Ops = int(c.ops.Load())
+	s.Reads = int(c.reads.Load())
+	s.Writes = int(c.writes.Load())
+	s.SectorsRead = int(c.sectorsRead.Load())
+	s.SectorsWritten = int(c.sectorsWritten.Load())
+	s.Seeks = int(c.seeks.Load())
+	s.ShortSeeks = int(c.shortSeeks.Load())
+	s.LostRevs = int(c.lostRevs.Load())
+	s.SeekTime = time.Duration(c.seekTime.Load())
+	s.RotTime = time.Duration(c.rotTime.Load())
+	s.TransferTime = time.Duration(c.transferTime.Load())
+	for i := range s.OpsByClass {
+		s.OpsByClass[i] = int(c.opsByClass[i].Load())
+	}
+	return s
+}
+
+func (c *counters) reset() {
+	c.ops.Store(0)
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.sectorsRead.Store(0)
+	c.sectorsWritten.Store(0)
+	c.seeks.Store(0)
+	c.shortSeeks.Store(0)
+	c.lostRevs.Store(0)
+	c.seekTime.Store(0)
+	c.rotTime.Store(0)
+	c.transferTime.Store(0)
+	for i := range c.opsByClass {
+		c.opsByClass[i].Store(0)
+	}
+}
+
 // Disk is a simulated sector-addressable drive with labels and timing. All
 // methods are safe for concurrent use; each operation atomically advances
-// the simulation clock by the device time it consumes.
+// the simulation clock by the device time it consumes, and the activity
+// counters are atomics so stats can be read without blocking the device.
 type Disk struct {
 	geom Geometry
 	par  Params
@@ -116,7 +172,7 @@ type Disk struct {
 	labels   map[int]Label
 	damaged  map[int]bool
 	curCyl   int
-	stats    Stats
+	cnt      counters
 	fault    WriteFaultFunc
 	classify func(addr int) Class
 	halted   bool
@@ -178,19 +234,19 @@ func (d *Disk) Revive() {
 	d.mu.Unlock()
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters. It never blocks on
+// the device mutex, so monitoring can sample mid-transfer; the snapshot is
+// consistent at sector granularity.
 func (d *Disk) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return d.cnt.snapshot()
 }
 
-// ResetStats zeroes the counters and returns the previous snapshot.
+// ResetStats zeroes the counters and returns the previous snapshot. Call it
+// only at a quiet point; resetting while transfers are in flight can lose a
+// few counts to the window between snapshot and reset.
 func (d *Disk) ResetStats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	s := d.stats
-	d.stats = Stats{}
+	s := d.cnt.snapshot()
+	d.cnt.reset()
 	return s
 }
 
@@ -253,11 +309,11 @@ func (d *Disk) motion(addr int) {
 	}
 	if dist != 0 {
 		st := d.par.SeekTime(dist)
-		d.stats.SeekTime += st
+		d.cnt.seekTime.Add(int64(st))
 		if dist <= d.par.ShortSeekMax {
-			d.stats.ShortSeeks++
+			d.cnt.shortSeeks.Add(1)
 		} else {
-			d.stats.Seeks++
+			d.cnt.seeks.Add(1)
 		}
 		d.clk.Advance(st)
 		d.curCyl = cyl
@@ -273,9 +329,9 @@ func (d *Disk) motion(addr int) {
 		wait += rev
 	}
 	if wait > 0 {
-		d.stats.RotTime += wait
+		d.cnt.rotTime.Add(int64(wait))
 		if wait >= rev*3/4 {
-			d.stats.LostRevs++
+			d.cnt.lostRevs.Add(1)
 		}
 		d.clk.Advance(wait)
 	}
@@ -290,14 +346,14 @@ func (d *Disk) transferOne(addr int) {
 		// Crossing a cylinder boundary mid-transfer: settle, then
 		// realign rotationally for the target sector.
 		st := d.par.SeekTime(1)
-		d.stats.SeekTime += st
-		d.stats.ShortSeeks++
+		d.cnt.seekTime.Add(int64(st))
+		d.cnt.shortSeeks.Add(1)
 		d.clk.Advance(st)
 		d.curCyl = cyl
 		d.realign(addr)
 	}
 	secT := d.par.SectorTime(d.geom)
-	d.stats.TransferTime += secT
+	d.cnt.transferTime.Add(int64(secT))
 	d.clk.Advance(secT)
 }
 
@@ -313,9 +369,9 @@ func (d *Disk) realign(addr int) {
 		wait += rev
 	}
 	if wait > 0 {
-		d.stats.RotTime += wait
+		d.cnt.rotTime.Add(int64(wait))
 		if wait >= rev*3/4 {
-			d.stats.LostRevs++
+			d.cnt.lostRevs.Add(1)
 		}
 		d.clk.Advance(wait)
 	}
@@ -329,17 +385,17 @@ func (d *Disk) beginOp(addr, n int, write bool) error {
 	if err := d.checkRange(addr, n); err != nil {
 		return err
 	}
-	d.stats.Ops++
+	d.cnt.ops.Add(1)
 	if write {
-		d.stats.Writes++
+		d.cnt.writes.Add(1)
 	} else {
-		d.stats.Reads++
+		d.cnt.reads.Add(1)
 	}
 	cls := ClassData
 	if d.classify != nil {
 		cls = d.classify(addr)
 	}
-	d.stats.OpsByClass[cls]++
+	d.cnt.opsByClass[cls].Add(1)
 	return nil
 }
 
@@ -383,7 +439,7 @@ func (d *Disk) ReadSectors(addr, n int) ([]byte, error) {
 	buf := make([]byte, n*SectorSize)
 	for i := 0; i < n; i++ {
 		d.transferOne(addr + i)
-		d.stats.SectorsRead++
+		d.cnt.sectorsRead.Add(1)
 		if err := d.readSector(addr+i, buf[i*SectorSize:(i+1)*SectorSize]); err != nil {
 			return nil, err
 		}
@@ -412,7 +468,7 @@ func (d *Disk) VerifyRead(addr int, want []Label) ([]byte, error) {
 	buf := make([]byte, n*SectorSize)
 	for i := 0; i < n; i++ {
 		d.transferOne(addr + i)
-		d.stats.SectorsRead++
+		d.cnt.sectorsRead.Add(1)
 		if d.damaged[addr+i] {
 			return nil, &DamagedError{Addr: addr + i}
 		}
@@ -439,7 +495,7 @@ func (d *Disk) ReadLabels(addr, n int) ([]Label, error) {
 	labs := make([]Label, n)
 	for i := 0; i < n; i++ {
 		d.transferOne(addr + i)
-		d.stats.SectorsRead++
+		d.cnt.sectorsRead.Add(1)
 		if d.damaged[addr+i] {
 			return labs[:i], &DamagedError{Addr: addr + i}
 		}
@@ -495,7 +551,7 @@ func (d *Disk) WriteLabels(addr int, labs []Label) error {
 		if fault != nil && i >= fault.Persist {
 			return d.applyFault(addr, fault)
 		}
-		d.stats.SectorsWritten++
+		d.cnt.sectorsWritten.Add(1)
 		d.labels[addr+i] = labs[i]
 		delete(d.damaged, addr+i)
 	}
@@ -535,7 +591,7 @@ func (d *Disk) writeLocked(addr int, data []byte, labs []Label) error {
 		if fault != nil && i >= fault.Persist {
 			return d.applyFault(addr, fault)
 		}
-		d.stats.SectorsWritten++
+		d.cnt.sectorsWritten.Add(1)
 		d.writeSector(addr+i, data[i*SectorSize:(i+1)*SectorSize])
 		if labs != nil {
 			d.labels[addr+i] = labs[i]

@@ -12,6 +12,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,10 +27,11 @@ type Clock interface {
 }
 
 // VirtualClock is a deterministic Clock. It never advances on its own; the
-// disk simulator and the CPU cost model advance it explicitly.
+// disk simulator and the CPU cost model advance it explicitly. The counter
+// is lock-free so that many goroutines charging time concurrently do not
+// serialize on a clock mutex.
 type VirtualClock struct {
-	mu  sync.Mutex
-	now time.Duration
+	now atomic.Int64 // nanoseconds since the epoch
 }
 
 // NewVirtualClock returns a VirtualClock positioned at the epoch.
@@ -37,9 +39,7 @@ func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
 
 // Now implements Clock.
 func (c *VirtualClock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.now.Load())
 }
 
 // Advance implements Clock. Negative durations are ignored so that callers
@@ -48,19 +48,18 @@ func (c *VirtualClock) Advance(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	c.mu.Lock()
-	c.now += d
-	c.mu.Unlock()
+	c.now.Add(int64(d))
 }
 
 // Set positions the clock at an absolute simulated time. It is intended for
 // tests; time never moves backward.
 func (c *VirtualClock) Set(t time.Duration) {
-	c.mu.Lock()
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur || c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
 	}
-	c.mu.Unlock()
 }
 
 // RealClock is a Clock backed by the wall clock. Advance sleeps, so the

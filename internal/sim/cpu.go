@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,22 +14,23 @@ import (
 // the CPU was sometimes a slight bottleneck" on the Dorado; the per-operation
 // costs here are calibrated to that machine class and are documented next to
 // each constant.
+//
+// All methods are safe for concurrent use; the busy accumulator is lock-free
+// so that parallel file-system operations do not serialize on it.
 type CPU struct {
 	clk Clock
 
-	mu       sync.Mutex
-	busy     time.Duration
-	detached bool
+	busy     atomic.Int64 // nanoseconds charged so far
+	detached atomic.Bool
 }
 
 // SetDetached switches the CPU to overlap mode: charges accumulate in the
 // busy counter but do not advance the clock, modelling a pipeline where the
 // processor works concurrently with the device (4.2 BSD's asynchronous
-// delayed writes in Table 5).
+// delayed writes in Table 5, and the concurrent-volume benchmark's
+// multi-worker CPU model).
 func (c *CPU) SetDetached(v bool) {
-	c.mu.Lock()
-	c.detached = v
-	c.mu.Unlock()
+	c.detached.Store(v)
 }
 
 // NewCPU returns a CPU that charges time against clk.
@@ -40,30 +41,21 @@ func (c *CPU) Charge(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	c.mu.Lock()
-	c.busy += d
-	det := c.detached
-	c.mu.Unlock()
-	if !det {
+	c.busy.Add(int64(d))
+	if !c.detached.Load() {
 		c.clk.Advance(d)
 	}
 }
 
 // Busy returns the total CPU time charged so far.
 func (c *CPU) Busy() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.busy
+	return time.Duration(c.busy.Load())
 }
 
 // ResetBusy zeroes the busy accumulator (the clock itself is unaffected) and
 // returns the value it held. Benchmarks use it to window measurements.
 func (c *CPU) ResetBusy() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	b := c.busy
-	c.busy = 0
-	return b
+	return time.Duration(c.busy.Swap(0))
 }
 
 // Representative per-operation CPU costs for a Dorado-class workstation (a

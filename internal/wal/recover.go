@@ -21,6 +21,7 @@ func Open(d *disk.Disk, base, size int, clk sim.Clock, cfg Config) (*Log, error)
 	l.bootCount = a.bootCount
 	l.pendingIdx = make(map[imageKey]int)
 	l.lastForce = clk.Now()
+	l.openSeq = 1
 	return l, nil
 }
 
@@ -48,8 +49,11 @@ type Applier func(kind uint8, target uint64, data []byte) error
 // end-of-batch flag is validated, and an incomplete tail batch at the crash
 // point is discarded.
 func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	// Replay owns the write path (forceMu) — nothing may force while the
+	// log is being rebuilt. Recovery runs before the volume admits
+	// operations, so there are no concurrent stagers either.
+	l.forceMu.Lock()
+	defer l.forceMu.Unlock()
 	start := l.clk.Now()
 	var rs RecoveryStats
 
@@ -206,7 +210,9 @@ func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
 	if err := l.d.WriteSectors(l.base+anchorSectors, make([]byte, disk.SectorSize)); err != nil {
 		return rs, err
 	}
+	l.mu.Lock()
 	l.lastForce = l.clk.Now()
+	l.mu.Unlock()
 	rs.Elapsed = l.clk.Now() - start
 	return rs, nil
 }

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/disk"
@@ -99,6 +100,20 @@ type Config struct {
 }
 
 // Log is the redo log over a contiguous sector region of a disk.
+//
+// Concurrency (the pipelined group commit): staging and forcing run under
+// two different locks. l.mu guards only the pending batch and the sequence
+// counters, so Append never blocks behind log I/O. forceMu serializes force
+// execution end-to-end — a force captures the pending batch under l.mu
+// (atomically swapping in an empty one), releases l.mu, and then writes its
+// records while new appends stage freely into the next batch. Every client
+// callback (FlushHook, OnLogged, OnCommit, PreStage) is invoked under
+// forceMu but never under l.mu, so callbacks may call Append.
+//
+// Each captured batch carries a commit sequence number. Append returns the
+// sequence of the batch it staged into; WaitCommitted(seq) blocks (forcing
+// if necessary) until that batch is durable. Sequence numbers advance even
+// for empty batches, so waiting is always finite.
 type Log struct {
 	d    *disk.Disk
 	base int // first sector of the region
@@ -110,13 +125,17 @@ type Log struct {
 	// the client must write home every cached page whose newest logged
 	// image lives in that third, and report how many pages it wrote.
 	FlushHook func(third int) (int, error)
-	// OnCommit is invoked after every successful force; FSD uses it to
-	// make pending deletions final.
-	OnCommit func()
+	// OnCommit is invoked after every successful force with the commit
+	// sequence number that just became durable; FSD uses it to make the
+	// pending deletions of batches <= seq final.
+	OnCommit func(seq uint64)
 	// OnLogged is invoked for every image written, with the division its
-	// record landed in. The page cache uses it to tag dirty pages so the
-	// FlushHook can find "pages most recently logged into this third".
-	OnLogged func(kind uint8, target uint64, third int)
+	// record landed in and the image bytes that went to disk. The page
+	// cache uses it to tag dirty pages so the FlushHook can find "pages
+	// most recently logged into this third", and snapshots exactly the
+	// logged bytes — the cache contents may already be newer, because
+	// staging continues while a force is writing.
+	OnLogged func(kind uint8, target uint64, third int, data []byte)
 	// PreStage, when set, is invoked at the start of every Force; the
 	// images it returns join the batch. The VAM-logging extension uses
 	// it to stage the allocation-map sectors dirtied since the last
@@ -124,16 +143,27 @@ type Log struct {
 	// name-table images.
 	PreStage func() []PageImage
 
+	// mu guards the staging state only: pending, pendingIdx, openSeq,
+	// lastForce, and stats. It is never held across disk I/O or callbacks.
 	mu         sync.Mutex
 	pending    []PageImage
 	pendingIdx map[imageKey]int
+	openSeq    uint64 // sequence number of the batch currently staging
+	lastForce  time.Duration
+	stats      Stats
+
+	// committedSeq is the newest durable batch sequence (0 = none yet).
+	// Written under forceMu; read lock-free by Committed().
+	committedSeq atomic.Uint64
+
+	// forceMu serializes force execution and owns the write-path state
+	// below (plus all callback invocations).
+	forceMu    sync.Mutex
 	recordNum  uint64
 	bootCount  uint32
 	writeOff   int       // sector offset within the record area
 	curThird   int       // division currently being filled
 	thirdFirst [8]uint64 // first record number written into each division
-	lastForce  time.Duration
-	stats      Stats
 }
 
 func (l *Log) thirds() int {
@@ -231,6 +261,7 @@ func Format(d *disk.Disk, base, size int, clk sim.Clock, cfg Config) (*Log, erro
 	}
 	l.lastForce = clk.Now()
 	l.pendingIdx = make(map[imageKey]int)
+	l.openSeq = 1
 	return l, nil
 }
 
@@ -255,30 +286,35 @@ func (l *Log) PendingImages() int {
 	return len(l.pending)
 }
 
-// Append stages page images for the next force. Within a batch, a later
-// image of the same (kind, target) replaces the earlier one — this is where
-// group commit absorbs hot-spot writes. If the configured interval is zero
-// the batch is forced immediately.
-func (l *Log) Append(images ...PageImage) error {
-	if err := l.stage(images); err != nil {
-		return err
+// Append stages page images for the next force and returns the commit
+// sequence number of the batch they joined: once Committed() reaches that
+// number the images are durable. Within a batch, a later image of the same
+// (kind, target) replaces the earlier one — this is where group commit
+// absorbs hot-spot writes. If the configured interval is zero the batch is
+// forced before returning (the synchronous ablation); otherwise Append never
+// blocks behind log I/O, even while a force is writing records.
+func (l *Log) Append(images ...PageImage) (uint64, error) {
+	seq, err := l.stage(images)
+	if err != nil {
+		return 0, err
 	}
 	if l.cfg.Interval == 0 {
-		return l.Force()
+		return seq, l.Force()
 	}
-	return nil
+	return seq, nil
 }
 
-// stage adds images to the pending batch without triggering a force.
-func (l *Log) stage(images []PageImage) error {
+// stage adds images to the pending batch without triggering a force and
+// returns the batch's sequence number.
+func (l *Log) stage(images []PageImage) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for _, im := range images {
 		if len(im.Data) != disk.SectorSize {
-			return fmt.Errorf("wal: image of %d bytes, want %d", len(im.Data), disk.SectorSize)
+			return 0, fmt.Errorf("wal: image of %d bytes, want %d", len(im.Data), disk.SectorSize)
 		}
 		if im.Target > 0xFFFFFFFF {
-			return fmt.Errorf("wal: target %d exceeds 32 bits", im.Target)
+			return 0, fmt.Errorf("wal: target %d exceeds 32 bits", im.Target)
 		}
 		l.stats.ImagesStaged++
 		k := imageKey{im.Kind, im.Target}
@@ -291,6 +327,37 @@ func (l *Log) stage(images []PageImage) error {
 		} else {
 			l.pendingIdx[k] = len(l.pending)
 			l.pending = append(l.pending, im)
+		}
+	}
+	return l.openSeq, nil
+}
+
+// Seq returns the sequence number covering everything staged so far: once
+// Committed() >= Seq()'s return value, every image staged before the call
+// is durable. With nothing pending it names the last captured batch.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) > 0 {
+		return l.openSeq
+	}
+	return l.openSeq - 1
+}
+
+// Committed returns the newest durable batch sequence number.
+func (l *Log) Committed() uint64 { return l.committedSeq.Load() }
+
+// WaitCommitted blocks until batch seq is durable, forcing the log as
+// needed (the fsync of the pipelined commit: callers that staged updates
+// and hold the returned sequence can make them durable on demand without
+// serializing other appenders).
+func (l *Log) WaitCommitted(seq uint64) error {
+	for l.committedSeq.Load() < seq {
+		// Force serializes behind any in-flight force (which may itself
+		// commit seq) and then captures whatever is pending; every force
+		// advances the committed sequence, so this loop terminates.
+		if err := l.Force(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -306,44 +373,59 @@ func (l *Log) MaybeForce() error {
 	if !due {
 		return nil
 	}
-	return l.Force()
+	if !l.forceMu.TryLock() {
+		// A force is already in flight: it captured everything staged
+		// before it, and anything staged since is younger than one
+		// interval. Do not queue the caller behind its I/O.
+		return nil
+	}
+	defer l.forceMu.Unlock()
+	return l.forceLocked()
 }
 
 // Force synchronously writes all staged images to the log, in one record
-// per MaxImagesPerRecord images, then fires OnCommit. An empty batch is a
-// no-op (an empty record would place its end page copies adjacently).
+// per MaxImagesPerRecord images, then fires OnCommit. An empty batch writes
+// nothing (an empty record would place its end page copies adjacently) but
+// still advances the committed sequence.
 func (l *Log) Force() error {
+	l.forceMu.Lock()
+	defer l.forceMu.Unlock()
+	return l.forceLocked()
+}
+
+// forceLocked is the force body; the caller holds forceMu.
+func (l *Log) forceLocked() error {
 	if l.PreStage != nil {
 		if extra := l.PreStage(); len(extra) > 0 {
-			if err := l.stage(extra); err != nil {
+			if _, err := l.stage(extra); err != nil {
 				return err
 			}
 		}
 	}
 	l.mu.Lock()
 	batch := l.pending
+	seq := l.openSeq
+	l.openSeq++
 	l.pending = nil
 	l.pendingIdx = make(map[imageKey]int)
 	l.lastForce = l.clk.Now()
-	if len(batch) == 0 {
-		l.mu.Unlock()
-		if l.OnCommit != nil {
-			l.OnCommit()
-		}
-		return nil
+	if len(batch) > 0 {
+		l.stats.Forces++
 	}
-	l.stats.Forces++
+	l.mu.Unlock()
+
+	// Record writing happens outside l.mu: new appends stage into the
+	// next batch while these records hit the disk.
 	for len(batch) > 0 {
 		consumed, err := l.writeRecord(batch)
 		if err != nil {
-			l.mu.Unlock()
 			return err
 		}
 		batch = batch[consumed:]
 	}
-	l.mu.Unlock()
+	l.committedSeq.Store(seq)
 	if l.OnCommit != nil {
-		l.OnCommit()
+		l.OnCommit(seq)
 	}
 	return nil
 }
@@ -358,7 +440,7 @@ func (l *Log) Force() error {
 // one image to change its length. The final record of a force carries the
 // end-of-batch flag; recovery applies a multi-record batch only when its
 // flagged record survives, so a force can never be half-applied. Caller
-// holds l.mu.
+// holds forceMu (never l.mu — staging continues while records are written).
 func (l *Log) writeRecord(batch []PageImage) (int, error) {
 	n := len(batch)
 	if n > MaxImagesPerRecord {
@@ -420,6 +502,7 @@ func (l *Log) writeRecord(batch []PageImage) (int, error) {
 	if err := l.d.WriteSectors(addr, buf); err != nil {
 		return 0, err
 	}
+	l.mu.Lock()
 	l.stats.Records++
 	l.stats.ImagesLogged += n
 	l.stats.SectorsWritten += recLen
@@ -429,20 +512,25 @@ func (l *Log) writeRecord(batch []PageImage) (int, error) {
 	if l.stats.MinRecordSectors == 0 || recLen < l.stats.MinRecordSectors {
 		l.stats.MinRecordSectors = recLen
 	}
+	l.mu.Unlock()
 	l.writeOff += recLen
 	l.recordNum++
 	if l.OnLogged != nil {
 		for _, im := range images {
-			l.OnLogged(im.Kind, im.Target, l.curThird)
+			l.OnLogged(im.Kind, im.Target, l.curThird, im.Data)
 		}
 	}
 	return n, nil
 }
 
 // enterThird prepares third t for overwriting: flush pages homed only
-// there, then advance the anchor to the following third. Caller holds l.mu.
+// there, then advance the anchor to the following third. Caller holds
+// forceMu, so the hook sees a frozen "newest logged image per third" view
+// even while other goroutines stage new updates.
 func (l *Log) enterThird(t int) error {
+	l.mu.Lock()
 	l.stats.ThirdCrossings++
+	l.mu.Unlock()
 	if l.FlushHook != nil {
 		// The hook calls back into the page cache, which may not
 		// re-enter the log; release is unnecessary because the cache
@@ -451,7 +539,9 @@ func (l *Log) enterThird(t int) error {
 		if err != nil {
 			return err
 		}
+		l.mu.Lock()
 		l.stats.HomeFlushes += n
+		l.mu.Unlock()
 	}
 	// Third t's content has been flushed home, so its records are no
 	// longer needed. The new oldest valid record is the earliest

@@ -141,7 +141,7 @@ func TestCrashBetweenFlushAndAnchor(t *testing.T) {
 	flushed := map[imageKey][]byte{}
 	cache := map[imageKey][]byte{}
 	third := map[imageKey]int{}
-	l.OnLogged = func(kind uint8, target uint64, th int) {
+	l.OnLogged = func(kind uint8, target uint64, th int, _ []byte) {
 		third[imageKey{kind, target}] = th
 	}
 	armKill := false

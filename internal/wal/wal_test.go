@@ -88,7 +88,7 @@ func TestEmptyLogRecoversNothing(t *testing.T) {
 
 func TestForceAndRecoverSingleImage(t *testing.T) {
 	l, d, clk := newTestLog(t, Config{Interval: time.Second})
-	if err := l.Append(img(KindLeader, 42, 0xAA)); err != nil {
+	if _, err := l.Append(img(KindLeader, 42, 0xAA)); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Force(); err != nil {
@@ -117,7 +117,7 @@ func TestRecordSizeArithmetic(t *testing.T) {
 		for i := 0; i < tc.n; i++ {
 			ims = append(ims, img(KindNameTable, uint64(i), byte(i)))
 		}
-		if err := l.Append(ims...); err != nil {
+		if _, err := l.Append(ims...); err != nil {
 			t.Fatal(err)
 		}
 		if err := l.Force(); err != nil {
@@ -137,7 +137,7 @@ func TestOversizedBatchSplitsIntoRecords(t *testing.T) {
 	for i := 0; i < MaxImagesPerRecord+5; i++ {
 		ims = append(ims, img(KindNameTable, uint64(i), byte(i)))
 	}
-	if err := l.Append(ims...); err != nil {
+	if _, err := l.Append(ims...); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Force(); err != nil {
@@ -156,7 +156,7 @@ func TestGroupCommitElidesHotPages(t *testing.T) {
 	l, _, _ := newTestLog(t, Config{Interval: time.Second})
 	// Update the same page 50 times within one interval: one image.
 	for i := 0; i < 50; i++ {
-		if err := l.Append(img(KindNameTable, 7, byte(i))); err != nil {
+		if _, err := l.Append(img(KindNameTable, 7, byte(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -174,7 +174,7 @@ func TestGroupCommitElidesHotPages(t *testing.T) {
 
 func TestMaybeForceHonorsInterval(t *testing.T) {
 	l, _, clk := newTestLog(t, Config{Interval: 500 * time.Millisecond})
-	if err := l.Append(img(KindLeader, 1, 1)); err != nil {
+	if _, err := l.Append(img(KindLeader, 1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.MaybeForce(); err != nil {
@@ -195,7 +195,7 @@ func TestMaybeForceHonorsInterval(t *testing.T) {
 func TestZeroIntervalForcesEveryAppend(t *testing.T) {
 	l, _, _ := newTestLog(t, Config{Interval: 0})
 	for i := 0; i < 3; i++ {
-		if err := l.Append(img(KindLeader, uint64(i), 1)); err != nil {
+		if _, err := l.Append(img(KindLeader, uint64(i), 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -207,7 +207,7 @@ func TestZeroIntervalForcesEveryAppend(t *testing.T) {
 func TestEmptyForceWritesNothing(t *testing.T) {
 	l, _, _ := newTestLog(t, Config{Interval: time.Second})
 	committed := 0
-	l.OnCommit = func() { committed++ }
+	l.OnCommit = func(uint64) { committed++ }
 	if err := l.Force(); err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestEmptyForceWritesNothing(t *testing.T) {
 func TestOnCommitFires(t *testing.T) {
 	l, _, _ := newTestLog(t, Config{Interval: time.Second})
 	fired := 0
-	l.OnCommit = func() { fired++ }
+	l.OnCommit = func(uint64) { fired++ }
 	l.Append(img(KindLeader, 1, 1))
 	l.Force()
 	if fired != 1 {
@@ -425,7 +425,7 @@ func TestReplayOrderIsLogOrder(t *testing.T) {
 
 func TestAppendRejectsWrongSize(t *testing.T) {
 	l, _, _ := newTestLog(t, Config{Interval: time.Second})
-	if err := l.Append(PageImage{Kind: KindLeader, Target: 1, Data: []byte("short")}); err == nil {
+	if _, err := l.Append(PageImage{Kind: KindLeader, Target: 1, Data: []byte("short")}); err == nil {
 		t.Fatal("short image accepted")
 	}
 }
@@ -455,7 +455,7 @@ func TestQuickRecoveryMatchesLastCommitted(t *testing.T) {
 		cache := map[imageKey][]byte{} // current page contents
 		third := map[imageKey]int{}    // division each page was last logged in
 		home := map[imageKey][]byte{}  // simulated home locations on disk
-		l.OnLogged = func(kind uint8, target uint64, th int) {
+		l.OnLogged = func(kind uint8, target uint64, th int, _ []byte) {
 			third[imageKey{kind, target}] = th
 		}
 		l.FlushHook = func(th int) (int, error) {
@@ -478,7 +478,7 @@ func TestQuickRecoveryMatchesLastCommitted(t *testing.T) {
 			k := imageKey{KindNameTable, uint64(o.Target % 16)}
 			cache[k] = im.Data
 			staged[k] = im.Data
-			if err := l.Append(im); err != nil {
+			if _, err := l.Append(im); err != nil {
 				return false
 			}
 			if o.Cut {

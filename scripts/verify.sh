@@ -1,0 +1,12 @@
+#!/bin/sh
+# Full local verification: vet, build, tests, and the race detector over the
+# packages with concurrent internals (the split monitor, the pipelined WAL,
+# and the lock-free disk stats).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/core ./internal/wal ./internal/disk
