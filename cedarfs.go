@@ -43,6 +43,18 @@ type (
 	// Class distinguishes local files, symbolic links, and cached copies
 	// of remote files.
 	Class = core.Class
+	// ScrubStats reports one online scrub pass (copies repaired, sectors
+	// retired).
+	ScrubStats = core.ScrubStats
+	// SalvageStats reports a salvage mount (files recovered vs lost).
+	SalvageStats = core.SalvageStats
+	// VolumeFaultStats aggregates a volume's media-fault handling
+	// (retries, scrub repairs, retirements).
+	VolumeFaultStats = core.FaultStats
+	// FaultConfig parameterizes the disk's probabilistic fault injector.
+	FaultConfig = disk.FaultConfig
+	// DiskFaultStats counts faults the disk injected and remaps it served.
+	DiskFaultStats = disk.FaultStats
 )
 
 // Entry classes.
@@ -104,3 +116,14 @@ func Format(d *Disk, cfg Config) (*Volume, error) { return core.Format(d, cfg) }
 // Mount attaches to a formatted volume, replaying the metadata log and
 // reconstructing the allocation map as needed.
 func Mount(d *Disk, cfg Config) (*Volume, MountStats, error) { return core.Mount(d, cfg) }
+
+// Salvage rebuilds a volume whose name table is lost in both copies by
+// scanning the data region for leader pages. Last-ditch recovery; see
+// Volume.Scrub for the maintenance pass that makes it unnecessary.
+func Salvage(d *Disk, cfg Config) (*Volume, SalvageStats, error) { return core.Salvage(d, cfg) }
+
+// MountOrSalvage mounts the volume, degrading to a salvage scan when normal
+// recovery fails. The SalvageStats pointer is nil on the normal path.
+func MountOrSalvage(d *Disk, cfg Config) (*Volume, MountStats, *SalvageStats, error) {
+	return core.MountOrSalvage(d, cfg)
+}

@@ -22,8 +22,9 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, ablations, all")
+	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, ablations, all")
 	concJSON := flag.String("concurrency-json", "", "also write the concurrency report to this path (e.g. BENCH_concurrency.json)")
+	robJSON := flag.String("robustness-json", "", "also write the robustness report to this path (e.g. BENCH_robustness.json)")
 	flag.Parse()
 
 	type gen struct {
@@ -42,6 +43,7 @@ func main() {
 		{"recovery", bench.Recovery},
 		{"recovery", bench.RecoveryScaling},
 		{"concurrency", bench.Concurrency},
+		{"robustness", bench.Robustness},
 	}
 	ablations := []gen{
 		{"ablations", bench.AblationCommitInterval},
@@ -79,5 +81,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s (8-worker speedup %.2fx)\n", *concJSON, rep.Speedup8)
+	}
+	if *robJSON != "" {
+		rep, err := bench.WriteRobustnessJSON(*robJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: robustness json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (salvage %.1fx faster than scavenge)\n", *robJSON, rep.SalvageSpeedup)
 	}
 }

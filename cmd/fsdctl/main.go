@@ -13,6 +13,8 @@
 //	fsdctl -img vol.img crash                      # exit WITHOUT clean shutdown
 //	fsdctl -img vol.img burst 50                   # create 50 files, then crash
 //	fsdctl -img vol.img fsck                       # mount, report recovery, shut down
+//	fsdctl -img vol.img scrub                      # repair decayed duplicate copies
+//	fsdctl -img vol.img salvage                    # rebuild the name table from leaders
 //	fsdctl -img vol.img info                       # volume statistics
 //
 // Every command except "crash" shuts the volume down cleanly and saves the
@@ -37,7 +39,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "fsdctl: need a command (format, put, get, ls, rm, stat, burst, crash, fsck, info)")
+		fmt.Fprintln(os.Stderr, "fsdctl: need a command (format, put, get, ls, rm, stat, burst, crash, fsck, scrub, salvage, info)")
 		os.Exit(2)
 	}
 	if err := run(*img, args); err != nil {
@@ -73,6 +75,28 @@ func run(img string, args []string) error {
 	if err != nil {
 		return fmt.Errorf("open image (run 'format' first?): %w", err)
 	}
+
+	if cmd == "salvage" {
+		// Do not even try a normal mount: salvage is for images a mount
+		// rejects (both name-table copies gone), and it works — losing
+		// only leader-unreachable files — on any image.
+		v, st, err := cedarfs.Salvage(d, cedarfs.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("salvage scanned %d sectors (%d damaged) in %v simulated\n",
+			st.SectorsScanned, st.DamagedSectors, st.Elapsed.Round(1e6))
+		fmt.Printf("recovered %d files (%d truncated, %d stale leaders dropped)\n",
+			st.FilesRecovered, st.FilesPartial, st.ConflictsDropped)
+		for _, p := range st.Problems {
+			fmt.Printf("PROBLEM: %s\n", p)
+		}
+		if err := v.Shutdown(); err != nil {
+			return err
+		}
+		return d.SaveImage(img)
+	}
+
 	v, ms, err := cedarfs.Mount(d, cedarfs.Config{})
 	if err != nil {
 		return err
@@ -202,6 +226,22 @@ func run(img string, args []string) error {
 			for _, p := range st.Problems {
 				fmt.Printf("PROBLEM: %s\n", p)
 			}
+		}
+		return finish()
+	case "scrub":
+		st, err := v.Scrub()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scrubbed %d name-table pages, %d leaders, %d log records (%d sectors) in %v simulated\n",
+			st.NTPagesChecked, st.LeadersChecked, st.LogRecords, st.SectorsChecked, st.Elapsed.Round(1e6))
+		fmt.Printf("repaired %d copies (%d NT, %d leaders, %d roots, %d log), retired %d sectors\n",
+			st.Repaired(), st.NTRepaired, st.LeadersRepaired, st.RootsRepaired, st.LogRepaired, st.Retired)
+		if st.NTLost > 0 {
+			fmt.Printf("%d pages lost beyond repair — run 'salvage'\n", st.NTLost)
+		}
+		for _, p := range st.Problems {
+			fmt.Printf("PROBLEM: %s\n", p)
 		}
 		return finish()
 	case "info":

@@ -161,3 +161,44 @@ func TestCLIBurstRecovers(t *testing.T) {
 		t.Fatalf("committed burst file missing: %q", out)
 	}
 }
+
+func TestCLIScrubAndSalvage(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "vol.img")
+	if err := run(img, []string{"format"}); err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("survives a name-table rebuild")
+	withStdin(t, content, func() {
+		if err := run(img, []string{"put", "notes.txt"}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	})
+
+	// A healthy volume scrubs clean.
+	out := captureStdout(t, func() {
+		if err := run(img, []string{"scrub"}); err != nil {
+			t.Fatalf("scrub: %v", err)
+		}
+	})
+	if !bytes.Contains(out, []byte("repaired 0 copies")) {
+		t.Fatalf("scrub output: %q", out)
+	}
+
+	// Salvage rebuilds the name table from leader pages; the file survives.
+	out = captureStdout(t, func() {
+		if err := run(img, []string{"salvage"}); err != nil {
+			t.Fatalf("salvage: %v", err)
+		}
+	})
+	if !bytes.Contains(out, []byte("recovered 1 files")) {
+		t.Fatalf("salvage output: %q", out)
+	}
+	out = captureStdout(t, func() {
+		if err := run(img, []string{"get", "notes.txt"}); err != nil {
+			t.Fatalf("get after salvage: %v", err)
+		}
+	})
+	if !bytes.Equal(out, content) {
+		t.Fatalf("get after salvage = %q", out)
+	}
+}

@@ -291,3 +291,32 @@ func TestConcurrencySpeedup(t *testing.T) {
 		}
 	}
 }
+
+func TestRobustnessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-volume experiment")
+	}
+	rep, err := RobustnessReportRun()
+	if err != nil {
+		t.Fatalf("RobustnessReportRun: %v", err)
+	}
+	// Every decayed duplicate must be healed (the run itself errors on
+	// NTLost/problems) and every stuck defect retired to a spare.
+	if rep.ScrubRepaired < rep.DecayedSectors/2 {
+		t.Errorf("scrub repaired %d copies for %d decayed sectors", rep.ScrubRepaired, rep.DecayedSectors)
+	}
+	if rep.ScrubRetired != rep.StuckSectors {
+		t.Errorf("retired %d sectors, want the %d stuck defects", rep.ScrubRetired, rep.StuckSectors)
+	}
+	// Salvage must get every file back, and beat the label scavenge it
+	// replaces on the same population.
+	if rep.SalvageFiles != rep.Files {
+		t.Errorf("salvage recovered %d of %d files", rep.SalvageFiles, rep.Files)
+	}
+	if rep.ScavengeFiles != rep.Files {
+		t.Errorf("scavenge recovered %d of %d files", rep.ScavengeFiles, rep.Files)
+	}
+	if rep.SalvageSpeedup < 1 {
+		t.Errorf("salvage slower than scavenge: %.2fx", rep.SalvageSpeedup)
+	}
+}

@@ -139,13 +139,13 @@ func (c *ntCache) Read(id uint32) ([]byte, error) {
 	}
 	c.Misses++
 	addrA, addrB := c.v.lay.ntPageAddrs(id)
-	bufA, errA := c.v.d.ReadSectors(addrA, NTPageSectors)
+	bufA, errA := c.v.readSectorsRetry(addrA, NTPageSectors)
 	okA := errA == nil && (crcOK(bufA) || isVirgin(bufA))
 	var bufB []byte
 	okB := false
 	if !c.v.cfg.ReadOneCopy && !c.v.cfg.SingleCopyNT {
 		var errB error
-		bufB, errB = c.v.d.ReadSectors(addrB, NTPageSectors)
+		bufB, errB = c.v.readSectorsRetry(addrB, NTPageSectors)
 		okB = errB == nil && (crcOK(bufB) || isVirgin(bufB))
 		c.v.cpu.Charge(2 * csumCost)
 	} else {
@@ -159,7 +159,7 @@ func (c *ntCache) Read(id uint32) ([]byte, error) {
 		data = bufB
 	case c.v.cfg.ReadOneCopy && !c.v.cfg.SingleCopyNT:
 		// One-copy read mode falls back to the replica on damage.
-		bufB, errB := c.v.d.ReadSectors(addrB, NTPageSectors)
+		bufB, errB := c.v.readSectorsRetry(addrB, NTPageSectors)
 		if errB == nil && (crcOK(bufB) || isVirgin(bufB)) {
 			data = bufB
 		}

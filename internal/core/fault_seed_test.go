@@ -1,0 +1,35 @@
+package core
+
+import (
+	"flag"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// seedFlag pins the fault-injection seed so any failure is replayable:
+//
+//	go test ./internal/core -run TestName -seed N
+var seedFlag = flag.Int64("seed", 0, "fault-injection seed (0 = derive from time)")
+
+// faultSeed returns the seed for this test's fault injection, deriving a
+// fresh one per run unless -seed pins it, and prints it on failure.
+func faultSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := *seedFlag
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("reproduce with: go test ./internal/core -run '%s' -seed %d", t.Name(), seed)
+		}
+	})
+	return seed
+}
+
+// faultRNG is a convenience wrapper when the test itself needs randomness
+// tied to the same reproducible seed.
+func faultRNG(t *testing.T) *rand.Rand {
+	return rand.New(rand.NewSource(faultSeed(t)))
+}

@@ -471,7 +471,7 @@ func (f *File) ReadPages(page, n int) ([]byte, error) {
 		leaderAddr, _ := f.e.LeaderAddr()
 		if !f.leaderVerified && cur == page && addr == leaderAddr+1 {
 			// Piggyback the leader read on the first data access.
-			buf, err := v.d.ReadSectors(addr-1, cnt+1)
+			buf, err := v.readSectorsRetry(addr-1, cnt+1)
 			if err != nil {
 				return nil, err
 			}
@@ -480,7 +480,7 @@ func (f *File) ReadPages(page, n int) ([]byte, error) {
 			}
 			out = append(out, buf[disk.SectorSize:]...)
 		} else {
-			buf, err := v.d.ReadSectors(addr, cnt)
+			buf, err := v.readSectorsRetry(addr, cnt)
 			if err != nil {
 				return nil, err
 			}

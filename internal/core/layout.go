@@ -67,6 +67,18 @@ type Config struct {
 	// (the legacy path); larger values divide the decode CPU across
 	// that many workers while keeping disk reads in chain order.
 	MountWorkers int
+	// ReadRetries bounds the in-place retries after a damaged-sector read
+	// error before the error surfaces (transient faults clear on retry;
+	// latent errors do not and fall through to copy repair). Zero means 2;
+	// negative disables retrying.
+	ReadRetries int
+	// ScrubWorkers sets the fan-out of the name-table pass of Scrub.
+	// 0 or 1 scrubs sequentially.
+	ScrubWorkers int
+	// ScrubInterval, when positive on a real-clock volume, starts a
+	// background goroutine running a full Scrub pass at that period.
+	// Virtual-clock volumes scrub via explicit Scrub() calls.
+	ScrubInterval time.Duration
 }
 
 func (c Config) mountWorkers() int {
@@ -112,6 +124,23 @@ func (c Config) cacheSize() int {
 		return 512
 	}
 	return c.CacheSize
+}
+
+func (c Config) readRetries() int {
+	if c.ReadRetries < 0 {
+		return 0
+	}
+	if c.ReadRetries == 0 {
+		return 2
+	}
+	return c.ReadRetries
+}
+
+func (c Config) scrubWorkers() int {
+	if c.ScrubWorkers <= 1 {
+		return 1
+	}
+	return c.ScrubWorkers
 }
 
 // layout describes where everything lives on the volume. The boot pages sit

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/btree"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/vam"
+	"repro/internal/wal"
+)
+
+// Salvage mount: the last-ditch recovery path. Normal FSD recovery never
+// needs it — the log plus the doubly-stored name table survive any crash and
+// any single media fault. Salvage exists for the double fault the paper's
+// design accepts as "very unlikely": both copies of a name-table page decay
+// (or the log is damaged beyond the anchors' reach) and Mount fails. Because
+// FSD leaders carry the file's name, version, size, and a run-table preamble
+// (leader.go), the volume can still be rebuilt by scanning the data region
+// for leader pages — the moral equivalent of the CFS scavenger, but driven
+// by one sequential sweep instead of a label pass plus per-file header reads.
+
+// SalvageStats reports what a salvage mount scanned and saved.
+type SalvageStats struct {
+	SectorsScanned   int
+	DamagedSectors   int // unreadable sectors (retired from allocation)
+	CandidateLeaders int // structurally valid leader pages found
+	FilesRecovered   int // entries rebuilt into the fresh name table
+	FilesPartial     int // recovered with a truncated run table (tail lost)
+	ConflictsDropped int // stale leaders losing a page-ownership conflict
+	Problems         []string
+	Elapsed          time.Duration
+}
+
+func (st *SalvageStats) addProblem(format string, args ...interface{}) {
+	st.Problems = append(st.Problems, fmt.Sprintf(format, args...))
+}
+
+// Salvage rebuilds a volume whose name table is lost in both copies: it
+// scans the whole data region for leader pages, reconstructs an entry from
+// each (newest incarnation wins any page-ownership conflict), re-creates an
+// empty log and name table, and inserts the recovered entries. Committed
+// files reachable from an intact leader survive; files whose leader decayed,
+// and the tail runs of files longer than the leader preamble, are lost —
+// that is the report in SalvageStats. Deleted files whose leader page was
+// never reallocated may resurrect, exactly as under the CFS scavenger.
+//
+// The previous log contents are abandoned: salvage runs only when replaying
+// them already failed, and a rebuilt name table makes stale records
+// meaningless. Layout comes from the volume root page when either replica
+// survives; otherwise it is recomputed from the geometry and cfg, which must
+// then match the format-time configuration.
+func Salvage(d *disk.Disk, cfg Config) (*Volume, SalvageStats, error) {
+	var st SalvageStats
+	clk := d.Clock()
+	start := clk.Now()
+
+	var lay layout
+	uidChunk := uint64(1)
+	formatted := clk.Now()
+	if root, err := readRoot(d); err == nil {
+		lay = root.layout
+		cfg.LogVAM = root.logVAM
+		uidChunk = root.uidChunk
+		formatted = root.formatted
+	} else {
+		lay, err = computeLayout(d.Geometry(), cfg)
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	v := newVolume(d, cfg, lay)
+
+	// Pass 1: one sequential sweep of the data region looking for leader
+	// pages. A candidate must decode, and its first run must start at its
+	// own address — a leader names itself as the file's first page, which
+	// rejects byte-for-byte copies of leaders living inside file data.
+	type cand struct {
+		e     *Entry
+		total int // full run count per the leader (may exceed preamble)
+	}
+	var cands []cand
+	var damaged []int
+	metaLo, metaHi := lay.logBase, lay.vamBase+lay.vamSectors
+	readRetry := func(addr, n int) ([]byte, error) {
+		buf, err := d.ReadSectors(addr, n)
+		var de *disk.DamagedError
+		for tries := 0; err != nil && errors.As(err, &de) && tries < cfg.readRetries(); tries++ {
+			buf, err = d.ReadSectors(addr, n)
+		}
+		return buf, err
+	}
+	addr := lay.dataLo
+	for addr < lay.total {
+		if addr >= metaLo && addr < metaHi {
+			addr = metaHi
+			continue
+		}
+		n := MaxTransferSectors
+		if addr < metaLo && addr+n > metaLo {
+			n = metaLo - addr
+		}
+		if addr+n > lay.total {
+			n = lay.total - addr
+		}
+		buf, err := readRetry(addr, n)
+		if err != nil {
+			// Damage aborts a multi-sector transfer; fall back to
+			// singles so one bad sector costs one sector.
+			buf = make([]byte, 0, n*disk.SectorSize)
+			for i := 0; i < n; i++ {
+				one, err := readRetry(addr+i, 1)
+				if err != nil {
+					st.DamagedSectors++
+					damaged = append(damaged, addr+i)
+					one = make([]byte, disk.SectorSize)
+				}
+				buf = append(buf, one...)
+			}
+		}
+		st.SectorsScanned += n
+		v.cpu.Charge(time.Duration(n) * sim.CostLabelInterpret)
+		for i := 0; i < n; i++ {
+			sec := buf[i*disk.SectorSize : (i+1)*disk.SectorSize]
+			if binary.BigEndian.Uint32(sec) != leaderMagic {
+				continue
+			}
+			v.cpu.Charge(csumCost)
+			e, total, ok := decodeLeaderEntry(sec)
+			if !ok || len(e.Runs) == 0 || int(e.Runs[0].Start) != addr+i {
+				continue
+			}
+			st.CandidateLeaders++
+			cands = append(cands, cand{e, total})
+		}
+		addr += n
+	}
+
+	// Resolve candidates. Highest UID wins a (name, version) collision —
+	// UIDs are allocation-ordered, so it is the latest incarnation. Then
+	// claim pages newest-first: a stale leader (of a deleted file whose
+	// pages were reallocated) overlaps the current owner and is dropped.
+	byKey := make(map[string]cand)
+	for _, c := range cands {
+		k := string(entryKey(c.e.Name, c.e.Version))
+		if prev, ok := byKey[k]; !ok || c.e.UID > prev.e.UID {
+			byKey[k] = c
+		}
+	}
+	resolved := make([]cand, 0, len(byKey))
+	for _, c := range byKey {
+		resolved = append(resolved, c)
+	}
+	st.ConflictsDropped = len(cands) - len(resolved)
+	sort.Slice(resolved, func(i, j int) bool { return resolved[i].e.UID > resolved[j].e.UID })
+	owned := make(map[uint32]bool)
+	var entries []cand
+	var maxUID uint64
+claiming:
+	for _, c := range resolved {
+		pages := 0
+		for _, r := range c.e.Runs {
+			if r.Len == 0 || int(r.Start)+int(r.Len) > lay.total {
+				st.ConflictsDropped++
+				st.addProblem("%s!%d: run [%d,+%d) out of range", c.e.Name, c.e.Version, r.Start, r.Len)
+				continue claiming
+			}
+			for p := r.Start; p < r.Start+r.Len; p++ {
+				if lay.metaRange(int(p)) || owned[p] {
+					st.ConflictsDropped++
+					continue claiming
+				}
+				pages++
+			}
+		}
+		for _, r := range c.e.Runs {
+			for p := r.Start; p < r.Start+r.Len; p++ {
+				owned[p] = true
+			}
+		}
+		if c.total > len(c.e.Runs) {
+			// Only the preamble survived: clamp the byte size to the
+			// reachable pages and rewrite the leader so it describes the
+			// truncated file exactly (runCRC over the trimmed table).
+			st.FilesPartial++
+			if max := uint64(pages-1) * disk.SectorSize; c.e.ByteSize > max {
+				c.e.ByteSize = max
+			}
+			if err := d.WriteSectors(int(c.e.Runs[0].Start), encodeLeader(c.e)); err != nil {
+				return nil, st, err
+			}
+			st.addProblem("%s!%d: truncated to %d runs (%d lost with the name table)",
+				c.e.Name, c.e.Version, len(c.e.Runs), c.total-len(c.e.Runs))
+		}
+		entries = append(entries, c)
+		if c.e.UID > maxUID {
+			maxUID = c.e.UID
+		}
+	}
+	st.FilesRecovered = len(entries)
+
+	// Pass 2: rebuild the metadata from scratch — a fresh log, zeroed
+	// name-table regions (stale non-virgin pages must not masquerade as
+	// valid after a crash mid-rebuild), and a new B-tree holding the
+	// recovered entries, inserted in key order for locality.
+	var err error
+	v.log, err = wal.Format(d, lay.logBase, lay.logSize, v.clk, wal.Config{
+		Interval: cfg.interval(),
+		Thirds:   cfg.Thirds,
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	v.cache = newNTCache(v, cfg.cacheSize())
+	ntSectors := lay.ntPages * NTPageSectors
+	zero := make([]byte, MaxTransferSectors*disk.SectorSize)
+	zeroRegion := func(base int) error {
+		for off := 0; off < ntSectors; off += MaxTransferSectors {
+			n := MaxTransferSectors
+			if off+n > ntSectors {
+				n = ntSectors - off
+			}
+			if err := d.WriteSectors(base+off, zero[:n*disk.SectorSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := zeroRegion(lay.ntA); err != nil {
+		return nil, st, err
+	}
+	if !cfg.SingleCopyNT {
+		if err := zeroRegion(lay.ntB); err != nil {
+			return nil, st, err
+		}
+	}
+
+	v.vm = vam.New(lay.total)
+	v.vm.MarkFree(lay.dataLo, lay.total-lay.dataLo)
+	if metaHi > metaLo {
+		v.vm.MarkAllocated(metaLo, metaHi-metaLo)
+	}
+	for _, c := range entries {
+		for _, r := range c.e.Runs {
+			v.vm.MarkAllocated(int(r.Start), int(r.Len))
+		}
+	}
+	for _, bad := range damaged {
+		// Unreadable data sectors become bad blocks: never allocated.
+		v.vm.MarkAllocated(bad, 1)
+	}
+	v.al, err = alloc.New(v.vm, alloc.Config{
+		Lo:             lay.dataLo,
+		Hi:             lay.dataHi,
+		SmallThreshold: cfg.smallThreshold(),
+		SmallFraction:  (lay.boundary - lay.dataLo) * 100 / (lay.dataHi - lay.dataLo),
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	v.hookLog()
+
+	v.nt, err = btree.Create(v.cache)
+	if err != nil {
+		return nil, st, err
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return string(entryKey(entries[i].e.Name, entries[i].e.Version)) <
+			string(entryKey(entries[j].e.Name, entries[j].e.Version))
+	})
+	for i, c := range entries {
+		v.cpu.Charge(sim.CostBTreeOp)
+		if err := v.nt.Put(entryKey(c.e.Name, c.e.Version), encodeEntry(c.e)); err != nil {
+			return nil, st, fmt.Errorf("core: salvage rebuild: %w", err)
+		}
+		if (i+1)%64 == 0 {
+			// Bound the staged-image batch so no single force overruns
+			// a log third.
+			if err := v.log.Force(); err != nil {
+				return nil, st, err
+			}
+		}
+	}
+	if err := v.log.Force(); err != nil {
+		return nil, st, err
+	}
+	if err := v.cache.flushAll(); err != nil {
+		return nil, st, err
+	}
+
+	if chunk := (maxUID >> 32) + 1; chunk > uidChunk {
+		uidChunk = chunk
+	} else {
+		uidChunk++
+	}
+	v.uidNext.Store(uidChunk << 32)
+	if err := v.writeRoot(rootPage{layout: lay, clean: false, logVAM: cfg.LogVAM, uidChunk: uidChunk, formatted: formatted}); err != nil {
+		return nil, st, err
+	}
+	if cfg.LogVAM {
+		if err := v.vm.Save(d, lay.vamBase); err != nil {
+			return nil, st, err
+		}
+		v.enableVAMLogging()
+	} else if err := vam.Invalidate(d, lay.vamBase); err != nil {
+		return nil, st, err
+	}
+	st.Elapsed = clk.Now() - start
+	v.startTicker()
+	return v, st, nil
+}
+
+// MountOrSalvage mounts the volume, falling back to a salvage scan when
+// normal recovery fails (root pages intact but the name table or log is
+// damaged beyond the duplicates' reach). The SalvageStats pointer is nil on
+// the normal path.
+func MountOrSalvage(d *disk.Disk, cfg Config) (*Volume, MountStats, *SalvageStats, error) {
+	v, ms, merr := Mount(d, cfg)
+	if merr == nil {
+		return v, ms, nil, nil
+	}
+	v, ss, serr := Salvage(d, cfg)
+	if serr != nil {
+		return nil, ms, &ss, fmt.Errorf("core: mount failed (%v); salvage failed: %w", merr, serr)
+	}
+	return v, ms, &ss, nil
+}

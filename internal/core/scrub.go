@@ -1,0 +1,394 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/disk"
+)
+
+// The online scrubber: the active half of the paper's cheap-redundancy
+// scheme. The passive half repairs a bad copy only when a read happens to
+// hit it, so a latent sector error that develops between mounts silently
+// halves the redundancy until the *other* copy decays too — at which point
+// the page is lost. Scrub walks every duplicated structure (volume root
+// pair, log anchor and record copies, both name-table copies) plus every
+// leader page, CRC-verifies each side, rewrites a good image over a decayed
+// or rotten one, and retires persistently bad sectors to the drive's spare
+// pool after bounded rewrite attempts.
+
+// ScrubStats reports one scrub pass.
+type ScrubStats struct {
+	NTPagesChecked  int
+	NTRepaired      int // name-table home copies rewritten (per copy)
+	NTLost          int // pages with no readable copy anywhere
+	LeadersChecked  int
+	LeadersRepaired int
+	RootsRepaired   int
+	LogRecords      int // valid log records audited
+	LogRepaired     int // log sectors rewritten from their twin
+	Retired         int // sectors remapped to spares
+	SectorsChecked  int
+	Problems        []string
+	Elapsed         time.Duration
+}
+
+// Repaired sums all copy rewrites of the pass.
+func (st ScrubStats) Repaired() int {
+	return st.NTRepaired + st.LeadersRepaired + st.RootsRepaired + st.LogRepaired
+}
+
+func (st *ScrubStats) addProblem(format string, args ...interface{}) {
+	st.Problems = append(st.Problems, fmt.Sprintf(format, args...))
+}
+
+// merge folds a worker's private stats into st.
+func (st *ScrubStats) merge(o ScrubStats) {
+	st.NTPagesChecked += o.NTPagesChecked
+	st.NTRepaired += o.NTRepaired
+	st.NTLost += o.NTLost
+	st.LeadersChecked += o.LeadersChecked
+	st.LeadersRepaired += o.LeadersRepaired
+	st.RootsRepaired += o.RootsRepaired
+	st.LogRecords += o.LogRecords
+	st.LogRepaired += o.LogRepaired
+	st.Retired += o.Retired
+	st.SectorsChecked += o.SectorsChecked
+	st.Problems = append(st.Problems, o.Problems...)
+}
+
+// FaultStats aggregates the volume's media-fault handling activity.
+type FaultStats struct {
+	ReadRetries int // reads retried after a damaged-sector error
+	RetriedOK   int // retries that then succeeded (transient faults absorbed)
+	Scrubs      int // scrub passes completed
+	Repaired    int // copies rewritten by scrubbing (cumulative)
+	Retired     int // sectors remapped to spares (cumulative)
+}
+
+// faultCounters is the race-free internal form of FaultStats.
+type faultCounters struct {
+	retries, retriedOK, scrubs, repaired, retired atomic.Int64
+}
+
+// FaultStats returns a snapshot of the volume-level fault counters.
+func (v *Volume) FaultStats() FaultStats {
+	return FaultStats{
+		ReadRetries: int(v.faults.retries.Load()),
+		RetriedOK:   int(v.faults.retriedOK.Load()),
+		Scrubs:      int(v.faults.scrubs.Load()),
+		Repaired:    int(v.faults.repaired.Load()),
+		Retired:     int(v.faults.retired.Load()),
+	}
+}
+
+// readSectorsRetry reads with bounded in-place retries: a transient fault
+// clears on another revolution; a genuine latent error keeps failing and
+// surfaces to the caller, who repairs from a duplicate or reports loss.
+func (v *Volume) readSectorsRetry(addr, n int) ([]byte, error) {
+	buf, err := v.d.ReadSectors(addr, n)
+	var de *disk.DamagedError
+	for tries := 0; err != nil && errors.As(err, &de) && tries < v.cfg.readRetries(); tries++ {
+		v.faults.retries.Add(1)
+		buf, err = v.d.ReadSectors(addr, n)
+		if err == nil {
+			v.faults.retriedOK.Add(1)
+		}
+	}
+	return buf, err
+}
+
+// repairSectors rewrites sectors from a known-good image, retiring to a
+// spare any sector the rewrite cannot clear (a stuck physical defect: the
+// write reports success but the readback stays damaged).
+func (v *Volume) repairSectors(addr int, data []byte, st *ScrubStats) error {
+	if err := v.d.WriteSectors(addr, data); err != nil {
+		return err
+	}
+	n := len(data) / disk.SectorSize
+	for i := 0; i < n; i++ {
+		if !v.d.IsDamaged(addr + i) {
+			continue
+		}
+		if err := v.d.Remap(addr + i); err != nil {
+			st.addProblem("sector %d unrepairable: %v", addr+i, err)
+			continue
+		}
+		if err := v.d.WriteSectors(addr+i, data[i*disk.SectorSize:(i+1)*disk.SectorSize]); err != nil {
+			return err
+		}
+		st.Retired++
+		v.faults.retired.Add(1)
+	}
+	return nil
+}
+
+// Scrub runs one full scrub pass online: operations continue while it runs
+// (the name-table pass serializes only against home writes of the page in
+// hand, the leader pass shares the monitor). Concurrent Scrub calls
+// serialize behind scrubMu.
+func (v *Volume) Scrub() (ScrubStats, error) {
+	v.scrubMu.Lock()
+	defer v.scrubMu.Unlock()
+	var st ScrubStats
+	if v.closed.Load() {
+		return st, ErrClosed
+	}
+	start := v.clk.Now()
+	v.scrubRoots(&st)
+	ls, err := v.log.ScrubCopies(func(addr int, data []byte) error {
+		return v.repairSectors(addr, data, &st)
+	})
+	if err != nil {
+		return st, err
+	}
+	st.LogRecords = ls.Records
+	st.LogRepaired = ls.Repaired
+	st.SectorsChecked += ls.SectorsChecked
+	st.Problems = append(st.Problems, ls.Problems...)
+	if err := v.scrubNameTable(&st); err != nil {
+		return st, err
+	}
+	if err := v.scrubLeaders(&st); err != nil {
+		return st, err
+	}
+	v.faults.scrubs.Add(1)
+	v.faults.repaired.Add(int64(st.Repaired()))
+	st.Elapsed = v.clk.Now() - start
+	return st, nil
+}
+
+// scrubRoots cross-checks the replicated volume root page.
+func (v *Volume) scrubRoots(st *ScrubStats) {
+	read := func(addr int) ([]byte, bool) {
+		buf, err := v.readSectorsRetry(addr, 1)
+		st.SectorsChecked++
+		if err != nil {
+			return nil, false
+		}
+		_, ok := decodeRoot(buf)
+		return buf, ok
+	}
+	a, okA := read(v.lay.rootA)
+	b, okB := read(v.lay.rootB)
+	repair := func(addr int, good []byte) {
+		if v.repairSectors(addr, good, st) == nil {
+			st.RootsRepaired++
+		}
+	}
+	switch {
+	case okA && okB:
+		if !bytes.Equal(a, b) {
+			// Diverged (a crash between the two root writes): the primary
+			// is written first, so it is the newer image.
+			repair(v.lay.rootB, a)
+		}
+	case okA:
+		repair(v.lay.rootB, a)
+	case okB:
+		repair(v.lay.rootA, b)
+	default:
+		st.addProblem("both volume root pages unreadable")
+	}
+}
+
+// scrubNameTable cross-checks both home copies of every name-table page,
+// fanning out over ScrubWorkers (the pFSCK-style pattern from the mount
+// path). Single-copy volumes have nothing to cross-check.
+func (v *Volume) scrubNameTable(st *ScrubStats) error {
+	if v.cfg.SingleCopyNT {
+		return nil
+	}
+	ids := v.lay.ntPages
+	workers := v.cfg.scrubWorkers()
+	if workers > ids {
+		workers = ids
+	}
+	if workers <= 1 {
+		for id := 0; id < ids; id++ {
+			v.scrubNTPage(uint32(id), st)
+		}
+		return nil
+	}
+	parts := make([]ScrubStats, workers)
+	chunk := (ids + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > ids {
+			hi = ids
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part *ScrubStats, lo, hi int) {
+			defer wg.Done()
+			for id := lo; id < hi; id++ {
+				v.scrubNTPage(uint32(id), part)
+			}
+		}(&parts[w], lo, hi)
+	}
+	wg.Wait()
+	for _, part := range parts {
+		st.merge(part)
+	}
+	return nil
+}
+
+// ntCopyOK validates one home copy of a name-table page.
+func ntCopyOK(buf []byte, err error) bool {
+	return err == nil && (crcOK(buf) || isVirgin(buf))
+}
+
+// scrubNTPage audits one page: optimistic read of both copies outside the
+// cache lock; on any anomaly, re-examine and repair under it, so no
+// concurrent home write can interleave with the repair.
+func (v *Volume) scrubNTPage(id uint32, st *ScrubStats) {
+	st.NTPagesChecked++
+	st.SectorsChecked += 2 * NTPageSectors
+	addrA, addrB := v.lay.ntPageAddrs(id)
+	bufA, errA := v.readSectorsRetry(addrA, NTPageSectors)
+	bufB, errB := v.readSectorsRetry(addrB, NTPageSectors)
+	v.cpu.Charge(2 * csumCost)
+	if ntCopyOK(bufA, errA) && ntCopyOK(bufB, errB) && bytes.Equal(bufA, bufB) {
+		return
+	}
+	c := v.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bufA, errA = v.readSectorsRetry(addrA, NTPageSectors)
+	bufB, errB = v.readSectorsRetry(addrB, NTPageSectors)
+	okA, okB := ntCopyOK(bufA, errA), ntCopyOK(bufB, errB)
+	repair := func(addr int, good []byte) {
+		if v.repairSectors(addr, good, st) == nil {
+			st.NTRepaired++
+		}
+	}
+	switch {
+	case okA && okB && bytes.Equal(bufA, bufB):
+		// Raced with a home writer; consistent now.
+	case okA && okB:
+		// Both valid but different: a crash between the two copy writes
+		// in a previous life. Copy A is always written first, so it is
+		// the newer image.
+		repair(addrB, bufA)
+	case okA:
+		repair(addrB, bufA)
+	case okB:
+		repair(addrA, bufB)
+	default:
+		// No readable home copy. If the cache holds the page with nothing
+		// staged beyond the committed log, its content is exactly the
+		// committed state and can rebuild both copies. (Writing it home
+		// keeps the WAL discipline: every cached byte not yet committed
+		// is excluded by the pendingLog check.)
+		if p, ok := c.pages[id]; ok && !p.pendingLog(v.log.Committed()) {
+			repair(addrA, p.cur)
+			repair(addrB, p.cur)
+		} else {
+			st.NTLost++
+			st.addProblem("name-table page %d: no readable copy (salvage required)", id)
+		}
+	}
+}
+
+// scrubLeaders verifies every file's leader page against its name-table
+// entry and rebuilds decayed, rotten, or stale leaders from the entry (the
+// name table is authoritative: doubly stored and logged). The snapshot pass
+// shares the monitor; each leader is then checked and, if need be, repaired
+// under a fresh shared hold, so Create/Delete (exclusive holders) never
+// race a repair.
+func (v *Volume) scrubLeaders(st *ScrubStats) error {
+	type lref struct {
+		name string
+		ver  uint32
+	}
+	var refs []lref
+	unlock := v.rlock()
+	err := v.nt.Scan(nil, func(k, _ []byte) bool {
+		name, ver, ok := splitKey(k)
+		if !ok {
+			return true
+		}
+		refs = append(refs, lref{name, ver})
+		return true
+	})
+	unlock()
+	if err != nil {
+		return err
+	}
+	for _, ref := range refs {
+		if v.closed.Load() {
+			return nil
+		}
+		if err := v.scrubLeader(ref.name, ref.ver, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *Volume) scrubLeader(name string, ver uint32, st *ScrubStats) error {
+	unlock := v.rlock()
+	defer unlock()
+	e, err := v.statLocked(name, ver)
+	if err != nil {
+		return nil // deleted since the snapshot
+	}
+	addr, has := e.LeaderAddr()
+	if !has {
+		return nil
+	}
+	v.lmu.Lock()
+	_, pending := v.pendingLeaders[addr]
+	v.lmu.Unlock()
+	if pending {
+		return nil // not home yet; verified from memory on access
+	}
+	st.LeadersChecked++
+	st.SectorsChecked++
+	buf, rerr := v.readSectorsRetry(addr, 1)
+	v.cpu.Charge(csumCost)
+	if rerr == nil && verifyLeader(buf, e) == nil {
+		return nil
+	}
+	if err := v.repairSectors(addr, encodeLeader(e), st); err != nil {
+		return err
+	}
+	st.LeadersRepaired++
+	return nil
+}
+
+// startScrubber launches the periodic background scrub on real-clock
+// volumes when ScrubInterval is set. It shares the ticker's stop channel.
+func (v *Volume) startScrubber(stop chan struct{}) {
+	interval := v.cfg.ScrubInterval
+	if interval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if v.closed.Load() {
+					return
+				}
+				// Background pass: errors surface through FaultStats
+				// problems on the next explicit Scrub; a closed volume
+				// just ends the loop.
+				if _, err := v.Scrub(); errors.Is(err, ErrClosed) {
+					return
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+}

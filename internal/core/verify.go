@@ -105,7 +105,7 @@ func (v *Volume) Verify() (VerifyStats, error) {
 			}
 			return true
 		}
-		buf, err := v.d.ReadSectors(addr, 1)
+		buf, err := v.readSectorsRetry(addr, 1)
 		if err != nil {
 			addProblem("%s!%d: leader unreadable: %v", name, ver, err)
 			return true

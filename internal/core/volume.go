@@ -118,7 +118,12 @@ type Volume struct {
 	closed atomic.Bool
 	ops    opCounters
 
-	// stopTicker stops the real-time group-commit goroutine, if any.
+	// scrubMu serializes scrub passes (explicit and background).
+	scrubMu sync.Mutex
+	faults  faultCounters
+
+	// stopTicker stops the real-time group-commit and background-scrub
+	// goroutines, if any.
 	stopTicker chan struct{}
 }
 
@@ -684,18 +689,23 @@ func (v *Volume) scanForRebuildParallel(rebuildVAM bool, workers int) (map[int]u
 }
 
 // startTicker launches the group-commit goroutine when running on a real
-// clock. On a virtual clock forcing is driven by MaybeForce at operation
-// boundaries, which observes the same half-second deadline.
+// clock, plus the background scrubber if configured. On a virtual clock
+// forcing is driven by MaybeForce at operation boundaries, which observes
+// the same half-second deadline, and scrubbing by explicit Scrub calls.
 func (v *Volume) startTicker() {
 	if _, ok := v.clk.(*sim.RealClock); !ok {
 		return
 	}
 	interval := v.cfg.interval()
-	if interval == 0 {
+	if interval == 0 && v.cfg.ScrubInterval <= 0 {
 		return
 	}
 	stop := make(chan struct{})
 	v.stopTicker = stop
+	v.startScrubber(stop)
+	if interval == 0 {
+		return
+	}
 	go func() {
 		t := time.NewTicker(interval / sim.RealTimeScale)
 		defer t.Stop()

@@ -124,9 +124,12 @@ type counters struct {
 
 func (c *counters) snapshot() Stats {
 	var s Stats
-	s.Ops = int(c.ops.Load())
 	s.Reads = int(c.reads.Load())
 	s.Writes = int(c.writes.Load())
+	// ops is bumped before reads/writes on every operation, so loading it
+	// *after* them keeps the snapshot's reads+writes <= ops even while
+	// operations race the snapshot (the counters only grow).
+	s.Ops = int(c.ops.Load())
 	s.SectorsRead = int(c.sectorsRead.Load())
 	s.SectorsWritten = int(c.sectorsWritten.Load())
 	s.Seeks = int(c.seeks.Load())
@@ -171,11 +174,18 @@ type Disk struct {
 	data     map[int][]byte
 	labels   map[int]Label
 	damaged  map[int]bool
+	stuck    map[int]bool // damaged sectors a rewrite cannot clear
+	remapped map[int]bool // sectors retired to the spare pool
 	curCyl   int
 	cnt      counters
 	fault    WriteFaultFunc
+	inj      *faultInjector
+	fcnt     faultCounts
 	classify func(addr int) Class
 	halted   bool
+
+	spareTotal int
+	sparesUsed int
 }
 
 // New returns a freshly formatted (all-zero, all-free-labelled) disk.
@@ -184,12 +194,15 @@ func New(g Geometry, p Params, clk sim.Clock) (*Disk, error) {
 		return nil, err
 	}
 	return &Disk{
-		geom:    g,
-		par:     p,
-		clk:     clk,
-		data:    make(map[int][]byte),
-		labels:  make(map[int]Label),
-		damaged: make(map[int]bool),
+		geom:       g,
+		par:        p,
+		clk:        clk,
+		data:       make(map[int][]byte),
+		labels:     make(map[int]Label),
+		damaged:    make(map[int]bool),
+		stuck:      make(map[int]bool),
+		remapped:   make(map[int]bool),
+		spareTotal: DefaultSpares,
 	}, nil
 }
 
@@ -341,6 +354,14 @@ func (d *Disk) motion(addr int) {
 // across cylinder boundaries. Must be called with d.mu held, immediately
 // after motion() for the first sector.
 func (d *Disk) transferOne(addr int) {
+	if d.remapped[addr] {
+		// A remapped sector is served from a spare track: the drive slips
+		// a revolution getting there and back.
+		rev := d.par.Revolution()
+		d.cnt.rotTime.Add(int64(rev))
+		d.cnt.lostRevs.Add(1)
+		d.clk.Advance(rev)
+	}
 	cyl := d.geom.Cylinder(addr)
 	if cyl != d.curCyl {
 		// Crossing a cylinder boundary mid-transfer: settle, then
@@ -404,6 +425,11 @@ func (d *Disk) readSector(addr int, buf []byte) error {
 	if d.damaged[addr] {
 		return &DamagedError{Addr: addr}
 	}
+	if d.inj != nil {
+		if err := d.injectRead(addr); err != nil {
+			return err
+		}
+	}
 	if s, ok := d.data[addr]; ok {
 		copy(buf, s)
 	} else {
@@ -414,8 +440,10 @@ func (d *Disk) readSector(addr int, buf []byte) error {
 	return nil
 }
 
-// writeSector stores buf as the contents of addr, clearing damage. Must
-// hold d.mu.
+// writeSector stores buf as the contents of addr, clearing damage — unless
+// the sector is a stuck physical defect, in which case the write appears to
+// succeed but the sector stays unreadable (the readback after bounded
+// retries is what pushes the repair path to Remap). Must hold d.mu.
 func (d *Disk) writeSector(addr int, buf []byte) {
 	s, ok := d.data[addr]
 	if !ok {
@@ -423,7 +451,9 @@ func (d *Disk) writeSector(addr int, buf []byte) {
 		d.data[addr] = s
 	}
 	copy(s, buf)
-	delete(d.damaged, addr)
+	if !d.stuck[addr] {
+		delete(d.damaged, addr)
+	}
 }
 
 // ReadSectors reads n sectors starting at addr into a new buffer. The whole
@@ -553,7 +583,9 @@ func (d *Disk) WriteLabels(addr int, labs []Label) error {
 		}
 		d.cnt.sectorsWritten.Add(1)
 		d.labels[addr+i] = labs[i]
-		delete(d.damaged, addr+i)
+		if !d.stuck[addr+i] {
+			delete(d.damaged, addr+i)
+		}
 	}
 	return nil
 }

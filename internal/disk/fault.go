@@ -1,0 +1,187 @@
+package disk
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Media-fault model. The paper's redundancy design (duplicated name table,
+// dual-copy log records, replicated boot pages) defends against "one or two
+// consecutive sectors at a time" going bad; this file supplies the other
+// half of that contract — a device that actually decays. Three fault classes
+// are modelled, all discovered at read time as on a real drive:
+//
+//   - transient read errors: the sector fails once (a marginal read) and is
+//     fine on retry; bounded in-place retries absorb these.
+//   - latent sector errors: the sector has decayed since it was written and
+//     stays unreadable until rewritten. A fraction of these are "stuck" —
+//     a physical defect where rewrites appear to succeed but the sector
+//     still reads bad; only remapping to a spare retires it.
+//   - bit rot: the sector reads successfully but a bit has flipped. The
+//     device does not notice; only software checksums catch it.
+//
+// The injector is driven by a single seeded PRNG consulted under the device
+// mutex, so a given (seed, operation sequence) replays the exact same fault
+// pattern — probabilistic robustness tests print their seed on failure.
+
+// ErrNoSpares is returned by Remap when the spare-sector pool is exhausted.
+var ErrNoSpares = errors.New("disk: spare-sector pool exhausted")
+
+// DefaultSpares is the size of the spare-sector pool a drive ships with.
+const DefaultSpares = 64
+
+// FaultConfig parameterizes the read-fault injector. All probabilities are
+// per sector transferred; zero disables that fault class.
+type FaultConfig struct {
+	Seed          int64   // PRNG seed; the whole fault pattern is a function of it
+	TransientRead float64 // P(one read of a sector fails, without persisting damage)
+	LatentError   float64 // P(sector found decayed: unreadable until rewritten)
+	StuckFraction float64 // P(a latent error is a stuck physical defect | latent)
+	BitRot        float64 // P(a read returns silently corrupted data)
+}
+
+// FaultStats counts fault-model activity since the injector was installed
+// (remap and spare counters are lifetime values of the drive).
+type FaultStats struct {
+	TransientErrors int // reads that failed transiently
+	LatentErrors    int // sectors that decayed into persistent damage
+	StuckSectors    int // latent errors that were stuck defects
+	BitRotEvents    int // silent corruptions returned to the host
+	Remaps          int // sectors retired to spares
+	SparesLeft      int
+}
+
+type faultInjector struct {
+	cfg FaultConfig
+	rng *rand.Rand
+}
+
+// faultCounts holds the fault bookkeeping; guarded by d.mu.
+type faultCounts struct {
+	transient int
+	latent    int
+	stuck     int
+	bitrot    int
+	remaps    int
+}
+
+// InjectFaults installs (or replaces) the probabilistic read-fault injector
+// and resets the per-injector counters. A zero-valued config effectively
+// disables injection but keeps the deterministic PRNG in place.
+func (d *Disk) InjectFaults(cfg FaultConfig) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inj = &faultInjector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	d.fcnt = faultCounts{remaps: d.fcnt.remaps}
+}
+
+// ClearFaults removes the injector. Damage already on the platters stays.
+func (d *Disk) ClearFaults() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inj = nil
+}
+
+// FaultStats snapshots the fault-model counters.
+func (d *Disk) FaultStats() FaultStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return FaultStats{
+		TransientErrors: d.fcnt.transient,
+		LatentErrors:    d.fcnt.latent,
+		StuckSectors:    d.fcnt.stuck,
+		BitRotEvents:    d.fcnt.bitrot,
+		Remaps:          d.fcnt.remaps,
+		SparesLeft:      d.spareTotal - d.sparesUsed,
+	}
+}
+
+// SetSpares resizes the spare-sector pool (before exhaustion testing).
+func (d *Disk) SetSpares(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.spareTotal = n
+	if d.sparesUsed > n {
+		d.sparesUsed = n
+	}
+}
+
+// SparesLeft reports the remaining spare-sector capacity.
+func (d *Disk) SparesLeft() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spareTotal - d.sparesUsed
+}
+
+// MarkStuck makes n sectors starting at addr stuck physical defects: they
+// are damaged now, and rewrites appear to succeed without clearing the
+// damage. Only Remap retires them. (Test hook, like CorruptSectors.)
+func (d *Disk) MarkStuck(addr, n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < n; i++ {
+		d.damaged[addr+i] = true
+		d.stuck[addr+i] = true
+	}
+}
+
+// IsRemapped reports whether addr has been retired to a spare sector.
+func (d *Disk) IsRemapped(addr int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.remapped[addr]
+}
+
+// Remap retires a persistently bad sector to the spare pool, as drive
+// firmware does: the logical address now points at a blank spare (the caller
+// is expected to rewrite the content from a redundant copy), the defect list
+// forgets the old physical sector, and one spare is consumed. Reads and
+// writes of a remapped sector pay an extra revolution for the slip to the
+// spare track. Fails with ErrNoSpares when the pool is exhausted.
+func (d *Disk) Remap(addr int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.halted {
+		return ErrHalted
+	}
+	if err := d.checkRange(addr, 1); err != nil {
+		return err
+	}
+	if d.sparesUsed >= d.spareTotal {
+		return ErrNoSpares
+	}
+	d.sparesUsed++
+	d.fcnt.remaps++
+	d.remapped[addr] = true
+	delete(d.stuck, addr)
+	delete(d.damaged, addr)
+	delete(d.data, addr) // the spare starts blank
+	return nil
+}
+
+// injectRead rolls the fault model for one sector about to be read. Must
+// hold d.mu. A non-nil error aborts the read of this sector.
+func (d *Disk) injectRead(addr int) error {
+	in := d.inj
+	r := in.rng
+	if in.cfg.TransientRead > 0 && r.Float64() < in.cfg.TransientRead {
+		d.fcnt.transient++
+		return &DamagedError{Addr: addr}
+	}
+	if in.cfg.LatentError > 0 && r.Float64() < in.cfg.LatentError {
+		d.fcnt.latent++
+		d.damaged[addr] = true
+		if in.cfg.StuckFraction > 0 && r.Float64() < in.cfg.StuckFraction {
+			d.stuck[addr] = true
+			d.fcnt.stuck++
+		}
+		return &DamagedError{Addr: addr}
+	}
+	if in.cfg.BitRot > 0 && r.Float64() < in.cfg.BitRot {
+		if s, ok := d.data[addr]; ok {
+			s[r.Intn(SectorSize)] ^= 1 << uint(r.Intn(8))
+			d.fcnt.bitrot++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// seedFlag reproduces probabilistic fault-test failures:
+// go test ./internal/disk -run X -seed N
+var seedFlag = flag.Int64("seed", 0, "fault-injection seed (0 derives one from the clock)")
+
+func faultSeed(t *testing.T) int64 {
+	seed := *seedFlag
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("reproduce with: go test ./internal/disk -run '%s' -seed %d", t.Name(), seed)
+		}
+	})
+	return seed
+}
+
+func newFaultDisk(t *testing.T) *Disk {
+	t.Helper()
+	d, err := New(SmallGeometry, DefaultParams, sim.NewVirtualClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := FaultConfig{Seed: faultSeed(t), TransientRead: 0.1, LatentError: 0.05, StuckFraction: 0.5, BitRot: 0.02}
+	run := func() (FaultStats, []error) {
+		d := newFaultDisk(t)
+		for i := 0; i < 64; i++ {
+			if err := d.WriteSectors(i*7, bytes.Repeat([]byte{byte(i)}, SectorSize)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.InjectFaults(cfg)
+		var errs []error
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < 64; i++ {
+				_, err := d.ReadSectors(i*7, 1)
+				errs = append(errs, err)
+			}
+		}
+		return d.FaultStats(), errs
+	}
+	st1, errs1 := run()
+	st2, errs2 := run()
+	if st1 != st2 {
+		t.Fatalf("fault stats diverged: %+v vs %+v", st1, st2)
+	}
+	for i := range errs1 {
+		if (errs1[i] == nil) != (errs2[i] == nil) {
+			t.Fatalf("read %d: %v vs %v", i, errs1[i], errs2[i])
+		}
+	}
+	if st1.TransientErrors == 0 && st1.LatentErrors == 0 {
+		t.Fatalf("injector produced no faults at all: %+v", st1)
+	}
+}
+
+func TestLatentErrorPersistsUntilRewrite(t *testing.T) {
+	d := newFaultDisk(t)
+	if err := d.WriteSectors(100, make([]byte, SectorSize)); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(FaultConfig{Seed: 1, LatentError: 1})
+	if _, err := d.ReadSectors(100, 1); err == nil {
+		t.Fatal("latent error not injected")
+	}
+	d.ClearFaults()
+	// Damage persists after the injector is gone...
+	if _, err := d.ReadSectors(100, 1); err == nil {
+		t.Fatal("latent damage did not persist")
+	}
+	// ...until a rewrite clears it.
+	if err := d.WriteSectors(100, make([]byte, SectorSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadSectors(100, 1); err != nil {
+		t.Fatalf("read after rewrite: %v", err)
+	}
+}
+
+func TestTransientErrorLeavesNoDamage(t *testing.T) {
+	d := newFaultDisk(t)
+	d.InjectFaults(FaultConfig{Seed: 2, TransientRead: 1})
+	if _, err := d.ReadSectors(5, 1); err == nil {
+		t.Fatal("transient error not injected")
+	}
+	d.ClearFaults()
+	if _, err := d.ReadSectors(5, 1); err != nil {
+		t.Fatalf("transient fault persisted: %v", err)
+	}
+}
+
+func TestBitRotIsSilent(t *testing.T) {
+	d := newFaultDisk(t)
+	want := bytes.Repeat([]byte{0xAB}, SectorSize)
+	if err := d.WriteSectors(9, want); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(FaultConfig{Seed: 3, BitRot: 1})
+	got, err := d.ReadSectors(9, 1)
+	if err != nil {
+		t.Fatalf("bit rot must not error: %v", err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("bit rot did not corrupt the data")
+	}
+	if d.FaultStats().BitRotEvents == 0 {
+		t.Fatal("bit rot not counted")
+	}
+}
+
+func TestStuckSectorSurvivesRewriteUntilRemap(t *testing.T) {
+	d := newFaultDisk(t)
+	d.MarkStuck(50, 1)
+	if _, err := d.ReadSectors(50, 1); err == nil {
+		t.Fatal("stuck sector readable")
+	}
+	// The rewrite reports success but the sector stays bad.
+	if err := d.WriteSectors(50, make([]byte, SectorSize)); err != nil {
+		t.Fatalf("write to stuck sector errored: %v", err)
+	}
+	if _, err := d.ReadSectors(50, 1); err == nil {
+		t.Fatal("rewrite cleared a stuck sector")
+	}
+	before := d.SparesLeft()
+	if err := d.Remap(50); err != nil {
+		t.Fatal(err)
+	}
+	if d.SparesLeft() != before-1 {
+		t.Fatalf("spares %d, want %d", d.SparesLeft(), before-1)
+	}
+	if !d.IsRemapped(50) {
+		t.Fatal("sector not marked remapped")
+	}
+	// The spare starts blank and writes/reads work normally.
+	payload := bytes.Repeat([]byte{7}, SectorSize)
+	if err := d.WriteSectors(50, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadSectors(50, 1)
+	if err != nil {
+		t.Fatalf("read after remap: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("remapped sector lost the rewrite")
+	}
+}
+
+func TestRemapExhaustsSpares(t *testing.T) {
+	d := newFaultDisk(t)
+	d.SetSpares(2)
+	for _, addr := range []int{10, 11} {
+		if err := d.Remap(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Remap(12); !errors.Is(err, ErrNoSpares) {
+		t.Fatalf("remap with empty pool: %v", err)
+	}
+	if st := d.FaultStats(); st.Remaps != 2 || st.SparesLeft != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -254,10 +254,21 @@ func Format(d *disk.Disk, base, size int, clk sim.Clock, cfg Config) (*Log, erro
 	if err := l.writeAnchor(anchor{bootCount: 1, offset: 0, recordNum: 1}); err != nil {
 		return nil, err
 	}
-	// Invalidate any stale first header so recovery of a freshly
-	// formatted log stops immediately.
-	if err := l.d.WriteSectors(l.base+anchorSectors, make([]byte, disk.SectorSize)); err != nil {
-		return nil, err
+	// Erase the whole record area. A format over a previously used region
+	// (the salvage path) restarts boot and record counters at 1, so any
+	// stale record left beyond the new session's tail could splice onto it
+	// during a later recovery; zeroing leaves nothing that checksums.
+	const eraseChunk = 64
+	zero := make([]byte, eraseChunk*disk.SectorSize)
+	area := l.thirdLen() * l.thirds()
+	for off := 0; off < area; off += eraseChunk {
+		n := eraseChunk
+		if off+n > area {
+			n = area - off
+		}
+		if err := l.d.WriteSectors(l.base+anchorSectors+off, zero[:n*disk.SectorSize]); err != nil {
+			return nil, err
+		}
 	}
 	l.lastForce = clk.Now()
 	l.pendingIdx = make(map[imageKey]int)

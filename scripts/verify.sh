@@ -1,7 +1,8 @@
 #!/bin/sh
-# Full local verification: vet, build, tests, and the race detector over the
+# Full local verification: vet, build, tests, the race detector over the
 # packages with concurrent internals (the split monitor, the pipelined WAL,
-# and the lock-free disk stats).
+# and the lock-free disk stats), and the fault sweeps (crash points, torn
+# log writes, scrub/salvage under injected media decay).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,3 +11,5 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/core ./internal/wal ./internal/disk
+go test ./internal/core -count=1 -run 'TestCrashPointSweep|TestTornLogForceSweep|TestScrubRepairsLatentDecay|TestSalvageAfterDoubleNameTableLoss'
+go test -race ./internal/core -count=1 -run 'TestScrubConcurrentWithReaders'
