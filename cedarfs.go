@@ -69,6 +69,7 @@ var (
 	ErrNotFound  = core.ErrNotFound
 	ErrClosed    = core.ErrClosed
 	ErrIsSymlink = core.ErrIsSymlink
+	ErrReadOnly  = core.ErrReadOnly
 )
 
 // Disk and clock types for callers that want to build their own device.
@@ -117,13 +118,23 @@ func Format(d *Disk, cfg Config) (*Volume, error) { return core.Format(d, cfg) }
 // reconstructing the allocation map as needed.
 func Mount(d *Disk, cfg Config) (*Volume, MountStats, error) { return core.Mount(d, cfg) }
 
+// MountReadOnly attaches to a volume without writing anything: the log
+// replays entirely in memory and every mutation returns ErrReadOnly. It is
+// the inspection mount for a volume too damaged for normal recovery but not
+// yet worth a salvage sweep.
+func MountReadOnly(d *Disk, cfg Config) (*Volume, MountStats, error) {
+	return core.MountReadOnly(d, cfg)
+}
+
 // Salvage rebuilds a volume whose name table is lost in both copies by
 // scanning the data region for leader pages. Last-ditch recovery; see
 // Volume.Scrub for the maintenance pass that makes it unnecessary.
 func Salvage(d *Disk, cfg Config) (*Volume, SalvageStats, error) { return core.Salvage(d, cfg) }
 
-// MountOrSalvage mounts the volume, degrading to a salvage scan when normal
-// recovery fails. The SalvageStats pointer is nil on the normal path.
+// MountOrSalvage mounts the volume, degrading first to a read-only mount and
+// then to a salvage scan when normal recovery fails. The SalvageStats
+// pointer is nil unless the salvage rung ran; MountStats.ReadOnly reports
+// the read-only rung.
 func MountOrSalvage(d *Disk, cfg Config) (*Volume, MountStats, *SalvageStats, error) {
 	return core.MountOrSalvage(d, cfg)
 }

@@ -22,9 +22,10 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, ablations, all")
+	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, ablations, all")
 	concJSON := flag.String("concurrency-json", "", "also write the concurrency report to this path (e.g. BENCH_concurrency.json)")
 	robJSON := flag.String("robustness-json", "", "also write the robustness report to this path (e.g. BENCH_robustness.json)")
+	sweepJSON := flag.String("crashsweep-json", "", "also write the crash-sweep report to this path (e.g. BENCH_crashsweep.json)")
 	flag.Parse()
 
 	type gen struct {
@@ -44,6 +45,7 @@ func main() {
 		{"recovery", bench.RecoveryScaling},
 		{"concurrency", bench.Concurrency},
 		{"robustness", bench.Robustness},
+		{"crashsweep", bench.CrashSweep},
 	}
 	ablations := []gen{
 		{"ablations", bench.AblationCommitInterval},
@@ -89,5 +91,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s (salvage %.1fx faster than scavenge)\n", *robJSON, rep.SalvageSpeedup)
+	}
+	if *sweepJSON != "" {
+		rep, err := bench.WriteCrashSweepJSON(*sweepJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: crashsweep json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d states, %.0f states/sec, max recovery %.2f s)\n",
+			*sweepJSON, rep.States, rep.StatesPerSec, rep.RecoveryMaxS)
 	}
 }

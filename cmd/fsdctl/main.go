@@ -13,9 +13,16 @@
 //	fsdctl -img vol.img crash                      # exit WITHOUT clean shutdown
 //	fsdctl -img vol.img burst 50                   # create 50 files, then crash
 //	fsdctl -img vol.img fsck                       # mount, report recovery, shut down
+//	fsdctl -img vol.img verify                     # same as fsck
 //	fsdctl -img vol.img scrub                      # repair decayed duplicate copies
 //	fsdctl -img vol.img salvage                    # rebuild the name table from leaders
 //	fsdctl -img vol.img info                       # volume statistics
+//	fsdctl crashcheck [-seed N] [-states N] ...    # crash-state exploration sweep
+//
+// The -json flag switches verify/fsck, scrub, salvage, and crashcheck to
+// machine-readable JSON on stdout. Exit codes are 0 (success), 1
+// (operational error), 2 (usage error), and 3 (the volume mounted but
+// inconsistencies, losses, or oracle violations were found).
 //
 // Every command except "crash" shuts the volume down cleanly and saves the
 // image; "crash" saves the image mid-flight, so the next command exercises
@@ -23,34 +30,73 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	cedarfs "repro"
 	"repro/internal/core"
+	"repro/internal/crashtest"
 	"repro/internal/disk"
 	"repro/internal/sim"
 )
 
+// Sentinels mapped to process exit codes by main.
+var (
+	errUsage    = errors.New("usage error")
+	errProblems = errors.New("inconsistencies found")
+)
+
 func main() {
 	img := flag.String("img", "cedar.img", "disk image file")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (verify/fsck, scrub, salvage, crashcheck)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "fsdctl: need a command (format, put, get, ls, rm, stat, burst, crash, fsck, scrub, salvage, info)")
+		fmt.Fprintln(os.Stderr, "fsdctl: need a command (format, put, get, ls, rm, stat, burst, crash, fsck, verify, scrub, salvage, info, crashcheck)")
 		os.Exit(2)
 	}
-	if err := run(*img, args); err != nil {
+	switch err := run(*img, *jsonOut, args); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		fmt.Fprintf(os.Stderr, "fsdctl: %v\n", err)
+		os.Exit(2)
+	case errors.Is(err, errProblems):
+		fmt.Fprintf(os.Stderr, "fsdctl: %v\n", err)
+		os.Exit(3)
+	default:
 		fmt.Fprintf(os.Stderr, "fsdctl: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(img string, args []string) error {
+// jsonProblems keeps an empty problem list as [] rather than null.
+func jsonProblems(p []string) []string {
+	if p == nil {
+		return []string{}
+	}
+	return p
+}
+
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func run(img string, jsonOut bool, args []string) error {
 	cmd := args[0]
 	clk := sim.NewVirtualClock()
+
+	if cmd == "crashcheck" {
+		// Self-contained: the sweep builds its own simulated volume, so it
+		// neither needs nor touches the image file.
+		return crashcheck(jsonOut, args[1:])
+	}
 
 	if cmd == "format" {
 		d, err := disk.New(disk.DefaultGeometry, disk.DefaultParams, clk)
@@ -84,17 +130,38 @@ func run(img string, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("salvage scanned %d sectors (%d damaged) in %v simulated\n",
-			st.SectorsScanned, st.DamagedSectors, st.Elapsed.Round(1e6))
-		fmt.Printf("recovered %d files (%d truncated, %d stale leaders dropped)\n",
-			st.FilesRecovered, st.FilesPartial, st.ConflictsDropped)
-		for _, p := range st.Problems {
-			fmt.Printf("PROBLEM: %s\n", p)
+		if jsonOut {
+			if err := emitJSON(struct {
+				SectorsScanned   int           `json:"sectors_scanned"`
+				DamagedSectors   int           `json:"damaged_sectors"`
+				FilesRecovered   int           `json:"files_recovered"`
+				FilesPartial     int           `json:"files_partial"`
+				ConflictsDropped int           `json:"conflicts_dropped"`
+				Problems         []string      `json:"problems"`
+				ElapsedSim       time.Duration `json:"elapsed_sim_ns"`
+			}{st.SectorsScanned, st.DamagedSectors, st.FilesRecovered,
+				st.FilesPartial, st.ConflictsDropped, jsonProblems(st.Problems), st.Elapsed}); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("salvage scanned %d sectors (%d damaged) in %v simulated\n",
+				st.SectorsScanned, st.DamagedSectors, st.Elapsed.Round(1e6))
+			fmt.Printf("recovered %d files (%d truncated, %d stale leaders dropped)\n",
+				st.FilesRecovered, st.FilesPartial, st.ConflictsDropped)
+			for _, p := range st.Problems {
+				fmt.Printf("PROBLEM: %s\n", p)
+			}
 		}
 		if err := v.Shutdown(); err != nil {
 			return err
 		}
-		return d.SaveImage(img)
+		if err := d.SaveImage(img); err != nil {
+			return err
+		}
+		if len(st.Problems) > 0 {
+			return fmt.Errorf("salvage: %w", errProblems)
+		}
+		return nil
 	}
 
 	v, ms, err := cedarfs.Mount(d, cedarfs.Config{})
@@ -116,7 +183,7 @@ func run(img string, args []string) error {
 	switch cmd {
 	case "put":
 		if len(args) < 2 {
-			return fmt.Errorf("put needs a file name")
+			return fmt.Errorf("put needs a file name: %w", errUsage)
 		}
 		data, err := io.ReadAll(os.Stdin)
 		if err != nil {
@@ -131,7 +198,7 @@ func run(img string, args []string) error {
 		return finish()
 	case "get":
 		if len(args) < 2 {
-			return fmt.Errorf("get needs a file name")
+			return fmt.Errorf("get needs a file name: %w", errUsage)
 		}
 		f, err := v.Open(args[1], version(args))
 		if err != nil {
@@ -158,7 +225,7 @@ func run(img string, args []string) error {
 		return finish()
 	case "rm":
 		if len(args) < 2 {
-			return fmt.Errorf("rm needs a file name")
+			return fmt.Errorf("rm needs a file name: %w", errUsage)
 		}
 		if err := v.Delete(args[1], version(args)); err != nil {
 			return err
@@ -166,7 +233,7 @@ func run(img string, args []string) error {
 		return finish()
 	case "stat":
 		if len(args) < 2 {
-			return fmt.Errorf("stat needs a file name")
+			return fmt.Errorf("stat needs a file name: %w", errUsage)
 		}
 		e, err := v.Stat(args[1], version(args))
 		if err != nil {
@@ -211,39 +278,88 @@ func run(img string, args []string) error {
 		}
 		fmt.Println("crashed; next command will run log recovery")
 		return nil
-	case "fsck":
+	case "fsck", "verify":
 		// Mount already recovered; run the advisory full-volume
 		// verification (FSD never needs it — see Verify's doc comment).
 		st, err := v.Verify()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("verified %d entries, %d leaders (%d pending) in %v simulated\n",
-			st.Entries, st.Leaders, st.LeadersPending, st.Elapsed.Round(1e6))
-		if len(st.Problems) == 0 {
-			fmt.Println("volume consistent")
+		if jsonOut {
+			if err := emitJSON(struct {
+				Entries        int           `json:"entries"`
+				Leaders        int           `json:"leaders"`
+				LeadersPending int           `json:"leaders_pending"`
+				Symlinks       int           `json:"symlinks"`
+				Consistent     bool          `json:"consistent"`
+				Problems       []string      `json:"problems"`
+				ElapsedSim     time.Duration `json:"elapsed_sim_ns"`
+			}{st.Entries, st.Leaders, st.LeadersPending, st.Symlinks,
+				len(st.Problems) == 0, jsonProblems(st.Problems), st.Elapsed}); err != nil {
+				return err
+			}
 		} else {
-			for _, p := range st.Problems {
-				fmt.Printf("PROBLEM: %s\n", p)
+			fmt.Printf("verified %d entries, %d leaders (%d pending) in %v simulated\n",
+				st.Entries, st.Leaders, st.LeadersPending, st.Elapsed.Round(1e6))
+			if len(st.Problems) == 0 {
+				fmt.Println("volume consistent")
+			} else {
+				for _, p := range st.Problems {
+					fmt.Printf("PROBLEM: %s\n", p)
+				}
 			}
 		}
-		return finish()
+		if err := finish(); err != nil {
+			return err
+		}
+		if len(st.Problems) > 0 {
+			return fmt.Errorf("verify: %w", errProblems)
+		}
+		return nil
 	case "scrub":
 		st, err := v.Scrub()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("scrubbed %d name-table pages, %d leaders, %d log records (%d sectors) in %v simulated\n",
-			st.NTPagesChecked, st.LeadersChecked, st.LogRecords, st.SectorsChecked, st.Elapsed.Round(1e6))
-		fmt.Printf("repaired %d copies (%d NT, %d leaders, %d roots, %d log), retired %d sectors\n",
-			st.Repaired(), st.NTRepaired, st.LeadersRepaired, st.RootsRepaired, st.LogRepaired, st.Retired)
-		if st.NTLost > 0 {
-			fmt.Printf("%d pages lost beyond repair — run 'salvage'\n", st.NTLost)
+		if jsonOut {
+			if err := emitJSON(struct {
+				NTPagesChecked  int           `json:"nt_pages_checked"`
+				LeadersChecked  int           `json:"leaders_checked"`
+				LogRecords      int           `json:"log_records"`
+				SectorsChecked  int           `json:"sectors_checked"`
+				Repaired        int           `json:"repaired"`
+				NTRepaired      int           `json:"nt_repaired"`
+				LeadersRepaired int           `json:"leaders_repaired"`
+				RootsRepaired   int           `json:"roots_repaired"`
+				LogRepaired     int           `json:"log_repaired"`
+				Retired         int           `json:"retired"`
+				NTLost          int           `json:"nt_lost"`
+				Problems        []string      `json:"problems"`
+				ElapsedSim      time.Duration `json:"elapsed_sim_ns"`
+			}{st.NTPagesChecked, st.LeadersChecked, st.LogRecords, st.SectorsChecked,
+				st.Repaired(), st.NTRepaired, st.LeadersRepaired, st.RootsRepaired,
+				st.LogRepaired, st.Retired, st.NTLost, jsonProblems(st.Problems), st.Elapsed}); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("scrubbed %d name-table pages, %d leaders, %d log records (%d sectors) in %v simulated\n",
+				st.NTPagesChecked, st.LeadersChecked, st.LogRecords, st.SectorsChecked, st.Elapsed.Round(1e6))
+			fmt.Printf("repaired %d copies (%d NT, %d leaders, %d roots, %d log), retired %d sectors\n",
+				st.Repaired(), st.NTRepaired, st.LeadersRepaired, st.RootsRepaired, st.LogRepaired, st.Retired)
+			if st.NTLost > 0 {
+				fmt.Printf("%d pages lost beyond repair — run 'salvage'\n", st.NTLost)
+			}
+			for _, p := range st.Problems {
+				fmt.Printf("PROBLEM: %s\n", p)
+			}
 		}
-		for _, p := range st.Problems {
-			fmt.Printf("PROBLEM: %s\n", p)
+		if err := finish(); err != nil {
+			return err
 		}
-		return finish()
+		if st.NTLost > 0 || len(st.Problems) > 0 {
+			return fmt.Errorf("scrub: %w", errProblems)
+		}
+		return nil
 	case "info":
 		free := v.VAM().FreeCount()
 		total := d.Geometry().Sectors()
@@ -253,8 +369,73 @@ func run(img string, args []string) error {
 		fmt.Printf("session I/O: %d ops (%d reads, %d writes)\n", st.Ops, st.Reads, st.Writes)
 		return finish()
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		return fmt.Errorf("unknown command %q: %w", cmd, errUsage)
 	}
+}
+
+// crashcheck runs the systematic crash-state exploration on an in-memory
+// volume and reports the oracle verdict.
+func crashcheck(jsonOut bool, args []string) error {
+	fs := flag.NewFlagSet("crashcheck", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "workload + enumeration seed")
+	states := fs.Int("states", 0, "cap on executed states (0 = all enumerated)")
+	state := fs.Int("state", -1, "re-execute exactly this state id (repro mode)")
+	ops := fs.Int("ops", 0, "workload length (0 = default)")
+	decay := fs.Float64("decay", 0, "latent media decay probability composed on each crash image")
+	workers := fs.Int("workers", 0, "parallel state executors (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("crashcheck: %w", errUsage)
+	}
+	res, err := crashtest.Run(crashtest.Config{
+		Seed:      *seed,
+		Ops:       *ops,
+		MaxStates: *states,
+		StateID:   *state,
+		Workers:   *workers,
+		Decay:     *decay,
+	})
+	if err != nil {
+		return err
+	}
+	rmin, rmed, rmax := res.RecoverySummary()
+	if jsonOut {
+		if err := emitJSON(struct {
+			*crashtest.Result
+			StatesPerSec float64       `json:"states_per_sec"`
+			RecoveryMin  time.Duration `json:"recovery_min_ns"`
+			RecoveryMed  time.Duration `json:"recovery_median_ns"`
+			RecoveryMax  time.Duration `json:"recovery_max_ns"`
+		}{res, float64(res.States) / res.Elapsed.Seconds(), rmin, rmed, rmax}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("workload: seed %d, %d ops (%d acked, %d unacked), %d barrier epochs, %d journaled writes\n",
+			res.Seed, res.Ops, res.AckedOps, res.UnackedOps, res.Epochs, res.TracedWrites)
+		fmt.Printf("explored %d/%d crash states (%d prefix, %d reorder, %d torn) in %v (%.0f states/sec)\n",
+			res.States, res.StatesTotal, res.PrefixStates, res.ReorderStates, res.TornStates,
+			res.Elapsed.Round(time.Millisecond), float64(res.States)/res.Elapsed.Seconds())
+		fmt.Printf("recovery: %d torn records, %d discarded tail records, %d gap breaks across the sweep\n",
+			res.TornRecords, res.TailDiscarded, res.GapBreaks)
+		fmt.Printf("simulated recovery time: min %v, median %v, max %v\n",
+			rmin.Round(time.Millisecond), rmed.Round(time.Millisecond), rmax.Round(time.Millisecond))
+		if res.MediaLosses > 0 {
+			fmt.Printf("media losses under decay: %d (single-copy data has no redundancy)\n", res.MediaLosses)
+		}
+		if res.MountFailures == 0 && len(res.Violations) == 0 {
+			fmt.Println("oracle: every acknowledged op durable, every state mountable — PASS")
+		}
+		for _, viol := range res.Violations {
+			fmt.Printf("VIOLATION: %s\n  repro: fsdctl crashcheck -seed %d -state %d\n  %s\n",
+				viol.Desc, viol.Seed, viol.StateID, viol.State)
+		}
+		if res.MountFailures > 0 {
+			fmt.Printf("MOUNT FAILURES: %d\n", res.MountFailures)
+		}
+	}
+	if res.MountFailures > 0 || len(res.Violations) > 0 {
+		return fmt.Errorf("crashcheck: %w", errProblems)
+	}
+	return nil
 }
 
 // version parses an optional trailing "!N" version argument.

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -47,19 +49,19 @@ func captureStdout(t *testing.T, fn func()) []byte {
 func TestCLIRoundTripWithCrash(t *testing.T) {
 	img := filepath.Join(t.TempDir(), "vol.img")
 
-	if err := run(img, []string{"format"}); err != nil {
+	if err := run(img, false, []string{"format"}); err != nil {
 		t.Fatalf("format: %v", err)
 	}
 
 	content := []byte("persisted through the image file")
 	withStdin(t, content, func() {
-		if err := run(img, []string{"put", "notes.txt"}); err != nil {
+		if err := run(img, false, []string{"put", "notes.txt"}); err != nil {
 			t.Fatalf("put: %v", err)
 		}
 	})
 
 	out := captureStdout(t, func() {
-		if err := run(img, []string{"get", "notes.txt"}); err != nil {
+		if err := run(img, false, []string{"get", "notes.txt"}); err != nil {
 			t.Fatalf("get: %v", err)
 		}
 	})
@@ -69,7 +71,7 @@ func TestCLIRoundTripWithCrash(t *testing.T) {
 
 	// ls sees the file.
 	out = captureStdout(t, func() {
-		if err := run(img, []string{"ls"}); err != nil {
+		if err := run(img, false, []string{"ls"}); err != nil {
 			t.Fatalf("ls: %v", err)
 		}
 	})
@@ -79,7 +81,7 @@ func TestCLIRoundTripWithCrash(t *testing.T) {
 
 	// stat works.
 	out = captureStdout(t, func() {
-		if err := run(img, []string{"stat", "notes.txt"}); err != nil {
+		if err := run(img, false, []string{"stat", "notes.txt"}); err != nil {
 			t.Fatalf("stat: %v", err)
 		}
 	})
@@ -89,11 +91,11 @@ func TestCLIRoundTripWithCrash(t *testing.T) {
 
 	// Crash the volume; the next command must recover and still see the
 	// file (it was committed by the clean finish of `put`).
-	if err := run(img, []string{"crash"}); err != nil {
+	if err := run(img, false, []string{"crash"}); err != nil {
 		t.Fatalf("crash: %v", err)
 	}
 	out = captureStdout(t, func() {
-		if err := run(img, []string{"get", "notes.txt"}); err != nil {
+		if err := run(img, false, []string{"get", "notes.txt"}); err != nil {
 			t.Fatalf("get after crash: %v", err)
 		}
 	})
@@ -102,45 +104,45 @@ func TestCLIRoundTripWithCrash(t *testing.T) {
 	}
 
 	// rm removes it.
-	if err := run(img, []string{"rm", "notes.txt"}); err != nil {
+	if err := run(img, false, []string{"rm", "notes.txt"}); err != nil {
 		t.Fatalf("rm: %v", err)
 	}
-	if err := run(img, []string{"get", "notes.txt"}); err == nil {
+	if err := run(img, false, []string{"get", "notes.txt"}); err == nil {
 		t.Fatal("get after rm succeeded")
 	}
 
 	// info and fsck run clean.
-	if err := run(img, []string{"info"}); err != nil {
+	if err := run(img, false, []string{"info"}); err != nil {
 		t.Fatalf("info: %v", err)
 	}
-	if err := run(img, []string{"fsck"}); err != nil {
+	if err := run(img, false, []string{"fsck"}); err != nil {
 		t.Fatalf("fsck: %v", err)
 	}
 }
 
 func TestCLIErrors(t *testing.T) {
 	img := filepath.Join(t.TempDir(), "vol.img")
-	if err := run(img, []string{"get", "x"}); err == nil {
+	if err := run(img, false, []string{"get", "x"}); err == nil {
 		t.Fatal("get on missing image succeeded")
 	}
-	if err := run(img, []string{"format"}); err != nil {
+	if err := run(img, false, []string{"format"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(img, []string{"bogus-command"}); err == nil {
+	if err := run(img, false, []string{"bogus-command"}); err == nil {
 		t.Fatal("bogus command accepted")
 	}
-	if err := run(img, []string{"put"}); err == nil {
+	if err := run(img, false, []string{"put"}); err == nil {
 		t.Fatal("put without name accepted")
 	}
 }
 
 func TestCLIBurstRecovers(t *testing.T) {
 	img := filepath.Join(t.TempDir(), "vol.img")
-	if err := run(img, []string{"format"}); err != nil {
+	if err := run(img, false, []string{"format"}); err != nil {
 		t.Fatal(err)
 	}
 	out := captureStdout(t, func() {
-		if err := run(img, []string{"burst", "30"}); err != nil {
+		if err := run(img, false, []string{"burst", "30"}); err != nil {
 			t.Fatalf("burst: %v", err)
 		}
 	})
@@ -149,7 +151,7 @@ func TestCLIBurstRecovers(t *testing.T) {
 	}
 	// The next command recovers; committed burst files are listed.
 	out = captureStdout(t, func() {
-		if err := run(img, []string{"ls", "burst/"}); err != nil {
+		if err := run(img, false, []string{"ls", "burst/"}); err != nil {
 			t.Fatalf("ls after burst: %v", err)
 		}
 	})
@@ -164,19 +166,19 @@ func TestCLIBurstRecovers(t *testing.T) {
 
 func TestCLIScrubAndSalvage(t *testing.T) {
 	img := filepath.Join(t.TempDir(), "vol.img")
-	if err := run(img, []string{"format"}); err != nil {
+	if err := run(img, false, []string{"format"}); err != nil {
 		t.Fatal(err)
 	}
 	content := []byte("survives a name-table rebuild")
 	withStdin(t, content, func() {
-		if err := run(img, []string{"put", "notes.txt"}); err != nil {
+		if err := run(img, false, []string{"put", "notes.txt"}); err != nil {
 			t.Fatalf("put: %v", err)
 		}
 	})
 
 	// A healthy volume scrubs clean.
 	out := captureStdout(t, func() {
-		if err := run(img, []string{"scrub"}); err != nil {
+		if err := run(img, false, []string{"scrub"}); err != nil {
 			t.Fatalf("scrub: %v", err)
 		}
 	})
@@ -186,7 +188,7 @@ func TestCLIScrubAndSalvage(t *testing.T) {
 
 	// Salvage rebuilds the name table from leader pages; the file survives.
 	out = captureStdout(t, func() {
-		if err := run(img, []string{"salvage"}); err != nil {
+		if err := run(img, false, []string{"salvage"}); err != nil {
 			t.Fatalf("salvage: %v", err)
 		}
 	})
@@ -194,11 +196,127 @@ func TestCLIScrubAndSalvage(t *testing.T) {
 		t.Fatalf("salvage output: %q", out)
 	}
 	out = captureStdout(t, func() {
-		if err := run(img, []string{"get", "notes.txt"}); err != nil {
+		if err := run(img, false, []string{"get", "notes.txt"}); err != nil {
 			t.Fatalf("get after salvage: %v", err)
 		}
 	})
 	if !bytes.Equal(out, content) {
 		t.Fatalf("get after salvage = %q", out)
+	}
+}
+
+func TestCLIJSONAndExitCodes(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "vol.img")
+	if err := run(img, false, []string{"format"}); err != nil {
+		t.Fatal(err)
+	}
+	withStdin(t, []byte("json check"), func() {
+		if err := run(img, false, []string{"put", "j.txt"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// verify (the fsck alias) with -json emits a parseable, consistent report.
+	out := captureStdout(t, func() {
+		if err := run(img, true, []string{"verify"}); err != nil {
+			t.Fatalf("verify -json: %v", err)
+		}
+	})
+	var vr struct {
+		Entries    int      `json:"entries"`
+		Consistent bool     `json:"consistent"`
+		Problems   []string `json:"problems"`
+	}
+	if err := json.Unmarshal(out, &vr); err != nil {
+		t.Fatalf("verify JSON: %v\n%s", err, out)
+	}
+	if !vr.Consistent || vr.Entries == 0 || len(vr.Problems) != 0 {
+		t.Fatalf("unexpected verify report: %+v", vr)
+	}
+
+	// scrub -json on a healthy volume.
+	out = captureStdout(t, func() {
+		if err := run(img, true, []string{"scrub"}); err != nil {
+			t.Fatalf("scrub -json: %v", err)
+		}
+	})
+	var sr struct {
+		NTPagesChecked int `json:"nt_pages_checked"`
+		NTLost         int `json:"nt_lost"`
+	}
+	if err := json.Unmarshal(out, &sr); err != nil {
+		t.Fatalf("scrub JSON: %v\n%s", err, out)
+	}
+	if sr.NTPagesChecked == 0 || sr.NTLost != 0 {
+		t.Fatalf("unexpected scrub report: %+v", sr)
+	}
+
+	// salvage -json; a healthy image salvages without problems.
+	out = captureStdout(t, func() {
+		if err := run(img, true, []string{"salvage"}); err != nil {
+			t.Fatalf("salvage -json: %v", err)
+		}
+	})
+	var sv struct {
+		FilesRecovered int      `json:"files_recovered"`
+		Problems       []string `json:"problems"`
+	}
+	if err := json.Unmarshal(out, &sv); err != nil {
+		t.Fatalf("salvage JSON: %v\n%s", err, out)
+	}
+	if sv.FilesRecovered == 0 || len(sv.Problems) != 0 {
+		t.Fatalf("unexpected salvage report: %+v", sv)
+	}
+
+	// Usage errors carry the errUsage sentinel (exit 2).
+	if err := run(img, false, []string{"nonsense"}); !errors.Is(err, errUsage) {
+		t.Fatalf("unknown command: %v", err)
+	}
+	if err := run(img, false, []string{"put"}); !errors.Is(err, errUsage) {
+		t.Fatalf("missing operand: %v", err)
+	}
+	if err := run(img, false, []string{"crashcheck", "-bogus"}); !errors.Is(err, errUsage) {
+		t.Fatalf("bad crashcheck flag: %v", err)
+	}
+}
+
+func TestCLICrashcheckSingleState(t *testing.T) {
+	// Re-executing one state by id is the repro path printed on violations;
+	// it must run clean end to end and report exactly one state.
+	out := captureStdout(t, func() {
+		if err := run("unused.img", true, []string{"crashcheck", "-seed", "3", "-ops", "40", "-state", "5"}); err != nil {
+			t.Fatalf("crashcheck: %v", err)
+		}
+	})
+	var cr struct {
+		States       int     `json:"states"`
+		MountFails   int     `json:"mount_failures"`
+		Violations   []any   `json:"violations"`
+		StatesPerSec float64 `json:"states_per_sec"`
+	}
+	if err := json.Unmarshal(out, &cr); err != nil {
+		t.Fatalf("crashcheck JSON: %v\n%s", err, out)
+	}
+	if cr.States != 1 || cr.MountFails != 0 || len(cr.Violations) != 0 {
+		t.Fatalf("unexpected crashcheck report: %+v", cr)
+	}
+	if cr.StatesPerSec <= 0 {
+		t.Fatalf("states/sec not reported: %+v", cr)
+	}
+}
+
+func TestCLICrashcheckSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	out := captureStdout(t, func() {
+		if err := run("unused.img", false, []string{"crashcheck", "-seed", "2", "-ops", "60", "-states", "40"}); err != nil {
+			t.Fatalf("crashcheck sweep: %v", err)
+		}
+	})
+	for _, want := range []string{"explored 40/", "states/sec", "simulated recovery time", "PASS"} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -320,3 +320,36 @@ func TestRobustnessShape(t *testing.T) {
 		t.Errorf("salvage slower than scavenge: %.2fx", rep.SalvageSpeedup)
 	}
 }
+
+func TestCrashSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crash-state enumeration")
+	}
+	rep, err := CrashSweepReportRun()
+	if err != nil {
+		t.Fatalf("CrashSweepReportRun: %v", err)
+	}
+	// The run itself errors on mount failures or oracle violations, so
+	// here we only check the sweep's shape and the recovery-time claim.
+	if rep.States < 1000 {
+		t.Errorf("explored %d crash states, want >= 1000", rep.States)
+	}
+	if rep.PrefixStates == 0 || rep.ReorderStates == 0 || rep.TornStates == 0 {
+		t.Errorf("a state family is missing: prefix=%d reorder=%d torn=%d",
+			rep.PrefixStates, rep.ReorderStates, rep.TornStates)
+	}
+	if rep.TornRecords == 0 || rep.TailDiscarded == 0 {
+		t.Errorf("recovery never absorbed damage: torn=%d tail=%d", rep.TornRecords, rep.TailDiscarded)
+	}
+	if rep.StatesPerSec <= 0 {
+		t.Errorf("states/sec not measured: %f", rep.StatesPerSec)
+	}
+	// Simulated recovery stays inside the paper's observed 1-25 s window
+	// (the small sweep geometry sits near the bottom of it).
+	if rep.RecoveryMaxS <= 0 || rep.RecoveryMaxS > 25 {
+		t.Errorf("max simulated recovery %.2f s outside the paper's window", rep.RecoveryMaxS)
+	}
+	if rep.RecoveryMedS > rep.RecoveryMaxS || rep.RecoveryMinS > rep.RecoveryMedS {
+		t.Errorf("recovery summary not ordered: %f %f %f", rep.RecoveryMinS, rep.RecoveryMedS, rep.RecoveryMaxS)
+	}
+}

@@ -89,7 +89,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 func (v *Volume) Rename(oldName, newName string) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if err := v.begin(); err != nil {
+	if err := v.beginMutate(); err != nil {
 		return err
 	}
 	if err := ValidateName(newName); err != nil {

@@ -140,13 +140,25 @@ func (c *ntCache) Read(id uint32) ([]byte, error) {
 	c.Misses++
 	addrA, addrB := c.v.lay.ntPageAddrs(id)
 	bufA, errA := c.v.readSectorsRetry(addrA, NTPageSectors)
-	okA := errA == nil && (crcOK(bufA) || isVirgin(bufA))
+	if errA != nil {
+		bufA = nil
+	}
+	// A read-only mount overlays the log's replayed sector images (kept in
+	// memory, never written home) before the CRC check: the mix of stale
+	// home sectors and replayed sectors is exactly the page applyNTImages
+	// would have produced on disk.
+	bufA = c.v.overlayNT(id, bufA)
+	okA := bufA != nil && (crcOK(bufA) || isVirgin(bufA))
 	var bufB []byte
 	okB := false
 	if !c.v.cfg.ReadOneCopy && !c.v.cfg.SingleCopyNT {
 		var errB error
 		bufB, errB = c.v.readSectorsRetry(addrB, NTPageSectors)
-		okB = errB == nil && (crcOK(bufB) || isVirgin(bufB))
+		if errB != nil {
+			bufB = nil
+		}
+		bufB = c.v.overlayNT(id, bufB)
+		okB = bufB != nil && (crcOK(bufB) || isVirgin(bufB))
 		c.v.cpu.Charge(2 * csumCost)
 	} else {
 		c.v.cpu.Charge(csumCost)
@@ -160,7 +172,11 @@ func (c *ntCache) Read(id uint32) ([]byte, error) {
 	case c.v.cfg.ReadOneCopy && !c.v.cfg.SingleCopyNT:
 		// One-copy read mode falls back to the replica on damage.
 		bufB, errB := c.v.readSectorsRetry(addrB, NTPageSectors)
-		if errB == nil && (crcOK(bufB) || isVirgin(bufB)) {
+		if errB != nil {
+			bufB = nil
+		}
+		bufB = c.v.overlayNT(id, bufB)
+		if bufB != nil && (crcOK(bufB) || isVirgin(bufB)) {
 			data = bufB
 		}
 	}
@@ -170,6 +186,37 @@ func (c *ntCache) Read(id uint32) ([]byte, error) {
 	p := newNTPage(id, data)
 	c.insert(p)
 	return p.cur, nil
+}
+
+// overlayNT applies the in-memory replayed sector images of page id (set
+// only by MountReadOnly) over a home copy. buf may be nil for an unreadable
+// home copy, in which case the page is reconstructed only when the overlay
+// covers all of it. It returns buf unchanged when there is nothing to apply.
+func (v *Volume) overlayNT(id uint32, buf []byte) []byte {
+	if v.ntOverride == nil {
+		return buf
+	}
+	var imgs [NTPageSectors][]byte
+	n := 0
+	for j := 0; j < NTPageSectors; j++ {
+		if img, ok := v.ntOverride[uint64(id)*NTPageSectors+uint64(j)]; ok {
+			imgs[j] = img
+			n++
+		}
+	}
+	if n == 0 || (buf == nil && n < NTPageSectors) {
+		return buf
+	}
+	out := make([]byte, NTPageSize)
+	if buf != nil {
+		copy(out, buf)
+	}
+	for j, img := range imgs {
+		if img != nil {
+			copy(out[j*disk.SectorSize:(j+1)*disk.SectorSize], img)
+		}
+	}
+	return out
 }
 
 // isVirgin reports an all-zero page (never written; CRC field legitimately
@@ -191,6 +238,11 @@ func isVirgin(p []byte) bool {
 func (c *ntCache) Write(id uint32, data []byte) error {
 	if len(data) != NTPageSize {
 		return fmt.Errorf("core: name-table write of %d bytes", len(data))
+	}
+	if c.v.log == nil {
+		// Read-only mount: mutations are refused far above this, so a
+		// write reaching the pager is a bug, not a user error.
+		return fmt.Errorf("core: name-table write on read-only volume")
 	}
 	c.mu.Lock()
 	p, ok := c.pages[id]

@@ -132,7 +132,7 @@ func (v *Volume) CreateLink(name, target string) (*Entry, error) {
 func (v *Volume) createClass(name string, data []byte, class Class, linkTarget string) (*File, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if err := v.begin(); err != nil {
+	if err := v.beginMutate(); err != nil {
 		return nil, err
 	}
 	if err := ValidateName(name); err != nil {
@@ -334,7 +334,7 @@ func (v *Volume) Stat(name string, version uint32) (*Entry, error) {
 func (v *Volume) Touch(name string, version uint32) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if err := v.begin(); err != nil {
+	if err := v.beginMutate(); err != nil {
 		return err
 	}
 	e, err := v.statLocked(name, version)
@@ -351,7 +351,7 @@ func (v *Volume) Touch(name string, version uint32) error {
 func (v *Volume) SetKeep(name string, keep uint16) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if err := v.begin(); err != nil {
+	if err := v.beginMutate(); err != nil {
 		return err
 	}
 	e, err := v.statLocked(name, 0)
@@ -367,7 +367,7 @@ func (v *Volume) SetKeep(name string, keep uint16) error {
 func (v *Volume) Delete(name string, version uint32) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if err := v.begin(); err != nil {
+	if err := v.beginMutate(); err != nil {
 		return err
 	}
 	if version == 0 {
@@ -531,7 +531,7 @@ func (f *File) ReadAll() ([]byte, error) {
 func (f *File) WritePages(page int, data []byte) error {
 	v := f.v
 	defer v.rlock()()
-	if err := v.begin(); err != nil {
+	if err := v.beginMutate(); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -593,7 +593,7 @@ func (f *File) Extend(morePages int) error {
 	v := f.v
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if err := v.begin(); err != nil {
+	if err := v.beginMutate(); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -622,7 +622,7 @@ func (f *File) Contract(newPages int) error {
 	v := f.v
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if err := v.begin(); err != nil {
+	if err := v.beginMutate(); err != nil {
 		return err
 	}
 	f.mu.Lock()
@@ -663,7 +663,7 @@ func (f *File) SetByteSize(n uint64) error {
 	v := f.v
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if err := v.begin(); err != nil {
+	if err := v.beginMutate(); err != nil {
 		return err
 	}
 	f.mu.Lock()

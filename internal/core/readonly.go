@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/disk"
+	"repro/internal/wal"
+)
+
+// MountReadOnly is the degraded mount between a failed Mount and the
+// destructive Salvage sweep: it replays the log entirely in memory and
+// refuses every mutation, so it works even when the log region or both
+// anchor copies are unwritable — a writable Mount cannot finish recovery
+// without resetting the log, and Salvage abandons the log's history. The
+// volume serves the committed state (replayed name-table sectors overlay the
+// stale home copies inside the cache; leader images go to the in-memory
+// pending map; the allocation map is rebuilt but never saved) and writes
+// nothing anywhere: a later writable mount finds the platters untouched.
+//
+// If the log itself cannot be opened or replayed, the mount degrades one
+// step further and serves the last flushed home state — stale but internally
+// consistent, because home flushes are barriered behind the log's anchor
+// advance. MountStats.LogUnavailable reports that case.
+func MountReadOnly(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
+	var ms MountStats
+	start := d.Clock().Now()
+	root, err := readRoot(d)
+	if err != nil {
+		return nil, ms, err
+	}
+	lay := root.layout
+	cfg.LogVAM = root.logVAM
+	v := newVolume(d, cfg, lay)
+	v.readOnly = true
+	ms.CleanShutdown = root.clean
+	ms.ReadOnly = true
+	// The uid chunk is not advanced on disk (nothing is written); bump it
+	// in memory only so any internal allocation stays unique this session.
+	v.uidNext.Store((root.uidChunk + 1) << 32)
+
+	leaderImages := make(map[int][]byte)
+	ntImages := make(map[uint64][]byte)
+	lg, lerr := wal.Open(d, lay.logBase, lay.logSize, v.clk, wal.Config{
+		Interval: cfg.interval(),
+		Thirds:   cfg.Thirds,
+	})
+	if lerr == nil {
+		rs, rerr := lg.RecoverDry(func(kind uint8, target uint64, data []byte) error {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			switch kind {
+			case wal.KindNameTable:
+				ntImages[target] = cp
+			case wal.KindLeader:
+				leaderImages[int(target)] = cp
+			}
+			return nil
+		})
+		if rerr != nil {
+			ms.LogUnavailable = true
+			leaderImages = make(map[int][]byte)
+			ntImages = make(map[uint64][]byte)
+		} else {
+			ms.LogRecords = rs.Records
+			ms.LogImagesApplied = rs.Images
+			ms.LogRepaired = rs.Repaired
+			ms.LogTornRecords = rs.TornRecords
+			ms.LogTailDiscarded = rs.TailDiscarded
+			ms.LogGapBreaks = rs.GapBreaks
+		}
+	} else {
+		ms.LogUnavailable = true
+	}
+
+	v.ntOverride = ntImages
+	v.cache = newNTCache(v, cfg.cacheSize())
+	v.nt, err = btree.Open(v.cache)
+	if err != nil {
+		return nil, ms, fmt.Errorf("core: name table unreadable in read-only mount: %w", err)
+	}
+
+	// Allocation map and leader ownership are rebuilt in memory; the map is
+	// only consulted by Verify, never saved.
+	ms.VAMReconstructed = true
+	scanStart := v.clk.Now()
+	owners, err := v.scanForRebuild(true)
+	if err != nil {
+		return nil, ms, err
+	}
+	ms.VAMElapsed = v.clk.Now() - scanStart
+
+	// Replayed leader images whose file still owns the sector are served
+	// from the pending map, exactly where the read path's leader
+	// verification looks first.
+	for addr, img := range leaderImages {
+		uid, ok := leaderUID(img)
+		if !ok {
+			continue
+		}
+		if owner, present := owners[addr]; present && owner == uid {
+			v.pendingLeaders[addr] = img
+		}
+	}
+	ms.Elapsed = v.clk.Now() - start
+	return v, ms, nil
+}

@@ -138,6 +138,9 @@ func (v *Volume) Scrub() (ScrubStats, error) {
 	if v.closed.Load() {
 		return st, ErrClosed
 	}
+	if v.readOnly {
+		return st, ErrReadOnly
+	}
 	start := v.clk.Now()
 	v.scrubRoots(&st)
 	ls, err := v.log.ScrubCopies(func(addr int, data []byte) error {

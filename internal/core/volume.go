@@ -25,14 +25,28 @@ var (
 	ErrClosed    = errors.New("core: volume is shut down")
 	ErrRootLost  = errors.New("core: both volume root pages unreadable")
 	ErrIsSymlink = errors.New("core: entry is a symbolic link")
+	ErrReadOnly  = errors.New("core: volume mounted read-only")
 )
 
 // MountStats reports what mounting had to do.
 type MountStats struct {
-	CleanShutdown    bool
+	CleanShutdown bool
+	// ReadOnly marks a degraded MountReadOnly: the log was replayed in
+	// memory (or skipped, see LogUnavailable) and nothing was written.
+	ReadOnly bool
+	// LogUnavailable is set by MountReadOnly when the log could not be
+	// opened or replayed; the volume serves the last flushed home state.
+	LogUnavailable   bool
 	LogRecords       int
 	LogImagesApplied int
 	LogRepaired      int
+	// LogTornRecords / LogTailDiscarded / LogGapBreaks surface the
+	// recovery counters: records torn mid-write by the crash, images of an
+	// incomplete force discarded for batch atomicity, and replay stops at
+	// a missing record (the crash tail, or a write lost to reordering).
+	LogTornRecords   int
+	LogTailDiscarded int
+	LogGapBreaks     int
 	VAMReconstructed bool
 	// VAMElapsed is the portion of Elapsed spent scanning the name table
 	// to rebuild the allocation map (the paper's ~20 s on a Dorado).
@@ -93,6 +107,14 @@ type Volume struct {
 	nt    *btree.Tree
 	vm    *vam.VAM
 	al    *alloc.Allocator
+
+	// readOnly marks a degraded MountReadOnly volume: mutations fail with
+	// ErrReadOnly and nothing — log, name table, roots, VAM — is written.
+	readOnly bool
+	// ntOverride holds the log's replayed name-table sector images
+	// (keyed like wal KindNameTable targets) when the volume is mounted
+	// read-only; the cache overlays them on the stale home copies.
+	ntOverride map[uint64][]byte
 
 	uidNext atomic.Uint64
 
@@ -275,10 +297,19 @@ func (v *Volume) flushLeaders(third int) (int, error) {
 
 func (v *Volume) writeRoot(r rootPage) error {
 	buf := encodeRoot(r)
+	// Barriers on both sides: what the root attests (a clean-shutdown
+	// stamp covers every flush before it) must be durable first, and the
+	// stamp itself must land before anything that assumes it.
+	if err := v.d.Sync(); err != nil {
+		return err
+	}
 	if err := v.d.WriteSectors(v.lay.rootA, buf); err != nil {
 		return err
 	}
-	return v.d.WriteSectors(v.lay.rootB, buf)
+	if err := v.d.WriteSectors(v.lay.rootB, buf); err != nil {
+		return err
+	}
+	return v.d.Sync()
 }
 
 func readRoot(d *disk.Disk) (rootPage, error) {
@@ -429,6 +460,9 @@ func Mount(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	ms.LogRecords = rs.Records
 	ms.LogImagesApplied = rs.Images
 	ms.LogRepaired = rs.Repaired
+	ms.LogTornRecords = rs.TornRecords
+	ms.LogTailDiscarded = rs.TailDiscarded
+	ms.LogGapBreaks = rs.GapBreaks
 	v.hookLog()
 
 	v.nt, err = btree.Open(v.cache)
@@ -733,6 +767,9 @@ func (v *Volume) Force() error {
 	if v.closed.Load() {
 		return ErrClosed
 	}
+	if v.readOnly {
+		return ErrReadOnly
+	}
 	return v.log.Force()
 }
 
@@ -740,6 +777,9 @@ func (v *Volume) Force() error {
 // staged so far: once the log's committed sequence reaches it, all of them
 // are durable. Pair with WaitCommitted for group-commit-aware fsync.
 func (v *Volume) CommitSeq() uint64 {
+	if v.log == nil {
+		return 0
+	}
 	return v.log.Seq()
 }
 
@@ -750,6 +790,9 @@ func (v *Volume) WaitCommitted(seq uint64) error {
 	if v.closed.Load() {
 		return ErrClosed
 	}
+	if v.readOnly {
+		return ErrReadOnly
+	}
 	return v.log.WaitCommitted(seq)
 }
 
@@ -759,6 +802,9 @@ func (v *Volume) Tick() error {
 	defer v.rlock()()
 	if v.closed.Load() {
 		return ErrClosed
+	}
+	if v.readOnly {
+		return nil
 	}
 	return v.log.MaybeForce()
 }
@@ -773,6 +819,13 @@ func (v *Volume) Shutdown() error {
 	}
 	if v.stopTicker != nil {
 		close(v.stopTicker)
+	}
+	if v.readOnly {
+		// A degraded mount wrote nothing and must leave the volume
+		// exactly as found — including the unclean root stamp, so the
+		// next writable mount still runs recovery.
+		v.closed.Store(true)
+		return nil
 	}
 	if err := v.log.Force(); err != nil {
 		return err
@@ -826,6 +879,9 @@ func (v *Volume) DropCaches() error {
 	defer v.mu.Unlock()
 	if v.closed.Load() {
 		return ErrClosed
+	}
+	if v.readOnly {
+		return ErrReadOnly
 	}
 	if err := v.log.Force(); err != nil {
 		return err
@@ -891,5 +947,20 @@ func (v *Volume) begin() error {
 		return ErrClosed
 	}
 	v.cpu.Charge(sim.CostSyscall)
+	if v.readOnly {
+		return nil
+	}
 	return v.log.MaybeForce()
 }
+
+// beginMutate is begin for operations that modify the volume; a degraded
+// read-only mount refuses them before they touch anything.
+func (v *Volume) beginMutate() error {
+	if v.readOnly {
+		return ErrReadOnly
+	}
+	return v.begin()
+}
+
+// ReadOnly reports whether the volume was mounted by MountReadOnly.
+func (v *Volume) ReadOnly() bool { return v.readOnly }

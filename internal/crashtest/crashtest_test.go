@@ -1,0 +1,139 @@
+package crashtest
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExploreAllStates is the tentpole acceptance check: the full
+// enumeration for the default workload covers well over a thousand distinct
+// crash states, every one of them mounts, and the durability oracle holds in
+// all of them.
+func TestExploreAllStates(t *testing.T) {
+	res, err := Run(Config{Seed: 1, StateID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("states=%d (prefix=%d reorder=%d torn=%d) epochs=%d writes=%d acked=%d unacked=%d",
+		res.States, res.PrefixStates, res.ReorderStates, res.TornStates,
+		res.Epochs, res.TracedWrites, res.AckedOps, res.UnackedOps)
+	if res.States < 1000 {
+		t.Fatalf("enumerated only %d crash states, want >= 1000", res.States)
+	}
+	if res.PrefixStates == 0 || res.ReorderStates == 0 || res.TornStates == 0 {
+		t.Fatalf("enumeration missing a family: prefix=%d reorder=%d torn=%d",
+			res.PrefixStates, res.ReorderStates, res.TornStates)
+	}
+	if res.MountFailures != 0 {
+		t.Fatalf("%d crash states failed to mount", res.MountFailures)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation (repro: seed=%d state=%d): %s [%s]", v.Seed, v.StateID, v.Desc, v.State)
+	}
+	if res.AckedOps == 0 || res.UnackedOps == 0 {
+		t.Fatalf("workload must leave both acked (%d) and unacked (%d) ops", res.AckedOps, res.UnackedOps)
+	}
+	// The log-recovery counters must have fired somewhere across the sweep:
+	// torn records from torn log writes, discarded tails from unsynced
+	// record prefixes.
+	if res.TornRecords == 0 {
+		t.Error("no state exercised a torn log record")
+	}
+	if res.TailDiscarded == 0 {
+		t.Error("no state exercised a discarded uncommitted tail")
+	}
+	min, med, max := res.RecoverySummary()
+	t.Logf("recovery times: min=%v median=%v max=%v", min, med, max)
+	if max == 0 {
+		t.Error("recovery times not collected")
+	}
+}
+
+// TestEnumerationDeterministic: same (trace, seed) must yield the identical
+// state list — IDs are stable, so (seed, state-id) reproduces an image.
+func TestEnumerationDeterministic(t *testing.T) {
+	_, trace, epochs, _, err := buildWorkload(7, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Enumerate(trace, epochs, 7)
+	b := Enumerate(trace, epochs, 7)
+	if len(a) != len(b) {
+		t.Fatalf("enumeration size differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("state %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSingleStateRepro: Config.StateID re-executes exactly one state and
+// returns the same verdict as the full sweep did for it.
+func TestSingleStateRepro(t *testing.T) {
+	full, err := Run(Config{Seed: 3, Ops: 40, StateID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.States < 100 {
+		t.Fatalf("short workload still expected >= 100 states, got %d", full.States)
+	}
+	pick := full.StatesTotal / 2
+	one, err := Run(Config{Seed: 3, Ops: 40, StateID: pick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.States != 1 {
+		t.Fatalf("repro run executed %d states, want 1", one.States)
+	}
+	if one.MountFailures != 0 || len(one.Violations) != 0 {
+		t.Fatalf("repro of a passing state failed: %+v", one.Violations)
+	}
+	if _, err := Run(Config{Seed: 3, Ops: 40, StateID: full.StatesTotal + 5}); err == nil {
+		t.Fatal("out-of-range state id must error")
+	}
+}
+
+// TestStridedSampling: MaxStates bounds the executed set while keeping the
+// run meaningful.
+func TestStridedSampling(t *testing.T) {
+	res, err := Run(Config{Seed: 5, Ops: 60, StateID: -1, MaxStates: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 80 {
+		t.Fatalf("executed %d states, want 80", res.States)
+	}
+	if res.StatesTotal <= 80 {
+		t.Fatalf("full enumeration (%d) should exceed the cap", res.StatesTotal)
+	}
+	if res.MountFailures != 0 || len(res.Violations) != 0 {
+		t.Fatalf("sampled sweep failed: %d mount failures, %+v", res.MountFailures, res.Violations)
+	}
+}
+
+// TestDecayComposition: latent media decay on the surviving image must never
+// stop the volume from mounting; content loss is reported separately.
+func TestDecayComposition(t *testing.T) {
+	res, err := Run(Config{Seed: 11, Ops: 60, StateID: -1, MaxStates: 60, Decay: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MountFailures != 0 {
+		t.Fatalf("decay mode: %d mount failures", res.MountFailures)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("decay-mode violation (seed=%d state=%d): %s", v.Seed, v.StateID, v.Desc)
+	}
+}
+
+func TestRecoverySummaryEmpty(t *testing.T) {
+	var r Result
+	if a, b, c := r.RecoverySummary(); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty summary must be zeros")
+	}
+	r.RecoveryTimes = []time.Duration{3, 1, 2}
+	if a, b, c := r.RecoverySummary(); a != 1 || b != 2 || c != 3 {
+		t.Fatalf("summary wrong: %v %v %v", a, b, c)
+	}
+}

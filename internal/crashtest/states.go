@@ -1,0 +1,234 @@
+// Package crashtest systematically explores the disk states a power failure
+// can leave behind. The workload runs against a disk whose write-back window
+// is on, so every write is journaled with the barrier epoch it belongs to;
+// the explorer then reconstructs crash images — barrier-consistent prefixes,
+// legal reorderings of the unsynced window, and torn variants of the breaking
+// multi-sector write — mounts each one, and checks the durability oracle:
+// acknowledged operations survive intact, unacknowledged ones are atomically
+// present or absent, and no state fails to recover.
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/disk"
+)
+
+// Torn describes the breaking write of a crash state: the write that was in
+// flight when power failed. Persist sectors of it land, the sector at the
+// break is scribbled (unreadable), and DamagePrev additionally ruins the last
+// persisted sector — the weakest atomicity a drive is allowed to exhibit.
+type Torn struct {
+	Write      int // index into the cut epoch's write list
+	Persist    int // sectors of that write that reached the platter
+	DamagePrev bool
+}
+
+// State identifies one reconstructible crash image. Epochs below Cut are
+// fully durable (the drive honoured its barriers); of the writes in epoch
+// Cut, exactly those listed in Order land, in that order; Torn, when set, is
+// applied last. IDs are positions in the full deterministic enumeration for
+// a given (trace, seed), so a (seed, id) pair reproduces the exact image.
+type State struct {
+	ID    int
+	Cut   int
+	Order []int
+	Torn  *Torn
+	Kind  byte // 'p' barrier prefix, 'r' reorder/subset, 't' torn write
+}
+
+func (s State) String() string {
+	k := map[byte]string{'p': "prefix", 'r': "reorder", 't': "torn"}[s.Kind]
+	if s.Torn != nil {
+		return fmt.Sprintf("state %d: %s cut=%d order=%v torn(w=%d persist=%d prev=%v)",
+			s.ID, k, s.Cut, s.Order, s.Torn.Write, s.Torn.Persist, s.Torn.DamagePrev)
+	}
+	return fmt.Sprintf("state %d: %s cut=%d order=%v", s.ID, k, s.Cut, s.Order)
+}
+
+// groupByEpoch indexes the trace: byEpoch[e] lists trace indices of epoch e
+// (1-based; byEpoch[0] is unused).
+func groupByEpoch(trace []disk.JournaledWrite, lastEpoch int) [][]int {
+	byEpoch := make([][]int, lastEpoch+1)
+	for i, w := range trace {
+		if w.Epoch >= 1 && w.Epoch <= lastEpoch {
+			byEpoch[w.Epoch] = append(byEpoch[w.Epoch], i)
+		}
+	}
+	return byEpoch
+}
+
+// Enumerate produces the deterministic crash-state list for a trace. For
+// every epoch C it emits:
+//
+//   - every in-order prefix of the epoch's writes (k = 0 … n-1; k = n only
+//     for the final epoch, since "all of C" is the same image as "none of
+//     C+1" and would double-count);
+//   - torn variants: for each breaking write, the in-order prefix before it
+//     plus a partial landing of the write itself, at every break point when
+//     the write is short and a seeded sample of break points when it is
+//     long, plus one variant that also ruins the last landed sector;
+//   - order-preserving subsets that are not prefixes — exhaustively when
+//     2^n is small, seeded samples otherwise — modelling independent cache
+//     lines draining unevenly;
+//   - seeded permutations of sampled subsets, modelling out-of-order
+//     draining within the unsynced window.
+//
+// The enumeration is a pure function of (trace shape, seed): the same
+// workload seed always yields the same list with the same IDs.
+func Enumerate(trace []disk.JournaledWrite, lastEpoch int, seed int64) []State {
+	rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+	byEpoch := groupByEpoch(trace, lastEpoch)
+	var states []State
+	seen := make(map[string]bool)
+
+	emit := func(s State) {
+		key := fmt.Sprintf("%d|%v|%v", s.Cut, s.Order, s.Torn)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		s.ID = len(states)
+		states = append(states, s)
+	}
+
+	prefix := func(k int) []int {
+		p := make([]int, k)
+		for i := range p {
+			p[i] = i
+		}
+		return p
+	}
+
+	for c := 1; c <= lastEpoch; c++ {
+		n := len(byEpoch[c])
+
+		// Barrier-consistent prefixes.
+		kmax := n - 1
+		if c == lastEpoch {
+			kmax = n
+		}
+		for k := 0; k <= kmax; k++ {
+			emit(State{Cut: c, Order: prefix(k), Kind: 'p'})
+		}
+
+		// Torn variants of each write as the breaking one.
+		for b := 0; b < n; b++ {
+			w := trace[byEpoch[c][b]]
+			ns := w.Sectors()
+			for _, j := range breakPoints(ns) {
+				emit(State{Cut: c, Order: prefix(b), Kind: 't',
+					Torn: &Torn{Write: b, Persist: j}})
+			}
+			if ns >= 2 {
+				emit(State{Cut: c, Order: prefix(b), Kind: 't',
+					Torn: &Torn{Write: b, Persist: ns / 2, DamagePrev: true}})
+			}
+		}
+
+		if n < 2 {
+			continue
+		}
+
+		// The complete in-order epoch is the same image as the next cut's
+		// empty prefix; only the final epoch may emit it.
+		dupOfNextCut := func(sub []int) bool {
+			return c < lastEpoch && fullInOrder(sub, n)
+		}
+
+		// Order-preserving subsets that are not prefixes.
+		if n <= 6 {
+			for mask := 1; mask < 1<<n; mask++ {
+				sub := maskToOrder(mask, n)
+				if dupOfNextCut(sub) {
+					continue
+				}
+				emit(State{Cut: c, Order: sub, Kind: 'r'})
+			}
+		} else {
+			for t := 0; t < 4*n; t++ {
+				var sub []int
+				for i := 0; i < n; i++ {
+					if rng.Intn(2) == 1 {
+						sub = append(sub, i)
+					}
+				}
+				if dupOfNextCut(sub) {
+					continue
+				}
+				emit(State{Cut: c, Order: sub, Kind: 'r'})
+			}
+		}
+
+		// Permutations: shuffle seeded subsets of size >= 2.
+		perms := 2 * n
+		if perms > 12 {
+			perms = 12
+		}
+		for t := 0; t < perms; t++ {
+			var sub []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 1 {
+					sub = append(sub, i)
+				}
+			}
+			if len(sub) < 2 {
+				continue
+			}
+			rng.Shuffle(len(sub), func(i, j int) { sub[i], sub[j] = sub[j], sub[i] })
+			if dupOfNextCut(sub) {
+				continue
+			}
+			emit(State{Cut: c, Order: sub, Kind: 'r'})
+		}
+	}
+	return states
+}
+
+// breakPoints picks the persist counts to try for a torn write of ns
+// sectors: all of them when the write is short, a spread (both edges, the
+// middle, the quartiles) when it is long. 0 is always included — the write
+// vanished but its target sector was mid-scribble.
+func breakPoints(ns int) []int {
+	if ns <= 6 {
+		out := make([]int, ns)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	cand := []int{0, 1, ns / 4, ns / 2, 3 * ns / 4, ns - 1}
+	var out []int
+	seen := make(map[int]bool)
+	for _, j := range cand {
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// fullInOrder reports whether sub is exactly 0,1,…,n-1.
+func fullInOrder(sub []int, n int) bool {
+	if len(sub) != n {
+		return false
+	}
+	for i, v := range sub {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+func maskToOrder(mask, n int) []int {
+	var sub []int
+	for i := 0; i < n; i++ {
+		if mask&(1<<i) != 0 {
+			sub = append(sub, i)
+		}
+	}
+	return sub
+}

@@ -183,6 +183,11 @@ type Disk struct {
 	fcnt     faultCounts
 	classify func(addr int) Class
 	halted   bool
+	wb       *writeback // non-nil while the write-back window is enabled
+	// cow marks sector payload slices as shared with another disk (a Clone)
+	// or with the write-back journal; writes then replace slices instead of
+	// mutating them in place.
+	cow bool
 
 	spareTotal int
 	sparesUsed int
@@ -422,6 +427,14 @@ func (d *Disk) beginOp(addr, n int, write bool) error {
 
 // readSector copies the stored contents of addr into buf. Must hold d.mu.
 func (d *Disk) readSector(addr int, buf []byte) error {
+	if d.wb != nil {
+		// The drive cache serves the newest buffered content, bypassing
+		// platter damage and the read-fault model.
+		if ov, ok := d.wb.overlay[addr]; ok && ov.data != nil {
+			copy(buf, ov.data)
+			return nil
+		}
+	}
 	if d.damaged[addr] {
 		return &DamagedError{Addr: addr}
 	}
@@ -446,7 +459,7 @@ func (d *Disk) readSector(addr int, buf []byte) error {
 // retries is what pushes the repair path to Remap). Must hold d.mu.
 func (d *Disk) writeSector(addr int, buf []byte) {
 	s, ok := d.data[addr]
-	if !ok {
+	if !ok || d.cow {
 		s = make([]byte, SectorSize)
 		d.data[addr] = s
 	}
@@ -499,10 +512,10 @@ func (d *Disk) VerifyRead(addr int, want []Label) ([]byte, error) {
 	for i := 0; i < n; i++ {
 		d.transferOne(addr + i)
 		d.cnt.sectorsRead.Add(1)
-		if d.damaged[addr+i] {
+		if d.sectorDamaged(addr + i) {
 			return nil, &DamagedError{Addr: addr + i}
 		}
-		if got := d.labels[addr+i]; !got.Equal(want[i]) {
+		if got := d.labelAt(addr + i); !got.Equal(want[i]) {
 			return nil, &LabelError{Addr: addr + i, Want: want[i], Got: got}
 		}
 		if err := d.readSector(addr+i, buf[i*SectorSize:(i+1)*SectorSize]); err != nil {
@@ -526,10 +539,10 @@ func (d *Disk) ReadLabels(addr, n int) ([]Label, error) {
 	for i := 0; i < n; i++ {
 		d.transferOne(addr + i)
 		d.cnt.sectorsRead.Add(1)
-		if d.damaged[addr+i] {
+		if d.sectorDamaged(addr + i) {
 			return labs[:i], &DamagedError{Addr: addr + i}
 		}
-		labs[i] = d.labels[addr+i]
+		labs[i] = d.labelAt(addr + i)
 	}
 	return labs, nil
 }
@@ -553,10 +566,10 @@ func (d *Disk) VerifyWrite(addr int, want []Label, data []byte) error {
 	// Verification pass: labels stream under the head.
 	for i := 0; i < n; i++ {
 		d.transferOne(addr + i)
-		if d.damaged[addr+i] {
+		if d.sectorDamaged(addr + i) {
 			return &DamagedError{Addr: addr + i}
 		}
-		if got := d.labels[addr+i]; !got.Equal(want[i]) {
+		if got := d.labelAt(addr + i); !got.Equal(want[i]) {
 			return &LabelError{Addr: addr + i, Want: want[i], Got: got}
 		}
 	}
@@ -575,6 +588,14 @@ func (d *Disk) WriteLabels(addr int, labs []Label) error {
 		return err
 	}
 	d.motion(addr)
+	if d.wb != nil {
+		for i := 0; i < n; i++ {
+			d.transferOne(addr + i)
+			d.cnt.sectorsWritten.Add(1)
+		}
+		d.journalWrite(addr, nil, labs)
+		return nil
+	}
 	fault := d.takeFault(addr, n)
 	for i := 0; i < n; i++ {
 		d.transferOne(addr + i)
@@ -617,6 +638,14 @@ func (d *Disk) writeCommon(addr int, data []byte, labs []Label, _ interface{}) e
 // writeLocked transfers a write already positioned at addr. Must hold d.mu.
 func (d *Disk) writeLocked(addr int, data []byte, labs []Label) error {
 	n := len(data) / SectorSize
+	if d.wb != nil {
+		for i := 0; i < n; i++ {
+			d.transferOne(addr + i)
+			d.cnt.sectorsWritten.Add(1)
+		}
+		d.journalWrite(addr, data, labs)
+		return nil
+	}
 	fault := d.takeFault(addr, n)
 	for i := 0; i < n; i++ {
 		d.transferOne(addr + i)

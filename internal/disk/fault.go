@@ -179,6 +179,10 @@ func (d *Disk) injectRead(addr int) error {
 	}
 	if in.cfg.BitRot > 0 && r.Float64() < in.cfg.BitRot {
 		if s, ok := d.data[addr]; ok {
+			if d.cow {
+				s = append([]byte(nil), s...)
+				d.data[addr] = s
+			}
 			s[r.Intn(SectorSize)] ^= 1 << uint(r.Intn(8))
 			d.fcnt.bitrot++
 		}

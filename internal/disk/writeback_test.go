@@ -1,0 +1,241 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sector(b byte) []byte {
+	s := make([]byte, SectorSize)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func readByte(t *testing.T, d *Disk, addr int) byte {
+	t.Helper()
+	buf, err := d.ReadSectors(addr, 1)
+	if err != nil {
+		t.Fatalf("read %d: %v", addr, err)
+	}
+	return buf[0]
+}
+
+func TestWriteBackJournalAndOverlay(t *testing.T) {
+	d, _ := newTestDisk(t)
+	if err := d.WriteSectors(10, sector(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	d.EnableWriteBack()
+	if !d.WriteBackEnabled() {
+		t.Fatal("window not enabled")
+	}
+	if got := d.SyncedEpoch(); got != 1 {
+		t.Fatalf("fresh window epoch = %d, want 1", got)
+	}
+	// A journaled write must be visible to the host but not on the platter.
+	if err := d.WriteSectors(10, sector(0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, d, 10); got != 0xBB {
+		t.Fatalf("host read = %#x, want overlay value 0xBB", got)
+	}
+	clone := d.Clone(sim.NewVirtualClock())
+	if got := readByte(t, clone, 10); got != 0xAA {
+		t.Fatalf("platter = %#x, want pre-window value 0xAA", got)
+	}
+	tr := d.Trace()
+	if len(tr) != 1 || tr[0].Epoch != 1 || tr[0].Addr != 10 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestWriteBackEpochsAndBarriers(t *testing.T) {
+	d, _ := newTestDisk(t)
+	d.EnableWriteBack()
+	if err := d.WriteSectors(0, sector(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteSectors(1, sector(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteSectors(2, sector(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SyncedEpoch(); got != 2 {
+		t.Fatalf("epoch = %d, want 2", got)
+	}
+	tr := d.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace length = %d", len(tr))
+	}
+	if tr[0].Epoch != 1 || tr[1].Epoch != 2 || tr[2].Epoch != 2 {
+		t.Fatalf("epochs = %d,%d,%d", tr[0].Epoch, tr[1].Epoch, tr[2].Epoch)
+	}
+	if tr[0].Seq != 0 || tr[1].Seq != 1 || tr[2].Seq != 2 {
+		t.Fatalf("seqs = %d,%d,%d", tr[0].Seq, tr[1].Seq, tr[2].Seq)
+	}
+}
+
+func TestWriteBackCloneIsolation(t *testing.T) {
+	d, _ := newTestDisk(t)
+	if err := d.WriteSectors(5, sector(0x11)); err != nil {
+		t.Fatal(err)
+	}
+	d.EnableWriteBack()
+	if err := d.WriteSectors(5, sector(0x22)); err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trace()
+
+	a := d.Clone(sim.NewVirtualClock())
+	b := d.Clone(sim.NewVirtualClock())
+	a.ApplyJournaled(tr[0])
+	// Clone a sees the journaled value, clone b still the old platter.
+	if got := readByte(t, a, 5); got != 0x22 {
+		t.Fatalf("clone a read %#x, want 0x22", got)
+	}
+	if got := readByte(t, b, 5); got != 0x11 {
+		t.Fatalf("clone b read %#x, want 0x11", got)
+	}
+	// Writing on one clone must not leak into the other (copy-on-write).
+	if err := a.WriteSectors(5, sector(0x33)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, b, 5); got != 0x11 {
+		t.Fatalf("clone b sees a's write: %#x", got)
+	}
+}
+
+func TestWriteBackTornApply(t *testing.T) {
+	d, _ := newTestDisk(t)
+	base := append(append([]byte(nil), sector(7)...), sector(8)...)
+	base = append(base, sector(9)...)
+	if err := d.WriteSectors(20, base); err != nil {
+		t.Fatal(err)
+	}
+	d.EnableWriteBack()
+	upd := append(append([]byte(nil), sector(0x71)...), sector(0x81)...)
+	upd = append(upd, sector(0x91)...)
+	if err := d.WriteSectors(20, upd); err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trace()
+	if tr[0].Sectors() != 3 {
+		t.Fatalf("sectors = %d", tr[0].Sectors())
+	}
+
+	c := d.Clone(sim.NewVirtualClock())
+	c.ApplyTorn(tr[0], 1, false)
+	if got := readByte(t, c, 20); got != 0x71 {
+		t.Fatalf("persisted sector: %#x, want new value", got)
+	}
+	if _, err := c.ReadSectors(21, 1); err == nil {
+		t.Fatal("break sector must be unreadable")
+	}
+	if got := readByte(t, c, 22); got != 9 {
+		t.Fatalf("unwritten sector: %#x, want old value", got)
+	}
+
+	// DamagePrev also ruins the last landed sector.
+	c2 := d.Clone(sim.NewVirtualClock())
+	c2.ApplyTorn(tr[0], 2, true)
+	if got := readByte(t, c2, 20); got != 0x71 {
+		t.Fatalf("first sector: %#x", got)
+	}
+	if _, err := c2.ReadSectors(21, 1); err == nil {
+		t.Fatal("previous sector must be damaged")
+	}
+	if _, err := c2.ReadSectors(22, 1); err == nil {
+		t.Fatal("break sector must be damaged")
+	}
+	// A fresh write over a torn sector heals it (it is scribble, not a
+	// physical defect).
+	if err := c2.WriteSectors(21, sector(0xFF)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readByte(t, c2, 21); got != 0xFF {
+		t.Fatalf("rewrite did not heal: %#x", got)
+	}
+}
+
+func TestWriteBackFlush(t *testing.T) {
+	d, _ := newTestDisk(t)
+	d.EnableWriteBack()
+	want := sector(0x42)
+	if err := d.WriteSectors(30, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FlushWriteBack(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Trace()) != 0 {
+		t.Fatal("journal not drained")
+	}
+	if !d.WriteBackEnabled() {
+		t.Fatal("window must stay enabled after flush")
+	}
+	// Platter now has the value even without the overlay.
+	c := d.Clone(sim.NewVirtualClock())
+	buf, err := c.ReadSectors(30, 1)
+	if err != nil || !bytes.Equal(buf, want) {
+		t.Fatalf("platter after flush: %#x (%v)", buf[0], err)
+	}
+}
+
+func TestWriteBackLabels(t *testing.T) {
+	d, _ := newTestDisk(t)
+	d.EnableWriteBack()
+	lab := Label{FileID: 77, Page: 3}
+	if err := d.WriteLabels(40, []Label{lab}); err != nil {
+		t.Fatal(err)
+	}
+	// The overlay serves the label back to the host.
+	got, err := d.ReadLabels(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].FileID != 77 || got[0].Page != 3 {
+		t.Fatalf("label = %+v", got[0])
+	}
+	// The platter does not have it until the write is applied.
+	c := d.Clone(sim.NewVirtualClock())
+	cg, err := c.ReadLabels(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg[0].FileID == 77 {
+		t.Fatal("label leaked to platter")
+	}
+	c.ApplyJournaled(d.Trace()[0])
+	cg, err = c.ReadLabels(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg[0].FileID != 77 {
+		t.Fatalf("applied label = %+v", cg[0])
+	}
+}
+
+func TestSyncNoopWhenDisabled(t *testing.T) {
+	d, _ := newTestDisk(t)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.SyncedEpoch(); got != 0 {
+		t.Fatalf("epoch with window off = %d, want 0", got)
+	}
+	if tr := d.Trace(); tr != nil {
+		t.Fatalf("trace with window off = %v", tr)
+	}
+	d.Halt()
+	if err := d.Sync(); err != ErrHalted {
+		t.Fatalf("sync on halted disk = %v, want ErrHalted", err)
+	}
+}

@@ -33,8 +33,16 @@ type RecoveryStats struct {
 	// TailDiscarded counts images of an incomplete final batch that were
 	// found in the log but not applied (the force never finished).
 	TailDiscarded int
-	Elapsed       time.Duration
-	SectorsRead   int
+	// TornRecords counts records with a valid header but no valid end-page
+	// pair: the record write itself was torn by the crash. Replay stops at
+	// the first one.
+	TornRecords int
+	// GapBreaks counts replay terminating at an invalid header after at
+	// least one record had replayed — the ordinary crash tail, or a record
+	// write lost entirely to drive-cache reordering.
+	GapBreaks   int
+	Elapsed     time.Duration
+	SectorsRead int
 }
 
 // Applier receives each replayed page image in log order; applying the
@@ -56,10 +64,54 @@ func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
 	defer l.forceMu.Unlock()
 	start := l.clk.Now()
 	var rs RecoveryStats
-
-	a, err := l.readAnchor()
+	boot, err := l.replay(apply, &rs)
 	if err != nil {
 		return rs, err
+	}
+
+	// Replay complete: all surviving metadata images are home. Restart
+	// the log empty under a new boot count so stale records can never be
+	// confused with new ones.
+	l.bootCount = boot + 1
+	l.recordNum = 1
+	l.writeOff = 0
+	l.curThird = 0
+	l.thirdFirst = [8]uint64{}
+	if err := l.writeAnchor(anchor{bootCount: l.bootCount, offset: 0, recordNum: 1}); err != nil {
+		return rs, err
+	}
+	if err := l.d.WriteSectors(l.base+anchorSectors, make([]byte, disk.SectorSize)); err != nil {
+		return rs, err
+	}
+	l.mu.Lock()
+	l.lastForce = l.clk.Now()
+	l.mu.Unlock()
+	rs.Elapsed = l.clk.Now() - start
+	return rs, nil
+}
+
+// RecoverDry replays the log through apply without resetting it: no sector
+// is written. MountReadOnly uses it to reconstruct the committed state in
+// memory on a volume it must not modify; a later writable mount still finds
+// the log exactly as the crash left it.
+func (l *Log) RecoverDry(apply Applier) (RecoveryStats, error) {
+	l.forceMu.Lock()
+	defer l.forceMu.Unlock()
+	start := l.clk.Now()
+	var rs RecoveryStats
+	if _, err := l.replay(apply, &rs); err != nil {
+		return rs, err
+	}
+	rs.Elapsed = l.clk.Now() - start
+	return rs, nil
+}
+
+// replay is the shared replay loop; it returns the boot count read from the
+// anchor. Caller holds forceMu.
+func (l *Log) replay(apply Applier, rs *RecoveryStats) (uint32, error) {
+	a, err := l.readAnchor()
+	if err != nil {
+		return 0, err
 	}
 	off := int(a.offset)
 	rec := a.recordNum
@@ -83,6 +135,9 @@ func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
 			// because the next record did not fit; try exactly one
 			// jump to the next third start.
 			if skipped || off%l.thirdLen() == 0 {
+				if rs.Records > 0 {
+					rs.GapBreaks++
+				}
 				break
 			}
 			skipped = true
@@ -120,7 +175,7 @@ func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
 		} else if e := endAt(4 + 2*h.n); e != nil && l.validEnd(e, rec, boot) {
 			endOK = true
 			rs.Repaired++
-		} else if body == nil && l.readEnd(off, h.n, rec, boot, &rs) {
+		} else if body == nil && l.readEnd(off, h.n, rec, boot, rs) {
 			endOK = true
 		}
 		if !endOK {
@@ -136,6 +191,7 @@ func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
 				off = ((off/l.thirdLen() + 1) % l.thirds()) * l.thirdLen()
 				continue
 			}
+			rs.TornRecords++
 			break
 		}
 		skipped = false
@@ -176,7 +232,7 @@ func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
 		if h.endOfBatch {
 			for _, im := range batch {
 				if err := apply(im.kind, im.target, im.data); err != nil {
-					return rs, err
+					return 0, err
 				}
 				rs.Images++
 			}
@@ -195,26 +251,7 @@ func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
 		// batch so it is applied all-or-nothing.
 		rs.TailDiscarded = len(batch)
 	}
-
-	// Replay complete: all surviving metadata images are home. Restart
-	// the log empty under a new boot count so stale records can never be
-	// confused with new ones.
-	l.bootCount = boot + 1
-	l.recordNum = 1
-	l.writeOff = 0
-	l.curThird = 0
-	l.thirdFirst = [8]uint64{}
-	if err := l.writeAnchor(anchor{bootCount: l.bootCount, offset: 0, recordNum: 1}); err != nil {
-		return rs, err
-	}
-	if err := l.d.WriteSectors(l.base+anchorSectors, make([]byte, disk.SectorSize)); err != nil {
-		return rs, err
-	}
-	l.mu.Lock()
-	l.lastForce = l.clk.Now()
-	l.mu.Unlock()
-	rs.Elapsed = l.clk.Now() - start
-	return rs, nil
+	return boot, nil
 }
 
 // readHeader reads the header of the record expected at off, falling back

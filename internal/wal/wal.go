@@ -220,13 +220,23 @@ func decodeAnchor(buf []byte) (anchor, bool) {
 }
 
 // writeAnchor writes both anchor copies (two operations: the copies must
-// have independent failure modes, so they are never in one transfer).
+// have independent failure modes, so they are never in one transfer). Both
+// sides are fenced: whatever the new anchor supersedes (home flushes at a
+// third crossing) must be durable before either copy can point past it, and
+// the anchor itself must be durable before the third it releases is
+// overwritten.
 func (l *Log) writeAnchor(a anchor) error {
 	buf := encodeAnchor(a)
+	if err := l.d.Sync(); err != nil {
+		return err
+	}
 	if err := l.d.WriteSectors(l.base+0, buf); err != nil {
 		return err
 	}
-	return l.d.WriteSectors(l.base+2, buf)
+	if err := l.d.WriteSectors(l.base+2, buf); err != nil {
+		return err
+	}
+	return l.d.Sync()
 }
 
 // readAnchor returns the first readable, valid anchor copy.
@@ -427,12 +437,30 @@ func (l *Log) forceLocked() error {
 
 	// Record writing happens outside l.mu: new appends stage into the
 	// next batch while these records hit the disk.
+	wrote := len(batch) > 0
+	if wrote {
+		// Barrier: file data and leader pages written for the operations
+		// in this batch were issued before their images were staged, so
+		// they must be durable before the record that commits them — a
+		// reordering drive could otherwise land the record first and
+		// replay would resurrect an entry whose pages never arrived.
+		if err := l.d.Sync(); err != nil {
+			return err
+		}
+	}
 	for len(batch) > 0 {
 		consumed, err := l.writeRecord(batch)
 		if err != nil {
 			return err
 		}
 		batch = batch[consumed:]
+	}
+	if wrote {
+		// Barrier: the records themselves must be durable before the
+		// commit is acknowledged to waiting clients.
+		if err := l.d.Sync(); err != nil {
+			return err
+		}
 	}
 	l.committedSeq.Store(seq)
 	if l.OnCommit != nil {

@@ -314,6 +314,12 @@ func TestTornRecordDiscarded(t *testing.T) {
 	if c.last[imageKey{KindLeader, 2}] != nil {
 		t.Fatal("torn record replayed")
 	}
+	if rs.TornRecords != 1 {
+		t.Fatalf("TornRecords = %d, want 1 (header landed, end missing)", rs.TornRecords)
+	}
+	if rs.GapBreaks != 0 {
+		t.Fatalf("GapBreaks = %d on a cleanly torn tail", rs.GapBreaks)
+	}
 }
 
 func TestDamagedImageRepairedFromCopy(t *testing.T) {

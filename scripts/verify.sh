@@ -13,3 +13,7 @@ go test ./...
 go test -race ./internal/core ./internal/wal ./internal/disk
 go test ./internal/core -count=1 -run 'TestCrashPointSweep|TestTornLogForceSweep|TestScrubRepairsLatentDecay|TestSalvageAfterDoubleNameTableLoss'
 go test -race ./internal/core -count=1 -run 'TestScrubConcurrentWithReaders'
+# Bounded deterministic crash-state sweep: fixed seed, strided sample of
+# the full enumeration (the complete 1000+-state sweep runs in the bench
+# suite); well under a minute.
+go run ./cmd/fsdctl crashcheck -seed 1 -states 200
