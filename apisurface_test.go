@@ -1,0 +1,208 @@
+package cedarfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// Compile-time references for every re-exported type that the behavioral
+// test below does not bind to a value.
+var (
+	_ File
+	_ Entry
+	_ MountStats
+	_ MountOption
+	_ MountReport
+	_ Stats
+	_ OpStats
+	_ CacheStats
+	_ CommitStats
+	_ SpanStats
+	_ DiskStats
+	_ ScrubStats
+	_ SalvageStats
+	_ VolumeFaultStats
+	_ FaultConfig
+	_ DiskFaultStats
+	_ TraceEvent
+	_ HistSnapshot
+	_ Geometry
+	_ DiskParams
+)
+
+// TestAPISurface exercises every exported name in cedarfs.go: the
+// constructors, the redesigned Mount/Stats APIs, the trace hooks, the
+// deprecated wrappers, and the error and class constants.
+func TestAPISurface(t *testing.T) {
+	// NewVolume: the one-call constructor.
+	vol, err := NewVolume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("api surface probe")
+	f, err := vol.Create("probe.txt", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := f.Entry(); e.Class != Local {
+		t.Fatalf("class = %v, want Local (%v, %v also exported)", e.Class, SymLink, Cached)
+	}
+	f2, err := vol.Open("probe.txt", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := f2.ReadAll(); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("readback = %q, %v", got, err)
+	}
+	if _, err := vol.Open("missing.txt", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("open missing = %v, want ErrNotFound", err)
+	}
+	for _, e := range []error{ErrNotFound, ErrClosed, ErrIsSymlink, ErrReadOnly} {
+		if e == nil {
+			t.Fatal("exported error is nil")
+		}
+	}
+
+	// Stats: the one-call counter snapshot, with its nested sections.
+	var st Stats = vol.Stats()
+	var ops OpStats = st.Ops
+	var cs CacheStats = st.Cache
+	var cm CommitStats = st.Commit
+	var ds DiskStats = st.Disk
+	var fs VolumeFaultStats = st.Faults
+	if ops.Creates != 1 || ops.Opens != 1 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if cs.Hits+cs.Misses == 0 {
+		t.Fatalf("cache counters empty: %+v", cs)
+	}
+	if ds.Ops == 0 {
+		t.Fatalf("disk counters empty: %+v", ds)
+	}
+	_ = cm
+	_ = fs
+	var sp SpanStats = st.Spans["create"]
+	if sp.Count != 1 {
+		t.Fatalf("create span = %+v", sp)
+	}
+	var h HistSnapshot = sp.Latency
+	if h.Count != 1 || h.Mean() <= 0 {
+		t.Fatalf("create latency snapshot = %+v", h)
+	}
+
+	// TraceTo / TraceEvent / TraceSink: streaming plus the ring.
+	var got []TraceEvent
+	var sink TraceSink = func(ev TraceEvent) { got = append(got, ev) }
+	vol.TraceTo(sink)
+	if _, err := vol.Create("traced.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.Force(); err != nil {
+		t.Fatal(err)
+	}
+	vol.TraceTo(nil)
+	if len(got) == 0 || len(vol.TraceEvents()) == 0 {
+		t.Fatalf("tracing produced no events (sink %d, ring %d)", len(got), len(vol.TraceEvents()))
+	}
+
+	// Deprecated accessors still work and agree in shape.
+	if o := vol.Ops(); o.Creates != 2 {
+		t.Fatalf("deprecated Ops() = %+v", o)
+	}
+	_ = vol.CacheStats()
+	_ = vol.FaultStats()
+	if err := vol.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit disk construction: NewDisk, Format, and the Mount ladder.
+	var _ = DefaultDiskParams
+	d, clk, err := NewDisk(DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ Clock = clk
+	var _ *VirtualClock = clk
+	var _ *Disk = d
+	v2, err := Format(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.Create("persist.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	v3, rep, err := Mount(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ MountReport = rep
+	if !rep.CleanShutdown || rep.Salvage != nil {
+		t.Fatalf("default mount report = %+v", rep)
+	}
+	if err := v3.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ReadOnly option: mutations refused, platters untouched.
+	v4, rep4, err := Mount(d, Config{}, ReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep4.ReadOnly {
+		t.Fatalf("read-only mount report = %+v", rep4)
+	}
+	if _, err := v4.Create("nope.txt", data); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("create on read-only mount = %v, want ErrReadOnly", err)
+	}
+	if f, err := v4.Open("persist.txt", 0); err != nil {
+		t.Fatal(err)
+	} else if got, err := f.ReadAll(); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read-only readback = %q, %v", got, err)
+	}
+
+	// AllowSalvage on a healthy volume: the normal rung wins, no salvage.
+	v5, rep5, err := Mount(d, Config{}, AllowSalvage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep5.Salvage != nil {
+		t.Fatalf("healthy mount ran salvage: %+v", rep5.Salvage)
+	}
+	if err := v5.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deprecated wrappers route to the same ladder.
+	if _, ms, err := MountReadOnly(d, Config{}); err != nil || !ms.ReadOnly {
+		t.Fatalf("MountReadOnly = %+v, %v", ms, err)
+	}
+	v6, ms6, ss, err := MountOrSalvage(d, Config{})
+	if err != nil || ss != nil || ms6.ReadOnly {
+		t.Fatalf("MountOrSalvage = %+v, %v, %v", ms6, ss, err)
+	}
+	if err := v6.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Salvage: the direct destructive entry still recovers the file.
+	v7, sst, err := Salvage(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst.FilesRecovered < 1 {
+		t.Fatalf("salvage stats = %+v", sst)
+	}
+	if f, err := v7.Open("persist.txt", 0); err != nil {
+		t.Fatal(err)
+	} else if got, err := f.ReadAll(); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-salvage readback = %q, %v", got, err)
+	}
+	if err := v7.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}

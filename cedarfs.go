@@ -10,11 +10,19 @@
 //	f, err := vol.Create("notes.txt", data)  // one synchronous I/O
 //	f2, err := vol.Open("notes.txt", 0)      // no I/O when the name table is warm
 //	data, err := f2.ReadAll()
+//	st := vol.Stats()                        // every counter in one snapshot
 //	err = vol.Shutdown()                     // saves the VAM, stamps clean
 //
 // Crash behaviour: drop the Volume without Shutdown (or call Crash), revive
 // the disk, and Mount — the metadata log replays in seconds and the
 // allocation map is reconstructed from the file name table.
+//
+// Observability: Volume.Stats() snapshots every counter (operations, cache,
+// group commit, disk, faults, per-operation latency spans) without blocking
+// any operation; Volume.TraceTo(sink) streams structured events (disk ops
+// with seek/latency/transfer breakdown, WAL appends and forces, cache
+// hits/misses, operation spans). Tracing is off by default and costs one
+// atomic load per potential event.
 //
 // The baselines the paper compares against are available as subpackages for
 // benchmark use: internal/cfs (the old label-based Cedar file system) and
@@ -24,6 +32,7 @@ package cedarfs
 import (
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -40,9 +49,28 @@ type (
 	// MountStats reports what mounting had to do (log replay, VAM
 	// reconstruction).
 	MountStats = core.MountStats
+	// MountOption selects a mount mode for Mount (ReadOnly, AllowSalvage).
+	MountOption = core.MountOption
+	// MountReport is the unified mount result: MountStats embedded, plus
+	// SalvageStats when the salvage rung ran.
+	MountReport = core.MountReport
 	// Class distinguishes local files, symbolic links, and cached copies
 	// of remote files.
 	Class = core.Class
+	// Stats is the one-call snapshot of every volume counter; see
+	// Volume.Stats.
+	Stats = core.Stats
+	// OpStats counts logical file-system operations.
+	OpStats = core.OpStats
+	// CacheStats counts name-table cache activity.
+	CacheStats = core.CacheStats
+	// CommitStats reports group-commit activity and batching distributions.
+	CommitStats = core.CommitStats
+	// SpanStats summarizes one instrumented operation (count, errors,
+	// sim-time latency distribution).
+	SpanStats = core.SpanStats
+	// DiskStats is the raw device activity snapshot.
+	DiskStats = disk.Stats
 	// ScrubStats reports one online scrub pass (copies repaired, sectors
 	// retired).
 	ScrubStats = core.ScrubStats
@@ -55,6 +83,13 @@ type (
 	FaultConfig = disk.FaultConfig
 	// DiskFaultStats counts faults the disk injected and remaps it served.
 	DiskFaultStats = disk.FaultStats
+	// TraceEvent is one structured observability event; see Volume.TraceTo.
+	TraceEvent = obs.Event
+	// TraceSink receives trace events as they are emitted.
+	TraceSink = obs.Sink
+	// HistSnapshot is a point-in-time histogram copy (latency and batching
+	// distributions inside Stats).
+	HistSnapshot = obs.HistSnapshot
 )
 
 // Entry classes.
@@ -115,26 +150,43 @@ func NewVolume() (*Volume, error) {
 func Format(d *Disk, cfg Config) (*Volume, error) { return core.Format(d, cfg) }
 
 // Mount attaches to a formatted volume, replaying the metadata log and
-// reconstructing the allocation map as needed.
-func Mount(d *Disk, cfg Config) (*Volume, MountStats, error) { return core.Mount(d, cfg) }
+// reconstructing the allocation map as needed. Options select the degraded
+// modes: ReadOnly() for the write-nothing inspection mount, AllowSalvage()
+// to fall back to a read-only mount and then the salvage sweep when normal
+// recovery fails. The report embeds MountStats, so existing field accesses
+// keep working.
+func Mount(d *Disk, cfg Config, opts ...MountOption) (*Volume, MountReport, error) {
+	return core.Mount(d, cfg, opts...)
+}
 
-// MountReadOnly attaches to a volume without writing anything: the log
-// replays entirely in memory and every mutation returns ErrReadOnly. It is
-// the inspection mount for a volume too damaged for normal recovery but not
-// yet worth a salvage sweep.
+// ReadOnly is the Mount option for the degraded read-only mount: the log
+// replays entirely in memory and every mutation returns ErrReadOnly.
+func ReadOnly() MountOption { return core.ReadOnly() }
+
+// AllowSalvage is the Mount option that permits degrading to a read-only
+// mount and then to the destructive salvage sweep when recovery fails.
+func AllowSalvage() MountOption { return core.AllowSalvage() }
+
+// MountReadOnly attaches to a volume without writing anything.
+//
+// Deprecated: use Mount(d, cfg, ReadOnly()).
 func MountReadOnly(d *Disk, cfg Config) (*Volume, MountStats, error) {
 	return core.MountReadOnly(d, cfg)
 }
 
 // Salvage rebuilds a volume whose name table is lost in both copies by
 // scanning the data region for leader pages. Last-ditch recovery; see
-// Volume.Scrub for the maintenance pass that makes it unnecessary.
+// Volume.Scrub for the maintenance pass that makes it unnecessary. Prefer
+// Mount(d, cfg, AllowSalvage()), which tries the non-destructive rungs
+// first; Salvage remains the direct entry for tooling that has already
+// decided to sweep.
 func Salvage(d *Disk, cfg Config) (*Volume, SalvageStats, error) { return core.Salvage(d, cfg) }
 
 // MountOrSalvage mounts the volume, degrading first to a read-only mount and
-// then to a salvage scan when normal recovery fails. The SalvageStats
-// pointer is nil unless the salvage rung ran; MountStats.ReadOnly reports
-// the read-only rung.
+// then to a salvage scan when normal recovery fails.
+//
+// Deprecated: use Mount(d, cfg, AllowSalvage()); the MountReport carries
+// the SalvageStats pointer.
 func MountOrSalvage(d *Disk, cfg Config) (*Volume, MountStats, *SalvageStats, error) {
 	return core.MountOrSalvage(d, cfg)
 }

@@ -9,6 +9,7 @@
 //	benchtab -table gc       # the group-commit statistics (5.4)
 //	benchtab -table model    # the analytical-model validation (6)
 //	benchtab -table recovery # recovery comparison (7)
+//	benchtab -table tables   # Tables 2/3/4/5 from the live observability counters
 //	benchtab -table ablations
 package main
 
@@ -22,8 +23,9 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, ablations, all")
+	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, tables, ablations, all")
 	concJSON := flag.String("concurrency-json", "", "also write the concurrency report to this path (e.g. BENCH_concurrency.json)")
+	tablesJSON := flag.String("tables-json", "", "also write the live-counter tables report to this path (e.g. BENCH_tables.json)")
 	robJSON := flag.String("robustness-json", "", "also write the robustness report to this path (e.g. BENCH_robustness.json)")
 	sweepJSON := flag.String("crashsweep-json", "", "also write the crash-sweep report to this path (e.g. BENCH_crashsweep.json)")
 	flag.Parse()
@@ -46,6 +48,9 @@ func main() {
 		{"concurrency", bench.Concurrency},
 		{"robustness", bench.Robustness},
 		{"crashsweep", bench.CrashSweep},
+		{"tables", bench.TablesIOs},
+		{"tables", bench.TablesBatching},
+		{"tables", bench.TablesTimings},
 	}
 	ablations := []gen{
 		{"ablations", bench.AblationCommitInterval},
@@ -91,6 +96,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s (salvage %.1fx faster than scavenge)\n", *robJSON, rep.SalvageSpeedup)
+	}
+	if *tablesJSON != "" {
+		rep, err := bench.WriteTablesJSON(*tablesJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: tables json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (bulk-delete batching factor %.2fx)\n", *tablesJSON, rep.Batching.BatchingFactor)
 	}
 	if *sweepJSON != "" {
 		rep, err := bench.WriteCrashSweepJSON(*sweepJSON)

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestTablesGolden renders the three live-counter tables exactly as
+// `benchtab -table tables` prints them and checks the output structure plus
+// the headline claims: zero-I/O warm opens, a bulk-delete batching factor of
+// at least 2x (the paper reports 2.98x), and model predictions near the
+// span-measured timings. The three generators share one memoized run, so
+// this costs a single volume.
+func TestTablesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	out := func(format string, args ...interface{}) { fmt.Fprintf(&buf, format, args...) }
+	for _, fn := range []func() (bench.Table, error){
+		bench.TablesIOs, bench.TablesBatching, bench.TablesTimings,
+	} {
+		tb, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Print(out)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"=== T2: Disk I/Os per operation, from live counters (Table 2) ===",
+		"Operation", "I/Os per op", "meta I/Os per op",
+		"open (warm name table)",
+		"small create (600 B)",
+		"delete",
+		"=== T3: Group-commit batching on a bulk delete, from live counters (Table 3) ===",
+		"batching factor (staged / logged)", "2.98",
+		"=== T4/5: Model vs span-measured operation timings (Tables 4 and 5) ===",
+		"FSD open", "FSD small create", "FSD small delete", "Error %",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("tables output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The JSON report backs the same run; verify the recorded claims.
+	path := filepath.Join(t.TempDir(), "tables.json")
+	rep, err := bench.WriteTablesJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded bench.TablesReport
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("tables json does not round-trip: %v", err)
+	}
+	if decoded.Batching.BatchingFactor != rep.Batching.BatchingFactor {
+		t.Fatalf("json batching %v != returned %v", decoded.Batching.BatchingFactor, rep.Batching.BatchingFactor)
+	}
+	if rep.Batching.BatchingFactor < 2 {
+		t.Fatalf("bulk-delete batching factor %.2f < 2 (paper: 2.98)", rep.Batching.BatchingFactor)
+	}
+	for _, r := range rep.IOs {
+		if r.Operation == "open (warm name table)" && r.IOsPerOp != 0 {
+			t.Fatalf("warm open took %.2f I/Os per op, want 0", r.IOsPerOp)
+		}
+	}
+	for _, r := range rep.Timings {
+		e := r.ErrorPct
+		if e < 0 {
+			e = -e
+		}
+		if e > 15 {
+			t.Fatalf("%s: model error %.1f%% (model %.1f ms vs measured %.1f ms)",
+				r.Operation, r.ErrorPct, r.ModelMs, r.MeasuredMs)
+		}
+	}
+}

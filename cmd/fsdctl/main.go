@@ -17,10 +17,11 @@
 //	fsdctl -img vol.img scrub                      # repair decayed duplicate copies
 //	fsdctl -img vol.img salvage                    # rebuild the name table from leaders
 //	fsdctl -img vol.img info                       # volume statistics
+//	fsdctl -img vol.img stats                      # full observability snapshot
 //	fsdctl crashcheck [-seed N] [-states N] ...    # crash-state exploration sweep
 //
-// The -json flag switches verify/fsck, scrub, salvage, and crashcheck to
-// machine-readable JSON on stdout. Exit codes are 0 (success), 1
+// The -json flag switches verify/fsck, scrub, salvage, stats, and crashcheck
+// to machine-readable JSON on stdout. Exit codes are 0 (success), 1
 // (operational error), 2 (usage error), and 3 (the volume mounted but
 // inconsistencies, losses, or oracle violations were found).
 //
@@ -53,11 +54,11 @@ var (
 
 func main() {
 	img := flag.String("img", "cedar.img", "disk image file")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (verify/fsck, scrub, salvage, crashcheck)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (verify/fsck, scrub, salvage, stats, crashcheck)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "fsdctl: need a command (format, put, get, ls, rm, stat, burst, crash, fsck, verify, scrub, salvage, info, crashcheck)")
+		fmt.Fprintln(os.Stderr, "fsdctl: need a command (format, put, get, ls, rm, stat, burst, crash, fsck, verify, scrub, salvage, info, stats, crashcheck)")
 		os.Exit(2)
 	}
 	switch err := run(*img, *jsonOut, args); {
@@ -367,6 +368,38 @@ func run(img string, jsonOut bool, args []string) error {
 		fmt.Printf("free: %d sectors (%.1f%%)\n", free, 100*float64(free)/float64(total))
 		st := d.Stats()
 		fmt.Printf("session I/O: %d ops (%d reads, %d writes)\n", st.Ops, st.Reads, st.Writes)
+		return finish()
+	case "stats":
+		// The full observability snapshot for this session (everything since
+		// the mount above, including the recovery work the mount itself did).
+		st := v.Stats()
+		if jsonOut {
+			if err := emitJSON(st); err != nil {
+				return err
+			}
+			return finish()
+		}
+		fmt.Printf("ops: %d creates, %d opens, %d deletes, %d reads, %d writes, %d lists, %d touches\n",
+			st.Ops.Creates, st.Ops.Opens, st.Ops.Deletes, st.Ops.Reads,
+			st.Ops.Writes, st.Ops.Lists, st.Ops.Touches)
+		fmt.Printf("cache: %d hits, %d misses, %d home writes\n",
+			st.Cache.Hits, st.Cache.Misses, st.Cache.HomeWrites)
+		fmt.Printf("commit: %d forces, %d records, %d/%d images logged/staged (batching %.2fx), %d sectors\n",
+			st.Commit.Forces, st.Commit.Records, st.Commit.ImagesLogged,
+			st.Commit.ImagesStaged, st.Commit.BatchingFactor, st.Commit.SectorsWritten)
+		fmt.Printf("disk: %d ops (%d reads, %d writes), %d/%d sectors read/written, busy %v simulated\n",
+			st.Disk.Ops, st.Disk.Reads, st.Disk.Writes, st.Disk.SectorsRead,
+			st.Disk.SectorsWritten, st.Disk.BusyTime().Round(time.Millisecond))
+		fmt.Printf("faults: %d read retries (%d recovered), %d scrub passes, %d copies repaired, %d sectors retired\n",
+			st.Faults.ReadRetries, st.Faults.RetriedOK, st.Faults.Scrubs, st.Faults.Repaired, st.Faults.Retired)
+		for _, name := range core.SpanNames() {
+			sp, ok := st.Spans[name]
+			if !ok {
+				continue
+			}
+			fmt.Printf("span %-12s %6d calls, %d errors, mean %.1f ms\n",
+				name, sp.Count, sp.Errors, sp.Latency.Mean()/float64(time.Millisecond))
+		}
 		return finish()
 	default:
 		return fmt.Errorf("unknown command %q: %w", cmd, errUsage)

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	cedarfs "repro"
 )
 
 // withStdin feeds data to os.Stdin for one run() call.
@@ -318,5 +320,46 @@ func TestCLICrashcheckSweep(t *testing.T) {
 		if !bytes.Contains(out, []byte(want)) {
 			t.Fatalf("sweep output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestStatsCommand checks both renderings of the stats command: the text
+// summary's section lines and the -json snapshot, which must decode back
+// into the public Stats type.
+func TestStatsCommand(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "vol.img")
+	if err := run(img, false, []string{"format"}); err != nil {
+		t.Fatalf("format: %v", err)
+	}
+	withStdin(t, []byte("stats probe"), func() {
+		if err := run(img, false, []string{"put", "a.txt"}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	})
+
+	out := captureStdout(t, func() {
+		if err := run(img, false, []string{"stats"}); err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+	})
+	for _, want := range []string{"ops:", "cache:", "commit:", "disk:", "faults:"} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = captureStdout(t, func() {
+		if err := run(img, true, []string{"stats"}); err != nil {
+			t.Fatalf("stats -json: %v", err)
+		}
+	})
+	var st cedarfs.Stats
+	if err := json.Unmarshal(out, &st); err != nil {
+		t.Fatalf("stats -json does not decode into cedarfs.Stats: %v\n%s", err, out)
+	}
+	// A fresh mount has no logical operations yet, but opening the image
+	// always costs device reads.
+	if st.Disk.Ops == 0 || st.Disk.Reads == 0 {
+		t.Fatalf("stats -json disk counters empty: %+v", st.Disk)
 	}
 }

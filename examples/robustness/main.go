@@ -229,7 +229,7 @@ func main() {
 				return err
 			}
 		}
-		fs := vol.FaultStats()
+		fs := vol.Stats().Faults
 		fmt.Printf("   5%% of reads failed marginally: %d retries, %d recovered in place, zero surfaced to callers\n",
 			fs.ReadRetries, fs.RetriedOK)
 		return nil
@@ -255,11 +255,11 @@ func main() {
 			return err
 		}
 		vol.DestroyNameTable()
-		vol2, ms, ss, err := cedarfs.MountOrSalvage(d, cedarfs.Config{})
+		vol2, report, err := cedarfs.Mount(d, cedarfs.Config{}, cedarfs.AllowSalvage())
 		if err != nil {
 			return err
 		}
-		_ = ms
+		ss := report.Salvage
 		if ss == nil {
 			return fmt.Errorf("mount unexpectedly succeeded on a destroyed name table")
 		}

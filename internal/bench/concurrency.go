@@ -47,10 +47,10 @@ type ConcurrencyResult struct {
 
 // ConcurrencyReport is what BENCH_concurrency.json holds.
 type ConcurrencyReport struct {
-	Model    string             `json:"model"`
-	Baseline ConcurrencyResult  `json:"baseline"`
+	Model    string              `json:"model"`
+	Baseline ConcurrencyResult   `json:"baseline"`
 	Runs     []ConcurrencyResult `json:"runs"`
-	Speedup8 float64            `json:"speedup_8_workers"`
+	Speedup8 float64             `json:"speedup_8_workers"`
 }
 
 // concurrencyMixIters is ops per worker; the mix below is 60% open, 20%

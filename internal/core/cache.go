@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/disk"
 	"repro/internal/wal"
@@ -81,20 +82,24 @@ type ntCache struct {
 	pages map[uint32]*ntPage
 	seq   uint64
 
-	// Counters for the benchmarks.
-	Hits, Misses int
-	HomeWrites   int
+	// Counters for the benchmarks. Atomic because c.mu is held across the
+	// home-write disk I/O (flushThird, flushAll): a Stats snapshot must
+	// never block behind a flush in flight.
+	hits, misses atomic.Int64
+	homeWrites   atomic.Int64
 }
 
 func newNTCache(v *Volume, capacity int) *ntCache {
 	return &ntCache{v: v, pages: make(map[uint32]*ntPage), cap: capacity}
 }
 
-// stats returns (hits, misses, homeWrites).
-func (c *ntCache) stats() (int, int, int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.Hits, c.Misses, c.HomeWrites
+// stats snapshots the cache counters without taking c.mu.
+func (c *ntCache) stats() CacheStats {
+	return CacheStats{
+		Hits:       int(c.hits.Load()),
+		Misses:     int(c.misses.Load()),
+		HomeWrites: int(c.homeWrites.Load()),
+	}
 }
 
 // PageSize implements btree.Pager.
@@ -128,7 +133,8 @@ func (c *ntCache) Read(id uint32) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if p, ok := c.pages[id]; ok {
-		c.Hits++
+		c.hits.Add(1)
+		c.v.traceCache(true, id)
 		c.seq++
 		p.lruSeq = c.seq
 		c.v.cpu.Charge(0) // navigation cost charged by callers per op
@@ -137,7 +143,8 @@ func (c *ntCache) Read(id uint32) ([]byte, error) {
 		}
 		return p.cur, nil
 	}
-	c.Misses++
+	c.misses.Add(1)
+	c.v.traceCache(false, id)
 	addrA, addrB := c.v.lay.ntPageAddrs(id)
 	bufA, errA := c.v.readSectorsRetry(addrA, NTPageSectors)
 	if errA != nil {
@@ -378,14 +385,14 @@ func (c *ntCache) writeHomeSector(id uint32, sub int, data []byte) error {
 	if err := c.v.d.WriteSectors(addrA+sub, data); err != nil {
 		return err
 	}
-	c.HomeWrites++
+	c.homeWrites.Add(1)
 	if c.v.cfg.SingleCopyNT {
 		return nil
 	}
 	if err := c.v.d.WriteSectors(addrB+sub, data); err != nil {
 		return err
 	}
-	c.HomeWrites++
+	c.homeWrites.Add(1)
 	return nil
 }
 
@@ -396,14 +403,14 @@ func (c *ntCache) writeHome(id uint32, data []byte) error {
 	if err := c.v.d.WriteSectors(addrA, data); err != nil {
 		return err
 	}
-	c.HomeWrites++
+	c.homeWrites.Add(1)
 	if c.v.cfg.SingleCopyNT {
 		return nil
 	}
 	if err := c.v.d.WriteSectors(addrB, data); err != nil {
 		return err
 	}
-	c.HomeWrites++
+	c.homeWrites.Add(1)
 	return nil
 }
 

@@ -129,7 +129,8 @@ func (v *Volume) CreateLink(name, target string) (*Entry, error) {
 	return &f.e, nil
 }
 
-func (v *Volume) createClass(name string, data []byte, class Class, linkTarget string) (*File, error) {
+func (v *Volume) createClass(name string, data []byte, class Class, linkTarget string) (_ *File, err error) {
+	defer v.span("create")(&err)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -298,7 +299,8 @@ func (v *Volume) applyKeepLocked(name string, newest uint32, keep uint16) error 
 // cached file updates its last-used time — the canonical group-commit
 // hot-spot update. Open normally costs no I/O: all properties, including
 // the run table, are in the (cached) name table.
-func (v *Volume) Open(name string, version uint32) (*File, error) {
+func (v *Volume) Open(name string, version uint32) (_ *File, err error) {
+	defer v.span("open")(&err)
 	defer v.rlock()()
 	if err := v.begin(); err != nil {
 		return nil, err
@@ -321,7 +323,8 @@ func (v *Volume) Open(name string, version uint32) (*File, error) {
 }
 
 // Stat returns a file's entry without opening it; version 0 = newest.
-func (v *Volume) Stat(name string, version uint32) (*Entry, error) {
+func (v *Volume) Stat(name string, version uint32) (_ *Entry, err error) {
+	defer v.span("stat")(&err)
 	defer v.rlock()()
 	if err := v.begin(); err != nil {
 		return nil, err
@@ -331,7 +334,8 @@ func (v *Volume) Stat(name string, version uint32) (*Entry, error) {
 
 // Touch updates a file's last-used time (the property update the paper uses
 // as its one-page log record example).
-func (v *Volume) Touch(name string, version uint32) error {
+func (v *Volume) Touch(name string, version uint32) (err error) {
+	defer v.span("touch")(&err)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -348,7 +352,8 @@ func (v *Volume) Touch(name string, version uint32) error {
 
 // SetKeep sets the keep count on the newest version of name; it takes
 // effect at the next create.
-func (v *Volume) SetKeep(name string, keep uint16) error {
+func (v *Volume) SetKeep(name string, keep uint16) (err error) {
+	defer v.span("setkeep")(&err)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -364,7 +369,8 @@ func (v *Volume) SetKeep(name string, keep uint16) error {
 
 // Delete removes a file version (0 = newest). Its pages become allocatable
 // when the deletion commits — at the next log force.
-func (v *Volume) Delete(name string, version uint32) error {
+func (v *Volume) Delete(name string, version uint32) (err error) {
+	defer v.span("delete")(&err)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -413,14 +419,15 @@ func (v *Volume) deleteLocked(name string, version uint32) error {
 // version order, until fn returns false. Properties need no extra I/O:
 // "there is no need for a disk read for the properties since they are
 // already available in the file name table."
-func (v *Volume) List(prefix string, fn func(Entry) bool) error {
+func (v *Volume) List(prefix string, fn func(Entry) bool) (err error) {
+	defer v.span("list")(&err)
 	defer v.rlock()()
 	if err := v.begin(); err != nil {
 		return err
 	}
 	v.ops.lists.Add(1)
 	stop := errors.New("stop")
-	err := v.nt.Scan([]byte(prefix), func(k, val []byte) bool {
+	err = v.nt.Scan([]byte(prefix), func(k, val []byte) bool {
 		name, ver, ok := splitKey(k)
 		if !ok {
 			return true
@@ -445,8 +452,9 @@ func (v *Volume) List(prefix string, fn func(Entry) bool) error {
 // access to a file verifies the leader by piggybacking its read onto the
 // data transfer: "the leader page is the previous physical page on the
 // disk... it usually costs only the transfer time for a page".
-func (f *File) ReadPages(page, n int) ([]byte, error) {
+func (f *File) ReadPages(page, n int) (_ []byte, err error) {
 	v := f.v
+	defer v.span("read")(&err)
 	defer v.rlock()()
 	if err := v.begin(); err != nil {
 		return nil, err
@@ -528,8 +536,9 @@ func (f *File) ReadAll() ([]byte, error) {
 // name-table state, and the deferred-leader maps are guarded by their own
 // lock. (A delete of the same file takes the monitor exclusively, so a
 // handle's pages cannot be freed mid-write.)
-func (f *File) WritePages(page int, data []byte) error {
+func (f *File) WritePages(page int, data []byte) (err error) {
 	v := f.v
+	defer v.span("write")(&err)
 	defer v.rlock()()
 	if err := v.beginMutate(); err != nil {
 		return err
@@ -589,8 +598,9 @@ func (f *File) WritePages(page int, data []byte) error {
 // Extend grows the file by morePages data pages, allocating new runs and
 // updating the name-table entry (a logged metadata operation, no
 // synchronous I/O).
-func (f *File) Extend(morePages int) error {
+func (f *File) Extend(morePages int) (err error) {
 	v := f.v
+	defer v.span("extend")(&err)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -618,8 +628,9 @@ func (f *File) Extend(morePages int) error {
 
 // Contract trims the file to newPages data pages; the freed tail becomes
 // allocatable at the next commit.
-func (f *File) Contract(newPages int) error {
+func (f *File) Contract(newPages int) (err error) {
 	v := f.v
+	defer v.span("contract")(&err)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -659,8 +670,9 @@ func (f *File) Contract(newPages int) error {
 }
 
 // SetByteSize records a new byte size (within the allocated pages).
-func (f *File) SetByteSize(n uint64) error {
+func (f *File) SetByteSize(n uint64) (err error) {
 	v := f.v
+	defer v.span("setbytesize")(&err)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {

@@ -83,11 +83,10 @@ func TestAccessorsAndDropCaches(t *testing.T) {
 	if _, err := v.Create("acc/a", payload(100, 1)); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses, homeWrites := v.CacheStats()
-	if hits == 0 && misses == 0 {
+	cs := v.CacheStats()
+	if cs.Hits == 0 && cs.Misses == 0 {
 		t.Fatal("cache stats all zero after activity")
 	}
-	_ = homeWrites
 	nt, lg := v.ModelInfo()
 	if nt < 0 || lg < 0 {
 		t.Fatal("ModelInfo negative")

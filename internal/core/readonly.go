@@ -8,7 +8,14 @@ import (
 	"repro/internal/wal"
 )
 
-// MountReadOnly is the degraded mount between a failed Mount and the
+// MountReadOnly mounts the volume read-only.
+//
+// Deprecated: use Mount(d, cfg, ReadOnly()).
+func MountReadOnly(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
+	return mountReadOnly(d, cfg)
+}
+
+// mountReadOnly is the degraded mount between a failed writable mount and the
 // destructive Salvage sweep: it replays the log entirely in memory and
 // refuses every mutation, so it works even when the log region or both
 // anchor copies are unwritable — a writable Mount cannot finish recovery
@@ -22,7 +29,7 @@ import (
 // step further and serves the last flushed home state — stale but internally
 // consistent, because home flushes are barriered behind the log's anchor
 // advance. MountStats.LogUnavailable reports that case.
-func MountReadOnly(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
+func mountReadOnly(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	var ms MountStats
 	start := d.Clock().Now()
 	root, err := readRoot(d)

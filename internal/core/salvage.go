@@ -315,25 +315,12 @@ claiming:
 	return v, st, nil
 }
 
-// MountOrSalvage mounts the volume, degrading in two steps when normal
-// recovery fails (root pages intact but the name table or log is damaged
-// beyond the duplicates' reach): first a read-only mount, which preserves
-// the committed state without writing anything — the last rung before data
-// loss, and the right one when only the log region or the anchors are
-// unwritable — then the destructive salvage sweep. The SalvageStats pointer
-// is nil except on the salvage path; a read-only result is flagged in
-// MountStats.ReadOnly.
+// MountOrSalvage mounts the volume, degrading to a read-only mount and then
+// the destructive salvage sweep when normal recovery fails.
+//
+// Deprecated: use Mount(d, cfg, AllowSalvage()); the returned MountReport
+// carries the SalvageStats pointer.
 func MountOrSalvage(d *disk.Disk, cfg Config) (*Volume, MountStats, *SalvageStats, error) {
-	v, ms, merr := Mount(d, cfg)
-	if merr == nil {
-		return v, ms, nil, nil
-	}
-	if rv, rms, rerr := MountReadOnly(d, cfg); rerr == nil {
-		return rv, rms, nil, nil
-	}
-	v, ss, serr := Salvage(d, cfg)
-	if serr != nil {
-		return nil, ms, &ss, fmt.Errorf("core: mount failed (%v); salvage failed: %w", merr, serr)
-	}
-	return v, ms, &ss, nil
+	v, rep, err := Mount(d, cfg, AllowSalvage())
+	return v, rep.MountStats, rep.Salvage, err
 }

@@ -76,6 +76,8 @@ type faultCounters struct {
 }
 
 // FaultStats returns a snapshot of the volume-level fault counters.
+//
+// Deprecated: use Stats().Faults.
 func (v *Volume) FaultStats() FaultStats {
 	return FaultStats{
 		ReadRetries: int(v.faults.retries.Load()),
@@ -131,7 +133,8 @@ func (v *Volume) repairSectors(addr int, data []byte, st *ScrubStats) error {
 // (the name-table pass serializes only against home writes of the page in
 // hand, the leader pass shares the monitor). Concurrent Scrub calls
 // serialize behind scrubMu.
-func (v *Volume) Scrub() (ScrubStats, error) {
+func (v *Volume) Scrub() (_ ScrubStats, err error) {
+	defer v.span("scrub")(&err)
 	v.scrubMu.Lock()
 	defer v.scrubMu.Unlock()
 	var st ScrubStats
@@ -161,6 +164,7 @@ func (v *Volume) Scrub() (ScrubStats, error) {
 	}
 	v.faults.scrubs.Add(1)
 	v.faults.repaired.Add(int64(st.Repaired()))
+	v.traceScrub("pass", st.Repaired())
 	st.Elapsed = v.clk.Now() - start
 	return st, nil
 }

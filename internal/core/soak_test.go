@@ -86,7 +86,7 @@ func TestSoakMultiBootLifecycle(t *testing.T) {
 			v.Crash()
 			d.Revive()
 		}
-		var ms MountStats
+		var ms MountReport
 		v, ms, err = Mount(d, testConfig())
 		if err != nil {
 			t.Fatalf("boot %d: mount: %v", boot, err)

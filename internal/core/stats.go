@@ -1,0 +1,299 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// CacheStats counts name-table cache activity.
+type CacheStats struct {
+	Hits       int
+	Misses     int
+	HomeWrites int // sectors/pages written home (third flushes, shutdown)
+}
+
+// CommitStats reports group-commit activity: the WAL counters plus the
+// batching distributions measured by the observability layer. The paper's
+// Table 3 ("reduction in file operations") is BatchingFactor on a metadata
+// hot-spot workload.
+type CommitStats struct {
+	Forces           int
+	Records          int
+	ImagesStaged     int
+	ImagesLogged     int
+	ImagesElided     int
+	SectorsWritten   int
+	MinRecordSectors int
+	MaxRecordSectors int
+	ThirdCrossings   int
+	HomeFlushes      int
+	// BatchingFactor is ImagesStaged / ImagesLogged: how many staged page
+	// images each written image absorbed.
+	BatchingFactor float64
+	// BatchImages, RecordsPerForce, and ForceInterval are distributions
+	// over the forces that wrote records (images per batch, records per
+	// force, simulated ns between force starts).
+	BatchImages     obs.HistSnapshot
+	RecordsPerForce obs.HistSnapshot
+	ForceInterval   obs.HistSnapshot
+}
+
+// SpanStats summarizes one public Volume operation: invocations, failures,
+// and the sim-time latency distribution (ns).
+type SpanStats struct {
+	Count   int64
+	Errors  int64
+	Latency obs.HistSnapshot
+}
+
+// Stats is the one-call snapshot of every volume counter: logical
+// operations, cache, group commit, raw device activity, fault handling, and
+// per-operation spans. All sources are atomics (or briefly-held stat locks
+// never spanning I/O), so Stats never blocks behind disk activity and is
+// safe to call concurrently with any operation.
+type Stats struct {
+	Ops    OpStats
+	Cache  CacheStats
+	Commit CommitStats
+	Disk   disk.Stats
+	Faults FaultStats
+	// Spans maps operation name ("open", "create", ...) to its span
+	// summary. Only operations invoked at least once appear.
+	Spans map[string]SpanStats
+	// DiskOpTime is the distribution of whole-op device times (ns),
+	// fed by the disk's per-op observer.
+	DiskOpTime obs.HistSnapshot
+	// LockWait is the distribution of sim-time waits to acquire the
+	// volume monitor on the explicit-force path (ns).
+	LockWait obs.HistSnapshot
+}
+
+// Span names, one per public Volume operation wrapped by v.span.
+var spanNames = []string{
+	"create", "open", "stat", "touch", "setkeep", "delete", "list",
+	"read", "write", "extend", "contract", "setbytesize", "force",
+	"scrub", "verify",
+}
+
+// latencyBuckets covers the sim-time range of one volume operation: a
+// cache-hit open costs ~1 ms of CPU, a seek-heavy create ~100 ms, a forced
+// commit a few hundred ms.
+var latencyBuckets = obs.DurationBuckets(
+	time.Millisecond, 2*time.Millisecond, 5*time.Millisecond,
+	10*time.Millisecond, 20*time.Millisecond, 50*time.Millisecond,
+	100*time.Millisecond, 200*time.Millisecond, 500*time.Millisecond,
+	time.Second, 2*time.Second, 5*time.Second, 10*time.Second,
+)
+
+// spanMetrics is the per-operation accumulator behind SpanStats.
+type spanMetrics struct {
+	count obs.Counter
+	errs  obs.Counter
+	lat   *obs.Histogram
+}
+
+// volObs bundles the volume's observability state: the trace ring and the
+// histograms the commit and disk observers feed. The spans map is built
+// once in newVolObs and read-only afterwards, so span() needs no lock.
+type volObs struct {
+	tracer *obs.Tracer
+	spans  map[string]*spanMetrics
+
+	batchImages     *obs.Histogram
+	recordsPerForce *obs.Histogram
+	forceInterval   *obs.Histogram
+	diskOpTime      *obs.Histogram
+	lockWait        *obs.Histogram
+}
+
+func newVolObs() *volObs {
+	o := &volObs{
+		tracer: obs.NewTracer(4096),
+		spans:  make(map[string]*spanMetrics, len(spanNames)),
+		batchImages: obs.NewHistogram(
+			1, 2, 3, 5, 8, 13, 21, 34, 55, 89),
+		recordsPerForce: obs.NewHistogram(1, 2, 3, 5, 8, 13),
+		forceInterval: obs.NewHistogram(obs.DurationBuckets(
+			100*time.Millisecond, 250*time.Millisecond,
+			500*time.Millisecond, time.Second, 2*time.Second,
+			5*time.Second)...),
+		diskOpTime: obs.NewHistogram(obs.DurationBuckets(
+			5*time.Millisecond, 10*time.Millisecond, 20*time.Millisecond,
+			50*time.Millisecond, 100*time.Millisecond,
+			200*time.Millisecond)...),
+		lockWait: obs.NewHistogram(latencyBuckets...),
+	}
+	for _, name := range spanNames {
+		o.spans[name] = &spanMetrics{lat: obs.NewHistogram(latencyBuckets...)}
+	}
+	return o
+}
+
+// span wraps one public Volume operation: it captures the sim-time start
+// immediately and returns the closure to defer with the operation's error.
+// Usage, with named error returns:
+//
+//	func (v *Volume) Open(...) (f *File, err error) {
+//		defer v.span("open")(&err)
+//
+// The closure only reads atomics and the virtual clock — it never charges
+// CPU or advances time, so wrapped and unwrapped operations take identical
+// simulated time.
+func (v *Volume) span(name string) func(*error) {
+	sm := v.obs.spans[name]
+	start := v.clk.Now()
+	return func(errp *error) {
+		d := v.clk.Now() - start
+		sm.count.Inc()
+		ok := *errp == nil
+		if !ok {
+			sm.errs.Inc()
+		}
+		sm.lat.ObserveDuration(d)
+		if v.obs.tracer.Enabled() {
+			v.obs.tracer.Emit(obs.Event{
+				Time: v.clk.Now(), Kind: obs.EvOpSpan,
+				Op: name, OK: ok, A: int64(d),
+			})
+		}
+	}
+}
+
+// traceCache emits a cache hit/miss event. Called under the cache lock, so
+// it must stay allocation-free when tracing is off (one atomic load).
+func (v *Volume) traceCache(hit bool, id uint32) {
+	if v.obs == nil || !v.obs.tracer.Enabled() {
+		return
+	}
+	kind := obs.EvCacheMiss
+	if hit {
+		kind = obs.EvCacheHit
+	}
+	v.obs.tracer.Emit(obs.Event{
+		Time: v.clk.Now(), Kind: kind, OK: true, A: int64(id),
+	})
+}
+
+// traceScrub emits a scrub/repair action event.
+func (v *Volume) traceScrub(action string, n int) {
+	if v.obs == nil || !v.obs.tracer.Enabled() {
+		return
+	}
+	v.obs.tracer.Emit(obs.Event{
+		Time: v.clk.Now(), Kind: obs.EvScrub, Op: action, OK: true,
+		A: int64(n),
+	})
+}
+
+// observeDiskOp is the disk's per-op observer. It runs under the device
+// mutex, so it touches only the histogram atomics and the trace ring.
+func (v *Volume) observeDiskOp(e disk.OpEvent) {
+	total := e.Seek + e.Rot + e.Transfer
+	v.obs.diskOpTime.ObserveDuration(total)
+	if v.obs.tracer.Enabled() {
+		op := e.Class.String() + "-read"
+		if e.Write {
+			op = e.Class.String() + "-write"
+		}
+		v.obs.tracer.Emit(obs.Event{
+			Time: v.clk.Now(), Kind: obs.EvDiskOp, Op: op, OK: e.OK,
+			A: int64(e.Sectors), B: int64(e.Seek), C: int64(e.Rot),
+			D: int64(e.Transfer),
+		})
+	}
+}
+
+// observeForce is the WAL's group-commit observer.
+func (v *Volume) observeForce(e wal.ForceEvent) {
+	v.obs.batchImages.Observe(int64(e.Images))
+	v.obs.recordsPerForce.Observe(int64(e.Records))
+	v.obs.forceInterval.ObserveDuration(e.Interval)
+	if v.obs.tracer.Enabled() {
+		v.obs.tracer.Emit(obs.Event{
+			Time: v.clk.Now(), Kind: obs.EvWALForce, OK: true,
+			A: int64(e.Images), B: int64(e.Records),
+			C: int64(e.Sectors), D: int64(e.Interval),
+		})
+	}
+}
+
+// Stats returns the full counter snapshot. This is the one documented way
+// to read volume counters; the legacy Ops, CacheStats, and FaultStats
+// accessors are deprecated wrappers over slices of it.
+func (v *Volume) Stats() Stats {
+	s := Stats{
+		Ops:        v.Ops(),
+		Cache:      v.cache.stats(),
+		Disk:       v.d.Stats(),
+		Faults:     v.FaultStats(),
+		DiskOpTime: v.obs.diskOpTime.Snapshot(),
+		LockWait:   v.obs.lockWait.Snapshot(),
+		Spans:      make(map[string]SpanStats),
+	}
+	if v.log != nil {
+		ws := v.log.Stats() // takes the WAL stat lock, never held across I/O
+		s.Commit = CommitStats{
+			Forces:           ws.Forces,
+			Records:          ws.Records,
+			ImagesStaged:     ws.ImagesStaged,
+			ImagesLogged:     ws.ImagesLogged,
+			ImagesElided:     ws.ImagesElided,
+			SectorsWritten:   ws.SectorsWritten,
+			MinRecordSectors: ws.MinRecordSectors,
+			MaxRecordSectors: ws.MaxRecordSectors,
+			ThirdCrossings:   ws.ThirdCrossings,
+			HomeFlushes:      ws.HomeFlushes,
+			BatchImages:      v.obs.batchImages.Snapshot(),
+			RecordsPerForce:  v.obs.recordsPerForce.Snapshot(),
+			ForceInterval:    v.obs.forceInterval.Snapshot(),
+		}
+		if ws.ImagesLogged > 0 {
+			s.Commit.BatchingFactor = float64(ws.ImagesStaged) / float64(ws.ImagesLogged)
+		}
+	}
+	for name, sm := range v.obs.spans {
+		if c := sm.count.Load(); c > 0 {
+			s.Spans[name] = SpanStats{
+				Count:   c,
+				Errors:  sm.errs.Load(),
+				Latency: sm.lat.Snapshot(),
+			}
+		}
+	}
+	return s
+}
+
+// SpanNames returns the instrumented operation names in a stable order.
+func SpanNames() []string {
+	out := append([]string(nil), spanNames...)
+	sort.Strings(out)
+	return out
+}
+
+// TraceTo enables event tracing and streams every event to sink as it is
+// emitted (in addition to the in-memory ring). A nil sink disables tracing.
+// The sink runs on the emitting goroutine, often under internal locks: it
+// must be fast and must never call back into the volume.
+func (v *Volume) TraceTo(sink obs.Sink) {
+	if sink == nil {
+		v.obs.tracer.Disable()
+		v.obs.tracer.SetSink(nil)
+		return
+	}
+	v.obs.tracer.SetSink(sink)
+	v.obs.tracer.Enable()
+}
+
+// TraceEvents returns the buffered trace events, oldest first. Tracing must
+// have been enabled via TraceTo (or EnableTrace) for events to accumulate.
+func (v *Volume) TraceEvents() []obs.Event {
+	return v.obs.tracer.Events()
+}
+
+// EnableTrace turns on event recording into the in-memory ring without a
+// streaming sink.
+func (v *Volume) EnableTrace() { v.obs.tracer.Enable() }

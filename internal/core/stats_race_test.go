@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStatsRaceDuringLoad hammers Stats() and TraceEvents() from reader
+// goroutines while 8 workers create and delete files. The snapshot path is
+// atomics-only (plus the WAL stat lock, which is never held across I/O), so
+// it must neither race with nor block behind the mutating workers. Tracing
+// is flipped on mid-run to cover the enabled emit path. Run under -race for
+// full value.
+func TestStatsRaceDuringLoad(t *testing.T) {
+	v, _, _ := newTestVolume(t)
+	const workers = 8
+	const perWorker = 30
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := v.Stats()
+				if st.Ops.Creates < 0 || st.Commit.ImagesStaged < st.Commit.ImagesLogged {
+					panic("inconsistent snapshot")
+				}
+				_ = v.TraceEvents()
+			}
+		}()
+	}
+	v.EnableTrace()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("race/w%d-f%03d", w, i)
+				if _, err := v.Create(name, payload(150+i, byte(w))); err != nil {
+					errs <- fmt.Errorf("w%d create: %w", w, err)
+					return
+				}
+				if i%3 == 2 {
+					if err := v.Delete(name, 0); err != nil {
+						errs <- fmt.Errorf("w%d delete: %w", w, err)
+						return
+					}
+				}
+				if i%9 == 8 {
+					if err := v.Force(); err != nil {
+						errs <- fmt.Errorf("w%d force: %w", w, err)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := v.Stats()
+	if got := st.Ops.Creates; got != workers*perWorker {
+		t.Fatalf("Ops.Creates = %d, want %d", got, workers*perWorker)
+	}
+	sp := st.Spans["create"]
+	if sp.Count != workers*perWorker {
+		t.Fatalf("create span count = %d, want %d", sp.Count, workers*perWorker)
+	}
+	if sp.Errors != 0 {
+		t.Fatalf("create span errors = %d", sp.Errors)
+	}
+	if sp.Latency.Count != sp.Count || sp.Latency.Sum <= 0 {
+		t.Fatalf("create latency histogram inconsistent: %+v", sp.Latency)
+	}
+	if st.Spans["delete"].Count == 0 || st.Spans["force"].Count == 0 {
+		t.Fatalf("delete/force spans missing: %v", st.Spans)
+	}
+	if len(v.TraceEvents()) == 0 {
+		t.Fatal("tracing enabled but no events recorded")
+	}
+	if err := v.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}

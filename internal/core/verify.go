@@ -23,7 +23,8 @@ type VerifyStats struct {
 // the leader page of every file against its name-table entry. It is the
 // FSD analogue of fsck — but unlike fsck it is advisory: FSD never needs it
 // for recovery.
-func (v *Volume) Verify() (VerifyStats, error) {
+func (v *Volume) Verify() (_ VerifyStats, err error) {
+	defer v.span("verify")(&err)
 	// Exclusive: a whole-volume audit wants a quiescent name table. Log
 	// forces (WaitCommitted, the ticker's in-flight tick) can still run,
 	// so the shared maps they touch are locked at their use sites below.
@@ -41,7 +42,7 @@ func (v *Volume) Verify() (VerifyStats, error) {
 	addProblem := func(format string, args ...interface{}) {
 		st.Problems = append(st.Problems, fmt.Sprintf(format, args...))
 	}
-	err := v.nt.Scan(nil, func(k, val []byte) bool {
+	err = v.nt.Scan(nil, func(k, val []byte) bool {
 		name, ver, ok := splitKey(k)
 		if !ok {
 			addProblem("undecodable key % x", k)

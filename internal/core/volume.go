@@ -11,6 +11,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/btree"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vam"
 	"repro/internal/wal"
@@ -140,6 +141,10 @@ type Volume struct {
 	closed atomic.Bool
 	ops    opCounters
 
+	// obs holds the tracing ring and the histograms behind Stats();
+	// always non-nil (newVolume), so hot paths skip nil checks.
+	obs *volObs
+
 	// scrubMu serializes scrub passes (explicit and background).
 	scrubMu sync.Mutex
 	faults  faultCounters
@@ -162,6 +167,9 @@ func (v *Volume) Log() *wal.Log { return v.log }
 func (v *Volume) VAM() *vam.VAM { return v.vm }
 
 // Ops returns a snapshot of the logical operation counters.
+//
+// Deprecated: use Stats().Ops; Stats is the one snapshot covering every
+// volume counter.
 func (v *Volume) Ops() OpStats {
 	return OpStats{
 		Creates: int(v.ops.creates.Load()),
@@ -174,8 +182,10 @@ func (v *Volume) Ops() OpStats {
 	}
 }
 
-// CacheStats returns (hits, misses, homeWrites) of the name-table cache.
-func (v *Volume) CacheStats() (int, int, int) {
+// CacheStats returns the name-table cache counters.
+//
+// Deprecated: use Stats().Cache.
+func (v *Volume) CacheStats() CacheStats {
 	return v.cache.stats()
 }
 
@@ -201,6 +211,7 @@ func newVolume(d *disk.Disk, cfg Config, lay layout) *Volume {
 		lay:            lay,
 		pendingLeaders: make(map[int][]byte),
 		leaderThird:    make(map[int]int),
+		obs:            newVolObs(),
 	}
 	d.SetClassifier(func(addr int) disk.Class {
 		if lay.metaRange(addr) {
@@ -208,11 +219,21 @@ func newVolume(d *disk.Disk, cfg Config, lay layout) *Volume {
 		}
 		return disk.ClassData
 	})
+	d.SetOpObserver(v.observeDiskOp)
 	return v
 }
 
 // hookLog installs the WAL callbacks.
 func (v *Volume) hookLog() {
+	v.log.OnForce = v.observeForce
+	v.log.OnAppend = func(n int, seq uint64) {
+		if v.obs.tracer.Enabled() {
+			v.obs.tracer.Emit(obs.Event{
+				Time: v.clk.Now(), Kind: obs.EvWALAppend, OK: true,
+				A: int64(n), B: int64(seq),
+			})
+		}
+	}
 	v.log.FlushHook = func(third int) (int, error) {
 		n, err := v.cache.flushThird(third)
 		if err != nil {
@@ -391,11 +412,12 @@ func Format(d *disk.Disk, cfg Config) (*Volume, error) {
 	return v, nil
 }
 
-// Mount attaches to a previously formatted volume, replaying the log and
-// reconstructing the allocation map as needed. Behavioural Config fields
-// (commit interval, cache size, mount workers) apply; layout fields come
-// from the volume root page.
-func Mount(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
+// mountWritable attaches to a previously formatted volume read-write,
+// replaying the log and reconstructing the allocation map as needed.
+// Behavioural Config fields (commit interval, cache size, mount workers)
+// apply; layout fields come from the volume root page. This is the default
+// path of Mount.
+func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	var ms MountStats
 	start := d.Clock().Now()
 	root, err := readRoot(d)
@@ -761,9 +783,22 @@ func (v *Volume) startTicker() {
 }
 
 // Force makes all buffered metadata updates durable now ("clients may force
-// the log").
-func (v *Volume) Force() error {
-	defer v.rlock()()
+// the log"). The sim-time wait to acquire the monitor is recorded in the
+// LockWait histogram — commit-path lock contention is the cost the split
+// monitor is supposed to have removed, so it is worth watching.
+func (v *Volume) Force() (err error) {
+	defer v.span("force")(&err)
+	before := v.clk.Now()
+	unlock := v.rlock()
+	defer unlock()
+	wait := v.clk.Now() - before
+	v.obs.lockWait.ObserveDuration(wait)
+	if v.obs.tracer.Enabled() {
+		v.obs.tracer.Emit(obs.Event{
+			Time: v.clk.Now(), Kind: obs.EvLockWait, Op: "force",
+			OK: true, A: int64(wait),
+		})
+	}
 	if v.closed.Load() {
 		return ErrClosed
 	}

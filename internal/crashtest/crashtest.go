@@ -68,7 +68,7 @@ type Result struct {
 	TornRecords   int             `json:"torn_records"`           // summed recovery stats
 	TailDiscarded int             `json:"tail_discarded"`
 	GapBreaks     int             `json:"gap_breaks"`
-	RecoveryTimes []time.Duration `json:"-"` // virtual mount times, one per state
+	RecoveryTimes []time.Duration `json:"-"`       // virtual mount times, one per state
 	Elapsed       time.Duration   `json:"elapsed"` // wall clock
 }
 

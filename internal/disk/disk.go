@@ -50,6 +50,18 @@ const (
 	numClasses
 )
 
+// String names the class for traces and tables.
+func (c Class) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassMeta:
+		return "meta"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
 // Stats accumulates device activity. All counters are cumulative; use
 // TakeStats to window a measurement.
 type Stats struct {
@@ -182,8 +194,12 @@ type Disk struct {
 	inj      *faultInjector
 	fcnt     faultCounts
 	classify func(addr int) Class
-	halted   bool
-	wb       *writeback // non-nil while the write-back window is enabled
+	observe  func(OpEvent)
+	// op holds the in-flight operation's description for the observer;
+	// valid only between beginOp and endOp, under d.mu.
+	op     opFrame
+	halted bool
+	wb     *writeback // non-nil while the write-back window is enabled
 	// cow marks sector payload slices as shared with another disk (a Clone)
 	// or with the write-back journal; writes then replace slices instead of
 	// mutating them in place.
@@ -225,6 +241,37 @@ func (d *Disk) Clock() sim.Clock { return d.clk }
 func (d *Disk) SetClassifier(f func(addr int) Class) {
 	d.mu.Lock()
 	d.classify = f
+	d.mu.Unlock()
+}
+
+// OpEvent describes one completed disk operation with its simulated time
+// split into the script steps of the timing model: head motion (seek),
+// rotational latency, and data/label transfer.
+type OpEvent struct {
+	Write    bool
+	Class    Class
+	Addr     int
+	Sectors  int
+	OK       bool
+	Seek     time.Duration
+	Rot      time.Duration
+	Transfer time.Duration
+}
+
+// opFrame is the per-operation observer baseline captured by beginOp.
+type opFrame struct {
+	write               bool
+	class               Class
+	addr, n             int
+	seek, rot, transfer int64
+}
+
+// SetOpObserver registers a function called at the end of every disk
+// operation (nil removes it). The observer runs while the device mutex is
+// held, so it must be fast and must never call back into the Disk.
+func (d *Disk) SetOpObserver(fn func(OpEvent)) {
+	d.mu.Lock()
+	d.observe = fn
 	d.mu.Unlock()
 }
 
@@ -422,7 +469,35 @@ func (d *Disk) beginOp(addr, n int, write bool) error {
 		cls = d.classify(addr)
 	}
 	d.cnt.opsByClass[cls].Add(1)
+	if d.observe != nil {
+		d.op = opFrame{
+			write: write, class: cls, addr: addr, n: n,
+			seek:     d.cnt.seekTime.Load(),
+			rot:      d.cnt.rotTime.Load(),
+			transfer: d.cnt.transferTime.Load(),
+		}
+	}
 	return nil
+}
+
+// endOp fires the op observer with the operation's time breakdown, computed
+// as the delta of the timing counters since beginOp. Deferred after a
+// successful beginOp; runs before d.mu is released (defer is LIFO), so the
+// frame and counters are still this operation's.
+func (d *Disk) endOp(errp *error) {
+	if d.observe == nil {
+		return
+	}
+	d.observe(OpEvent{
+		Write:    d.op.write,
+		Class:    d.op.class,
+		Addr:     d.op.addr,
+		Sectors:  d.op.n,
+		OK:       *errp == nil,
+		Seek:     time.Duration(d.cnt.seekTime.Load() - d.op.seek),
+		Rot:      time.Duration(d.cnt.rotTime.Load() - d.op.rot),
+		Transfer: time.Duration(d.cnt.transferTime.Load() - d.op.transfer),
+	})
 }
 
 // readSector copies the stored contents of addr into buf. Must hold d.mu.
@@ -472,12 +547,13 @@ func (d *Disk) writeSector(addr int, buf []byte) {
 // ReadSectors reads n sectors starting at addr into a new buffer. The whole
 // run is transferred in one operation (one I/O). Label fields are ignored —
 // this is the path a label-free (FSD-style) system uses.
-func (d *Disk) ReadSectors(addr, n int) ([]byte, error) {
+func (d *Disk) ReadSectors(addr, n int) (_ []byte, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.beginOp(addr, n, false); err != nil {
+	if err = d.beginOp(addr, n, false); err != nil {
 		return nil, err
 	}
+	defer d.endOp(&err)
 	d.motion(addr)
 	buf := make([]byte, n*SectorSize)
 	for i := 0; i < n; i++ {
@@ -500,13 +576,14 @@ func (d *Disk) WriteSectors(addr int, data []byte) error {
 // VerifyRead reads n=len(want) sectors, checking each sector's label before
 // its data transfers, as the Trident microcode did. The first mismatch or
 // damaged sector aborts the operation.
-func (d *Disk) VerifyRead(addr int, want []Label) ([]byte, error) {
+func (d *Disk) VerifyRead(addr int, want []Label) (_ []byte, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(want)
-	if err := d.beginOp(addr, n, false); err != nil {
+	if err = d.beginOp(addr, n, false); err != nil {
 		return nil, err
 	}
+	defer d.endOp(&err)
 	d.motion(addr)
 	buf := make([]byte, n*SectorSize)
 	for i := 0; i < n; i++ {
@@ -528,12 +605,13 @@ func (d *Disk) VerifyRead(addr int, want []Label) ([]byte, error) {
 // ReadLabels reads the labels of n consecutive sectors in one operation.
 // This is the scavenger's workhorse: label transfer costs the same
 // rotational time as data transfer but no data is copied.
-func (d *Disk) ReadLabels(addr, n int) ([]Label, error) {
+func (d *Disk) ReadLabels(addr, n int) (_ []Label, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.beginOp(addr, n, false); err != nil {
+	if err = d.beginOp(addr, n, false); err != nil {
 		return nil, err
 	}
+	defer d.endOp(&err)
 	d.motion(addr)
 	labs := make([]Label, n)
 	for i := 0; i < n; i++ {
@@ -552,13 +630,14 @@ func (d *Disk) ReadLabels(addr, n int) ([]Label, error) {
 // the label on one pass and the data is written on the next pass of the
 // platter, the operation inherently costs a revolution per verified run;
 // the simulator charges that by realigning after the verification pass.
-func (d *Disk) VerifyWrite(addr int, want []Label, data []byte) error {
+func (d *Disk) VerifyWrite(addr int, want []Label, data []byte) (err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(want)
-	if err := d.beginOp(addr, n, true); err != nil {
+	if err = d.beginOp(addr, n, true); err != nil {
 		return err
 	}
+	defer d.endOp(&err)
 	if len(data) != n*SectorSize {
 		return fmt.Errorf("disk: VerifyWrite data length %d != %d sectors", len(data), n)
 	}
@@ -580,13 +659,14 @@ func (d *Disk) VerifyWrite(addr int, want []Label, data []byte) error {
 
 // WriteLabels rewrites only the labels of n consecutive sectors (claiming
 // or freeing pages in CFS). Data is untouched.
-func (d *Disk) WriteLabels(addr int, labs []Label) error {
+func (d *Disk) WriteLabels(addr int, labs []Label) (err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(labs)
-	if err := d.beginOp(addr, n, true); err != nil {
+	if err = d.beginOp(addr, n, true); err != nil {
 		return err
 	}
+	defer d.endOp(&err)
 	d.motion(addr)
 	if d.wb != nil {
 		for i := 0; i < n; i++ {
@@ -621,16 +701,17 @@ func (d *Disk) WriteLabelsData(addr int, labs []Label, data []byte) error {
 }
 
 // writeCommon is the shared full-operation write path.
-func (d *Disk) writeCommon(addr int, data []byte, labs []Label, _ interface{}) error {
+func (d *Disk) writeCommon(addr int, data []byte, labs []Label, _ interface{}) (err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(data)%SectorSize != 0 {
 		return fmt.Errorf("disk: write length %d not sector-aligned", len(data))
 	}
 	n := len(data) / SectorSize
-	if err := d.beginOp(addr, n, true); err != nil {
+	if err = d.beginOp(addr, n, true); err != nil {
 		return err
 	}
+	defer d.endOp(&err)
 	d.motion(addr)
 	return d.writeLocked(addr, data, labs)
 }

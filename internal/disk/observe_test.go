@@ -1,0 +1,85 @@
+package disk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOpObserverBreakdown(t *testing.T) {
+	d, _ := newTestDisk(t)
+	d.SetClassifier(func(addr int) Class {
+		if addr < 100 {
+			return ClassMeta
+		}
+		return ClassData
+	})
+	var events []OpEvent
+	d.SetOpObserver(func(e OpEvent) { events = append(events, e) })
+
+	data := make([]byte, 2*SectorSize)
+	if err := d.WriteSectors(500, data); err != nil {
+		t.Fatalf("WriteSectors: %v", err)
+	}
+	if _, err := d.ReadSectors(500, 2); err != nil {
+		t.Fatalf("ReadSectors: %v", err)
+	}
+	if _, err := d.ReadLabels(50, 1); err != nil {
+		t.Fatalf("ReadLabels: %v", err)
+	}
+
+	if len(events) != 3 {
+		t.Fatalf("observed %d events, want 3", len(events))
+	}
+	w, r, l := events[0], events[1], events[2]
+	if !w.Write || w.Sectors != 2 || w.Addr != 500 || w.Class != ClassData || !w.OK {
+		t.Fatalf("write event %+v", w)
+	}
+	if r.Write || r.Sectors != 2 || !r.OK {
+		t.Fatalf("read event %+v", r)
+	}
+	if l.Class != ClassMeta {
+		t.Fatalf("label read class = %v, want meta", l.Class)
+	}
+	// Every op transfers sectors, so transfer time must be positive, and the
+	// per-op breakdown must sum to the deltas in the cumulative counters.
+	st := d.Stats()
+	var seek, rot, xfer time.Duration
+	for _, e := range events {
+		if e.Transfer <= 0 {
+			t.Fatalf("event %+v has no transfer time", e)
+		}
+		seek += e.Seek
+		rot += e.Rot
+		xfer += e.Transfer
+	}
+	if seek != st.SeekTime || rot != st.RotTime || xfer != st.TransferTime {
+		t.Fatalf("breakdown sums (%v %v %v) != cumulative (%v %v %v)",
+			seek, rot, xfer, st.SeekTime, st.RotTime, st.TransferTime)
+	}
+
+	// Failed ops report OK=false.
+	d.CorruptSectors(600, 1)
+	if _, err := d.ReadSectors(600, 1); err == nil {
+		t.Fatal("expected damaged-sector error")
+	}
+	last := events[len(events)-1]
+	if last.OK {
+		t.Fatalf("damaged read reported OK: %+v", last)
+	}
+
+	// Removing the observer stops events.
+	d.SetOpObserver(nil)
+	n := len(events)
+	if _, err := d.ReadSectors(500, 1); err != nil {
+		t.Fatalf("ReadSectors: %v", err)
+	}
+	if len(events) != n {
+		t.Fatal("observer fired after removal")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassData.String() != "data" || ClassMeta.String() != "meta" {
+		t.Fatalf("class names: %v %v", ClassData, ClassMeta)
+	}
+}

@@ -1,0 +1,60 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOnAppendAndOnForce(t *testing.T) {
+	l, _, clk := newTestLog(t, Config{Interval: time.Hour})
+
+	var appends []int
+	var forces []ForceEvent
+	l.OnAppend = func(n int, seq uint64) {
+		appends = append(appends, n)
+		if seq == 0 {
+			t.Fatal("append reported seq 0")
+		}
+	}
+	l.OnForce = func(e ForceEvent) { forces = append(forces, e) }
+
+	if _, err := l.Append(img(1, 10, 0xaa), img(1, 11, 0xbb)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := l.Append(img(1, 10, 0xcc)); err != nil { // elides onto target 10
+		t.Fatalf("Append: %v", err)
+	}
+	clk.Advance(50 * time.Millisecond)
+	if err := l.Force(); err != nil {
+		t.Fatalf("Force: %v", err)
+	}
+
+	if len(appends) != 2 || appends[0] != 2 || appends[1] != 1 {
+		t.Fatalf("appends = %v, want [2 1]", appends)
+	}
+	if len(forces) != 1 {
+		t.Fatalf("forces = %d events, want 1", len(forces))
+	}
+	e := forces[0]
+	if e.Images != 2 || e.Records != 1 {
+		t.Fatalf("force event %+v: want 2 images (one elided) in 1 record", e)
+	}
+	if e.Sectors != 5+2*e.Images {
+		t.Fatalf("force event sectors = %d, want %d", e.Sectors, 5+2*e.Images)
+	}
+	if e.Interval <= 0 || e.Duration <= 0 {
+		t.Fatalf("force event %+v: interval and duration must be positive", e)
+	}
+	st := l.Stats()
+	if e.Images != st.ImagesLogged || e.Records != st.Records || e.Sectors != st.SectorsWritten {
+		t.Fatalf("force event %+v disagrees with stats %+v", e, st)
+	}
+
+	// An empty force advances the sequence but fires no event.
+	if err := l.Force(); err != nil {
+		t.Fatalf("empty Force: %v", err)
+	}
+	if len(forces) != 1 {
+		t.Fatalf("empty force fired an event: %v", forces)
+	}
+}

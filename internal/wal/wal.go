@@ -142,6 +142,14 @@ type Log struct {
 	// force, so a commit's VAM deltas ride the same record set as its
 	// name-table images.
 	PreStage func() []PageImage
+	// OnForce, when set, is invoked (under forceMu) after every force
+	// that wrote records, with the batch's group-commit measurements.
+	// The observability layer feeds its batching histograms from it.
+	OnForce func(ForceEvent)
+	// OnAppend, when set, is invoked after images are staged by Append,
+	// with the image count and the commit sequence they joined. Not
+	// invoked for PreStage images. Called without l.mu held.
+	OnAppend func(images int, seq uint64)
 
 	// mu guards the staging state only: pending, pendingIdx, openSeq,
 	// lastForce, and stats. It is never held across disk I/O or callbacks.
@@ -319,6 +327,9 @@ func (l *Log) Append(images ...PageImage) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if l.OnAppend != nil {
+		l.OnAppend(len(images), seq)
+	}
 	if l.cfg.Interval == 0 {
 		return seq, l.Force()
 	}
@@ -414,6 +425,19 @@ func (l *Log) Force() error {
 	return l.forceLocked()
 }
 
+// ForceEvent reports one group commit that wrote records: how many images
+// the batch carried, how they packed into records and sectors, the
+// simulated time since the previous force started (the group-commit
+// interval actually achieved), and how long the force itself took.
+type ForceEvent struct {
+	Seq      uint64
+	Images   int
+	Records  int
+	Sectors  int
+	Interval time.Duration
+	Duration time.Duration
+}
+
 // forceLocked is the force body; the caller holds forceMu.
 func (l *Log) forceLocked() error {
 	if l.PreStage != nil {
@@ -423,12 +447,14 @@ func (l *Log) forceLocked() error {
 			}
 		}
 	}
+	start := l.clk.Now()
 	l.mu.Lock()
 	batch := l.pending
 	seq := l.openSeq
 	l.openSeq++
 	l.pending = nil
 	l.pendingIdx = make(map[imageKey]int)
+	prevForce := l.lastForce
 	l.lastForce = l.clk.Now()
 	if len(batch) > 0 {
 		l.stats.Forces++
@@ -448,11 +474,15 @@ func (l *Log) forceLocked() error {
 			return err
 		}
 	}
+	var imgs, recs, secs int
 	for len(batch) > 0 {
 		consumed, err := l.writeRecord(batch)
 		if err != nil {
 			return err
 		}
+		imgs += consumed
+		recs++
+		secs += 5 + 2*consumed
 		batch = batch[consumed:]
 	}
 	if wrote {
@@ -465,6 +495,16 @@ func (l *Log) forceLocked() error {
 	l.committedSeq.Store(seq)
 	if l.OnCommit != nil {
 		l.OnCommit(seq)
+	}
+	if wrote && l.OnForce != nil {
+		l.OnForce(ForceEvent{
+			Seq:      seq,
+			Images:   imgs,
+			Records:  recs,
+			Sectors:  secs,
+			Interval: start - prevForce,
+			Duration: l.clk.Now() - start,
+		})
 	}
 	return nil
 }

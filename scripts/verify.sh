@@ -7,6 +7,9 @@ set -eux
 
 cd "$(dirname "$0")/.."
 
+# Formatting gate: gofmt must have nothing to say.
+test -z "$(gofmt -l . | tee /dev/stderr)"
+
 go vet ./...
 go build ./...
 go test ./...
@@ -17,3 +20,7 @@ go test -race ./internal/core -count=1 -run 'TestScrubConcurrentWithReaders'
 # the full enumeration (the complete 1000+-state sweep runs in the bench
 # suite); well under a minute.
 go run ./cmd/fsdctl crashcheck -seed 1 -states 200
+# Live-counter table reproduction (Tables 2/3/4/5 from Volume.Stats()):
+# one shared volume, a few seconds; asserts nothing here — the shape
+# checks live in go test ./cmd/benchtab — but must run to completion.
+go run ./cmd/benchtab -table tables
