@@ -55,6 +55,10 @@ func TestAPISurface(t *testing.T) {
 	if got, err := f2.ReadAll(); err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("readback = %q, %v", got, err)
 	}
+	// Read again: the first pass filled the data cache, this one hits it.
+	if _, err := f2.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := vol.Open("missing.txt", 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("open missing = %v, want ErrNotFound", err)
 	}
@@ -68,6 +72,7 @@ func TestAPISurface(t *testing.T) {
 	var st Stats = vol.Stats()
 	var ops OpStats = st.Ops
 	var cs CacheStats = st.Cache
+	var dcs DataCacheStats = st.Cache.Data
 	var cm CommitStats = st.Commit
 	var ds DiskStats = st.Disk
 	var fs VolumeFaultStats = st.Faults
@@ -77,6 +82,16 @@ func TestAPISurface(t *testing.T) {
 	if cs.Hits+cs.Misses == 0 {
 		t.Fatalf("cache counters empty: %+v", cs)
 	}
+	// The data cache is on by default; the ReadAll above was served
+	// through it (write-through Update at create, or a miss fill).
+	if dcs.Capacity == 0 {
+		t.Fatalf("data cache off by default: %+v", dcs)
+	}
+	if dcs.Hits+dcs.Misses == 0 {
+		t.Fatalf("data cache saw no traffic: %+v", dcs)
+	}
+	// Config knobs for the data cache are part of the surface.
+	_ = Config{DataCachePages: -1, ReadAhead: -1}
 	if ds.Ops == 0 {
 		t.Fatalf("disk counters empty: %+v", ds)
 	}

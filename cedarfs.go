@@ -64,6 +64,8 @@ type (
 	OpStats = core.OpStats
 	// CacheStats counts name-table cache activity.
 	CacheStats = core.CacheStats
+	// DataCacheStats counts file-data buffer cache activity.
+	DataCacheStats = core.DataCacheStats
 	// CommitStats reports group-commit activity and batching distributions.
 	CommitStats = core.CommitStats
 	// SpanStats summarizes one instrumented operation (count, errors,

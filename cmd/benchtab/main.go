@@ -23,8 +23,9 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, tables, ablations, all")
+	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, datapath, tables, ablations, all")
 	concJSON := flag.String("concurrency-json", "", "also write the concurrency report to this path (e.g. BENCH_concurrency.json)")
+	dataJSON := flag.String("datapath-json", "", "also write the data-path cache report to this path (e.g. BENCH_datapath.json)")
 	tablesJSON := flag.String("tables-json", "", "also write the live-counter tables report to this path (e.g. BENCH_tables.json)")
 	robJSON := flag.String("robustness-json", "", "also write the robustness report to this path (e.g. BENCH_robustness.json)")
 	sweepJSON := flag.String("crashsweep-json", "", "also write the crash-sweep report to this path (e.g. BENCH_crashsweep.json)")
@@ -48,6 +49,7 @@ func main() {
 		{"concurrency", bench.Concurrency},
 		{"robustness", bench.Robustness},
 		{"crashsweep", bench.CrashSweep},
+		{"datapath", bench.DataPath},
 		{"tables", bench.TablesIOs},
 		{"tables", bench.TablesBatching},
 		{"tables", bench.TablesTimings},
@@ -88,6 +90,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s (8-worker speedup %.2fx)\n", *concJSON, rep.Speedup8)
+	}
+	if *dataJSON != "" {
+		rep, err := bench.WriteDataPathJSON(*dataJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: datapath json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (sequential read reduction %.1fx, re-read hit rate %.0f%%)\n",
+			*dataJSON, rep.SeqReadReduction, rep.RereadHitRate*100)
 	}
 	if *robJSON != "" {
 		rep, err := bench.WriteRobustnessJSON(*robJSON)

@@ -384,6 +384,11 @@ func run(img string, jsonOut bool, args []string) error {
 			st.Ops.Writes, st.Ops.Lists, st.Ops.Touches)
 		fmt.Printf("cache: %d hits, %d misses, %d home writes\n",
 			st.Cache.Hits, st.Cache.Misses, st.Cache.HomeWrites)
+		if dc := st.Cache.Data; dc.Capacity > 0 {
+			fmt.Printf("data cache: %d/%d frames, %d hits, %d misses, %d read-ahead sectors, %d/%d coalesced reads/writes, %d invalidated, %d evicted\n",
+				dc.Size, dc.Capacity, dc.Hits, dc.Misses, dc.ReadAheadSectors,
+				dc.CoalescedReads, dc.CoalescedWrites, dc.Invalidated, dc.Evicted)
+		}
 		fmt.Printf("commit: %d forces, %d records, %d/%d images logged/staged (batching %.2fx), %d sectors\n",
 			st.Commit.Forces, st.Commit.Records, st.Commit.ImagesLogged,
 			st.Commit.ImagesStaged, st.Commit.BatchingFactor, st.Commit.SectorsWritten)

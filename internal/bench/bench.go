@@ -93,7 +93,10 @@ type fsdEnv struct {
 // fsdBenchConfig is the paper design point with a name table sized for the
 // populated recovery experiments.
 func fsdBenchConfig() core.Config {
-	return core.Config{NTPages: 4096}
+	// The data cache is disabled: the paper's FSD had no file-data buffer
+	// cache, and the reproduced tables measure the raw per-run data path.
+	// The DataPath bench enables it explicitly for the ablation.
+	return core.Config{NTPages: 4096, DataCachePages: -1}
 }
 
 func newFSD(cfg core.Config) (fsdEnv, error) {

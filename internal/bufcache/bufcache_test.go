@@ -1,0 +1,183 @@
+package bufcache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func sector(b byte) []byte {
+	buf := make([]byte, SectorSize)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func fill(c *Cache, addr int, sectors ...byte) {
+	data := make([]byte, 0, len(sectors)*SectorSize)
+	for _, b := range sectors {
+		data = append(data, sector(b)...)
+	}
+	if !c.PutRange(addr, data, c.Gen()) {
+		panic("fill aborted")
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(64)
+	fill(c, 100, 1, 2, 3)
+	got, ok := c.GetRange(100, 3)
+	if !ok {
+		t.Fatal("expected full hit")
+	}
+	want := append(append(sector(1), sector(2)...), sector(3)...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("cached data mismatch")
+	}
+	if _, ok := c.GetRange(99, 2); ok {
+		t.Fatal("partial range must miss")
+	}
+	st := c.Stats()
+	if st.Hits != 3 {
+		t.Fatalf("hits = %d, want 3", st.Hits)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", st.Misses)
+	}
+	if st.Size != 3 {
+		t.Fatalf("size = %d, want 3", st.Size)
+	}
+}
+
+func TestUpdateWriteThrough(t *testing.T) {
+	c := New(64)
+	fill(c, 10, 1, 1)
+	c.Update(10, append(sector(7), sector(7)...))
+	got, ok := c.GetRange(10, 2)
+	if !ok {
+		t.Fatal("expected hit after update")
+	}
+	if got[0] != 7 || got[SectorSize] != 7 {
+		t.Fatal("update did not reach resident frames")
+	}
+	// Update of an absent sector must not allocate a frame.
+	c.Update(500, sector(9))
+	if _, ok := c.GetRange(500, 1); ok {
+		t.Fatal("update write-allocated an absent sector")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(64)
+	fill(c, 20, 1, 2, 3, 4)
+	c.Invalidate(21, 2)
+	if _, ok := c.GetRange(21, 1); ok {
+		t.Fatal("invalidated sector still resident")
+	}
+	if _, ok := c.GetRange(20, 1); !ok {
+		t.Fatal("neighbouring sector dropped")
+	}
+	if st := c.Stats(); st.Invalidated != 2 {
+		t.Fatalf("invalidated = %d, want 2", st.Invalidated)
+	}
+}
+
+func TestStaleFillAborted(t *testing.T) {
+	c := New(64)
+	gen := c.Gen()
+	// A mutation lands while the fill's disk read is in flight.
+	c.Update(999, sector(0))
+	if c.PutRange(30, sector(5), gen) {
+		t.Fatal("fill with stale generation installed frames")
+	}
+	if _, ok := c.GetRange(30, 1); ok {
+		t.Fatal("stale fill left a frame behind")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity numShards means one frame per shard: a second fill of the
+	// same shard must evict the older one.
+	c := New(numShards)
+	fill(c, 0, 1)         // shard 0
+	fill(c, numShards, 2) // shard 0 again
+	if _, ok := c.GetRange(0, 1); ok {
+		t.Fatal("LRU frame survived eviction")
+	}
+	if _, ok := c.GetRange(numShards, 1); !ok {
+		t.Fatal("newest frame evicted")
+	}
+	if st := c.Stats(); st.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", st.Evicted)
+	}
+}
+
+func TestSequentialDetection(t *testing.T) {
+	c := New(256)
+	if c.Sequential(40) {
+		t.Fatal("cold table claims sequential")
+	}
+	c.NoteFill(40, 8)
+	if !c.Sequential(48) {
+		t.Fatal("miss at fill end not detected as sequential")
+	}
+	if c.Sequential(49) {
+		t.Fatal("non-adjacent miss detected as sequential")
+	}
+	c.NoteFill(48, 8) // stream advances
+	if !c.Sequential(56) {
+		t.Fatal("advanced stream lost")
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	c := New(64)
+	fill(c, 0, 1, 2, 3)
+	c.NoteFill(0, 3)
+	c.DropAll()
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("size = %d after DropAll", st.Size)
+	}
+	if c.Sequential(3) {
+		t.Fatal("stream table survived DropAll")
+	}
+}
+
+// TestConcurrentFillUpdateInvalidate hammers the cache from readers,
+// write-through updaters, and invalidators; run under -race. The invariant
+// checked is that a reader never observes a torn sector: every sector is
+// filled and updated with uniform bytes, so any mixed-byte read is a tear.
+func TestConcurrentFillUpdateInvalidate(t *testing.T) {
+	c := New(128)
+	const addrs = 64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				addr := (w*13 + i*7) % addrs
+				switch i % 4 {
+				case 0:
+					c.PutRange(addr, sector(byte(i)), c.Gen())
+				case 1:
+					c.Update(addr, sector(byte(i)))
+				case 2:
+					c.Invalidate(addr, 1)
+				default:
+					if buf, ok := c.GetRange(addr, 1); ok {
+						for _, b := range buf {
+							if b != buf[0] {
+								panic(fmt.Sprintf("torn sector at %d", addr))
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

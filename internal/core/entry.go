@@ -107,6 +107,47 @@ func (e *Entry) ContiguousFrom(page, want int) (addr, n int, err error) {
 	return 0, 0, fmt.Errorf("core: page %d beyond %q!%d", page, e.Name, e.Version)
 }
 
+// PhysContiguousFrom is ContiguousFrom with cross-run clustering: runs that
+// are merely separate entries in the run table but physically adjacent on
+// disk (one run ends exactly where the next begins — the common result of
+// growing a file with successive Extends) are merged into one stretch, so
+// the caller can issue a single clustered transfer where the per-run walk
+// would issue one request per run. merged counts the run boundaries crossed
+// within the returned stretch; n is capped at want.
+func (e *Entry) PhysContiguousFrom(page, want int) (addr, n, merged int, err error) {
+	off := page + 1
+	for i, r := range e.Runs {
+		if off >= int(r.Len) {
+			off -= int(r.Len)
+			continue
+		}
+		addr = int(r.Start) + off
+		n = int(r.Len) - off
+		end := int(r.Start) + int(r.Len)
+		for j := i + 1; n < want && j < len(e.Runs); j++ {
+			next := e.Runs[j]
+			if int(next.Start) != end {
+				break
+			}
+			n += int(next.Len)
+			end += int(next.Len)
+			merged++
+		}
+		if n > want {
+			n = want
+			// Recount boundaries actually inside the capped stretch.
+			merged = 0
+			covered := int(r.Len) - off
+			for j := i + 1; covered < n; j++ {
+				merged++
+				covered += int(e.Runs[j].Len)
+			}
+		}
+		return addr, n, merged, nil
+	}
+	return 0, 0, 0, fmt.Errorf("core: page %d beyond %q!%d", page, e.Name, e.Version)
+}
+
 // Errors in entry validation.
 var (
 	errBadName = errors.New("core: file names must be non-empty and free of NUL bytes")

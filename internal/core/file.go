@@ -205,62 +205,78 @@ func (v *Volume) createClass(name string, data []byte, class Class, linkTarget s
 	return &File{v: v, e: *e, leaderVerified: true}, nil
 }
 
-// writeLeaderAndData writes the leader and the file contents, combining the
-// leader with the first data pages into a single transfer when they are
-// contiguous (they always are for a fresh allocation).
+// writeLeaderAndData writes the leader and the file contents. The leader and
+// the first data chunk go out as one clustered transfer — the paper's "a
+// file create typically does one I/O synchronously" — with the chunk no
+// longer truncated at the leader boundary: a full MaxTransferSectors of data
+// rides along with the leader, matching the WritePages joined write.
+// Physically adjacent runs of a fragmented allocation are merged into single
+// stretches, so the request count depends on the physical layout, not the
+// run-table shape.
 func (v *Volume) writeLeaderAndData(e *Entry, leader, data []byte) error {
 	pages := (len(data) + disk.SectorSize - 1) / disk.SectorSize
 	padded := make([]byte, pages*disk.SectorSize)
 	copy(padded, data)
 	v.cpu.Charge(time.Duration(pages+1) * sim.CostPerSectorCopy)
-	written := 0
-	for i, r := range e.Runs {
-		chunk := int(r.Len)
-		buf := padded[written:]
-		addr := int(r.Start)
-		if i == 0 {
-			// First run starts with the leader page.
-			chunk--
-			if chunk > len(buf)/disk.SectorSize {
-				chunk = len(buf) / disk.SectorSize
+	type stretch struct{ start, n int }
+	var stretches []stretch
+	for _, r := range e.Runs {
+		if k := len(stretches) - 1; k >= 0 && stretches[k].start+stretches[k].n == int(r.Start) {
+			stretches[k].n += int(r.Len)
+		} else {
+			stretches = append(stretches, stretch{int(r.Start), int(r.Len)})
+		}
+	}
+	written := 0 // data sectors written so far
+	for si, s := range stretches {
+		addr, n := s.start, s.n
+		if si == 0 {
+			// The stretch begins with the leader page; join it with the
+			// first data chunk.
+			addr++
+			n--
+			head := n
+			if head > MaxTransferSectors {
+				head = MaxTransferSectors
 			}
-			head := chunk
-			if head > MaxTransferSectors-1 {
-				head = MaxTransferSectors - 1
+			if head > pages-written {
+				head = pages - written
 			}
 			joined := make([]byte, 0, (1+head)*disk.SectorSize)
 			joined = append(joined, leader...)
-			joined = append(joined, buf[:head*disk.SectorSize]...)
-			if err := v.d.WriteSectors(addr, joined); err != nil {
+			joined = append(joined, padded[written*disk.SectorSize:(written+head)*disk.SectorSize]...)
+			if err := v.d.WriteSectors(addr-1, joined); err != nil {
 				return err
 			}
-			for off := head; off < chunk; off += MaxTransferSectors {
-				end := off + MaxTransferSectors
-				if end > chunk {
-					end = chunk
-				}
-				if err := v.d.WriteSectors(addr+1+off, buf[off*disk.SectorSize:end*disk.SectorSize]); err != nil {
-					return err
-				}
+			if v.dataCache != nil && head > 0 {
+				v.dataCache.Update(addr, padded[written*disk.SectorSize:(written+head)*disk.SectorSize])
 			}
-		} else {
-			if chunk > len(buf)/disk.SectorSize {
-				chunk = len(buf) / disk.SectorSize
-			}
-			if chunk == 0 {
-				break
-			}
-			for off := 0; off < chunk; off += MaxTransferSectors {
-				end := off + MaxTransferSectors
-				if end > chunk {
-					end = chunk
-				}
-				if err := v.d.WriteSectors(addr+off, buf[off*disk.SectorSize:end*disk.SectorSize]); err != nil {
-					return err
-				}
-			}
+			written += head
+			addr += head
+			n -= head
 		}
-		written += chunk * disk.SectorSize
+		for n > 0 && written < pages {
+			chunk := n
+			if chunk > MaxTransferSectors {
+				chunk = MaxTransferSectors
+			}
+			if chunk > pages-written {
+				chunk = pages - written
+			}
+			buf := padded[written*disk.SectorSize : (written+chunk)*disk.SectorSize]
+			if err := v.d.WriteSectors(addr, buf); err != nil {
+				return err
+			}
+			if v.dataCache != nil {
+				v.dataCache.Update(addr, buf)
+			}
+			written += chunk
+			addr += chunk
+			n -= chunk
+		}
+		if written >= pages {
+			break
+		}
 	}
 	v.ops.writes.Add(1)
 	return nil
@@ -404,6 +420,10 @@ func (v *Volume) deleteLocked(name string, version uint32) error {
 		// deletion (freeOnCommit tags it after the Delete staged its
 		// images above).
 		v.freeOnCommit(e.Runs)
+		// Drop cached data frames: the sectors may be reallocated to
+		// another file after the commit, and a stale hit would serve the
+		// deleted file's bytes.
+		v.invalidateData(e.Runs)
 		// Cancel any deferred leader write: the sectors may be
 		// reallocated after the commit.
 		addr, _ := e.LeaderAddr()
@@ -465,6 +485,9 @@ func (f *File) ReadPages(page, n int) (_ []byte, err error) {
 		return nil, fmt.Errorf("core: read [%d,%d) outside %q!%d (%d pages)", page, page+n, f.e.Name, f.e.Version, f.e.Pages())
 	}
 	v.ops.reads.Add(1)
+	if v.dataCache != nil {
+		return f.readPagesCached(page, n)
+	}
 	out := make([]byte, 0, n*disk.SectorSize)
 	remaining := n
 	cur := page
@@ -495,6 +518,99 @@ func (f *File) ReadPages(page, n int) (_ []byte, err error) {
 			out = append(out, buf...)
 		}
 		v.cpu.Charge(time.Duration(cnt) * sim.CostPerSectorCopy)
+		cur += cnt
+		remaining -= cnt
+	}
+	return out, nil
+}
+
+// readPagesCached is the buffer-cache read path: each chunk is looked up in
+// the data cache first; misses are filled by a single clustered transfer
+// that merges physically adjacent runs (Entry.PhysContiguousFrom) and, when
+// the miss continues a detected sequential stream, extends through the
+// contiguous stretch by up to the read-ahead budget. Fills are write-through
+// partners of WritePages' Update calls and are guarded against concurrent
+// invalidation by the cache generation counter. The caller holds the monitor
+// in read mode and f.mu, and has validated [page, page+n).
+func (f *File) readPagesCached(page, n int) ([]byte, error) {
+	v := f.v
+	dc := v.dataCache
+	pages := f.e.Pages()
+	out := make([]byte, 0, n*disk.SectorSize)
+	remaining := n
+	cur := page
+	for remaining > 0 {
+		want := remaining
+		if want > MaxTransferSectors {
+			want = MaxTransferSectors
+		}
+		addr, cnt, merged, err := f.e.PhysContiguousFrom(cur, want)
+		if err != nil {
+			return nil, err
+		}
+		leaderAddr, _ := f.e.LeaderAddr()
+		needLeader := !f.leaderVerified && cur == page && addr == leaderAddr+1
+		if !needLeader {
+			if buf, ok := dc.GetRange(addr, cnt); ok {
+				v.traceData(true, addr, cnt)
+				out = append(out, buf...)
+				v.cpu.Charge(time.Duration(cnt) * sim.CostPerSectorCopy)
+				cur += cnt
+				remaining -= cnt
+				continue
+			}
+			v.traceData(false, addr, cnt)
+		}
+		// Miss: cluster the fetch. If this miss continues a sequential
+		// stream, extend it through the physically contiguous stretch by
+		// up to the read-ahead budget — never past the transfer cap or
+		// the end of the file.
+		fetch := cnt
+		if ra := v.cfg.readAhead(); ra > 0 && dc.Sequential(addr) {
+			max := cnt + ra
+			if max > MaxTransferSectors {
+				max = MaxTransferSectors
+			}
+			if left := pages - cur; max > left {
+				max = left
+			}
+			if max > cnt {
+				if _, stretch, m, err := f.e.PhysContiguousFrom(cur, max); err == nil && stretch > fetch {
+					fetch = stretch
+					merged = m
+				}
+			}
+		}
+		gen := dc.Gen()
+		var buf []byte
+		if needLeader {
+			// Piggyback the leader read on the first data access.
+			raw, err := v.readSectorsRetry(addr-1, fetch+1)
+			if err != nil {
+				return nil, err
+			}
+			if lerr := f.verifyLeaderBuf(raw[:disk.SectorSize]); lerr != nil {
+				return nil, lerr
+			}
+			buf = raw[disk.SectorSize:]
+		} else {
+			buf, err = v.readSectorsRetry(addr, fetch)
+			if err != nil {
+				return nil, err
+			}
+		}
+		dc.PutRange(addr, buf, gen)
+		dc.NoteFill(addr, fetch)
+		if fetch > cnt {
+			dc.NoteReadAhead(fetch - cnt)
+			v.traceReadAhead(addr, fetch-cnt)
+		}
+		if merged > 0 {
+			dc.NoteCoalescedRead()
+			v.traceCoalesce("read", addr, fetch, merged)
+		}
+		out = append(out, buf[:cnt*disk.SectorSize]...)
+		v.cpu.Charge(time.Duration(fetch) * sim.CostPerSectorCopy)
 		cur += cnt
 		remaining -= cnt
 	}
@@ -556,12 +672,21 @@ func (f *File) WritePages(page int, data []byte) (err error) {
 	written := 0
 	cur := page
 	for written < n {
-		addr, cnt, err := f.e.ContiguousFrom(cur, n-written)
+		want := n - written
+		if want > MaxTransferSectors {
+			want = MaxTransferSectors
+		}
+		var addr, cnt, merged int
+		var err error
+		if v.dataCache != nil {
+			// Cluster across physically adjacent runs, as the read path
+			// does, so a fragmented file still writes in few transfers.
+			addr, cnt, merged, err = f.e.PhysContiguousFrom(cur, want)
+		} else {
+			addr, cnt, err = f.e.ContiguousFrom(cur, want)
+		}
 		if err != nil {
 			return err
-		}
-		if cnt > MaxTransferSectors {
-			cnt = MaxTransferSectors
 		}
 		chunk := data[written*disk.SectorSize : (written+cnt)*disk.SectorSize]
 		leaderAddr, _ := f.e.LeaderAddr()
@@ -586,6 +711,16 @@ func (f *File) WritePages(page int, data []byte) (err error) {
 		} else {
 			if err := v.d.WriteSectors(addr, chunk); err != nil {
 				return err
+			}
+		}
+		if v.dataCache != nil {
+			// Write-through: refresh any cached frames so later reads see
+			// the new bytes. The disk write above already happened, so
+			// durability does not depend on the cache at all.
+			v.dataCache.Update(addr, chunk)
+			if merged > 0 {
+				v.dataCache.NoteCoalescedWrite()
+				v.traceCoalesce("write", addr, cnt, merged)
 			}
 		}
 		v.cpu.Charge(time.Duration(cnt) * sim.CostPerSectorCopy)
@@ -665,6 +800,7 @@ func (f *File) Contract(newPages int) (err error) {
 		return err
 	}
 	v.freeOnCommit(freed)
+	v.invalidateData(freed)
 	f.e = e
 	return nil
 }

@@ -67,6 +67,18 @@ type Config struct {
 	// (the legacy path); larger values divide the decode CPU across
 	// that many workers while keeping disk reads in chain order.
 	MountWorkers int
+	// DataCachePages is the file-data buffer cache capacity in 512-byte
+	// sectors. Zero means 2048 (1 MB); negative disables the data cache,
+	// restoring the raw per-run read/write path the paper's FSD used (and
+	// the paper-reproduction benches measure). See internal/bufcache.
+	DataCachePages int
+	// ReadAhead caps the sectors fetched beyond a sequential miss: when a
+	// read continues a detected sequential stream, the fetch is extended
+	// through the physically contiguous stretch by up to this many extra
+	// sectors (never past MaxTransferSectors per request). Zero means the
+	// full transfer cap; negative disables read-ahead while keeping the
+	// cache.
+	ReadAhead int
 	// ReadRetries bounds the in-place retries after a damaged-sector read
 	// error before the error surfaces (transient faults clear on retry;
 	// latent errors do not and fall through to copy repair). Zero means 2;
@@ -124,6 +136,26 @@ func (c Config) cacheSize() int {
 		return 512
 	}
 	return c.CacheSize
+}
+
+func (c Config) dataCachePages() int {
+	if c.DataCachePages < 0 {
+		return 0
+	}
+	if c.DataCachePages == 0 {
+		return 2048
+	}
+	return c.DataCachePages
+}
+
+func (c Config) readAhead() int {
+	if c.ReadAhead < 0 {
+		return 0
+	}
+	if c.ReadAhead == 0 {
+		return MaxTransferSectors
+	}
+	return c.ReadAhead
 }
 
 func (c Config) readRetries() int {

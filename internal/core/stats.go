@@ -14,6 +14,24 @@ type CacheStats struct {
 	Hits       int
 	Misses     int
 	HomeWrites int // sectors/pages written home (third flushes, shutdown)
+	// Data holds the file-data buffer cache counters (internal/bufcache).
+	// All zero when the volume runs with the data cache disabled.
+	Data DataCacheStats
+}
+
+// DataCacheStats counts file-data buffer cache activity: per-sector hits and
+// misses, sectors fetched ahead of demand, clustered transfers that merged
+// run boundaries, and frame turnover.
+type DataCacheStats struct {
+	Hits             int // sectors served from cache
+	Misses           int // sectors that went to disk
+	ReadAheadSectors int // sectors fetched beyond the demand read
+	CoalescedReads   int // read transfers that crossed run boundaries
+	CoalescedWrites  int // write transfers that crossed run boundaries
+	Invalidated      int // frames dropped by delete/contract/damage
+	Evicted          int // frames evicted by LRU pressure
+	Size             int // frames currently resident
+	Capacity         int // frame capacity
 }
 
 // CommitStats reports group-commit activity: the WAL counters plus the
@@ -178,6 +196,44 @@ func (v *Volume) traceCache(hit bool, id uint32) {
 	})
 }
 
+// traceData emits a data-cache hit/miss event (A = first sector, B = count).
+func (v *Volume) traceData(hit bool, addr, n int) {
+	if v.obs == nil || !v.obs.tracer.Enabled() {
+		return
+	}
+	kind := obs.EvDataMiss
+	if hit {
+		kind = obs.EvDataHit
+	}
+	v.obs.tracer.Emit(obs.Event{
+		Time: v.clk.Now(), Kind: kind, OK: true, A: int64(addr), B: int64(n),
+	})
+}
+
+// traceReadAhead emits a read-ahead event (A = first sector, B = extra
+// sectors fetched beyond the demand read).
+func (v *Volume) traceReadAhead(addr, extra int) {
+	if v.obs == nil || !v.obs.tracer.Enabled() {
+		return
+	}
+	v.obs.tracer.Emit(obs.Event{
+		Time: v.clk.Now(), Kind: obs.EvReadAhead, OK: true,
+		A: int64(addr), B: int64(extra),
+	})
+}
+
+// traceCoalesce emits a clustered-transfer event (Op = "read"/"write",
+// A = first sector, B = sectors, C = run boundaries crossed).
+func (v *Volume) traceCoalesce(op string, addr, n, merged int) {
+	if v.obs == nil || !v.obs.tracer.Enabled() {
+		return
+	}
+	v.obs.tracer.Emit(obs.Event{
+		Time: v.clk.Now(), Kind: obs.EvCoalesce, Op: op, OK: true,
+		A: int64(addr), B: int64(n), C: int64(merged),
+	})
+}
+
 // traceScrub emits a scrub/repair action event.
 func (v *Volume) traceScrub(action string, n int) {
 	if v.obs == nil || !v.obs.tracer.Enabled() {
@@ -227,7 +283,7 @@ func (v *Volume) observeForce(e wal.ForceEvent) {
 func (v *Volume) Stats() Stats {
 	s := Stats{
 		Ops:        v.Ops(),
-		Cache:      v.cache.stats(),
+		Cache:      v.cacheStats(),
 		Disk:       v.d.Stats(),
 		Faults:     v.FaultStats(),
 		DiskOpTime: v.obs.diskOpTime.Snapshot(),
@@ -265,6 +321,26 @@ func (v *Volume) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// cacheStats assembles the combined name-table + data cache counters.
+func (v *Volume) cacheStats() CacheStats {
+	cs := v.cache.stats()
+	if v.dataCache != nil {
+		bs := v.dataCache.Stats()
+		cs.Data = DataCacheStats{
+			Hits:             int(bs.Hits),
+			Misses:           int(bs.Misses),
+			ReadAheadSectors: int(bs.ReadAheadSectors),
+			CoalescedReads:   int(bs.CoalescedReads),
+			CoalescedWrites:  int(bs.CoalescedWrites),
+			Invalidated:      int(bs.Invalidated),
+			Evicted:          int(bs.Evicted),
+			Size:             bs.Size,
+			Capacity:         bs.Capacity,
+		}
+	}
+	return cs
 }
 
 // SpanNames returns the instrumented operation names in a stable order.

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/btree"
+	"repro/internal/bufcache"
 	"repro/internal/disk"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -109,6 +110,14 @@ type Volume struct {
 	vm    *vam.VAM
 	al    *alloc.Allocator
 
+	// dataCache is the file-data buffer cache (nil when disabled by
+	// Config.DataCachePages < 0). It is write-through and its locks are
+	// leaves: sharded per-frame locking under the shared monitor, never a
+	// cache-global mutex on the hit path. Invalidation runs on Delete,
+	// Contract, DropCaches, and the disk's damage observer, so scrub and
+	// salvage always see the platter, not the cache.
+	dataCache *bufcache.Cache
+
 	// readOnly marks a degraded MountReadOnly volume: mutations fail with
 	// ErrReadOnly and nothing — log, name table, roots, VAM — is written.
 	readOnly bool
@@ -186,7 +195,7 @@ func (v *Volume) Ops() OpStats {
 //
 // Deprecated: use Stats().Cache.
 func (v *Volume) CacheStats() CacheStats {
-	return v.cache.stats()
+	return v.cacheStats()
 }
 
 // rlock acquires the monitor for a read-path operation and returns the
@@ -220,7 +229,30 @@ func newVolume(d *disk.Disk, cfg Config, lay layout) *Volume {
 		return disk.ClassData
 	})
 	d.SetOpObserver(v.observeDiskOp)
+	if pages := cfg.dataCachePages(); pages > 0 {
+		v.dataCache = bufcache.New(pages)
+		// Fault-injected damage (corruption, wild writes) changes the
+		// platter behind the file system's back: drop any cached copies so
+		// reads surface the damage instead of serving stale frames. The
+		// observer runs under the device mutex and only touches cache
+		// atomics and shard maps — it never calls back into the disk.
+		d.SetDamageObserver(func(addr, n int) {
+			v.dataCache.Invalidate(addr, n)
+		})
+	}
 	return v
+}
+
+// invalidateData drops cached frames for freed or rewritten runs. Callers
+// hold the monitor exclusively (Delete, Contract), so no shared-mode reader
+// is mid-fill on these sectors.
+func (v *Volume) invalidateData(runs []alloc.Run) {
+	if v.dataCache == nil {
+		return
+	}
+	for _, r := range runs {
+		v.dataCache.Invalidate(int(r.Start), int(r.Len))
+	}
 }
 
 // hookLog installs the WAL callbacks.
@@ -935,6 +967,9 @@ func (v *Volume) DropCaches() error {
 	}
 	v.lmu.Unlock()
 	v.cache.dropAll()
+	if v.dataCache != nil {
+		v.dataCache.DropAll()
+	}
 	return nil
 }
 

@@ -111,11 +111,18 @@ func (e *fileExp) statusAt(cut int) int {
 	return mayExist
 }
 
+// explorerDataCachePages overrides the data-cache size used on both the
+// workload and the recovery mounts (0 keeps the volume default). The
+// write-through composition test sets it to a deliberately tiny value so the
+// oracle checks run under constant eviction and refill churn.
+var explorerDataCachePages int
+
 func explorerConfig() core.Config {
 	return core.Config{
-		LogSectors: 4 + 3*200,
-		NTPages:    256,
-		CacheSize:  64,
+		DataCachePages: explorerDataCachePages,
+		LogSectors:     4 + 3*200,
+		NTPages:        256,
+		CacheSize:      64,
 		// Commits happen only at the scripted WaitCommitted calls, so ack
 		// epochs are exact.
 		GroupCommitInterval: time.Hour,

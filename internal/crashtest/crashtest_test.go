@@ -49,6 +49,30 @@ func TestExploreAllStates(t *testing.T) {
 	}
 }
 
+// TestWriteThroughCacheDurability is the data-cache composition check: the
+// buffer cache is write-through — every data write reaches the platter
+// before the operation acks, and recovery mounts start cold — so exploring
+// crash states with a deliberately tiny cache (constant eviction and refill
+// churn during the oracle's content reads) must change nothing: every state
+// mounts and the durability oracle holds in all of them.
+func TestWriteThroughCacheDurability(t *testing.T) {
+	explorerDataCachePages = 64 // 4 frames per shard: evicts on every scan
+	defer func() { explorerDataCachePages = 0 }()
+	res, err := Run(Config{Seed: 3, MaxStates: 300, StateID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States == 0 {
+		t.Fatal("no crash states executed")
+	}
+	if res.MountFailures != 0 {
+		t.Fatalf("%d crash states failed to mount with the tiny data cache", res.MountFailures)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation (repro: seed=%d state=%d): %s [%s]", v.Seed, v.StateID, v.Desc, v.State)
+	}
+}
+
 // TestEnumerationDeterministic: same (trace, seed) must yield the identical
 // state list — IDs are stable, so (seed, state-id) reproduces an image.
 func TestEnumerationDeterministic(t *testing.T) {

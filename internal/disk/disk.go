@@ -72,10 +72,16 @@ type Stats struct {
 	Seeks          int // arm moves beyond ShortSeekMax
 	ShortSeeks     int // arm moves of 1..ShortSeekMax cylinders
 	LostRevs       int // rotational waits of >= 0.75 revolution
-	SeekTime       time.Duration
-	RotTime        time.Duration
-	TransferTime   time.Duration
-	OpsByClass     [numClasses]int
+	// MergeableOps counts operations that began exactly where the previous
+	// operation of the same direction ended: back-to-back short requests a
+	// clustered transfer could have issued as one. It quantifies the merge
+	// opportunities the data path is leaving on the table — the coalescing
+	// read/write path exists to drive it toward zero.
+	MergeableOps int
+	SeekTime     time.Duration
+	RotTime      time.Duration
+	TransferTime time.Duration
+	OpsByClass   [numClasses]int
 }
 
 // BusyTime returns total device time consumed.
@@ -91,6 +97,7 @@ func (s Stats) Sub(o Stats) Stats {
 	s.Seeks -= o.Seeks
 	s.ShortSeeks -= o.ShortSeeks
 	s.LostRevs -= o.LostRevs
+	s.MergeableOps -= o.MergeableOps
 	s.SeekTime -= o.SeekTime
 	s.RotTime -= o.RotTime
 	s.TransferTime -= o.TransferTime
@@ -128,6 +135,7 @@ type counters struct {
 	seeks          atomic.Int64
 	shortSeeks     atomic.Int64
 	lostRevs       atomic.Int64
+	mergeableOps   atomic.Int64
 	seekTime       atomic.Int64 // nanoseconds
 	rotTime        atomic.Int64
 	transferTime   atomic.Int64
@@ -147,6 +155,7 @@ func (c *counters) snapshot() Stats {
 	s.Seeks = int(c.seeks.Load())
 	s.ShortSeeks = int(c.shortSeeks.Load())
 	s.LostRevs = int(c.lostRevs.Load())
+	s.MergeableOps = int(c.mergeableOps.Load())
 	s.SeekTime = time.Duration(c.seekTime.Load())
 	s.RotTime = time.Duration(c.rotTime.Load())
 	s.TransferTime = time.Duration(c.transferTime.Load())
@@ -165,6 +174,7 @@ func (c *counters) reset() {
 	c.seeks.Store(0)
 	c.shortSeeks.Store(0)
 	c.lostRevs.Store(0)
+	c.mergeableOps.Store(0)
 	c.seekTime.Store(0)
 	c.rotTime.Store(0)
 	c.transferTime.Store(0)
@@ -195,6 +205,15 @@ type Disk struct {
 	fcnt     faultCounts
 	classify func(addr int) Class
 	observe  func(OpEvent)
+	// damage is the damage observer: injected corruption (CorruptSectors,
+	// SmashSector) reports the affected range so a caching layer above can
+	// drop frames that no longer reflect the platter.
+	damage func(addr, n int)
+	// lastEnd/lastWrite/lastValid track the previous operation's extent for
+	// the merge-opportunity accounting in beginOp.
+	lastEnd   int
+	lastWrite bool
+	lastValid bool
 	// op holds the in-flight operation's description for the observer;
 	// valid only between beginOp and endOp, under d.mu.
 	op     opFrame
@@ -275,6 +294,17 @@ func (d *Disk) SetOpObserver(fn func(OpEvent)) {
 	d.mu.Unlock()
 }
 
+// SetDamageObserver registers a function called whenever sectors are
+// corrupted or smashed from outside the normal write path (nil removes it).
+// It runs while the device mutex is held, so it must be fast and must never
+// call back into the Disk; the file system uses it to invalidate cached
+// copies of sectors whose platter contents were changed behind its back.
+func (d *Disk) SetDamageObserver(fn func(addr, n int)) {
+	d.mu.Lock()
+	d.damage = fn
+	d.mu.Unlock()
+}
+
 // SetWriteFault installs a fault injector consulted before every write.
 func (d *Disk) SetWriteFault(f WriteFaultFunc) {
 	d.mu.Lock()
@@ -324,6 +354,9 @@ func (d *Disk) CorruptSectors(addr, n int) {
 	for i := 0; i < n; i++ {
 		d.damaged[addr+i] = true
 	}
+	if d.damage != nil {
+		d.damage(addr, n)
+	}
 }
 
 // SmashSector overwrites a sector's contents (and optionally its label)
@@ -337,6 +370,9 @@ func (d *Disk) SmashSector(addr int, data []byte, lab *Label) {
 	d.data[addr] = buf
 	if lab != nil {
 		d.labels[addr] = *lab
+	}
+	if d.damage != nil {
+		d.damage(addr, 1)
 	}
 }
 
@@ -464,6 +500,12 @@ func (d *Disk) beginOp(addr, n int, write bool) error {
 	} else {
 		d.cnt.reads.Add(1)
 	}
+	if d.lastValid && addr == d.lastEnd && write == d.lastWrite {
+		d.cnt.mergeableOps.Add(1)
+	}
+	d.lastEnd = addr + n
+	d.lastWrite = write
+	d.lastValid = true
 	cls := ClassData
 	if d.classify != nil {
 		cls = d.classify(addr)

@@ -326,6 +326,41 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
+func TestMergeableOpsAccounting(t *testing.T) {
+	d, _ := newTestDisk(t)
+	// Two back-to-back reads: the second begins where the first ended.
+	if _, err := d.ReadSectors(100, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadSectors(104, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().MergeableOps; got != 1 {
+		t.Fatalf("adjacent same-direction reads: MergeableOps = %d, want 1", got)
+	}
+	// Adjacent but direction flips: not mergeable.
+	if err := d.WriteSectors(108, make([]byte, SectorSize)); err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent writes: mergeable again.
+	if err := d.WriteSectors(109, make([]byte, SectorSize)); err != nil {
+		t.Fatal(err)
+	}
+	// A gap: not mergeable.
+	if _, err := d.ReadSectors(500, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().MergeableOps; got != 2 {
+		t.Fatalf("MergeableOps = %d, want 2", got)
+	}
+	if d.ResetStats().MergeableOps != 2 {
+		t.Fatal("ResetStats did not return MergeableOps")
+	}
+	if d.Stats().MergeableOps != 0 {
+		t.Fatal("ResetStats did not zero MergeableOps")
+	}
+}
+
 func TestStatsSub(t *testing.T) {
 	a := Stats{Ops: 10, Reads: 6, Writes: 4, SectorsRead: 20, SeekTime: time.Second}
 	b := Stats{Ops: 3, Reads: 2, Writes: 1, SectorsRead: 5, SeekTime: time.Millisecond}

@@ -32,6 +32,17 @@ const (
 	// EvOpSpan is one public Volume operation; Op is the span name, OK the
 	// outcome, A=sim-time latency ns.
 	EvOpSpan
+	// EvDataHit / EvDataMiss are data buffer-cache lookups; A=first sector
+	// address, B=sectors.
+	EvDataHit
+	EvDataMiss
+	// EvReadAhead is a sequential read-ahead fetch; A=first sector address,
+	// B=sectors fetched beyond the request.
+	EvReadAhead
+	// EvCoalesce is a data transfer that merged physically adjacent
+	// allocation runs; Op is "read" or "write", A=first sector address,
+	// B=sectors, C=run boundaries crossed.
+	EvCoalesce
 )
 
 // String names the kind for text sinks.
@@ -53,6 +64,14 @@ func (k EventKind) String() string {
 		return "scrub"
 	case EvOpSpan:
 		return "op"
+	case EvDataHit:
+		return "data-hit"
+	case EvDataMiss:
+		return "data-miss"
+	case EvReadAhead:
+		return "read-ahead"
+	case EvCoalesce:
+		return "coalesce"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -13,7 +13,7 @@ test -z "$(gofmt -l . | tee /dev/stderr)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/core ./internal/wal ./internal/disk
+go test -race ./internal/core ./internal/wal ./internal/disk ./internal/bufcache
 go test ./internal/core -count=1 -run 'TestCrashPointSweep|TestTornLogForceSweep|TestScrubRepairsLatentDecay|TestSalvageAfterDoubleNameTableLoss'
 go test -race ./internal/core -count=1 -run 'TestScrubConcurrentWithReaders'
 # Bounded deterministic crash-state sweep: fixed seed, strided sample of
@@ -24,3 +24,6 @@ go run ./cmd/fsdctl crashcheck -seed 1 -states 200
 # one shared volume, a few seconds; asserts nothing here — the shape
 # checks live in go test ./cmd/benchtab — but must run to completion.
 go run ./cmd/benchtab -table tables
+# Data-path cache ablation smoke (cache on/off x read-ahead on/off over
+# sequential/random/re-read workloads); a few seconds on small windows.
+go run ./cmd/benchtab -table datapath
