@@ -18,6 +18,7 @@ var (
 	_ OpStats
 	_ CacheStats
 	_ CommitStats
+	_ IntentStats
 	_ SpanStats
 	_ DiskStats
 	_ ScrubStats
@@ -90,13 +91,20 @@ func TestAPISurface(t *testing.T) {
 	if dcs.Hits+dcs.Misses == 0 {
 		t.Fatalf("data cache saw no traffic: %+v", dcs)
 	}
-	// Config knobs for the data cache are part of the surface.
+	// Config knobs for the data cache and the async pipeline are part of
+	// the surface.
 	_ = Config{DataCachePages: -1, ReadAhead: -1}
+	_ = Config{AsyncApply: true, AdaptiveCommit: true, CommitFloor: 1, IntentQueueDepth: 1}
 	if ds.Ops == 0 {
 		t.Fatalf("disk counters empty: %+v", ds)
 	}
 	_ = cm
 	_ = fs
+	// A default volume runs the staged path: no intent queue.
+	var iq IntentStats = st.Intent
+	if iq.Enabled || cm.Adaptive {
+		t.Fatalf("default volume reports async pipeline: %+v", iq)
+	}
 	var sp SpanStats = st.Spans["create"]
 	if sp.Count != 1 {
 		t.Fatalf("create span = %+v", sp)
@@ -201,6 +209,35 @@ func TestAPISurface(t *testing.T) {
 		t.Fatalf("MountOrSalvage = %+v, %v, %v", ms6, ss, err)
 	}
 	if err := v6.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The async pipeline through the public surface: mutations ride the
+	// intent queue, Stats reports it, and the adaptive deadline is live.
+	v8, rep8, err := Mount(d, Config{AsyncApply: true, AdaptiveCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep8
+	if _, err := v8.Create("async.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := v8.WaitCommitted(v8.CommitSeq()); err != nil {
+		t.Fatal(err)
+	}
+	st8 := v8.Stats()
+	if !st8.Intent.Enabled || st8.Intent.Enqueued == 0 {
+		t.Fatalf("async mount intent stats = %+v", st8.Intent)
+	}
+	if !st8.Commit.Adaptive || st8.Commit.ForceDeadline <= 0 {
+		t.Fatalf("async mount commit stats = %+v", st8.Commit)
+	}
+	if f, err := v8.Open("async.txt", 0); err != nil {
+		t.Fatal(err)
+	} else if got, err := f.ReadAll(); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("async readback = %q, %v", got, err)
+	}
+	if err := v8.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -66,8 +66,13 @@ type (
 	CacheStats = core.CacheStats
 	// DataCacheStats counts file-data buffer cache activity.
 	DataCacheStats = core.DataCacheStats
-	// CommitStats reports group-commit activity and batching distributions.
+	// CommitStats reports group-commit activity and batching distributions,
+	// including the adaptive force deadline currently in effect.
 	CommitStats = core.CommitStats
+	// IntentStats reports the asynchronous metadata pipeline (queue depth,
+	// apply lag, applier CPU); zero-valued with Enabled false on staged
+	// volumes.
+	IntentStats = core.IntentStats
 	// SpanStats summarizes one instrumented operation (count, errors,
 	// sim-time latency distribution).
 	SpanStats = core.SpanStats

@@ -29,6 +29,7 @@ func main() {
 	tablesJSON := flag.String("tables-json", "", "also write the live-counter tables report to this path (e.g. BENCH_tables.json)")
 	robJSON := flag.String("robustness-json", "", "also write the robustness report to this path (e.g. BENCH_robustness.json)")
 	sweepJSON := flag.String("crashsweep-json", "", "also write the crash-sweep report to this path (e.g. BENCH_crashsweep.json)")
+	asyncJSON := flag.String("async-json", "", "also write the async-pipeline report to this path (e.g. BENCH_async.json)")
 	flag.Parse()
 
 	type gen struct {
@@ -47,6 +48,7 @@ func main() {
 		{"recovery", bench.Recovery},
 		{"recovery", bench.RecoveryScaling},
 		{"concurrency", bench.Concurrency},
+		{"async", bench.Async},
 		{"robustness", bench.Robustness},
 		{"crashsweep", bench.CrashSweep},
 		{"datapath", bench.DataPath},
@@ -124,5 +126,14 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s (%d states, %.0f states/sec, max recovery %.2f s)\n",
 			*sweepJSON, rep.States, rep.StatesPerSec, rep.RecoveryMaxS)
+	}
+	if *asyncJSON != "" {
+		rep, err := bench.WriteAsyncJSON(*asyncJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: async json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (async-adaptive vs staged-fixed at 8 workers %.2fx)\n",
+			*asyncJSON, rep.Speedup8)
 	}
 }

@@ -52,9 +52,20 @@ var (
 	errProblems = errors.New("inconsistencies found")
 )
 
+// mountAsync switches the working mount to the asynchronous metadata
+// pipeline (intent queue + adaptive group commit). Set by the global -async
+// flag; a package variable so tests can flip it per run().
+var mountAsync bool
+
+// cliConfig is the volume configuration for the working mount.
+func cliConfig() cedarfs.Config {
+	return cedarfs.Config{AsyncApply: mountAsync, AdaptiveCommit: mountAsync}
+}
+
 func main() {
 	img := flag.String("img", "cedar.img", "disk image file")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (verify/fsck, scrub, salvage, stats, crashcheck)")
+	flag.BoolVar(&mountAsync, "async", false, "mount with the asynchronous intent queue and adaptive group commit")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -104,7 +115,7 @@ func run(img string, jsonOut bool, args []string) error {
 		if err != nil {
 			return err
 		}
-		v, err := cedarfs.Format(d, cedarfs.Config{})
+		v, err := cedarfs.Format(d, cliConfig())
 		if err != nil {
 			return err
 		}
@@ -165,7 +176,7 @@ func run(img string, jsonOut bool, args []string) error {
 		return nil
 	}
 
-	v, ms, err := cedarfs.Mount(d, cedarfs.Config{})
+	v, ms, err := cedarfs.Mount(d, cliConfig())
 	if err != nil {
 		return err
 	}
@@ -392,6 +403,22 @@ func run(img string, jsonOut bool, args []string) error {
 		fmt.Printf("commit: %d forces, %d records, %d/%d images logged/staged (batching %.2fx), %d sectors\n",
 			st.Commit.Forces, st.Commit.Records, st.Commit.ImagesLogged,
 			st.Commit.ImagesStaged, st.Commit.BatchingFactor, st.Commit.SectorsWritten)
+		mode := "fixed"
+		if st.Commit.Adaptive {
+			mode = "adaptive"
+		}
+		fmt.Printf("commit deadline: %v (%s)\n",
+			st.Commit.ForceDeadline.Round(100*time.Microsecond), mode)
+		if iq := st.Intent; iq.Enabled {
+			fmt.Printf("intent queue: depth %d (max %d), %d enqueued, %d applied, %d reader waits, applier busy %v\n",
+				iq.Depth, iq.MaxDepth, iq.Enqueued, iq.Applied, iq.ReaderWaits,
+				iq.ApplierBusy.Round(time.Millisecond))
+			if iq.ApplyLag.Count > 0 {
+				fmt.Printf("apply lag: %d samples, mean %.1f ms, max %v\n",
+					iq.ApplyLag.Count, iq.ApplyLag.Mean()/float64(time.Millisecond),
+					time.Duration(iq.ApplyLag.Max).Round(time.Millisecond))
+			}
+		}
 		fmt.Printf("disk: %d ops (%d reads, %d writes), %d/%d sectors read/written, busy %v simulated\n",
 			st.Disk.Ops, st.Disk.Reads, st.Disk.Writes, st.Disk.SectorsRead,
 			st.Disk.SectorsWritten, st.Disk.BusyTime().Round(time.Millisecond))
@@ -421,6 +448,7 @@ func crashcheck(jsonOut bool, args []string) error {
 	ops := fs.Int("ops", 0, "workload length (0 = default)")
 	decay := fs.Float64("decay", 0, "latent media decay probability composed on each crash image")
 	workers := fs.Int("workers", 0, "parallel state executors (0 = GOMAXPROCS)")
+	async := fs.Bool("async", false, "run the workload through the asynchronous intent queue")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("crashcheck: %w", errUsage)
 	}
@@ -431,6 +459,7 @@ func crashcheck(jsonOut bool, args []string) error {
 		StateID:   *state,
 		Workers:   *workers,
 		Decay:     *decay,
+		Async:     *async,
 	})
 	if err != nil {
 		return err

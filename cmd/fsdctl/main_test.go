@@ -342,10 +342,14 @@ func TestStatsCommand(t *testing.T) {
 			t.Fatalf("stats: %v", err)
 		}
 	})
-	for _, want := range []string{"ops:", "cache:", "commit:", "disk:", "faults:"} {
+	for _, want := range []string{"ops:", "cache:", "commit:", "commit deadline:", "(fixed)", "disk:", "faults:"} {
 		if !bytes.Contains(out, []byte(want)) {
 			t.Fatalf("stats output missing %q:\n%s", want, out)
 		}
+	}
+	// A staged mount has no intent queue to report.
+	if bytes.Contains(out, []byte("intent queue:")) {
+		t.Fatalf("staged stats output reports an intent queue:\n%s", out)
 	}
 
 	out = captureStdout(t, func() {
@@ -361,5 +365,38 @@ func TestStatsCommand(t *testing.T) {
 	// always costs device reads.
 	if st.Disk.Ops == 0 || st.Disk.Reads == 0 {
 		t.Fatalf("stats -json disk counters empty: %+v", st.Disk)
+	}
+
+	// -async mounts through the intent queue with the adaptive controller:
+	// the text summary grows the queue lines and the JSON snapshot carries
+	// IntentStats.
+	mountAsync = true
+	defer func() { mountAsync = false }()
+	withStdin(t, []byte("stats probe async"), func() {
+		if err := run(img, false, []string{"put", "b.txt"}); err != nil {
+			t.Fatalf("async put: %v", err)
+		}
+	})
+	out = captureStdout(t, func() {
+		if err := run(img, false, []string{"stats"}); err != nil {
+			t.Fatalf("async stats: %v", err)
+		}
+	})
+	for _, want := range []string{"(adaptive)", "intent queue:", "applier busy"} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Fatalf("async stats output missing %q:\n%s", want, out)
+		}
+	}
+	out = captureStdout(t, func() {
+		if err := run(img, true, []string{"stats"}); err != nil {
+			t.Fatalf("async stats -json: %v", err)
+		}
+	})
+	st = cedarfs.Stats{}
+	if err := json.Unmarshal(out, &st); err != nil {
+		t.Fatalf("async stats -json does not decode: %v\n%s", err, out)
+	}
+	if !st.Intent.Enabled || !st.Commit.Adaptive {
+		t.Fatalf("async stats -json missing pipeline state: %+v", st.Intent)
 	}
 }

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The asynchronous-metadata-pipeline ablation. The paper's FSD performs a
+// mutation's B-tree update inside the monitor before returning; the intent
+// queue moves that work to a single background applier, so the caller only
+// validates, enqueues, and returns. This benchmark drives a mutation-heavy
+// workload (touches, creates, renames, deletes — the operations that are
+// pure name-table traffic) through five configurations:
+//
+//	synchronous      every mutation forces the log before returning
+//	staged-fixed     group commit at the paper's fixed 500 ms interval
+//	staged-adaptive  group commit with the adaptive force deadline
+//	async-fixed      intent queue + fixed 500 ms interval
+//	async-adaptive   intent queue + adaptive deadline (the full pipeline)
+//
+// Timing model: both CPUs (caller and applier) run detached, so the virtual
+// clock advances only for device time. On the staged paths a mutation owns
+// the volume monitor exclusively for its whole B-tree update, so caller CPU
+// cannot overlap and
+//
+//	elapsed = disk time + caller busy
+//
+// On the async paths validation runs under the read lock plus per-name
+// stripes — caller CPU overlaps across workers — while the single applier
+// serializes only the B-tree work, and the two overlap with each other:
+//
+//	elapsed = disk time + max(caller busy / workers, applier busy)
+//
+// The disk is fully serialized in every cell, as in the concurrency bench.
+
+// AsyncResult is one cell of the ablation.
+type AsyncResult struct {
+	Mode            string  `json:"mode"`
+	Workers         int     `json:"workers"`
+	Ops             int     `json:"ops"` // metadata mutations completed
+	DiskTimeMS      float64 `json:"disk_time_ms"`
+	CallerCPUMS     float64 `json:"caller_cpu_ms"`
+	ApplierCPUMS    float64 `json:"applier_cpu_ms"` // 0 on the staged paths
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	Throughput      float64 `json:"throughput_ops_per_sec"`
+	ForceDeadlineMS float64 `json:"force_deadline_ms"` // post-run controller deadline
+	MaxQueueDepth   int     `json:"max_queue_depth"`   // 0 on the staged paths
+}
+
+// AsyncReport is what BENCH_async.json holds.
+type AsyncReport struct {
+	Model    string        `json:"model"`
+	Cells    []AsyncResult `json:"cells"`
+	Speedup8 float64       `json:"speedup_8_workers"` // async-adaptive vs staged-fixed
+}
+
+// asyncMixIters is mutations per worker; the mix below is 40% touch, 30%
+// small create, 10% set-keep, 10% rename, 10% delete — all name-table
+// mutations, the traffic the intent queue pipelines.
+const asyncMixIters = 240
+
+func asyncRun(mode string, cfg core.Config, workers int) (AsyncResult, error) {
+	fe, err := newFSD(cfg)
+	if err != nil {
+		return AsyncResult{}, err
+	}
+	// Working set: small shared files whose entries the mutations rewrite.
+	const shared = 120
+	sharedData := workload.Payload(2048, 7)
+	for i := 0; i < shared; i++ {
+		if _, err := fe.v.Create(fmt.Sprintf("shared/f%04d", i), sharedData); err != nil {
+			return AsyncResult{}, err
+		}
+	}
+	if err := fe.v.Force(); err != nil {
+		return AsyncResult{}, err
+	}
+	fe.d.ResetStats()
+	fe.v.CPU().SetDetached(true)
+	fe.v.CPU().ResetBusy()
+	applierBusy0 := fe.v.Stats().Intent.ApplierBusy // population also rode the queue
+	diskStart := fe.clk.Now()
+
+	priv := workload.Payload(1024, 9)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < asyncMixIters; i++ {
+				k := (w*31 + i*7) % shared
+				var err error
+				switch i % 10 {
+				case 0, 1, 2, 3: // touch a shared file's entry
+					err = fe.v.Touch(fmt.Sprintf("shared/f%04d", k), 0)
+				case 4, 5, 6: // small create
+					_, err = fe.v.Create(fmt.Sprintf("priv/w%d-%04d", w, i), priv)
+				case 7: // retention change on a shared file
+					err = fe.v.SetKeep(fmt.Sprintf("shared/f%04d", k), 2)
+				case 8: // rename the file this worker created at i-4
+					err = fe.v.Rename(fmt.Sprintf("priv/w%d-%04d", w, i-4),
+						fmt.Sprintf("ren/w%d-%04d", w, i-4))
+				case 9: // delete the file this worker created at i-4
+					err = fe.v.Delete(fmt.Sprintf("priv/w%d-%04d", w, i-4), 0)
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d op %d: %w", w, i, err)
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return AsyncResult{}, err
+		}
+	}
+	// Force drains the intent queue and flushes the log: the applier's CPU
+	// time is complete once it returns.
+	if err := fe.v.Force(); err != nil {
+		return AsyncResult{}, err
+	}
+
+	st := fe.v.Stats()
+	diskTime := fe.clk.Now() - diskStart
+	callerBusy := fe.v.CPU().Busy()
+	applierBusy := st.Intent.ApplierBusy - applierBusy0
+	var elapsed time.Duration
+	if cfg.AsyncApply {
+		serialized := applierBusy
+		if overlapped := callerBusy / time.Duration(workers); overlapped > serialized {
+			serialized = overlapped
+		}
+		elapsed = diskTime + serialized
+	} else {
+		elapsed = diskTime + callerBusy
+	}
+	ops := workers * asyncMixIters
+	if err := fe.v.Shutdown(); err != nil {
+		return AsyncResult{}, err
+	}
+	return AsyncResult{
+		Mode:            mode,
+		Workers:         workers,
+		Ops:             ops,
+		DiskTimeMS:      float64(diskTime) / float64(time.Millisecond),
+		CallerCPUMS:     float64(callerBusy) / float64(time.Millisecond),
+		ApplierCPUMS:    float64(applierBusy) / float64(time.Millisecond),
+		ElapsedMS:       float64(elapsed) / float64(time.Millisecond),
+		Throughput:      float64(ops) / elapsed.Seconds(),
+		ForceDeadlineMS: float64(st.Commit.ForceDeadline) / float64(time.Millisecond),
+		MaxQueueDepth:   st.Intent.MaxDepth,
+	}, nil
+}
+
+// asyncCells is the ablation grid: pipeline {off, on} x commit {sync,
+// fixed, adaptive}, minus the synchronous+async cell (a queue in front of a
+// force-per-mutation log measures nothing new).
+func asyncCells() []struct {
+	mode string
+	cfg  core.Config
+} {
+	base := fsdBenchConfig()
+	cell := func(mode string, mut func(*core.Config)) struct {
+		mode string
+		cfg  core.Config
+	} {
+		cfg := base
+		mut(&cfg)
+		return struct {
+			mode string
+			cfg  core.Config
+		}{mode, cfg}
+	}
+	return []struct {
+		mode string
+		cfg  core.Config
+	}{
+		cell("synchronous", func(c *core.Config) { c.Synchronous = true }),
+		cell("staged-fixed", func(c *core.Config) {}),
+		cell("staged-adaptive", func(c *core.Config) { c.AdaptiveCommit = true }),
+		cell("async-fixed", func(c *core.Config) { c.AsyncApply = true }),
+		cell("async-adaptive", func(c *core.Config) {
+			c.AsyncApply = true
+			c.AdaptiveCommit = true
+		}),
+	}
+}
+
+// AsyncReportRun runs every cell at 8 workers.
+func AsyncReportRun() (AsyncReport, error) {
+	const workers = 8
+	rep := AsyncReport{
+		Model: "elapsed = disk time + caller busy (staged: mutations own the " +
+			"monitor) or + max(caller busy / workers, applier busy) (async: " +
+			"validation overlaps, one applier serializes); disk fully serialized",
+	}
+	var baseline, pipeline float64
+	for _, c := range asyncCells() {
+		r, err := asyncRun(c.mode, c.cfg, workers)
+		if err != nil {
+			return AsyncReport{}, fmt.Errorf("%s: %w", c.mode, err)
+		}
+		rep.Cells = append(rep.Cells, r)
+		switch c.mode {
+		case "staged-fixed":
+			baseline = r.Throughput
+		case "async-adaptive":
+			pipeline = r.Throughput
+		}
+	}
+	if baseline > 0 {
+		rep.Speedup8 = pipeline / baseline
+	}
+	return rep, nil
+}
+
+// WriteAsyncJSON runs the ablation and records it at path (BENCH_async.json
+// at the repo root), so successive PRs can track the trajectory.
+func WriteAsyncJSON(path string) (AsyncReport, error) {
+	rep, err := AsyncReportRun()
+	if err != nil {
+		return rep, err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return rep, err
+	}
+	return rep, os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Async renders the ablation as a benchtab table.
+func Async() (Table, error) {
+	rep, err := AsyncReportRun()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "Async",
+		Title: "Asynchronous metadata pipeline + adaptive group commit (mutation-heavy workload)",
+		Header: []string{"System", "Workers", "Ops", "Disk (ms)", "Caller CPU (ms)",
+			"Applier CPU (ms)", "Elapsed (ms)", "Ops/s", "Deadline (ms)", "Max depth"},
+	}
+	for _, r := range rep.Cells {
+		t.Rows = append(t.Rows, []string{
+			r.Mode, fmt.Sprint(r.Workers), fmt.Sprint(r.Ops),
+			fmt.Sprintf("%.0f", r.DiskTimeMS), fmt.Sprintf("%.0f", r.CallerCPUMS),
+			fmt.Sprintf("%.0f", r.ApplierCPUMS), fmt.Sprintf("%.0f", r.ElapsedMS),
+			fmt.Sprintf("%.0f", r.Throughput), fmt.Sprintf("%.1f", r.ForceDeadlineMS),
+			fmt.Sprint(r.MaxQueueDepth),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"mix: 40% touch, 30% small create, 10% set-keep, 10% rename, 10% delete (all name-table mutations)",
+		fmt.Sprintf("async-adaptive vs staged-fixed at 8 workers: %.2fx", rep.Speedup8),
+		rep.Model,
+	)
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import "testing"
+
+// TestAsyncPipelineSpeedup is the ablation's acceptance check: at 8 workers
+// the full pipeline (intent queue + adaptive commit) must at least double
+// metadata-mutation throughput over the staged path at the paper's fixed
+// interval, and each half of the mechanism must not regress the cell it
+// extends.
+func TestAsyncPipelineSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-volume experiment")
+	}
+	rep, err := AsyncReportRun()
+	if err != nil {
+		t.Fatalf("AsyncReportRun: %v", err)
+	}
+	if rep.Speedup8 < 2 {
+		t.Errorf("async-adaptive at %.2fx of staged-fixed, want >= 2x", rep.Speedup8)
+	}
+	cells := make(map[string]AsyncResult, len(rep.Cells))
+	for _, c := range rep.Cells {
+		cells[c.Mode] = c
+	}
+	for _, mode := range []string{"synchronous", "staged-fixed", "staged-adaptive", "async-fixed", "async-adaptive"} {
+		if _, ok := cells[mode]; !ok {
+			t.Fatalf("missing cell %q", mode)
+		}
+	}
+	// Group commit is the paper's headline: every batched cell beats
+	// forcing per mutation.
+	for mode, c := range cells {
+		if mode == "synchronous" {
+			continue
+		}
+		if c.Throughput <= cells["synchronous"].Throughput {
+			t.Errorf("%s (%.0f ops/s) not faster than synchronous (%.0f ops/s)",
+				mode, c.Throughput, cells["synchronous"].Throughput)
+		}
+	}
+	// The intent queue is what moves B-tree work off the caller: the async
+	// cells must report applier CPU and a non-trivial queue, the staged
+	// cells neither.
+	for _, mode := range []string{"async-fixed", "async-adaptive"} {
+		if c := cells[mode]; c.ApplierCPUMS == 0 || c.MaxQueueDepth == 0 {
+			t.Errorf("%s: applier cpu %.0fms, max depth %d — pipeline did not engage",
+				mode, c.ApplierCPUMS, c.MaxQueueDepth)
+		}
+	}
+	for _, mode := range []string{"synchronous", "staged-fixed", "staged-adaptive"} {
+		if c := cells[mode]; c.ApplierCPUMS != 0 || c.MaxQueueDepth != 0 {
+			t.Errorf("%s: applier cpu %.0fms, max depth %d — staged cell rode the queue",
+				mode, c.ApplierCPUMS, c.MaxQueueDepth)
+		}
+	}
+	// The adaptive controller must actually move the deadline off the
+	// 500 ms ceiling under this load, and stay above the floor.
+	for _, mode := range []string{"staged-adaptive", "async-adaptive"} {
+		if d := cells[mode].ForceDeadlineMS; d <= 0 || d >= 500 {
+			t.Errorf("%s: force deadline %.1fms, want inside (0, 500)", mode, d)
+		}
+	}
+}

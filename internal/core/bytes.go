@@ -87,6 +87,9 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 // operation, logged like any other metadata update; no data pages move.
 // It fails if any version of newName already exists.
 func (v *Volume) Rename(oldName, newName string) error {
+	if v.async() {
+		return v.renameAsync(oldName, newName)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {

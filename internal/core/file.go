@@ -131,6 +131,9 @@ func (v *Volume) CreateLink(name, target string) (*Entry, error) {
 
 func (v *Volume) createClass(name string, data []byte, class Class, linkTarget string) (_ *File, err error) {
 	defer v.span("create")(&err)
+	if v.async() {
+		return v.createClassAsync(name, data, class, linkTarget)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -321,6 +324,11 @@ func (v *Volume) Open(name string, version uint32) (_ *File, err error) {
 	if err := v.begin(); err != nil {
 		return nil, err
 	}
+	// Read-your-writes through the intent queue: wait out any pending
+	// intents on this name before consulting the tree.
+	if err := v.waitName(name); err != nil {
+		return nil, err
+	}
 	e, err := v.statLocked(name, version)
 	if err != nil {
 		return nil, err
@@ -331,7 +339,17 @@ func (v *Volume) Open(name string, version uint32) (_ *File, err error) {
 	v.ops.opens.Add(1)
 	if e.Class == Cached {
 		e.LastUsed = v.clk.Now()
-		if err := v.putEntryLocked(e); err != nil {
+		if v.async() {
+			// The refresh rides the queue as a read-modify-write step, so
+			// it can neither resurrect a concurrently deleted entry nor
+			// clobber a newer queued update.
+			it := &intent{op: "open-touch", steps: []intentStep{
+				{op: stepTouch, key: entryKey(e.Name, e.Version), t: e.LastUsed},
+			}}
+			if _, err := v.enqueueIntent(it, e.Name); err != nil {
+				return nil, err
+			}
+		} else if err := v.putEntryLocked(e); err != nil {
 			return nil, err
 		}
 	}
@@ -345,6 +363,9 @@ func (v *Volume) Stat(name string, version uint32) (_ *Entry, err error) {
 	if err := v.begin(); err != nil {
 		return nil, err
 	}
+	if err := v.waitName(name); err != nil {
+		return nil, err
+	}
 	return v.statLocked(name, version)
 }
 
@@ -352,6 +373,9 @@ func (v *Volume) Stat(name string, version uint32) (_ *Entry, err error) {
 // as its one-page log record example).
 func (v *Volume) Touch(name string, version uint32) (err error) {
 	defer v.span("touch")(&err)
+	if v.async() {
+		return v.touchAsync(name, version)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -370,6 +394,9 @@ func (v *Volume) Touch(name string, version uint32) (err error) {
 // effect at the next create.
 func (v *Volume) SetKeep(name string, keep uint16) (err error) {
 	defer v.span("setkeep")(&err)
+	if v.async() {
+		return v.setKeepAsync(name, keep)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -387,6 +414,9 @@ func (v *Volume) SetKeep(name string, keep uint16) (err error) {
 // when the deletion commits — at the next log force.
 func (v *Volume) Delete(name string, version uint32) (err error) {
 	defer v.span("delete")(&err)
+	if v.async() {
+		return v.deleteAsync(name, version)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -443,6 +473,11 @@ func (v *Volume) List(prefix string, fn func(Entry) bool) (err error) {
 	defer v.span("list")(&err)
 	defer v.rlock()()
 	if err := v.begin(); err != nil {
+		return err
+	}
+	// A scan must see a consistent prefix of the mutation history: wait
+	// out pending intents under the prefix's directory before walking.
+	if err := v.waitPrefix(prefix); err != nil {
 		return err
 	}
 	v.ops.lists.Add(1)
@@ -736,6 +771,9 @@ func (f *File) WritePages(page int, data []byte) (err error) {
 func (f *File) Extend(morePages int) (err error) {
 	v := f.v
 	defer v.span("extend")(&err)
+	if v.async() {
+		return f.extendAsync(morePages)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -766,6 +804,9 @@ func (f *File) Extend(morePages int) (err error) {
 func (f *File) Contract(newPages int) (err error) {
 	v := f.v
 	defer v.span("contract")(&err)
+	if v.async() {
+		return f.contractAsync(newPages)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {
@@ -809,6 +850,9 @@ func (f *File) Contract(newPages int) (err error) {
 func (f *File) SetByteSize(n uint64) (err error) {
 	v := f.v
 	defer v.span("setbytesize")(&err)
+	if v.async() {
+		return f.setByteSizeAsync(n)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if err := v.beginMutate(); err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/vam"
+	"repro/internal/wal"
 )
 
 // NTPageSectors is the number of disk sectors per name-table page. The
@@ -22,12 +23,33 @@ const NTPageSize = NTPageSectors * disk.SectorSize
 // Config parameterizes a volume. The zero value selects the paper's design
 // point everywhere.
 type Config struct {
-	// GroupCommitInterval is the log force period. Zero means the
-	// paper's half second. Use Synchronous to force at every update.
+	// GroupCommitInterval is the log force deadline. Zero means the
+	// paper's half second. With AdaptiveCommit it is the ceiling the
+	// adaptive controller works under rather than a fixed period; use
+	// Synchronous to force at every update instead.
 	GroupCommitInterval time.Duration
 	// Synchronous disables group commit: every metadata update forces
-	// the log immediately (the ablation baseline).
+	// the log immediately (the ablation baseline). It overrides
+	// AdaptiveCommit.
 	Synchronous bool
+	// AdaptiveCommit replaces the fixed force deadline with the WAL's
+	// load-aware controller: the deadline tracks the observed staging
+	// rate and force latency between CommitFloor and the
+	// GroupCommitInterval ceiling. See wal.Config.Adaptive.
+	AdaptiveCommit bool
+	// CommitFloor is the shortest deadline the adaptive controller may
+	// pick. Zero means 5ms. Ignored unless AdaptiveCommit.
+	CommitFloor time.Duration
+	// AsyncApply enables the asynchronous metadata pipeline: mutations
+	// validate under the shared monitor, enqueue a typed intent into the
+	// per-volume ordered queue (internal/intentq), and return; a
+	// background applier performs the B-tree updates and WAL staging.
+	// WaitCommitted remains the only durability promise. See DESIGN.md
+	// §13.
+	AsyncApply bool
+	// IntentQueueDepth bounds the unapplied intents when AsyncApply is
+	// on; mutations block (backpressure) at the cap. Zero means 512.
+	IntentQueueDepth int
 	// LogSectors is the size of the log region including its anchor
 	// pages. Zero means 2404 sectors (three 800-sector thirds, ~1.2 MB).
 	LogSectors int
@@ -108,6 +130,32 @@ func (c Config) interval() time.Duration {
 		return 500 * time.Millisecond
 	}
 	return c.GroupCommitInterval
+}
+
+func (c Config) commitFloor() time.Duration {
+	if c.CommitFloor <= 0 {
+		return 5 * time.Millisecond
+	}
+	return c.CommitFloor
+}
+
+func (c Config) intentQueueDepth() int {
+	if c.IntentQueueDepth <= 0 {
+		return 512
+	}
+	return c.IntentQueueDepth
+}
+
+// walConfig translates the volume config into the log's. Synchronous wins
+// over AdaptiveCommit: a zero interval means force-per-append and leaves the
+// controller off.
+func (c Config) walConfig() wal.Config {
+	return wal.Config{
+		Interval: c.interval(),
+		Thirds:   c.Thirds,
+		Adaptive: c.AdaptiveCommit && !c.Synchronous,
+		Floor:    c.CommitFloor,
+	}
 }
 
 func (c Config) logSectors() int {

@@ -58,6 +58,29 @@ type CommitStats struct {
 	BatchImages     obs.HistSnapshot
 	RecordsPerForce obs.HistSnapshot
 	ForceInterval   obs.HistSnapshot
+	// Adaptive reports whether the load-adaptive force controller is on;
+	// ForceDeadline is its current deadline (the fixed interval otherwise,
+	// 0 in synchronous mode).
+	Adaptive      bool
+	ForceDeadline time.Duration
+}
+
+// IntentStats reports the asynchronous metadata pipeline. All zero (and
+// Enabled false) on a synchronous volume.
+type IntentStats struct {
+	Enabled  bool
+	Depth    int    // intents enqueued but not yet applied
+	MaxDepth int    // queue-depth high-water mark
+	Enqueued uint64 // intents accepted (== the async commit sequence)
+	Applied  uint64 // intents applied
+	// ReaderWaits counts Wait* calls that actually blocked on pending
+	// intents (readers and conflicting writers).
+	ReaderWaits int64
+	// ApplyLag is the distribution of enqueue-to-apply sim time (ns).
+	ApplyLag obs.HistSnapshot
+	// ApplierBusy is the total CPU the applier charged to its detached
+	// core (deferred B-tree and cache work).
+	ApplierBusy time.Duration
 }
 
 // SpanStats summarizes one public Volume operation: invocations, failures,
@@ -77,6 +100,7 @@ type Stats struct {
 	Ops    OpStats
 	Cache  CacheStats
 	Commit CommitStats
+	Intent IntentStats
 	Disk   disk.Stats
 	Faults FaultStats
 	// Spans maps operation name ("open", "create", ...) to its span
@@ -126,6 +150,13 @@ type volObs struct {
 	forceInterval   *obs.Histogram
 	diskOpTime      *obs.Histogram
 	lockWait        *obs.Histogram
+
+	// applyLag and queueDepth observe the async metadata pipeline: the
+	// enqueue-to-apply latency distribution and the live unapplied-intent
+	// count. Present on every volume (zero on synchronous ones) so the
+	// hooks need no nil checks.
+	applyLag   *obs.Histogram
+	queueDepth obs.Gauge
 }
 
 func newVolObs() *volObs {
@@ -135,7 +166,12 @@ func newVolObs() *volObs {
 		batchImages: obs.NewHistogram(
 			1, 2, 3, 5, 8, 13, 21, 34, 55, 89),
 		recordsPerForce: obs.NewHistogram(1, 2, 3, 5, 8, 13),
+		// Sub-10 ms buckets resolve the adaptive controller's short
+		// deadlines; the coarse tail still covers the fixed half-second
+		// regime and idle stretches.
 		forceInterval: obs.NewHistogram(obs.DurationBuckets(
+			time.Millisecond, 2*time.Millisecond, 5*time.Millisecond,
+			10*time.Millisecond, 25*time.Millisecond, 50*time.Millisecond,
 			100*time.Millisecond, 250*time.Millisecond,
 			500*time.Millisecond, time.Second, 2*time.Second,
 			5*time.Second)...),
@@ -144,6 +180,11 @@ func newVolObs() *volObs {
 			50*time.Millisecond, 100*time.Millisecond,
 			200*time.Millisecond)...),
 		lockWait: obs.NewHistogram(latencyBuckets...),
+		applyLag: obs.NewHistogram(obs.DurationBuckets(
+			time.Millisecond, 2*time.Millisecond, 5*time.Millisecond,
+			10*time.Millisecond, 25*time.Millisecond, 50*time.Millisecond,
+			100*time.Millisecond, 250*time.Millisecond,
+			500*time.Millisecond, time.Second)...),
 	}
 	for _, name := range spanNames {
 		o.spans[name] = &spanMetrics{lat: obs.NewHistogram(latencyBuckets...)}
@@ -309,6 +350,20 @@ func (v *Volume) Stats() Stats {
 		}
 		if ws.ImagesLogged > 0 {
 			s.Commit.BatchingFactor = float64(ws.ImagesStaged) / float64(ws.ImagesLogged)
+		}
+		s.Commit.Adaptive = v.cfg.AdaptiveCommit && !v.cfg.Synchronous
+		s.Commit.ForceDeadline = v.log.Deadline()
+	}
+	if v.q != nil {
+		s.Intent = IntentStats{
+			Enabled:     true,
+			Depth:       v.q.Depth(),
+			MaxDepth:    v.q.MaxDepthSeen(),
+			Enqueued:    v.q.Enqueued(),
+			Applied:     v.q.Applied(),
+			ReaderWaits: v.q.ReaderWaits(),
+			ApplyLag:    v.obs.applyLag.Snapshot(),
+			ApplierBusy: v.apCPU.Busy(),
 		}
 	}
 	for name, sm := range v.obs.spans {

@@ -34,6 +34,11 @@ func (v *Volume) Verify() (_ VerifyStats, err error) {
 	if v.closed.Load() {
 		return st, ErrClosed
 	}
+	// With the async pipeline, quiescent also means applied: drain the
+	// intent queue so the audit sees every acknowledged mutation.
+	if err := v.DrainIntents(); err != nil {
+		return st, err
+	}
 	start := v.clk.Now()
 	if err := v.nt.Check(); err != nil {
 		return st, fmt.Errorf("core: name table structure: %w", err)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/bufcache"
 	"repro/internal/disk"
+	"repro/internal/intentq"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vam"
@@ -147,6 +148,17 @@ type Volume struct {
 	// callbacks (OnLogged, FlushHook), so it needs no lock of its own.
 	vamSectors map[int]*vamSector
 
+	// q is the asynchronous metadata pipeline (Config.AsyncApply): the
+	// per-volume ordered intent queue whose single applier performs the
+	// deferred B-tree work. nil on synchronous and read-only volumes. The
+	// applier never takes mu; lifecycle ops (Shutdown, Crash, DropCaches,
+	// Verify) hold mu exclusively and drain or close the queue, so the
+	// applier is quiescent whenever exclusive holders inspect the tree.
+	// apCPU is the applier's detached CPU: its work accumulates in
+	// Stats().Intent.ApplierBusy without advancing the simulated clock.
+	q     *intentq.Queue
+	apCPU *sim.CPU
+
 	closed atomic.Bool
 	ops    opCounters
 
@@ -244,8 +256,9 @@ func newVolume(d *disk.Disk, cfg Config, lay layout) *Volume {
 }
 
 // invalidateData drops cached frames for freed or rewritten runs. Callers
-// hold the monitor exclusively (Delete, Contract), so no shared-mode reader
-// is mid-fill on these sectors.
+// either hold the monitor exclusively (synchronous Delete, Contract) or run
+// on the intent applier; a shared-mode reader mid-fill on these sectors is
+// fenced by the cache's generation-guarded fills.
 func (v *Volume) invalidateData(runs []alloc.Run) {
 	if v.dataCache == nil {
 		return
@@ -386,10 +399,7 @@ func Format(d *disk.Disk, cfg Config) (*Volume, error) {
 		return nil, err
 	}
 	v := newVolume(d, cfg, lay)
-	v.log, err = wal.Format(d, lay.logBase, lay.logSize, v.clk, wal.Config{
-		Interval: cfg.interval(),
-		Thirds:   cfg.Thirds,
-	})
+	v.log, err = wal.Format(d, lay.logBase, lay.logSize, v.clk, cfg.walConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -440,6 +450,9 @@ func Format(d *disk.Disk, cfg Config) (*Volume, error) {
 	// Format-time activity should not pollute measurements.
 	v.log.ResetStats()
 	v.d.ResetStats()
+	if cfg.AsyncApply {
+		v.startIntentQueue()
+	}
 	v.startTicker()
 	return v, nil
 }
@@ -473,10 +486,7 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	}
 	v.uidNext.Store(root.uidChunk << 32)
 
-	v.log, err = wal.Open(d, lay.logBase, lay.logSize, v.clk, wal.Config{
-		Interval: cfg.interval(),
-		Thirds:   cfg.Thirds,
-	})
+	v.log, err = wal.Open(d, lay.logBase, lay.logSize, v.clk, cfg.walConfig())
 	if err != nil {
 		return nil, ms, err
 	}
@@ -590,6 +600,9 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 		v.enableVAMLogging()
 	}
 	ms.Elapsed = v.clk.Now() - start
+	if cfg.AsyncApply {
+		v.startIntentQueue()
+	}
 	v.startTicker()
 	return v, ms, nil
 }
@@ -794,8 +807,18 @@ func (v *Volume) startTicker() {
 	if interval == 0 {
 		return
 	}
+	// With the adaptive controller the force deadline can shrink to the
+	// floor, so the poll has to keep up with the floor, not the ceiling.
+	period := interval
+	if v.cfg.AdaptiveCommit {
+		period = v.cfg.commitFloor()
+	}
+	tick := period / sim.RealTimeScale
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
 	go func() {
-		t := time.NewTicker(interval / sim.RealTimeScale)
+		t := time.NewTicker(tick)
 		defer t.Stop()
 		for {
 			select {
@@ -837,28 +860,48 @@ func (v *Volume) Force() (err error) {
 	if v.readOnly {
 		return ErrReadOnly
 	}
+	if v.q != nil {
+		// Every acked intent must reach the log's pending batch before the
+		// force, or Force would not cover it.
+		if err := v.q.Drain(); err != nil {
+			return err
+		}
+	}
 	return v.log.Force()
 }
 
-// CommitSeq returns the log sequence number covering every metadata update
-// staged so far: once the log's committed sequence reaches it, all of them
-// are durable. Pair with WaitCommitted for group-commit-aware fsync.
+// CommitSeq returns the commit sequence covering every update acknowledged
+// so far: once WaitCommitted returns for it, all of them are durable. On a
+// synchronous volume this is the log batch sequence; with the async pipeline
+// it is the newest intent sequence. Pair with WaitCommitted for
+// group-commit-aware fsync.
 func (v *Volume) CommitSeq() uint64 {
+	if v.q != nil {
+		return v.q.Enqueued()
+	}
 	if v.log == nil {
 		return 0
 	}
 	return v.log.Seq()
 }
 
-// WaitCommitted blocks until log batch seq is durable, forcing as needed.
-// It intentionally takes no volume lock: waiting must not serialize other
-// operations (that is the point of the pipelined commit).
+// WaitCommitted blocks until commit sequence seq is durable, forcing as
+// needed. It intentionally takes no volume lock: waiting must not serialize
+// other operations (that is the point of the pipelined commit). With the
+// async pipeline it first waits for intent seq to be applied — which stages
+// its log images — and then forces the batch holding them.
 func (v *Volume) WaitCommitted(seq uint64) error {
 	if v.closed.Load() {
 		return ErrClosed
 	}
 	if v.readOnly {
 		return ErrReadOnly
+	}
+	if v.q != nil {
+		if err := v.q.WaitApplied(seq); err != nil {
+			return err
+		}
+		return v.log.WaitCommitted(v.log.Seq())
 	}
 	return v.log.WaitCommitted(seq)
 }
@@ -893,6 +936,9 @@ func (v *Volume) Shutdown() error {
 		// next writable mount still runs recovery.
 		v.closed.Store(true)
 		return nil
+	}
+	if err := v.stopIntentQueue(true); err != nil {
+		return err
 	}
 	if err := v.log.Force(); err != nil {
 		return err
@@ -934,6 +980,10 @@ func (v *Volume) Crash() {
 		close(v.stopTicker)
 		v.stopTicker = nil
 	}
+	// A crash abandons unapplied intents: nothing they promised was acked
+	// (acks come only from WaitCommitted), so dropping them wholesale is
+	// exactly the atomicity the durability contract allows.
+	v.stopIntentQueue(false)
 	v.closed.Store(true)
 	v.d.Halt()
 }
@@ -949,6 +999,9 @@ func (v *Volume) DropCaches() error {
 	}
 	if v.readOnly {
 		return ErrReadOnly
+	}
+	if err := v.DrainIntents(); err != nil {
+		return err
 	}
 	if err := v.log.Force(); err != nil {
 		return err
@@ -1024,10 +1077,17 @@ func (v *Volume) begin() error {
 }
 
 // beginMutate is begin for operations that modify the volume; a degraded
-// read-only mount refuses them before they touch anything.
+// read-only mount refuses them before they touch anything, and on an async
+// volume whose applier hit a sticky error every further mutation reports it
+// rather than enqueueing work that would be skipped.
 func (v *Volume) beginMutate() error {
 	if v.readOnly {
 		return ErrReadOnly
+	}
+	if v.q != nil {
+		if err := v.q.Err(); err != nil {
+			return fmt.Errorf("core: intent applier failed: %w", err)
+		}
 	}
 	return v.begin()
 }

@@ -39,6 +39,13 @@ type Config struct {
 	// unreadable file content is reported as MediaLosses, not violations;
 	// every state must still mount.
 	Decay float64
+	// Async runs the workload (and the recovery mounts) with the
+	// asynchronous metadata pipeline enabled. The workload drains the
+	// intent queue after every operation so the journal trace stays a pure
+	// function of the seed; the deep-unapplied-queue crash is covered by a
+	// dedicated core test, while this mode proves the acked/unacked
+	// durability contract is unchanged by the pipeline.
+	Async bool
 }
 
 // Violation is one oracle failure, reproducible via Config{Seed, StateID}.
@@ -117,17 +124,20 @@ func (e *fileExp) statusAt(cut int) int {
 // oracle checks run under constant eviction and refill churn.
 var explorerDataCachePages int
 
-func explorerConfig() core.Config {
+func explorerConfig(async bool) core.Config {
 	return core.Config{
 		DataCachePages: explorerDataCachePages,
 		LogSectors:     4 + 3*200,
 		NTPages:        256,
 		CacheSize:      64,
 		// Commits happen only at the scripted WaitCommitted calls, so ack
-		// epochs are exact.
+		// epochs are exact. (Deliberately no AdaptiveCommit here: an
+		// adaptive deadline would add forces at op boundaries and blur the
+		// scripted ack points.)
 		GroupCommitInterval: time.Hour,
 		// Sequential mount: identical virtual recovery timing every run.
 		MountWorkers: 1,
+		AsyncApply:   async,
 	}
 }
 
@@ -142,14 +152,14 @@ func wlPayload(rng *rand.Rand, n int) []byte {
 // buildWorkload runs the scripted op sequence against a write-back disk and
 // returns the frozen base image, the journal trace, the final open epoch,
 // and the oracle plan.
-func buildWorkload(seed int64, nops int) (*disk.Disk, []disk.JournaledWrite, int, []fileExp, error) {
+func buildWorkload(seed int64, nops int, async bool) (*disk.Disk, []disk.JournaledWrite, int, []fileExp, error) {
 	rng := rand.New(rand.NewSource(seed))
 	clk := sim.NewVirtualClock()
 	d, err := disk.New(disk.SmallGeometry, disk.DefaultParams, clk)
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
-	cfg := explorerConfig()
+	cfg := explorerConfig(async)
 	v, err := core.Format(d, cfg)
 	if err != nil {
 		return nil, nil, 0, nil, err
@@ -190,6 +200,11 @@ func buildWorkload(seed int64, nops int) (*disk.Disk, []disk.JournaledWrite, int
 			plan = append(plan, fileExp{name: name, data: data})
 			live = append(live, len(plan)-1)
 		}
+		// Async mode: drain after every op so applier progress — and with
+		// it the write journal — is a deterministic function of the seed.
+		if err := v.DrainIntents(); err != nil {
+			return nil, nil, 0, nil, fmt.Errorf("workload drain: %w", err)
+		}
 		// Acknowledge every few ops, but leave an unacknowledged tail so
 		// the may-exist arm of the oracle is exercised too.
 		if i%4 == 3 && i < nops-6 && !longStretch {
@@ -209,7 +224,9 @@ func buildWorkload(seed int64, nops int) (*disk.Disk, []disk.JournaledWrite, int
 	}
 	trace := d.Trace()
 	epochs := d.SyncedEpoch()
-	d.Halt() // nothing may touch the base image after this; clones revive
+	// Crash (not Halt directly): it also closes the intent queue so no
+	// applier goroutine outlives the frozen base image.
+	v.Crash()
 	return d, trace, epochs, plan, nil
 }
 
@@ -225,7 +242,7 @@ type stateResult struct {
 
 // runState reconstructs one crash image, mounts it, and checks the oracle.
 func runState(base *disk.Disk, trace []disk.JournaledWrite, byEpoch [][]int,
-	st State, plan []fileExp, seed int64, decay float64) stateResult {
+	st State, plan []fileExp, seed int64, decay float64, async bool) stateResult {
 
 	var res stateResult
 	clk := sim.NewVirtualClock()
@@ -243,7 +260,7 @@ func runState(base *disk.Disk, trace []disk.JournaledWrite, byEpoch [][]int,
 		d.ApplyTorn(trace[cutWrites[st.Torn.Write]], st.Torn.Persist, st.Torn.DamagePrev)
 	}
 
-	cfg := explorerConfig()
+	cfg := explorerConfig(async)
 	if decay > 0 {
 		d.InjectFaults(disk.FaultConfig{
 			Seed:          seed ^ int64(st.ID)*0x9E3779B9,
@@ -350,7 +367,7 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Ops = 200
 	}
 	wallStart := time.Now()
-	base, trace, epochs, plan, err := buildWorkload(cfg.Seed, cfg.Ops)
+	base, trace, epochs, plan, err := buildWorkload(cfg.Seed, cfg.Ops, cfg.Async)
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +420,7 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for st := range work {
-				sr := runState(base, trace, byEpoch, st, plan, cfg.Seed, cfg.Decay)
+				sr := runState(base, trace, byEpoch, st, plan, cfg.Seed, cfg.Decay, cfg.Async)
 				mu.Lock()
 				res.States++
 				switch st.Kind {

@@ -73,10 +73,67 @@ func TestWriteThroughCacheDurability(t *testing.T) {
 	}
 }
 
+// TestAsyncPipelineDurability reruns the exploration with the asynchronous
+// metadata pipeline on: every mutation goes through the intent queue, yet
+// every crash state must mount, acked ops must survive, unacked ops must be
+// atomic, and WaitCommitted must remain the only durability promise.
+func TestAsyncPipelineDurability(t *testing.T) {
+	res, err := Run(Config{Seed: 5, MaxStates: 400, StateID: -1, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States == 0 {
+		t.Fatal("no crash states executed")
+	}
+	if res.MountFailures != 0 {
+		t.Fatalf("%d crash states failed to mount with the async pipeline", res.MountFailures)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation (repro: seed=%d state=%d async): %s [%s]", v.Seed, v.StateID, v.Desc, v.State)
+	}
+	if res.AckedOps == 0 || res.UnackedOps == 0 {
+		t.Fatalf("async workload must leave both acked (%d) and unacked (%d) ops", res.AckedOps, res.UnackedOps)
+	}
+}
+
+// TestAsyncTraceDeterministic: with the per-op drain, the async workload's
+// journal trace is a pure function of the seed, so (seed, state-id) repro
+// stays valid in async mode.
+func TestAsyncTraceDeterministic(t *testing.T) {
+	_, ta, ea, _, err := buildWorkload(11, 60, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tb, eb, _, err := buildWorkload(11, 60, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea != eb || len(ta) != len(tb) {
+		t.Fatalf("async trace shape differs: %d/%d epochs, %d/%d writes", ea, eb, len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i].Epoch != tb[i].Epoch || ta[i].Addr != tb[i].Addr || !bytesEqual(ta[i].Data, tb[i].Data) {
+			t.Fatalf("async trace write %d differs between identical runs", i)
+		}
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestEnumerationDeterministic: same (trace, seed) must yield the identical
 // state list — IDs are stable, so (seed, state-id) reproduces an image.
 func TestEnumerationDeterministic(t *testing.T) {
-	_, trace, epochs, _, err := buildWorkload(7, 60)
+	_, trace, epochs, _, err := buildWorkload(7, 60, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,15 @@ const (
 	// allocation runs; Op is "read" or "write", A=first sector address,
 	// B=sectors, C=run boundaries crossed.
 	EvCoalesce
+	// EvIntentEnqueue is one intent entering the async metadata queue;
+	// Op is the operation name, A=intent seq, B=queue depth after.
+	EvIntentEnqueue
+	// EvIntentApply is one intent leaving the queue; Op is the operation
+	// name, A=intent seq, B=enqueue-to-apply lag ns, C=depth remaining.
+	EvIntentApply
+	// EvIntentWait is a reader (or conflicting writer) that blocked on
+	// pending intents; Op is the wait kind ("name", "prefix", "applied").
+	EvIntentWait
 )
 
 // String names the kind for text sinks.
@@ -72,6 +81,12 @@ func (k EventKind) String() string {
 		return "read-ahead"
 	case EvCoalesce:
 		return "coalesce"
+	case EvIntentEnqueue:
+		return "intent-enq"
+	case EvIntentApply:
+		return "intent-apply"
+	case EvIntentWait:
+		return "intent-wait"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

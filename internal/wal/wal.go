@@ -92,11 +92,27 @@ type Stats struct {
 // Config parameterizes the log.
 type Config struct {
 	// Interval is the group-commit period; 0 forces at every Append
-	// (the synchronous ablation).
+	// (the synchronous ablation). When Adaptive is set it is the ceiling
+	// of the adaptive controller instead of a fixed period.
 	Interval time.Duration
 	// Thirds overrides the number of log divisions; the paper uses 3.
 	// Valid values are 2..8. Zero means 3.
 	Thirds int
+	// Adaptive enables the load-aware force deadline: instead of forcing
+	// on a fixed Interval, the log tracks the per-image staging rate and
+	// its own force latency (EWMAs over live signals) and sets the
+	// deadline to the time needed to accumulate TargetImages — clamped
+	// between Floor and Interval. An idle log drifts to the Interval
+	// ceiling (the paper's batching behaviour); a busy one forces as soon
+	// as a record's worth of images is ready, but never so often that
+	// force I/O exceeds half the duty cycle. Ignored when Interval is 0.
+	Adaptive bool
+	// Floor is the shortest deadline the adaptive controller may choose.
+	// Zero means 1ms. Ignored unless Adaptive.
+	Floor time.Duration
+	// TargetImages is the batch size the adaptive deadline aims to
+	// accumulate per force. Zero means 16. Ignored unless Adaptive.
+	TargetImages int
 }
 
 // Log is the redo log over a contiguous sector region of a disk.
@@ -152,13 +168,22 @@ type Log struct {
 	OnAppend func(images int, seq uint64)
 
 	// mu guards the staging state only: pending, pendingIdx, openSeq,
-	// lastForce, and stats. It is never held across disk I/O or callbacks.
+	// lastForce, stats, and the adaptive-controller EWMAs. It is never
+	// held across disk I/O or callbacks.
 	mu         sync.Mutex
 	pending    []PageImage
 	pendingIdx map[imageKey]int
 	openSeq    uint64 // sequence number of the batch currently staging
 	lastForce  time.Duration
 	stats      Stats
+
+	// Adaptive-controller state (meaningful only when cfg.Adaptive).
+	// ewmaGap is the smoothed interval between staged images — the
+	// inverse of the offered load; ewmaForce is the smoothed duration of
+	// a record-writing force. Both are zero until their first sample.
+	ewmaGap   time.Duration
+	ewmaForce time.Duration
+	lastStage time.Duration
 
 	// committedSeq is the newest durable batch sequence (0 = none yet).
 	// Written under forceMu; read lock-free by Committed().
@@ -336,11 +361,27 @@ func (l *Log) Append(images ...PageImage) (uint64, error) {
 	return seq, nil
 }
 
+// ewmaShift is the smoothing factor of the controller's moving averages:
+// new = old + (sample-old)/2^ewmaShift.
+const ewmaShift = 3
+
 // stage adds images to the pending batch without triggering a force and
 // returns the batch's sequence number.
 func (l *Log) stage(images []PageImage) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.cfg.Adaptive && len(images) > 0 {
+		now := l.clk.Now()
+		if l.lastStage > 0 && now >= l.lastStage {
+			gap := (now - l.lastStage) / time.Duration(len(images))
+			if l.ewmaGap == 0 {
+				l.ewmaGap = gap
+			} else {
+				l.ewmaGap += (gap - l.ewmaGap) >> ewmaShift
+			}
+		}
+		l.lastStage = now
+	}
 	for _, im := range images {
 		if len(im.Data) != disk.SectorSize {
 			return 0, fmt.Errorf("wal: image of %d bytes, want %d", len(im.Data), disk.SectorSize)
@@ -395,12 +436,70 @@ func (l *Log) WaitCommitted(seq uint64) error {
 	return nil
 }
 
-// MaybeForce forces the log if the group-commit interval has elapsed since
-// the last force. The file system calls it at operation boundaries when
-// running on a virtual clock; under a real clock a ticker goroutine calls it.
+// floor returns the adaptive deadline floor.
+func (l *Log) floor() time.Duration {
+	if l.cfg.Floor > 0 {
+		return l.cfg.Floor
+	}
+	return time.Millisecond
+}
+
+// targetImages returns the batch size the adaptive deadline aims for.
+func (l *Log) targetImages() int {
+	if l.cfg.TargetImages > 0 {
+		return l.cfg.TargetImages
+	}
+	return 16
+}
+
+// deadlineLocked returns the current force deadline: the fixed Interval, or
+// — in adaptive mode — the estimated time to accumulate targetImages at the
+// observed staging rate, held above both the floor and four times the
+// smoothed force latency (so force I/O never exceeds a quarter of the duty
+// cycle — under sustained load the controller backs off toward bigger
+// batches instead of thrashing the disk with forces) and below the Interval
+// ceiling. Before the first staging sample the deadline is the ceiling,
+// preserving the paper's behaviour on an idle or cold log. Caller holds
+// l.mu.
+func (l *Log) deadlineLocked() time.Duration {
+	if !l.cfg.Adaptive || l.cfg.Interval == 0 {
+		return l.cfg.Interval
+	}
+	if l.ewmaGap == 0 {
+		return l.cfg.Interval
+	}
+	d := l.ewmaGap * time.Duration(l.targetImages())
+	if min := 4 * l.ewmaForce; d < min {
+		d = min
+	}
+	if f := l.floor(); d < f {
+		d = f
+	}
+	if d > l.cfg.Interval {
+		d = l.cfg.Interval
+	}
+	return d
+}
+
+// Deadline returns the force deadline currently in effect: Interval in fixed
+// mode, the adaptive controller's choice in adaptive mode, 0 in synchronous
+// mode.
+func (l *Log) Deadline() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.deadlineLocked()
+}
+
+// MaybeForce forces the log if the force deadline has elapsed since the last
+// force — or, in adaptive mode, as soon as a full record's worth of images
+// is pending (forcing then costs no extra record overhead). The file system
+// calls it at operation boundaries when running on a virtual clock; under a
+// real clock a ticker goroutine calls it.
 func (l *Log) MaybeForce() error {
 	l.mu.Lock()
-	due := l.clk.Now()-l.lastForce >= l.cfg.Interval && len(l.pending) > 0
+	due := len(l.pending) > 0 &&
+		(l.clk.Now()-l.lastForce >= l.deadlineLocked() ||
+			(l.cfg.Adaptive && len(l.pending) >= MaxImagesPerRecord))
 	l.mu.Unlock()
 	if !due {
 		return nil
@@ -493,6 +592,16 @@ func (l *Log) forceLocked() error {
 		}
 	}
 	l.committedSeq.Store(seq)
+	dur := l.clk.Now() - start
+	if wrote && l.cfg.Adaptive {
+		l.mu.Lock()
+		if l.ewmaForce == 0 {
+			l.ewmaForce = dur
+		} else {
+			l.ewmaForce += (dur - l.ewmaForce) >> ewmaShift
+		}
+		l.mu.Unlock()
+	}
 	if l.OnCommit != nil {
 		l.OnCommit(seq)
 	}
@@ -503,7 +612,7 @@ func (l *Log) forceLocked() error {
 			Records:  recs,
 			Sectors:  secs,
 			Interval: start - prevForce,
-			Duration: l.clk.Now() - start,
+			Duration: dur,
 		})
 	}
 	return nil

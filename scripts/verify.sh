@@ -1,8 +1,8 @@
 #!/bin/sh
 # Full local verification: vet, build, tests, the race detector over the
 # packages with concurrent internals (the split monitor, the pipelined WAL,
-# and the lock-free disk stats), and the fault sweeps (crash points, torn
-# log writes, scrub/salvage under injected media decay).
+# the intent queue applier, and the lock-free disk stats), and the fault
+# sweeps (crash points, torn log writes, scrub/salvage under decay).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -13,13 +13,16 @@ test -z "$(gofmt -l . | tee /dev/stderr)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/core ./internal/wal ./internal/disk ./internal/bufcache
+go test -race ./internal/core ./internal/wal ./internal/disk ./internal/bufcache ./internal/intentq
 go test ./internal/core -count=1 -run 'TestCrashPointSweep|TestTornLogForceSweep|TestScrubRepairsLatentDecay|TestSalvageAfterDoubleNameTableLoss'
 go test -race ./internal/core -count=1 -run 'TestScrubConcurrentWithReaders'
 # Bounded deterministic crash-state sweep: fixed seed, strided sample of
 # the full enumeration (the complete 1000+-state sweep runs in the bench
 # suite); well under a minute.
 go run ./cmd/fsdctl crashcheck -seed 1 -states 200
+# The same oracle with every mutation riding the asynchronous intent queue:
+# acked ops must stay durable, unacked ops atomic.
+go run ./cmd/fsdctl crashcheck -seed 1 -states 100 -async
 # Live-counter table reproduction (Tables 2/3/4/5 from Volume.Stats()):
 # one shared volume, a few seconds; asserts nothing here — the shape
 # checks live in go test ./cmd/benchtab — but must run to completion.
