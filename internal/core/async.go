@@ -549,6 +549,17 @@ func (f *File) extendAsync(morePages int) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	// Serialize with the name-based mutators: touch/setKeep/rename enqueue
+	// whole-entry snapshot puts resolved at validation time, so an extend
+	// enqueued between such a validation and its enqueue would have its
+	// run-table update silently overwritten — the allocator and the tree
+	// diverge and the new pages leak. Holding the stripe and draining the
+	// name's pending intents makes snapshot puts safe in both directions.
+	release := v.q.LockNames(f.e.Name)
+	defer release()
+	if err := v.waitName(f.e.Name); err != nil {
+		return err
+	}
 	v.vmMu.Lock()
 	runs, err := v.al.Alloc(morePages)
 	v.vmMu.Unlock()
@@ -584,6 +595,14 @@ func (f *File) contractAsync(newPages int) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	// Stripe + drain before snapshotting f.e, for the same reason as
+	// extendAsync: a name-op snapshot put must not clobber this intent's
+	// run-table update (or vice versa).
+	release := v.q.LockNames(f.e.Name)
+	defer release()
+	if err := v.waitName(f.e.Name); err != nil {
+		return err
+	}
 	if newPages < 0 || newPages > f.e.Pages() {
 		return fmt.Errorf("core: contract to %d pages of %d", newPages, f.e.Pages())
 	}
@@ -629,6 +648,12 @@ func (f *File) setByteSizeAsync(n uint64) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	// Stripe + drain before snapshotting f.e; see extendAsync.
+	release := v.q.LockNames(f.e.Name)
+	defer release()
+	if err := v.waitName(f.e.Name); err != nil {
+		return err
+	}
 	if n > uint64(f.e.Pages())*disk.SectorSize {
 		return fmt.Errorf("core: byte size %d exceeds %d allocated pages", n, f.e.Pages())
 	}

@@ -154,7 +154,7 @@ func (c Config) walConfig() wal.Config {
 		Interval: c.interval(),
 		Thirds:   c.Thirds,
 		Adaptive: c.AdaptiveCommit && !c.Synchronous,
-		Floor:    c.CommitFloor,
+		Floor:    c.commitFloor(),
 	}
 }
 

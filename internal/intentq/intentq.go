@@ -266,17 +266,18 @@ func (q *Queue) WaitApplied(seq uint64) error {
 		waited = true
 		q.cond.Wait()
 	}
+	// Decide the verdict before notifyWait drops q.mu: the queue can make
+	// progress (or fail) during the unlocked callback, and the result must
+	// reflect the state that satisfied the wait loop.
+	err := q.err
+	if err == nil && q.appSeq < seq {
+		err = ErrClosed
+	}
 	if waited {
 		q.readerWaits.Add(1)
 		q.notifyWait("applied", "")
 	}
-	if q.err != nil {
-		return q.err
-	}
-	if q.appSeq < seq {
-		return ErrClosed
-	}
-	return nil
+	return err
 }
 
 // WaitName blocks until no pending intent touches name. Callers that went
@@ -301,17 +302,20 @@ func (q *Queue) waitKey(m map[uint64]int, k uint64, kind, label string) error {
 		waited = true
 		q.cond.Wait()
 	}
+	// Decide the verdict before notifyWait drops q.mu: Wait* callers need
+	// not hold the name stripe (Open/Stat never do), so a concurrent
+	// Enqueue on the same key during the unlocked callback can make
+	// m[k] > 0 again on a live queue — checking only afterwards would
+	// misreport that as ErrClosed.
+	err := q.err
+	if err == nil && m[k] > 0 {
+		err = ErrClosed
+	}
 	if waited {
 		q.readerWaits.Add(1)
 		q.notifyWait(kind, label)
 	}
-	if q.err != nil {
-		return q.err
-	}
-	if m[k] > 0 {
-		return ErrClosed
-	}
-	return nil
+	return err
 }
 
 // notifyWait fires OnWait without the lock (it re-acquires around the call).

@@ -273,6 +273,61 @@ func TestLockNamesStripesExclude(t *testing.T) {
 	<-acquired
 }
 
+// TestWaitNoSpuriousCloseDuringOnWait pins the notifyWait window: OnWait
+// drops q.mu, and Wait* callers (Open/Stat) do not hold the name stripe, so
+// a concurrent Enqueue on the same key can make its pending count nonzero
+// again before the waiter returns. That must never be reported as ErrClosed
+// on a live queue.
+func TestWaitNoSpuriousCloseDuringOnWait(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	q := New(clk, Config{
+		Apply: func(op any) error { return nil },
+		// Widen the unlocked window so a racing Enqueue lands inside it.
+		OnWait: func(kind, key string) { time.Sleep(50 * time.Microsecond) },
+	})
+	defer q.Close()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					q.Enqueue("op", "hot")
+				}
+			}
+		}()
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 300; i++ {
+				if err := q.WaitName("hot"); err != nil {
+					t.Errorf("WaitName on a live queue: %v", err)
+					return
+				}
+				if err := q.WaitPrefix("hot"); err != nil {
+					t.Errorf("WaitPrefix on a live queue: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	if err := q.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
 func TestConcurrentEnqueueDrainRace(t *testing.T) {
 	clk := sim.NewVirtualClock()
 	var applied atomic.Int64

@@ -105,7 +105,9 @@ type Config struct {
 	// between Floor and Interval. An idle log drifts to the Interval
 	// ceiling (the paper's batching behaviour); a busy one forces as soon
 	// as a record's worth of images is ready, but never so often that
-	// force I/O exceeds half the duty cycle. Ignored when Interval is 0.
+	// force I/O exceeds a quarter of the duty cycle (the deadline is held
+	// above four times the smoothed force latency). Ignored when Interval
+	// is 0.
 	Adaptive bool
 	// Floor is the shortest deadline the adaptive controller may choose.
 	// Zero means 1ms. Ignored unless Adaptive.
