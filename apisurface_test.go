@@ -63,7 +63,7 @@ func TestAPISurface(t *testing.T) {
 	if _, err := vol.Open("missing.txt", 0); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("open missing = %v, want ErrNotFound", err)
 	}
-	for _, e := range []error{ErrNotFound, ErrClosed, ErrIsSymlink, ErrReadOnly} {
+	for _, e := range []error{ErrNotFound, ErrClosed, ErrIsSymlink, ErrReadOnly, ErrOffline} {
 		if e == nil {
 			t.Fatal("exported error is nil")
 		}
@@ -77,6 +77,16 @@ func TestAPISurface(t *testing.T) {
 	var cm CommitStats = st.Commit
 	var ds DiskStats = st.Disk
 	var fs VolumeFaultStats = st.Faults
+	// The health state machine: a fresh volume is healthy and the states
+	// are ordered by severity.
+	var hl Health = st.Health
+	if hl != HealthHealthy || hl.String() != "healthy" {
+		t.Fatalf("fresh volume health = %v, want healthy", hl)
+	}
+	if !(HealthHealthy < HealthDegraded && HealthDegraded < HealthReadOnly &&
+		HealthReadOnly < HealthOffline) {
+		t.Fatal("health states not ordered by severity")
+	}
 	if ops.Creates != 1 || ops.Opens != 1 {
 		t.Fatalf("ops = %+v", ops)
 	}

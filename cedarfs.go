@@ -86,6 +86,9 @@ type (
 	// VolumeFaultStats aggregates a volume's media-fault handling
 	// (retries, scrub repairs, retirements).
 	VolumeFaultStats = core.FaultStats
+	// Health is the volume health state: healthy, degraded, read-only,
+	// offline. It only moves forward; see Stats.Health.
+	Health = core.Health
 	// FaultConfig parameterizes the disk's probabilistic fault injector.
 	FaultConfig = disk.FaultConfig
 	// DiskFaultStats counts faults the disk injected and remaps it served.
@@ -106,12 +109,21 @@ const (
 	Cached  = core.Cached
 )
 
+// Health states, in degradation order.
+const (
+	HealthHealthy  = core.HealthHealthy
+	HealthDegraded = core.HealthDegraded
+	HealthReadOnly = core.HealthReadOnly
+	HealthOffline  = core.HealthOffline
+)
+
 // Errors.
 var (
 	ErrNotFound  = core.ErrNotFound
 	ErrClosed    = core.ErrClosed
 	ErrIsSymlink = core.ErrIsSymlink
 	ErrReadOnly  = core.ErrReadOnly
+	ErrOffline   = core.ErrOffline
 )
 
 // Disk and clock types for callers that want to build their own device.

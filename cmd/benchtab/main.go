@@ -23,13 +23,14 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, datapath, tables, ablations, all")
+	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, datapath, faultpath, tables, ablations, all")
 	concJSON := flag.String("concurrency-json", "", "also write the concurrency report to this path (e.g. BENCH_concurrency.json)")
 	dataJSON := flag.String("datapath-json", "", "also write the data-path cache report to this path (e.g. BENCH_datapath.json)")
 	tablesJSON := flag.String("tables-json", "", "also write the live-counter tables report to this path (e.g. BENCH_tables.json)")
 	robJSON := flag.String("robustness-json", "", "also write the robustness report to this path (e.g. BENCH_robustness.json)")
 	sweepJSON := flag.String("crashsweep-json", "", "also write the crash-sweep report to this path (e.g. BENCH_crashsweep.json)")
 	asyncJSON := flag.String("async-json", "", "also write the async-pipeline report to this path (e.g. BENCH_async.json)")
+	faultJSON := flag.String("faultpath-json", "", "also write the write-fault-path report to this path (e.g. BENCH_faultpath.json)")
 	flag.Parse()
 
 	type gen struct {
@@ -49,6 +50,7 @@ func main() {
 		{"recovery", bench.RecoveryScaling},
 		{"concurrency", bench.Concurrency},
 		{"async", bench.Async},
+		{"faultpath", bench.FaultPath},
 		{"robustness", bench.Robustness},
 		{"crashsweep", bench.CrashSweep},
 		{"datapath", bench.DataPath},
@@ -135,5 +137,15 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s (async-adaptive vs staged-fixed at 8 workers %.2fx)\n",
 			*asyncJSON, rep.Speedup8)
+	}
+	if *faultJSON != "" {
+		rep, err := bench.WriteFaultPathJSON(*faultJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: faultpath json: %v\n", err)
+			os.Exit(1)
+		}
+		worst := rep.Cells[len(rep.Cells)-1]
+		fmt.Printf("\nwrote %s (worst cell %s: %.2fx slowdown, health %s)\n",
+			*faultJSON, worst.Mode, worst.SlowdownX, worst.Health)
 	}
 }

@@ -50,6 +50,11 @@ import (
 var (
 	errUsage    = errors.New("usage error")
 	errProblems = errors.New("inconsistencies found")
+	// errNoSpares distinguishes an exhausted spare-sector pool from garden
+	// variety inconsistencies: the media is failing faster than it can be
+	// retired, and the volume has demoted itself to read-only. Operators
+	// alert on exit code 4 for "replace the disk", not "run fsck again".
+	errNoSpares = errors.New("spare-sector pool exhausted")
 )
 
 // mountAsync switches the working mount to the asynchronous metadata
@@ -80,6 +85,9 @@ func main() {
 	case errors.Is(err, errProblems):
 		fmt.Fprintf(os.Stderr, "fsdctl: %v\n", err)
 		os.Exit(3)
+	case errors.Is(err, errNoSpares):
+		fmt.Fprintf(os.Stderr, "fsdctl: %v\n", err)
+		os.Exit(4)
 	default:
 		fmt.Fprintf(os.Stderr, "fsdctl: %v\n", err)
 		os.Exit(1)
@@ -346,11 +354,13 @@ func run(img string, jsonOut bool, args []string) error {
 				LogRepaired     int           `json:"log_repaired"`
 				Retired         int           `json:"retired"`
 				NTLost          int           `json:"nt_lost"`
+				SpareExhausted  bool          `json:"spare_exhausted"`
 				Problems        []string      `json:"problems"`
 				ElapsedSim      time.Duration `json:"elapsed_sim_ns"`
 			}{st.NTPagesChecked, st.LeadersChecked, st.LogRecords, st.SectorsChecked,
 				st.Repaired(), st.NTRepaired, st.LeadersRepaired, st.RootsRepaired,
-				st.LogRepaired, st.Retired, st.NTLost, jsonProblems(st.Problems), st.Elapsed}); err != nil {
+				st.LogRepaired, st.Retired, st.NTLost, st.SpareExhausted,
+				jsonProblems(st.Problems), st.Elapsed}); err != nil {
 				return err
 			}
 		} else {
@@ -361,12 +371,18 @@ func run(img string, jsonOut bool, args []string) error {
 			if st.NTLost > 0 {
 				fmt.Printf("%d pages lost beyond repair — run 'salvage'\n", st.NTLost)
 			}
+			if st.SpareExhausted {
+				fmt.Println("SPARE POOL EXHAUSTED: bad sectors can no longer be retired — volume is read-only, replace the disk")
+			}
 			for _, p := range st.Problems {
 				fmt.Printf("PROBLEM: %s\n", p)
 			}
 		}
 		if err := finish(); err != nil {
 			return err
+		}
+		if st.SpareExhausted {
+			return fmt.Errorf("scrub: %w", errNoSpares)
 		}
 		if st.NTLost > 0 || len(st.Problems) > 0 {
 			return fmt.Errorf("scrub: %w", errProblems)
@@ -424,6 +440,13 @@ func run(img string, jsonOut bool, args []string) error {
 			st.Disk.SectorsWritten, st.Disk.BusyTime().Round(time.Millisecond))
 		fmt.Printf("faults: %d read retries (%d recovered), %d scrub passes, %d copies repaired, %d sectors retired\n",
 			st.Faults.ReadRetries, st.Faults.RetriedOK, st.Faults.Scrubs, st.Faults.Repaired, st.Faults.Retired)
+		fmt.Printf("write path: %d retries, %d remaps, %d hung ops, error budget %d\n",
+			st.Faults.WriteRetries, st.Faults.WriteRemaps, st.Faults.HungOps, st.Faults.ErrorBudget)
+		if st.Health == core.HealthHealthy {
+			fmt.Printf("health: %s\n", st.Health)
+		} else {
+			fmt.Printf("health: %s (%s)\n", st.Health, st.HealthReason)
+		}
 		for _, name := range core.SpanNames() {
 			sp, ok := st.Spans[name]
 			if !ok {
@@ -447,19 +470,21 @@ func crashcheck(jsonOut bool, args []string) error {
 	state := fs.Int("state", -1, "re-execute exactly this state id (repro mode)")
 	ops := fs.Int("ops", 0, "workload length (0 = default)")
 	decay := fs.Float64("decay", 0, "latent media decay probability composed on each crash image")
+	writeDecay := fs.Float64("writedecay", 0, "write-fault probability (transient; bad-on-write at 1/4) composed on each crash image")
 	workers := fs.Int("workers", 0, "parallel state executors (0 = GOMAXPROCS)")
 	async := fs.Bool("async", false, "run the workload through the asynchronous intent queue")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("crashcheck: %w", errUsage)
 	}
 	res, err := crashtest.Run(crashtest.Config{
-		Seed:      *seed,
-		Ops:       *ops,
-		MaxStates: *states,
-		StateID:   *state,
-		Workers:   *workers,
-		Decay:     *decay,
-		Async:     *async,
+		Seed:       *seed,
+		Ops:        *ops,
+		MaxStates:  *states,
+		StateID:    *state,
+		Workers:    *workers,
+		Decay:      *decay,
+		WriteDecay: *writeDecay,
+		Async:      *async,
 	})
 	if err != nil {
 		return err

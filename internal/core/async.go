@@ -71,10 +71,19 @@ type intentStep struct {
 // steps the applier executes in order, and the compensation steps run only
 // when a conditional step finds its target gone (e.g. freeing an extension's
 // runs when the file was deleted before the extend applied).
+//
+// done/aborted/abandoned are the applier's progress cursors: the queue may
+// re-invoke Apply on the same intent after a retryable error, and steps
+// with side effects (stepFree, stepDelete) must not re-run. Only the
+// single applier goroutine touches them.
 type intent struct {
 	op         string
 	steps      []intentStep
 	abortSteps []intentStep
+
+	done      int  // steps[:done] have completed
+	aborted   int  // abortSteps[:aborted] have completed
+	abandoned bool // a conditional step found its target gone
 }
 
 // async reports whether this volume runs the asynchronous pipeline.
@@ -91,6 +100,21 @@ func (v *Volume) startIntentQueue() {
 	v.q = intentq.New(v.clk, intentq.Config{
 		MaxDepth: v.cfg.intentQueueDepth(),
 		Apply:    v.applyIntent,
+		// A damaged-sector error can clear on another revolution (the
+		// transient classes of the fault model); anything else — layout
+		// bugs, a halted device — retrying cannot fix.
+		Retryable: func(err error) bool {
+			var de *disk.DamagedError
+			return errors.As(err, &de)
+		},
+		RetryBudget: v.cfg.writeRetries(),
+		// Fatal: the pipeline can no longer promise that acknowledged
+		// intents reach the log, so stop accepting mutations. The queue
+		// has already drained itself; readers keep serving.
+		OnFatal: func(err error) {
+			v.obs.queueDepth.Set(0)
+			v.degradeTo(HealthReadOnly, "intent applier failed: "+err.Error())
+		},
 		OnApplied: func(op any, seq uint64, lag time.Duration, depth int) {
 			v.obs.applyLag.ObserveDuration(lag)
 			v.obs.queueDepth.Set(int64(depth))
@@ -189,26 +213,36 @@ func (v *Volume) waitPrefix(prefix string) error {
 // (which stages WAL images through the name-table cache) with their CPU cost
 // charged to the detached applier CPU. A conditional step whose target is
 // gone abandons the intent and runs its abort steps; real errors propagate
-// and become the queue's sticky error.
+// to the queue, which retries retryable ones (this function resumes at the
+// failed step via the intent's progress cursors) and fails the volume over
+// to read-only on fatal ones.
 func (v *Volume) applyIntent(op any) error {
 	it := op.(*intent)
-	for _, st := range it.steps {
-		ok, err := v.applyStep(st)
-		if err != nil {
-			return err
+	if !it.abandoned {
+		for it.done < len(it.steps) {
+			ok, err := v.applyStep(it.steps[it.done])
+			if err != nil {
+				return err
+			}
+			it.done++
+			if !ok {
+				it.abandoned = true
+				break
+			}
 		}
-		if !ok {
-			return v.applyAbort(it)
-		}
+	}
+	if it.abandoned {
+		return v.applyAbort(it)
 	}
 	return nil
 }
 
 func (v *Volume) applyAbort(it *intent) error {
-	for _, st := range it.abortSteps {
-		if _, err := v.applyStep(st); err != nil {
+	for it.aborted < len(it.abortSteps) {
+		if _, err := v.applyStep(it.abortSteps[it.aborted]); err != nil {
 			return err
 		}
+		it.aborted++
 	}
 	return nil
 }

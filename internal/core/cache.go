@@ -382,14 +382,14 @@ func (c *ntCache) flushThird(third int) (int, error) {
 // caller holds c.mu.
 func (c *ntCache) writeHomeSector(id uint32, sub int, data []byte) error {
 	addrA, addrB := c.v.lay.ntPageAddrs(id)
-	if err := c.v.d.WriteSectors(addrA+sub, data); err != nil {
+	if err := c.v.writeSectors(addrA+sub, data); err != nil {
 		return err
 	}
 	c.homeWrites.Add(1)
 	if c.v.cfg.SingleCopyNT {
 		return nil
 	}
-	if err := c.v.d.WriteSectors(addrB+sub, data); err != nil {
+	if err := c.v.writeSectors(addrB+sub, data); err != nil {
 		return err
 	}
 	c.homeWrites.Add(1)
@@ -400,14 +400,14 @@ func (c *ntCache) writeHomeSector(id uint32, sub int, data []byte) error {
 // independent failure modes). The caller holds c.mu.
 func (c *ntCache) writeHome(id uint32, data []byte) error {
 	addrA, addrB := c.v.lay.ntPageAddrs(id)
-	if err := c.v.d.WriteSectors(addrA, data); err != nil {
+	if err := c.v.writeSectors(addrA, data); err != nil {
 		return err
 	}
 	c.homeWrites.Add(1)
 	if c.v.cfg.SingleCopyNT {
 		return nil
 	}
-	if err := c.v.d.WriteSectors(addrB, data); err != nil {
+	if err := c.v.writeSectors(addrB, data); err != nil {
 		return err
 	}
 	c.homeWrites.Add(1)

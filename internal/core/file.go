@@ -248,7 +248,7 @@ func (v *Volume) writeLeaderAndData(e *Entry, leader, data []byte) error {
 			joined := make([]byte, 0, (1+head)*disk.SectorSize)
 			joined = append(joined, leader...)
 			joined = append(joined, padded[written*disk.SectorSize:(written+head)*disk.SectorSize]...)
-			if err := v.d.WriteSectors(addr-1, joined); err != nil {
+			if err := v.writeSectors(addr-1, joined); err != nil {
 				return err
 			}
 			if v.dataCache != nil && head > 0 {
@@ -267,7 +267,7 @@ func (v *Volume) writeLeaderAndData(e *Entry, leader, data []byte) error {
 				chunk = pages - written
 			}
 			buf := padded[written*disk.SectorSize : (written+chunk)*disk.SectorSize]
-			if err := v.d.WriteSectors(addr, buf); err != nil {
+			if err := v.writeSectors(addr, buf); err != nil {
 				return err
 			}
 			if v.dataCache != nil {
@@ -732,7 +732,7 @@ func (f *File) WritePages(page int, data []byte) (err error) {
 			joined := make([]byte, 0, len(chunk)+disk.SectorSize)
 			joined = append(joined, pending...)
 			joined = append(joined, chunk...)
-			if err := v.d.WriteSectors(addr-1, joined); err != nil {
+			if err := v.writeSectors(addr-1, joined); err != nil {
 				return err
 			}
 			// A concurrent third-crossing flush may have written the
@@ -744,7 +744,7 @@ func (f *File) WritePages(page int, data []byte) (err error) {
 			v.lmu.Unlock()
 			f.leaderVerified = true
 		} else {
-			if err := v.d.WriteSectors(addr, chunk); err != nil {
+			if err := v.writeSectors(addr, chunk); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/obs"
+)
+
+// The volume health state machine: the write-path fault model's answer to
+// "what does the file system do when retries stop working". Every write
+// site funnels through writeSectors (bounded retries + spare-sector remap,
+// mirroring the WAL's own policy), and every absorbed fault charges a
+// weighted error budget. The budget drives a monotonic four-state FSM:
+//
+//	Healthy  —— budget exceeded ——▶  Degraded   (scrub scheduled aggressively)
+//	Degraded —— budget 4× / write fails outright / spares gone ——▶ ReadOnly
+//	any      —— device halted ——▶  Offline
+//
+// Degraded volumes still serve everything — the state is a warning plus an
+// immediate scrub pass to re-duplicate what the faults degraded. ReadOnly
+// means durability can no longer be promised: mutations fail with
+// ErrReadOnly while reads keep serving from whatever redundancy remains,
+// the same contract as a MountReadOnly degraded mount. Offline means the
+// device itself is gone and even reads cannot be served.
+//
+// Transitions are one-way (a volume never self-promotes back to Healthy;
+// remount after repair for that), so the FSM is a simple monotonic
+// max-exchange over an atomic — callable from the disk's op observer and
+// the WAL's write-fault callback, both of which run under component locks.
+
+// Health is the volume health state. States are ordered: transitions only
+// ever increase, so Health() >= HealthReadOnly means "mutations refused".
+type Health int32
+
+const (
+	// HealthHealthy is the normal state: no fault activity beyond the
+	// error budget.
+	HealthHealthy Health = iota
+	// HealthDegraded means the error budget was exceeded: operations
+	// still succeed, but the media is decaying faster than the background
+	// scrub assumes, so a scrub pass has been scheduled immediately.
+	HealthDegraded
+	// HealthReadOnly means durability can no longer be promised (a write
+	// failed past retries and remap, or the spare pool is exhausted):
+	// mutations fail with ErrReadOnly, reads keep serving.
+	HealthReadOnly
+	// HealthOffline means the device has failed outright (halted);
+	// nothing can be served.
+	HealthOffline
+)
+
+// String names the state for stats lines and trace events.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthReadOnly:
+		return "read-only"
+	case HealthOffline:
+		return "offline"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrOffline is returned by every operation once the volume is Offline.
+var ErrOffline = errors.New("core: volume offline (device failed)")
+
+// Error-budget weights: how much of the budget one absorbed fault burns.
+// A retry is cheap and expected under transient faults; a remap consumed a
+// finite spare; a hung op stalled the whole device past the deadline.
+const (
+	weightRetry = 1
+	weightRemap = 4
+	weightHung  = 8
+)
+
+// Health returns the current health state.
+func (v *Volume) Health() Health {
+	return Health(v.health.Load())
+}
+
+// HealthReason reports what caused the last downward transition; empty
+// while the volume is healthy.
+func (v *Volume) HealthReason() string {
+	v.healthMu.Lock()
+	defer v.healthMu.Unlock()
+	return v.healthWhy
+}
+
+// degradeTo moves the FSM to at least h (monotonic: a lower target than the
+// current state is a no-op). Safe under component locks — it touches only
+// atomics, the reason string, and the trace ring, and runs repair work on a
+// fresh goroutine. Returns whether this call made the transition.
+func (v *Volume) degradeTo(h Health, why string) bool {
+	for {
+		cur := v.health.Load()
+		if cur >= int32(h) {
+			return false
+		}
+		if !v.health.CompareAndSwap(cur, int32(h)) {
+			continue
+		}
+		v.healthMu.Lock()
+		v.healthWhy = why
+		v.healthMu.Unlock()
+		if v.obs.tracer.Enabled() {
+			v.obs.tracer.Emit(obs.Event{
+				Time: v.clk.Now(), Kind: obs.EvHealth, Op: h.String(),
+				OK: h < HealthReadOnly, A: v.faults.budget.Load(),
+			})
+		}
+		if h == HealthDegraded && !v.closed.Load() {
+			// Aggressive scrub: the budget says the media is decaying
+			// faster than the background cadence assumes, so restore
+			// redundancy now. Errors surface through the pass's own
+			// problem list; Scrub serializes behind scrubMu.
+			go func() { _, _ = v.Scrub() }()
+		}
+		return true
+	}
+}
+
+// chargeBudget burns weight units of the error budget and applies the
+// threshold transitions: budget exceeded → Degraded, 4× exceeded →
+// ReadOnly. Config.ErrorBudget < 0 disables budget-driven transitions
+// (outright failures still transition via noteWriteFault).
+func (v *Volume) chargeBudget(weight int64, why string) {
+	total := v.faults.budget.Add(weight)
+	budget := int64(v.cfg.errorBudget())
+	if budget <= 0 {
+		return
+	}
+	switch {
+	case total >= 4*budget:
+		v.degradeTo(HealthReadOnly, why+" (error budget exhausted)")
+	case total >= budget:
+		v.degradeTo(HealthDegraded, why+" (error budget exceeded)")
+	}
+}
+
+// noteWriteFault records the outcome of one write site's retry/remap
+// policy: absorbed faults charge the budget, unabsorbed errors transition
+// the FSM directly. Shared by the volume's own writeSectors and the WAL's
+// OnWriteFault callback.
+func (v *Volume) noteWriteFault(retried, remapped int, err error) {
+	if retried > 0 {
+		v.faults.writeRetries.Add(int64(retried))
+		v.chargeBudget(int64(retried)*weightRetry, "write retries")
+	}
+	if remapped > 0 {
+		v.faults.writeRemaps.Add(int64(remapped))
+		v.chargeBudget(int64(remapped)*weightRemap, "write remaps")
+	}
+	if err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, disk.ErrHalted):
+		v.degradeTo(HealthOffline, "device halted")
+	case errors.Is(err, disk.ErrNoSpares):
+		v.degradeTo(HealthReadOnly, "spare-sector pool exhausted")
+	default:
+		var de *disk.DamagedError
+		if errors.As(err, &de) {
+			v.degradeTo(HealthReadOnly,
+				"write failed past retries and remap")
+		}
+	}
+}
+
+// noteHungOp classifies one disk operation that exceeded Config.OpTimeout:
+// the op did complete (the simulated device never wedges forever), but a
+// real stalled drive would have held the commit pipeline for this long, so
+// it burns budget like a serious fault.
+func (v *Volume) noteHungOp(elapsed time.Duration) {
+	v.faults.hungOps.Add(1)
+	v.chargeBudget(weightHung, "hung I/O")
+}
+
+// writeSectors is the volume's one write path to the device: bounded
+// in-place retries absorb transient write faults, persistent bad-on-write
+// sectors are retired to spares via Remap, and whatever happens is fed to
+// the health FSM. Every metadata/data write site in core goes through it
+// (the WAL applies the same policy internally and reports through
+// OnWriteFault).
+func (v *Volume) writeSectors(addr int, data []byte) error {
+	retried, remapped, err := disk.WriteSectorsRetry(v.d, addr, data, v.cfg.writeRetries())
+	if retried > 0 || remapped > 0 || err != nil {
+		v.noteWriteFault(retried, remapped, err)
+	}
+	return err
+}
+
+// healthErr translates the current state into the error a mutation (or,
+// for Offline, any operation) must return, or nil when operations may
+// proceed. The mount-time readOnly flag is checked separately by callers:
+// health-ReadOnly and mount-ReadOnly deliberately share ErrReadOnly.
+func (v *Volume) healthErr() error {
+	switch v.Health() {
+	case HealthOffline:
+		return ErrOffline
+	case HealthReadOnly:
+		return ErrReadOnly
+	default:
+		return nil
+	}
+}

@@ -106,6 +106,29 @@ type Config struct {
 	// latent errors do not and fall through to copy repair). Zero means 2;
 	// negative disables retrying.
 	ReadRetries int
+	// WriteRetries bounds the in-place retries after a failed sector write
+	// before the volume escalates. Independently of the budget, a sector
+	// that stays damaged after a failed write is remapped to a spare and
+	// the write repeated (the automatic counterpart of scrub's manual
+	// retirement). Applies to every metadata, WAL, and data write site.
+	// Zero means 2; negative disables retrying.
+	WriteRetries int
+	// OpTimeout is the per-operation I/O deadline: a disk operation that
+	// consumes more simulated time than this (a hung-I/O latency spike) is
+	// classified as a fault and charged to the health error budget, rather
+	// than silently stalling the commit pipeline. The operation itself
+	// still completes — the simulated device always returns — so nothing
+	// blocks past the deadline; the classification is what drives the
+	// health FSM. Zero means 1s; negative disables the deadline.
+	OpTimeout time.Duration
+	// ErrorBudget is the write-fault escalation budget of the health FSM:
+	// retries, remaps, and hung ops accumulate weighted points, and at
+	// ErrorBudget points the volume leaves Healthy for Degraded (scrub is
+	// scheduled aggressively); at four times the budget — or on any write
+	// that fails outright after retries and remapping — it drops to
+	// ReadOnly, where mutations return ErrReadOnly but reads keep serving.
+	// Zero means 64; negative disables automatic health transitions.
+	ErrorBudget int
 	// ScrubWorkers sets the fan-out of the name-table pass of Scrub.
 	// 0 or 1 scrubs sequentially.
 	ScrubWorkers int
@@ -151,10 +174,11 @@ func (c Config) intentQueueDepth() int {
 // controller off.
 func (c Config) walConfig() wal.Config {
 	return wal.Config{
-		Interval: c.interval(),
-		Thirds:   c.Thirds,
-		Adaptive: c.AdaptiveCommit && !c.Synchronous,
-		Floor:    c.commitFloor(),
+		Interval:     c.interval(),
+		Thirds:       c.Thirds,
+		Adaptive:     c.AdaptiveCommit && !c.Synchronous,
+		Floor:        c.commitFloor(),
+		WriteRetries: c.WriteRetries,
 	}
 }
 
@@ -214,6 +238,36 @@ func (c Config) readRetries() int {
 		return 2
 	}
 	return c.ReadRetries
+}
+
+func (c Config) writeRetries() int {
+	if c.WriteRetries < 0 {
+		return 0
+	}
+	if c.WriteRetries == 0 {
+		return 2
+	}
+	return c.WriteRetries
+}
+
+func (c Config) opTimeout() time.Duration {
+	if c.OpTimeout < 0 {
+		return 0
+	}
+	if c.OpTimeout == 0 {
+		return time.Second
+	}
+	return c.OpTimeout
+}
+
+func (c Config) errorBudget() int {
+	if c.ErrorBudget < 0 {
+		return 0
+	}
+	if c.ErrorBudget == 0 {
+		return 64
+	}
+	return c.ErrorBudget
 }
 
 func (c Config) scrubWorkers() int {

@@ -191,7 +191,7 @@ claiming:
 			if max := uint64(pages-1) * disk.SectorSize; c.e.ByteSize > max {
 				c.e.ByteSize = max
 			}
-			if err := d.WriteSectors(int(c.e.Runs[0].Start), encodeLeader(c.e)); err != nil {
+			if _, _, err := disk.WriteSectorsRetry(d, int(c.e.Runs[0].Start), encodeLeader(c.e), cfg.writeRetries()); err != nil {
 				return nil, st, err
 			}
 			st.addProblem("%s!%d: truncated to %d runs (%d lost with the name table)",
@@ -225,7 +225,7 @@ claiming:
 			if off+n > ntSectors {
 				n = ntSectors - off
 			}
-			if err := d.WriteSectors(base+off, zero[:n*disk.SectorSize]); err != nil {
+			if _, _, err := disk.WriteSectorsRetry(d, base+off, zero[:n*disk.SectorSize], cfg.writeRetries()); err != nil {
 				return err
 			}
 		}
@@ -303,11 +303,11 @@ claiming:
 		return nil, st, err
 	}
 	if cfg.LogVAM {
-		if err := v.vm.Save(d, lay.vamBase); err != nil {
+		if err := v.vm.SaveWith(v.writeSectors, lay.vamBase); err != nil {
 			return nil, st, err
 		}
 		v.enableVAMLogging()
-	} else if err := vam.Invalidate(d, lay.vamBase); err != nil {
+	} else if err := vam.InvalidateWith(v.writeSectors, lay.vamBase); err != nil {
 		return nil, st, err
 	}
 	st.Elapsed = clk.Now() - start

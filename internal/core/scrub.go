@@ -33,8 +33,12 @@ type ScrubStats struct {
 	LogRepaired     int // log sectors rewritten from their twin
 	Retired         int // sectors remapped to spares
 	SectorsChecked  int
-	Problems        []string
-	Elapsed         time.Duration
+	// SpareExhausted is set when a retirement failed because the drive's
+	// spare-sector pool is empty (disk.ErrNoSpares): redundancy can no
+	// longer be restored and the volume transitions to read-only.
+	SpareExhausted bool
+	Problems       []string
+	Elapsed        time.Duration
 }
 
 // Repaired sums all copy rewrites of the pass.
@@ -58,21 +62,31 @@ func (st *ScrubStats) merge(o ScrubStats) {
 	st.LogRepaired += o.LogRepaired
 	st.Retired += o.Retired
 	st.SectorsChecked += o.SectorsChecked
+	st.SpareExhausted = st.SpareExhausted || o.SpareExhausted
 	st.Problems = append(st.Problems, o.Problems...)
 }
 
 // FaultStats aggregates the volume's media-fault handling activity.
 type FaultStats struct {
-	ReadRetries int // reads retried after a damaged-sector error
-	RetriedOK   int // retries that then succeeded (transient faults absorbed)
-	Scrubs      int // scrub passes completed
-	Repaired    int // copies rewritten by scrubbing (cumulative)
-	Retired     int // sectors remapped to spares (cumulative)
+	ReadRetries  int // reads retried after a damaged-sector error
+	RetriedOK    int // retries that then succeeded (transient faults absorbed)
+	Scrubs       int // scrub passes completed
+	Repaired     int // copies rewritten by scrubbing (cumulative)
+	Retired      int // sectors remapped to spares (cumulative)
+	WriteRetries int // writes retried after a damaged-sector error
+	WriteRemaps  int // sectors the write path retired to spares
+	HungOps      int // disk operations that exceeded Config.OpTimeout
+	// ErrorBudget is the weighted fault total driving the health FSM
+	// (retry=1, remap=4, hung op=8; see Config.ErrorBudget).
+	ErrorBudget int
 }
 
-// faultCounters is the race-free internal form of FaultStats.
+// faultCounters is the race-free internal form of FaultStats, plus the
+// health FSM's weighted error-budget accumulator.
 type faultCounters struct {
 	retries, retriedOK, scrubs, repaired, retired atomic.Int64
+	writeRetries, writeRemaps, hungOps            atomic.Int64
+	budget                                        atomic.Int64
 }
 
 // FaultStats returns a snapshot of the volume-level fault counters.
@@ -80,11 +94,15 @@ type faultCounters struct {
 // Deprecated: use Stats().Faults.
 func (v *Volume) FaultStats() FaultStats {
 	return FaultStats{
-		ReadRetries: int(v.faults.retries.Load()),
-		RetriedOK:   int(v.faults.retriedOK.Load()),
-		Scrubs:      int(v.faults.scrubs.Load()),
-		Repaired:    int(v.faults.repaired.Load()),
-		Retired:     int(v.faults.retired.Load()),
+		ReadRetries:  int(v.faults.retries.Load()),
+		RetriedOK:    int(v.faults.retriedOK.Load()),
+		Scrubs:       int(v.faults.scrubs.Load()),
+		Repaired:     int(v.faults.repaired.Load()),
+		Retired:      int(v.faults.retired.Load()),
+		WriteRetries: int(v.faults.writeRetries.Load()),
+		WriteRemaps:  int(v.faults.writeRemaps.Load()),
+		HungOps:      int(v.faults.hungOps.Load()),
+		ErrorBudget:  int(v.faults.budget.Load()),
 	}
 }
 
@@ -108,7 +126,7 @@ func (v *Volume) readSectorsRetry(addr, n int) ([]byte, error) {
 // spare any sector the rewrite cannot clear (a stuck physical defect: the
 // write reports success but the readback stays damaged).
 func (v *Volume) repairSectors(addr int, data []byte, st *ScrubStats) error {
-	if err := v.d.WriteSectors(addr, data); err != nil {
+	if err := v.writeSectors(addr, data); err != nil {
 		return err
 	}
 	n := len(data) / disk.SectorSize
@@ -117,10 +135,14 @@ func (v *Volume) repairSectors(addr int, data []byte, st *ScrubStats) error {
 			continue
 		}
 		if err := v.d.Remap(addr + i); err != nil {
+			if errors.Is(err, disk.ErrNoSpares) {
+				st.SpareExhausted = true
+				v.degradeTo(HealthReadOnly, "spare-sector pool exhausted")
+			}
 			st.addProblem("sector %d unrepairable: %v", addr+i, err)
 			continue
 		}
-		if err := v.d.WriteSectors(addr+i, data[i*disk.SectorSize:(i+1)*disk.SectorSize]); err != nil {
+		if err := v.writeSectors(addr+i, data[i*disk.SectorSize:(i+1)*disk.SectorSize]); err != nil {
 			return err
 		}
 		st.Retired++

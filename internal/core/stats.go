@@ -103,6 +103,10 @@ type Stats struct {
 	Intent IntentStats
 	Disk   disk.Stats
 	Faults FaultStats
+	// Health is the volume health state; HealthReason names the cause of
+	// the last downward transition (empty while healthy).
+	Health       Health
+	HealthReason string
 	// Spans maps operation name ("open", "create", ...) to its span
 	// summary. Only operations invoked at least once appear.
 	Spans map[string]SpanStats
@@ -287,10 +291,19 @@ func (v *Volume) traceScrub(action string, n int) {
 }
 
 // observeDiskOp is the disk's per-op observer. It runs under the device
-// mutex, so it touches only the histogram atomics and the trace ring.
+// mutex, so it touches only the histogram atomics, the trace ring, and —
+// for ops past the deadline — the health FSM's lock-free paths.
 func (v *Volume) observeDiskOp(e disk.OpEvent) {
-	total := e.Seek + e.Rot + e.Transfer
+	total := e.Elapsed()
 	v.obs.diskOpTime.ObserveDuration(total)
+	// The per-op I/O deadline: an operation that held the device this
+	// long (a hung-I/O stall, on this simulated drive) is classified as a
+	// fault instead of silently delaying the commit pipeline. A
+	// legitimate op is bounded by MaxTransferSectors and never comes
+	// close to the default 1 s deadline.
+	if t := v.cfg.opTimeout(); t > 0 && total >= t {
+		v.noteHungOp(total)
+	}
 	if v.obs.tracer.Enabled() {
 		op := e.Class.String() + "-read"
 		if e.Write {
@@ -323,13 +336,15 @@ func (v *Volume) observeForce(e wal.ForceEvent) {
 // accessors are deprecated wrappers over slices of it.
 func (v *Volume) Stats() Stats {
 	s := Stats{
-		Ops:        v.Ops(),
-		Cache:      v.cacheStats(),
-		Disk:       v.d.Stats(),
-		Faults:     v.FaultStats(),
-		DiskOpTime: v.obs.diskOpTime.Snapshot(),
-		LockWait:   v.obs.lockWait.Snapshot(),
-		Spans:      make(map[string]SpanStats),
+		Ops:          v.Ops(),
+		Cache:        v.cacheStats(),
+		Disk:         v.d.Stats(),
+		Faults:       v.FaultStats(),
+		Health:       v.Health(),
+		HealthReason: v.HealthReason(),
+		DiskOpTime:   v.obs.diskOpTime.Snapshot(),
+		LockWait:     v.obs.lockWait.Snapshot(),
+		Spans:        make(map[string]SpanStats),
 	}
 	if v.log != nil {
 		ws := v.log.Stats() // takes the WAL stat lock, never held across I/O

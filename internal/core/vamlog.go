@@ -102,7 +102,7 @@ func (v *Volume) flushVAMSectors(third int) (int, error) {
 		if s.third != third {
 			continue
 		}
-		if err := v.d.WriteSectors(v.lay.vamBase+1+idx, s.logged); err != nil {
+		if err := v.writeSectors(v.lay.vamBase+1+idx, s.logged); err != nil {
 			return n, err
 		}
 		delete(v.vamSectors, idx)
@@ -121,7 +121,7 @@ func (v *Volume) recoverVAMFromLog(images map[int][]byte) (*vam.VAM, bool) {
 	}
 	sort.Ints(idxs)
 	for _, s := range idxs {
-		if err := v.d.WriteSectors(v.lay.vamBase+1+s, images[s]); err != nil {
+		if err := v.writeSectors(v.lay.vamBase+1+s, images[s]); err != nil {
 			return nil, false
 		}
 	}

@@ -170,6 +170,13 @@ type Volume struct {
 	scrubMu sync.Mutex
 	faults  faultCounters
 
+	// health is the volume health FSM state (see health.go): a monotonic
+	// Healthy → Degraded → ReadOnly → Offline ladder driven by the
+	// write-path fault counters. healthMu guards only the reason string.
+	health    atomic.Int32
+	healthMu  sync.Mutex
+	healthWhy string
+
 	// stopTicker stops the real-time group-commit and background-scrub
 	// goroutines, if any.
 	stopTicker chan struct{}
@@ -271,6 +278,9 @@ func (v *Volume) invalidateData(runs []alloc.Run) {
 // hookLog installs the WAL callbacks.
 func (v *Volume) hookLog() {
 	v.log.OnForce = v.observeForce
+	// The WAL runs the same bounded-retry + remap policy as core's own
+	// write sites; its outcomes feed the same health FSM.
+	v.log.OnWriteFault = v.noteWriteFault
 	v.log.OnAppend = func(n int, seq uint64) {
 		if v.obs.tracer.Enabled() {
 			v.obs.tracer.Emit(obs.Event{
@@ -351,7 +361,7 @@ func (v *Volume) flushLeaders(third int) (int, error) {
 			delete(v.leaderThird, addr)
 			continue
 		}
-		if err := v.d.WriteSectors(addr, data); err != nil {
+		if err := v.writeSectors(addr, data); err != nil {
 			return n, err
 		}
 		delete(v.pendingLeaders, addr)
@@ -369,10 +379,10 @@ func (v *Volume) writeRoot(r rootPage) error {
 	if err := v.d.Sync(); err != nil {
 		return err
 	}
-	if err := v.d.WriteSectors(v.lay.rootA, buf); err != nil {
+	if err := v.writeSectors(v.lay.rootA, buf); err != nil {
 		return err
 	}
-	if err := v.d.WriteSectors(v.lay.rootB, buf); err != nil {
+	if err := v.writeSectors(v.lay.rootB, buf); err != nil {
 		return err
 	}
 	return v.d.Sync()
@@ -442,7 +452,7 @@ func Format(d *disk.Disk, cfg Config) (*Volume, error) {
 	}
 	if cfg.LogVAM {
 		// Write the full base image the logged deltas will apply over.
-		if err := v.vm.Save(v.d, lay.vamBase); err != nil {
+		if err := v.vm.SaveWith(v.writeSectors, lay.vamBase); err != nil {
 			return nil, err
 		}
 		v.enableVAMLogging()
@@ -567,10 +577,10 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 		// Rebase: a fresh full save becomes the foundation for the next
 		// run's logged deltas; the stamp stays valid because the log
 		// keeps the area consistent from here on.
-		if err := v.vm.Save(d, lay.vamBase); err != nil {
+		if err := v.vm.SaveWith(v.writeSectors, lay.vamBase); err != nil {
 			return nil, ms, err
 		}
-	} else if err := vam.Invalidate(d, lay.vamBase); err != nil {
+	} else if err := vam.InvalidateWith(v.writeSectors, lay.vamBase); err != nil {
 		return nil, ms, err
 	}
 
@@ -581,7 +591,7 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 			continue
 		}
 		if owner, present := leaderOwners[addr]; present && owner == uid {
-			if err := v.d.WriteSectors(addr, img); err != nil {
+			if err := v.writeSectors(addr, img); err != nil {
 				return nil, ms, err
 			}
 		}
@@ -623,11 +633,11 @@ func (v *Volume) applyNTImages(ntImages map[uint64][]byte) error {
 		id := uint32(tgt / NTPageSectors)
 		sub := int(tgt % NTPageSectors)
 		a, b := v.lay.ntPageAddrs(id)
-		if err := v.d.WriteSectors(a+sub, ntImages[tgt]); err != nil {
+		if err := v.writeSectors(a+sub, ntImages[tgt]); err != nil {
 			return err
 		}
 		if !v.cfg.SingleCopyNT {
-			if err := v.d.WriteSectors(b+sub, ntImages[tgt]); err != nil {
+			if err := v.writeSectors(b+sub, ntImages[tgt]); err != nil {
 				return err
 			}
 		}
@@ -860,6 +870,9 @@ func (v *Volume) Force() (err error) {
 	if v.readOnly {
 		return ErrReadOnly
 	}
+	if err := v.healthErr(); err != nil {
+		return err
+	}
 	if v.q != nil {
 		// Every acked intent must reach the log's pending batch before the
 		// force, or Force would not cover it.
@@ -897,6 +910,9 @@ func (v *Volume) WaitCommitted(seq uint64) error {
 	if v.readOnly {
 		return ErrReadOnly
 	}
+	if err := v.healthErr(); err != nil {
+		return err
+	}
 	if v.q != nil {
 		if err := v.q.WaitApplied(seq); err != nil {
 			return err
@@ -913,7 +929,7 @@ func (v *Volume) Tick() error {
 	if v.closed.Load() {
 		return ErrClosed
 	}
-	if v.readOnly {
+	if v.readOnly || v.Health() >= HealthReadOnly {
 		return nil
 	}
 	return v.log.MaybeForce()
@@ -930,10 +946,13 @@ func (v *Volume) Shutdown() error {
 	if v.stopTicker != nil {
 		close(v.stopTicker)
 	}
-	if v.readOnly {
+	if v.readOnly || v.Health() >= HealthReadOnly {
 		// A degraded mount wrote nothing and must leave the volume
 		// exactly as found — including the unclean root stamp, so the
-		// next writable mount still runs recovery.
+		// next writable mount still runs recovery. A volume the health
+		// FSM demoted must likewise stay stamped unclean: durability of
+		// its recent mutations is exactly what is in doubt.
+		v.stopIntentQueue(false)
 		v.closed.Store(true)
 		return nil
 	}
@@ -948,7 +967,7 @@ func (v *Volume) Shutdown() error {
 	}
 	v.lmu.Lock()
 	for addr, data := range v.pendingLeaders {
-		if err := v.d.WriteSectors(addr, data); err != nil {
+		if err := v.writeSectors(addr, data); err != nil {
 			v.lmu.Unlock()
 			return err
 		}
@@ -956,7 +975,7 @@ func (v *Volume) Shutdown() error {
 	v.pendingLeaders = make(map[int][]byte)
 	v.leaderThird = make(map[int]int)
 	v.lmu.Unlock()
-	if err := v.vm.Save(v.d, v.lay.vamBase); err != nil {
+	if err := v.vm.SaveWith(v.writeSectors, v.lay.vamBase); err != nil {
 		return err
 	}
 	root, err := readRoot(v.d)
@@ -1000,6 +1019,9 @@ func (v *Volume) DropCaches() error {
 	if v.readOnly {
 		return ErrReadOnly
 	}
+	if err := v.healthErr(); err != nil {
+		return err
+	}
 	if err := v.DrainIntents(); err != nil {
 		return err
 	}
@@ -1011,7 +1033,7 @@ func (v *Volume) DropCaches() error {
 	}
 	v.lmu.Lock()
 	for addr, data := range v.pendingLeaders {
-		if err := v.d.WriteSectors(addr, data); err != nil {
+		if err := v.writeSectors(addr, data); err != nil {
 			v.lmu.Unlock()
 			return err
 		}
@@ -1069,8 +1091,13 @@ func (v *Volume) begin() error {
 	if v.closed.Load() {
 		return ErrClosed
 	}
+	if v.Health() == HealthOffline {
+		return ErrOffline
+	}
 	v.cpu.Charge(sim.CostSyscall)
-	if v.readOnly {
+	if v.readOnly || v.Health() >= HealthReadOnly {
+		// Read-only (by mount or by health) volumes never force: reads
+		// keep serving, nothing new is written.
 		return nil
 	}
 	return v.log.MaybeForce()
@@ -1083,6 +1110,9 @@ func (v *Volume) begin() error {
 func (v *Volume) beginMutate() error {
 	if v.readOnly {
 		return ErrReadOnly
+	}
+	if err := v.healthErr(); err != nil {
+		return err
 	}
 	if v.q != nil {
 		if err := v.q.Err(); err != nil {

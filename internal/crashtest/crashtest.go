@@ -39,6 +39,14 @@ type Config struct {
 	// unreadable file content is reported as MediaLosses, not violations;
 	// every state must still mount.
 	Decay float64
+	// WriteDecay, when positive, additionally seeds the write-side fault
+	// injector on each crash image: transient write errors with this
+	// probability, bad-on-write sectors at a quarter of it. The recovery
+	// mount and the post-recovery probe run against failing writes; the
+	// retry/remap policy must absorb them or the volume must demote itself
+	// to read-only — mutations refused after demotion count as
+	// MediaLosses, never as violations, and every state must still mount.
+	WriteDecay float64
 	// Async runs the workload (and the recovery mounts) with the
 	// asynchronous metadata pipeline enabled. The workload drains the
 	// intent queue after every operation so the journal trace stays a pure
@@ -71,7 +79,7 @@ type Result struct {
 	TornStates    int             `json:"torn_states"`
 	MountFailures int             `json:"mount_failures"`
 	Violations    []Violation     `json:"violations,omitempty"`
-	MediaLosses   int             `json:"media_losses,omitempty"` // decay mode only
+	MediaLosses   int             `json:"media_losses,omitempty"` // decay/write-decay modes only
 	TornRecords   int             `json:"torn_records"`           // summed recovery stats
 	TailDiscarded int             `json:"tail_discarded"`
 	GapBreaks     int             `json:"gap_breaks"`
@@ -242,7 +250,7 @@ type stateResult struct {
 
 // runState reconstructs one crash image, mounts it, and checks the oracle.
 func runState(base *disk.Disk, trace []disk.JournaledWrite, byEpoch [][]int,
-	st State, plan []fileExp, seed int64, decay float64, async bool) stateResult {
+	st State, plan []fileExp, seed int64, decay, writeDecay float64, async bool) stateResult {
 
 	var res stateResult
 	clk := sim.NewVirtualClock()
@@ -261,14 +269,18 @@ func runState(base *disk.Disk, trace []disk.JournaledWrite, byEpoch [][]int,
 	}
 
 	cfg := explorerConfig(async)
-	if decay > 0 {
+	if decay > 0 || writeDecay > 0 {
 		d.InjectFaults(disk.FaultConfig{
-			Seed:          seed ^ int64(st.ID)*0x9E3779B9,
-			LatentError:   decay,
-			TransientRead: decay / 2,
+			Seed:           seed ^ int64(st.ID)*0x9E3779B9,
+			LatentError:    decay,
+			TransientRead:  decay / 2,
+			TransientWrite: writeDecay,
+			BadOnWrite:     writeDecay / 4,
 		})
 		cfg.ReadRetries = 4
+		cfg.WriteRetries = 4
 	}
+	faulty := decay > 0 || writeDecay > 0
 
 	fail := func(desc string) {
 		res.violations = append(res.violations, Violation{
@@ -299,7 +311,7 @@ func runState(base *disk.Disk, trace []disk.JournaledWrite, byEpoch [][]int,
 			continue
 		}
 		if err != nil {
-			if decay > 0 {
+			if faulty {
 				res.mediaLoss++
 				continue
 			}
@@ -312,7 +324,7 @@ func runState(base *disk.Disk, trace []disk.JournaledWrite, byEpoch [][]int,
 		}
 		got, err := f.ReadAll()
 		if err != nil {
-			if decay > 0 {
+			if faulty {
 				res.mediaLoss++
 				continue
 			}
@@ -329,13 +341,13 @@ func runState(base *disk.Disk, trace []disk.JournaledWrite, byEpoch [][]int,
 	vs, err := v.Verify()
 	if err != nil {
 		fail(fmt.Sprintf("verify: %v", err))
-	} else if len(vs.Problems) > 0 && decay == 0 {
+	} else if len(vs.Problems) > 0 && !faulty {
 		fail(fmt.Sprintf("verify found %d problems: %s", len(vs.Problems), vs.Problems[0]))
 	}
 
 	// The recovered volume must be immediately usable: create, commit, read.
 	if _, err := v.Create("post/alive", []byte("recovered")); err != nil {
-		if decay > 0 {
+		if faulty {
 			res.mediaLoss++
 			return res
 		}
@@ -349,7 +361,7 @@ func runState(base *disk.Disk, trace []disk.JournaledWrite, byEpoch [][]int,
 	if f, err := v.Open("post/alive", 1); err != nil {
 		fail(fmt.Sprintf("post-recovery open: %v", err))
 	} else if got, err := f.ReadAll(); err != nil {
-		if decay > 0 {
+		if faulty {
 			res.mediaLoss++ // the fresh page can decay too
 		} else {
 			fail(fmt.Sprintf("post-recovery read: %v", err))
@@ -420,7 +432,7 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for st := range work {
-				sr := runState(base, trace, byEpoch, st, plan, cfg.Seed, cfg.Decay, cfg.Async)
+				sr := runState(base, trace, byEpoch, st, plan, cfg.Seed, cfg.Decay, cfg.WriteDecay, cfg.Async)
 				mu.Lock()
 				res.States++
 				switch st.Kind {

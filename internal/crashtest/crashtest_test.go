@@ -208,6 +208,27 @@ func TestDecayComposition(t *testing.T) {
 	}
 }
 
+// TestWriteDecayComposition: crash images recovered against a failing write
+// path (transient errors plus bad-on-write sectors) composed with read-side
+// decay. The mount's retry/remap policy and the health FSM must keep the
+// durability oracle intact: every state mounts, acked data survives or is
+// counted as media loss, and nothing panics or corrupts.
+func TestWriteDecayComposition(t *testing.T) {
+	res, err := Run(Config{
+		Seed: 13, Ops: 60, StateID: -1, MaxStates: 60,
+		Decay: 0.001, WriteDecay: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MountFailures != 0 {
+		t.Fatalf("write-decay mode: %d mount failures", res.MountFailures)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("write-decay violation (seed=%d state=%d): %s", v.Seed, v.StateID, v.Desc)
+	}
+}
+
 func TestRecoverySummaryEmpty(t *testing.T) {
 	var r Result
 	if a, b, c := r.RecoverySummary(); a != 0 || b != 0 || c != 0 {

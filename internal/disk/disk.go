@@ -81,11 +81,14 @@ type Stats struct {
 	SeekTime     time.Duration
 	RotTime      time.Duration
 	TransferTime time.Duration
-	OpsByClass   [numClasses]int
+	// StallTime is device time lost to injected hung-I/O latency spikes
+	// (firmware recovery pauses), outside the mechanical timing model.
+	StallTime  time.Duration
+	OpsByClass [numClasses]int
 }
 
 // BusyTime returns total device time consumed.
-func (s Stats) BusyTime() time.Duration { return s.SeekTime + s.RotTime + s.TransferTime }
+func (s Stats) BusyTime() time.Duration { return s.SeekTime + s.RotTime + s.TransferTime + s.StallTime }
 
 // Sub returns s - o field-wise; useful for windowed measurements.
 func (s Stats) Sub(o Stats) Stats {
@@ -101,6 +104,7 @@ func (s Stats) Sub(o Stats) Stats {
 	s.SeekTime -= o.SeekTime
 	s.RotTime -= o.RotTime
 	s.TransferTime -= o.TransferTime
+	s.StallTime -= o.StallTime
 	for i := range s.OpsByClass {
 		s.OpsByClass[i] -= o.OpsByClass[i]
 	}
@@ -139,6 +143,7 @@ type counters struct {
 	seekTime       atomic.Int64 // nanoseconds
 	rotTime        atomic.Int64
 	transferTime   atomic.Int64
+	stallTime      atomic.Int64
 	opsByClass     [numClasses]atomic.Int64
 }
 
@@ -159,6 +164,7 @@ func (c *counters) snapshot() Stats {
 	s.SeekTime = time.Duration(c.seekTime.Load())
 	s.RotTime = time.Duration(c.rotTime.Load())
 	s.TransferTime = time.Duration(c.transferTime.Load())
+	s.StallTime = time.Duration(c.stallTime.Load())
 	for i := range s.OpsByClass {
 		s.OpsByClass[i] = int(c.opsByClass[i].Load())
 	}
@@ -178,6 +184,7 @@ func (c *counters) reset() {
 	c.seekTime.Store(0)
 	c.rotTime.Store(0)
 	c.transferTime.Store(0)
+	c.stallTime.Store(0)
 	for i := range c.opsByClass {
 		c.opsByClass[i].Store(0)
 	}
@@ -275,14 +282,20 @@ type OpEvent struct {
 	Seek     time.Duration
 	Rot      time.Duration
 	Transfer time.Duration
+	// Stall is injected hung-I/O time, outside the mechanical model; the
+	// host's per-op deadline uses it to classify a stalled device.
+	Stall time.Duration
 }
+
+// Elapsed returns the operation's total device time.
+func (e OpEvent) Elapsed() time.Duration { return e.Seek + e.Rot + e.Transfer + e.Stall }
 
 // opFrame is the per-operation observer baseline captured by beginOp.
 type opFrame struct {
-	write               bool
-	class               Class
-	addr, n             int
-	seek, rot, transfer int64
+	write                      bool
+	class                      Class
+	addr, n                    int
+	seek, rot, transfer, stall int64
 }
 
 // SetOpObserver registers a function called at the end of every disk
@@ -517,6 +530,7 @@ func (d *Disk) beginOp(addr, n int, write bool) error {
 			seek:     d.cnt.seekTime.Load(),
 			rot:      d.cnt.rotTime.Load(),
 			transfer: d.cnt.transferTime.Load(),
+			stall:    d.cnt.stallTime.Load(),
 		}
 	}
 	return nil
@@ -539,6 +553,7 @@ func (d *Disk) endOp(errp *error) {
 		Seek:     time.Duration(d.cnt.seekTime.Load() - d.op.seek),
 		Rot:      time.Duration(d.cnt.rotTime.Load() - d.op.rot),
 		Transfer: time.Duration(d.cnt.transferTime.Load() - d.op.transfer),
+		Stall:    time.Duration(d.cnt.stallTime.Load() - d.op.stall),
 	})
 }
 
@@ -718,11 +733,17 @@ func (d *Disk) WriteLabels(addr int, labs []Label) (err error) {
 		d.journalWrite(addr, nil, labs)
 		return nil
 	}
+	d.injectHang()
 	fault := d.takeFault(addr, n)
 	for i := 0; i < n; i++ {
 		d.transferOne(addr + i)
 		if fault != nil && i >= fault.Persist {
 			return d.applyFault(addr, fault)
+		}
+		if d.inj != nil {
+			if err := d.injectWrite(addr + i); err != nil {
+				return err
+			}
 		}
 		d.cnt.sectorsWritten.Add(1)
 		d.labels[addr+i] = labs[i]
@@ -762,6 +783,8 @@ func (d *Disk) writeCommon(addr int, data []byte, labs []Label, _ interface{}) (
 func (d *Disk) writeLocked(addr int, data []byte, labs []Label) error {
 	n := len(data) / SectorSize
 	if d.wb != nil {
+		// Buffered writes land in the drive cache; the write-fault model,
+		// like the read-side one, applies only to platter transfers.
 		for i := 0; i < n; i++ {
 			d.transferOne(addr + i)
 			d.cnt.sectorsWritten.Add(1)
@@ -769,11 +792,17 @@ func (d *Disk) writeLocked(addr int, data []byte, labs []Label) error {
 		d.journalWrite(addr, data, labs)
 		return nil
 	}
+	d.injectHang()
 	fault := d.takeFault(addr, n)
 	for i := 0; i < n; i++ {
 		d.transferOne(addr + i)
 		if fault != nil && i >= fault.Persist {
 			return d.applyFault(addr, fault)
+		}
+		if d.inj != nil {
+			if err := d.injectWrite(addr + i); err != nil {
+				return err
+			}
 		}
 		d.cnt.sectorsWritten.Add(1)
 		d.writeSector(addr+i, data[i*SectorSize:(i+1)*SectorSize])

@@ -3,6 +3,7 @@ package disk
 import (
 	"errors"
 	"math/rand"
+	"time"
 )
 
 // Media-fault model. The paper's redundancy design (duplicated name table,
@@ -20,9 +21,25 @@ import (
 //   - bit rot: the sector reads successfully but a bit has flipped. The
 //     device does not notice; only software checksums catch it.
 //
+// The write side mirrors the read side with three classes of its own,
+// discovered at write time:
+//
+//   - transient write errors: one write of a sector fails (a marginal pass
+//     of the head); sectors before the failing one persist, the sector
+//     itself keeps its old content, and a retry succeeds.
+//   - bad-on-write sectors: the medium fails under the write and stays bad.
+//     The sector is damaged and stuck — rewrites appear to succeed without
+//     clearing the damage — so only remapping to a spare retires it.
+//   - hung I/O: a whole operation stalls for a latency spike (firmware
+//     internal recovery, thermal recalibration) before transferring. The
+//     operation still completes; the host-side deadline is what classifies
+//     the stall as a fault.
+//
 // The injector is driven by a single seeded PRNG consulted under the device
 // mutex, so a given (seed, operation sequence) replays the exact same fault
 // pattern — probabilistic robustness tests print their seed on failure.
+// Probabilities that are zero never consume a PRNG draw, so enabling only
+// one side of the model leaves the other side's fault sequence unchanged.
 
 // ErrNoSpares is returned by Remap when the spare-sector pool is exhausted.
 var ErrNoSpares = errors.New("disk: spare-sector pool exhausted")
@@ -30,14 +47,20 @@ var ErrNoSpares = errors.New("disk: spare-sector pool exhausted")
 // DefaultSpares is the size of the spare-sector pool a drive ships with.
 const DefaultSpares = 64
 
-// FaultConfig parameterizes the read-fault injector. All probabilities are
-// per sector transferred; zero disables that fault class.
+// FaultConfig parameterizes the fault injector. All probabilities are per
+// sector transferred except HungIO, which is per operation; zero disables
+// that fault class.
 type FaultConfig struct {
 	Seed          int64   // PRNG seed; the whole fault pattern is a function of it
 	TransientRead float64 // P(one read of a sector fails, without persisting damage)
 	LatentError   float64 // P(sector found decayed: unreadable until rewritten)
 	StuckFraction float64 // P(a latent error is a stuck physical defect | latent)
 	BitRot        float64 // P(a read returns silently corrupted data)
+
+	TransientWrite float64       // P(one write of a sector fails; the prefix persists, a retry succeeds)
+	BadOnWrite     float64       // P(sector fails under the write and stays bad until remapped)
+	HungIO         float64       // P(a write operation stalls for HungIODelay before transferring)
+	HungIODelay    time.Duration // stall per hung operation; zero means 2s
 }
 
 // FaultStats counts fault-model activity since the injector was installed
@@ -47,6 +70,9 @@ type FaultStats struct {
 	LatentErrors    int // sectors that decayed into persistent damage
 	StuckSectors    int // latent errors that were stuck defects
 	BitRotEvents    int // silent corruptions returned to the host
+	TransientWrites int // writes that failed transiently
+	BadOnWrite      int // sectors that went bad under a write (stuck until remapped)
+	HungOps         int // operations that stalled for a hung-I/O latency spike
 	Remaps          int // sectors retired to spares
 	SparesLeft      int
 }
@@ -58,11 +84,14 @@ type faultInjector struct {
 
 // faultCounts holds the fault bookkeeping; guarded by d.mu.
 type faultCounts struct {
-	transient int
-	latent    int
-	stuck     int
-	bitrot    int
-	remaps    int
+	transient  int
+	latent     int
+	stuck      int
+	bitrot     int
+	transientW int
+	badWrite   int
+	hung       int
+	remaps     int
 }
 
 // InjectFaults installs (or replaces) the probabilistic read-fault injector
@@ -91,6 +120,9 @@ func (d *Disk) FaultStats() FaultStats {
 		LatentErrors:    d.fcnt.latent,
 		StuckSectors:    d.fcnt.stuck,
 		BitRotEvents:    d.fcnt.bitrot,
+		TransientWrites: d.fcnt.transientW,
+		BadOnWrite:      d.fcnt.badWrite,
+		HungOps:         d.fcnt.hung,
 		Remaps:          d.fcnt.remaps,
 		SparesLeft:      d.spareTotal - d.sparesUsed,
 	}
@@ -188,4 +220,45 @@ func (d *Disk) injectRead(addr int) error {
 		}
 	}
 	return nil
+}
+
+// injectWrite rolls the fault model for one sector about to be written. Must
+// hold d.mu. A non-nil error aborts the write at this sector: earlier sectors
+// of the run have persisted (the weak-atomic property), this sector keeps its
+// old content. BadOnWrite additionally leaves the sector damaged and stuck,
+// so only Remap retires it.
+func (d *Disk) injectWrite(addr int) error {
+	in := d.inj
+	r := in.rng
+	if in.cfg.TransientWrite > 0 && r.Float64() < in.cfg.TransientWrite {
+		d.fcnt.transientW++
+		return &DamagedError{Addr: addr}
+	}
+	if in.cfg.BadOnWrite > 0 && r.Float64() < in.cfg.BadOnWrite {
+		d.fcnt.badWrite++
+		d.damaged[addr] = true
+		d.stuck[addr] = true
+		return &DamagedError{Addr: addr}
+	}
+	return nil
+}
+
+// injectHang rolls the per-operation hung-I/O spike and charges the stall to
+// the simulated clock. Must hold d.mu. The operation itself still completes;
+// a host-side deadline (core's Config.OpTimeout) is what turns the latency
+// into a fault classification.
+func (d *Disk) injectHang() {
+	in := d.inj
+	if in == nil || in.cfg.HungIO <= 0 {
+		return
+	}
+	if in.rng.Float64() < in.cfg.HungIO {
+		d.fcnt.hung++
+		delay := in.cfg.HungIODelay
+		if delay == 0 {
+			delay = 2 * time.Second
+		}
+		d.cnt.stallTime.Add(int64(delay))
+		d.clk.Advance(delay)
+	}
 }

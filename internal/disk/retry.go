@@ -1,0 +1,45 @@
+package disk
+
+import "errors"
+
+// WriteSectorsRetry writes data at addr like WriteSectors, but absorbs the
+// write-side fault model: a transient write error is retried in place up to
+// retries times, and a sector that stays damaged after the failed write (a
+// bad-on-write or stuck defect) is retired to a spare with Remap and the run
+// rewritten. Remapping counts as progress and resets the retry budget; the
+// remap loop itself is bounded by the spare pool (ErrNoSpares ends it).
+//
+// It returns how many in-place retries and how many remaps were spent, so
+// callers can charge an error budget, plus the final error: nil on success,
+// the last DamagedError when the retry budget ran out, ErrNoSpares when the
+// pool is exhausted, or the original error for non-media failures (ErrHalted,
+// out of range), which are never retried.
+func WriteSectorsRetry(d *Disk, addr int, data []byte, retries int) (retried, remapped int, err error) {
+	tries := 0
+	for {
+		err = d.WriteSectors(addr, data)
+		if err == nil {
+			return
+		}
+		var de *DamagedError
+		if !errors.As(err, &de) {
+			return
+		}
+		if d.IsDamaged(de.Addr) {
+			// The sector went bad under the write (or was already a stuck
+			// defect): retire it to a spare and rewrite the whole run.
+			if rerr := d.Remap(de.Addr); rerr != nil {
+				err = rerr
+				return
+			}
+			remapped++
+			tries = 0
+			continue
+		}
+		if tries >= retries {
+			return
+		}
+		tries++
+		retried++
+	}
+}

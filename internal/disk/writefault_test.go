@@ -1,0 +1,186 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestWriteFaultInjectorDeterministic(t *testing.T) {
+	cfg := FaultConfig{
+		Seed:           faultSeed(t),
+		TransientWrite: 0.15,
+		BadOnWrite:     0.05,
+		HungIO:         0.1,
+		HungIODelay:    20 * time.Millisecond,
+	}
+	run := func() (FaultStats, []error, time.Duration) {
+		clk := sim.NewVirtualClock()
+		d, err := New(SmallGeometry, DefaultParams, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.InjectFaults(cfg)
+		var errs []error
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < 64; i++ {
+				errs = append(errs, d.WriteSectors(i*7, bytes.Repeat([]byte{byte(i)}, SectorSize)))
+			}
+		}
+		return d.FaultStats(), errs, clk.Now()
+	}
+	st1, errs1, t1 := run()
+	st2, errs2, t2 := run()
+	if st1 != st2 || t1 != t2 {
+		t.Fatalf("fault pattern diverged: %+v @%v vs %+v @%v", st1, t1, st2, t2)
+	}
+	for i := range errs1 {
+		if (errs1[i] == nil) != (errs2[i] == nil) {
+			t.Fatalf("write %d: %v vs %v", i, errs1[i], errs2[i])
+		}
+	}
+	if st1.TransientWrites == 0 || st1.BadOnWrite == 0 || st1.HungOps == 0 {
+		t.Fatalf("injector produced no write faults: %+v", st1)
+	}
+}
+
+func TestTransientWriteKeepsOldContent(t *testing.T) {
+	d := newFaultDisk(t)
+	old := bytes.Repeat([]byte{0xA5}, SectorSize)
+	if err := d.WriteSectors(40, old); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(FaultConfig{Seed: 1, TransientWrite: 1})
+	var de *DamagedError
+	if err := d.WriteSectors(40, make([]byte, SectorSize)); !errors.As(err, &de) {
+		t.Fatalf("transient write fault not injected: %v", err)
+	}
+	if d.IsDamaged(40) {
+		t.Fatal("transient write fault persisted damage")
+	}
+	d.ClearFaults()
+	got, err := d.ReadSectors(40, 1)
+	if err != nil {
+		t.Fatalf("read after transient write fault: %v", err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatal("failed write replaced the old content")
+	}
+	if d.FaultStats().TransientWrites == 0 {
+		t.Fatal("transient write not counted")
+	}
+}
+
+func TestBadOnWriteStuckUntilRemap(t *testing.T) {
+	d := newFaultDisk(t)
+	d.InjectFaults(FaultConfig{Seed: 2, BadOnWrite: 1})
+	if err := d.WriteSectors(60, make([]byte, SectorSize)); err == nil {
+		t.Fatal("bad-on-write fault not injected")
+	}
+	d.ClearFaults()
+	if _, err := d.ReadSectors(60, 1); err == nil {
+		t.Fatal("bad-on-write sector readable")
+	}
+	// Rewrites appear to succeed but the defect stays: only Remap retires it.
+	if err := d.WriteSectors(60, make([]byte, SectorSize)); err != nil {
+		t.Fatalf("rewrite of bad sector errored: %v", err)
+	}
+	if _, err := d.ReadSectors(60, 1); err == nil {
+		t.Fatal("rewrite cleared a bad-on-write sector")
+	}
+	if err := d.Remap(60); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{3}, SectorSize)
+	if err := d.WriteSectors(60, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := d.ReadSectors(60, 1); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("remapped sector round trip: %q, %v", got[:4], err)
+	}
+	if st := d.FaultStats(); st.BadOnWrite == 0 {
+		t.Fatalf("bad-on-write not counted: %+v", st)
+	}
+}
+
+func TestHungIOStallsWriteOperations(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	d, err := New(SmallGeometry, DefaultParams, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(FaultConfig{Seed: 3, HungIO: 1, HungIODelay: 100 * time.Millisecond})
+	start := clk.Now()
+	if err := d.WriteSectors(8, make([]byte, SectorSize)); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now() - start; got < 100*time.Millisecond {
+		t.Fatalf("hung write advanced the clock by only %v", got)
+	}
+	if st := d.FaultStats(); st.HungOps != 1 {
+		t.Fatalf("hung ops = %d, want 1", st.HungOps)
+	}
+	// The spike is a write-side fault: reads do not stall.
+	if _, err := d.ReadSectors(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.FaultStats(); st.HungOps != 1 {
+		t.Fatalf("read rolled a hung-I/O spike: %+v", st)
+	}
+}
+
+func TestWriteSectorsRetryAbsorbsTransients(t *testing.T) {
+	d := newFaultDisk(t)
+	d.InjectFaults(FaultConfig{Seed: 11, TransientWrite: 0.4})
+	payload := bytes.Repeat([]byte{0x5C}, 4*SectorSize)
+	retried, remapped, err := WriteSectorsRetry(d, 24, payload, 32)
+	if err != nil {
+		t.Fatalf("retry did not absorb transient faults: %v (retried %d)", err, retried)
+	}
+	if retried == 0 {
+		t.Fatal("no retries at 40% transient-write probability")
+	}
+	if remapped != 0 {
+		t.Fatalf("transient faults remapped %d sectors", remapped)
+	}
+	d.ClearFaults()
+	if got, rerr := d.ReadSectors(24, 4); rerr != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("content after retried write: %v", rerr)
+	}
+}
+
+func TestWriteSectorsRetryRemapsBadOnWrite(t *testing.T) {
+	d := newFaultDisk(t)
+	d.InjectFaults(FaultConfig{Seed: 12, BadOnWrite: 0.3})
+	payload := bytes.Repeat([]byte{0xD2}, 4*SectorSize)
+	_, remapped, err := WriteSectorsRetry(d, 16, payload, 4)
+	if err != nil {
+		t.Fatalf("retry+remap did not complete the write: %v", err)
+	}
+	if remapped == 0 {
+		t.Fatal("no sectors remapped at 30% bad-on-write probability")
+	}
+	d.ClearFaults()
+	if got, rerr := d.ReadSectors(16, 4); rerr != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("content after remapped write: %v", rerr)
+	}
+	if d.FaultStats().Remaps != remapped {
+		t.Fatalf("remap accounting: stats %d, helper %d", d.FaultStats().Remaps, remapped)
+	}
+}
+
+func TestWriteSectorsRetryExhaustsSpares(t *testing.T) {
+	d := newFaultDisk(t)
+	d.SetSpares(3)
+	d.InjectFaults(FaultConfig{Seed: 13, BadOnWrite: 1})
+	_, remapped, err := WriteSectorsRetry(d, 0, make([]byte, 2*SectorSize), 2)
+	if !errors.Is(err, ErrNoSpares) {
+		t.Fatalf("err = %v, want ErrNoSpares", err)
+	}
+	if remapped != 3 {
+		t.Fatalf("remapped %d sectors before exhaustion, want 3", remapped)
+	}
+}

@@ -41,10 +41,36 @@ type Config struct {
 	// Zero means 512.
 	MaxDepth int
 	// Apply executes one intent. It runs on the applier goroutine, in
-	// strict enqueue order, with no queue lock held. The first error is
-	// sticky: it is reported by Err and every Wait* call, and later
-	// intents are marked applied without executing.
+	// strict enqueue order, with no queue lock held. A retryable error
+	// (see Retryable) is retried in place; a fatal one drains the queue
+	// deterministically (see OnFatal) and is reported by Err and by
+	// WaitApplied for every dropped sequence.
+	//
+	// Apply may be invoked again with the same intent after returning a
+	// retryable error, so it must be resume-safe: completed side effects
+	// must not re-run (track per-intent progress in the op value — the
+	// applier is the only goroutine touching it).
 	Apply func(op any) error
+	// Retryable classifies an apply error as transient: the applier backs
+	// off (Backoff) and retries the same intent in place, up to
+	// RetryBudget times, before treating the error as fatal. Nil means no
+	// error is retryable.
+	Retryable func(error) bool
+	// RetryBudget bounds the in-place retries of one intent. Zero means
+	// 3; negative disables retries.
+	RetryBudget int
+	// Backoff, when set, runs between retry attempts (attempt starts at
+	// 1), on the applier goroutine without the queue lock — typically it
+	// advances a simulated clock or sleeps.
+	Backoff func(attempt int)
+	// OnFatal, when set, is invoked exactly once, on the applier
+	// goroutine without the queue lock, when an apply error is fatal
+	// (non-retryable, or still failing past the retry budget). By the
+	// time it fires the queue has been drained: every unapplied intent
+	// was dropped, blocked waiters were released, and further Enqueue
+	// calls are refused. The host uses it to fail the volume over to
+	// read-only instead of letting the error poison every future wait.
+	OnFatal func(error)
 	// OnApplied, when set, is invoked after each intent is applied (or
 	// skipped on a sticky error) with the intent value, its sequence, the
 	// enqueue-to-apply lag, and the depth remaining. It runs on the applier
@@ -81,13 +107,17 @@ type Queue struct {
 	appSeq  uint64         // sequence of the newest applied intent
 	nameCnt map[uint64]int // pending intents per file key
 	dirCnt  map[uint64]int // pending intents per ancestor-directory key
-	err     error          // sticky apply error
-	closed  bool
-	suspend bool
-	inApply bool // applier is executing an intent right now
+	err     error          // sticky fatal apply error
+	// failedFrom is the first sequence the fatal drain dropped (0 while
+	// healthy): WaitApplied(seq) reports err only for seq >= failedFrom.
+	failedFrom uint64
+	closed     bool
+	suspend    bool
+	inApply    bool // applier is executing an intent right now
 
-	readerWaits atomic.Int64
-	maxDepth    int // high-water mark, under mu
+	readerWaits  atomic.Int64
+	applyRetries atomic.Int64
+	maxDepth     int // high-water mark, under mu
 
 	// stripes are the validation locks handed out by LockNames. They are
 	// per-queue so independent volumes never contend with each other.
@@ -170,15 +200,16 @@ func (q *Queue) LockNames(names ...string) func() {
 }
 
 // Enqueue appends one intent touching the given names and returns its
-// sequence number. It blocks while the queue is at MaxDepth. After Close it
-// returns 0 (the intent is dropped; callers check Err/closed state first).
+// sequence number. It blocks while the queue is at MaxDepth. After Close —
+// or after a fatal apply error drained the queue — it returns 0 (the
+// intent is dropped; callers check Err/closed state first).
 func (q *Queue) Enqueue(op any, names ...string) uint64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items)-q.head >= q.cfg.MaxDepth && !q.closed {
+	for len(q.items)-q.head >= q.cfg.MaxDepth && !q.closed && q.err == nil {
 		q.cond.Wait()
 	}
-	if q.closed {
+	if q.closed || q.err != nil {
 		return 0
 	}
 	q.enqSeq++
@@ -209,19 +240,25 @@ func (q *Queue) applier() {
 			return
 		}
 		it := q.items[q.head]
-		stickyErr := q.err
 		q.inApply = true
 		q.mu.Unlock()
 
-		var err error
-		if stickyErr == nil {
-			err = q.cfg.Apply(it.op)
-		}
+		err := q.applyWithRetry(it.op)
 		lag := q.clk.Now() - it.at
 
 		q.mu.Lock()
-		if err != nil && q.err == nil {
-			q.err = err
+		if err != nil {
+			// Fatal: drain deterministically instead of poisoning every
+			// future wait. After the drain the applier parks (head ==
+			// len(items) and Enqueue refuses new work).
+			q.failLocked(err)
+			q.inApply = false
+			q.cond.Broadcast()
+			q.mu.Unlock()
+			if q.cfg.OnFatal != nil {
+				q.cfg.OnFatal(err)
+			}
+			continue
 		}
 		q.head++
 		q.appSeq++
@@ -248,6 +285,69 @@ func (q *Queue) applier() {
 	}
 }
 
+// retryBudget resolves Config.RetryBudget (zero means 3, negative disables).
+func (q *Queue) retryBudget() int {
+	switch {
+	case q.cfg.RetryBudget < 0:
+		return 0
+	case q.cfg.RetryBudget == 0:
+		return 3
+	default:
+		return q.cfg.RetryBudget
+	}
+}
+
+// applyWithRetry runs one intent through Apply, absorbing retryable errors
+// with bounded in-place retries. No queue lock is held; a Close during the
+// backoff ends the attempt early (the error is then fatal, but the closed
+// queue has already released its waiters).
+func (q *Queue) applyWithRetry(op any) error {
+	err := q.cfg.Apply(op)
+	if err == nil || q.cfg.Retryable == nil {
+		return err
+	}
+	for attempt := 1; attempt <= q.retryBudget() && q.cfg.Retryable(err); attempt++ {
+		if q.cfg.Backoff != nil {
+			q.cfg.Backoff(attempt)
+		}
+		q.mu.Lock()
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return err
+		}
+		q.applyRetries.Add(1)
+		if err = q.cfg.Apply(op); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// failLocked records the fatal apply error and drains the queue
+// deterministically: every unapplied intent (the failed one included) is
+// dropped, the range [failedFrom, enqSeq] is marked failed, and the
+// dependency counts are cleared so blocked readers wake. The caller holds
+// q.mu. The post-fatal wait contract:
+//
+//   - WaitApplied(seq) for a dropped sequence returns the error — that
+//     mutation was never applied and never will be;
+//   - WaitApplied for a sequence applied before the failure returns nil;
+//   - WaitName/WaitPrefix return nil: readers serve the pre-intent state.
+//     The dropped mutations were never durably acknowledged (acks come
+//     only from WaitCommitted), so this is exactly the state a crash at
+//     the same moment would have recovered to.
+func (q *Queue) failLocked(err error) {
+	if q.err == nil {
+		q.err = err
+		q.failedFrom = q.appSeq + 1
+	}
+	q.head = len(q.items)
+	q.appSeq = q.enqSeq
+	q.nameCnt = make(map[uint64]int)
+	q.dirCnt = make(map[uint64]int)
+}
+
 func (q *Queue) dec(m map[uint64]int, k uint64) {
 	if m[k] <= 1 {
 		delete(m, k)
@@ -268,8 +368,13 @@ func (q *Queue) WaitApplied(seq uint64) error {
 	}
 	// Decide the verdict before notifyWait drops q.mu: the queue can make
 	// progress (or fail) during the unlocked callback, and the result must
-	// reflect the state that satisfied the wait loop.
+	// reflect the state that satisfied the wait loop. The fatal error is
+	// reported only for sequences the drain dropped; earlier intents
+	// really were applied.
 	err := q.err
+	if err != nil && seq < q.failedFrom {
+		err = nil
+	}
 	if err == nil && q.appSeq < seq {
 		err = ErrClosed
 	}
@@ -306,9 +411,11 @@ func (q *Queue) waitKey(m map[uint64]int, k uint64, kind, label string) error {
 	// not hold the name stripe (Open/Stat never do), so a concurrent
 	// Enqueue on the same key during the unlocked callback can make
 	// m[k] > 0 again on a live queue — checking only afterwards would
-	// misreport that as ErrClosed.
-	err := q.err
-	if err == nil && m[k] > 0 {
+	// misreport that as ErrClosed. A sticky fatal error is deliberately
+	// NOT returned here: the fatal drain cleared the counts, and readers
+	// keep serving the pre-intent state (see failLocked).
+	var err error
+	if m[k] > 0 {
 		err = ErrClosed
 	}
 	if waited {
@@ -373,12 +480,23 @@ func (q *Queue) Close() {
 	<-q.done
 }
 
-// Err returns the sticky apply error, if any.
+// Err returns the sticky fatal apply error, if any.
 func (q *Queue) Err() error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.err
 }
+
+// FailedFrom returns the first sequence dropped by a fatal drain (0 while
+// the queue is healthy).
+func (q *Queue) FailedFrom() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.failedFrom
+}
+
+// ApplyRetries returns how many in-place retries the applier has performed.
+func (q *Queue) ApplyRetries() int64 { return q.applyRetries.Load() }
 
 // Depth returns the number of enqueued-but-unapplied intents (including the
 // one being applied right now).

@@ -52,6 +52,9 @@ const (
 	// EvIntentWait is a reader (or conflicting writer) that blocked on
 	// pending intents; Op is the wait kind ("name", "prefix", "applied").
 	EvIntentWait
+	// EvHealth is a volume health transition; Op is the new state
+	// ("degraded", "read-only", "offline"), A the error budget consumed.
+	EvHealth
 )
 
 // String names the kind for text sinks.
@@ -87,6 +90,8 @@ func (k EventKind) String() string {
 		return "intent-apply"
 	case EvIntentWait:
 		return "intent-wait"
+	case EvHealth:
+		return "health"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

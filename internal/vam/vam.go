@@ -211,16 +211,35 @@ func SaveSectors(n int) int {
 	return 1 + (n+disk.SectorSize*8-1)/(disk.SectorSize*8)
 }
 
+// SectorWriter is the sector-write primitive Save and Invalidate go
+// through. The file system passes its bounded-retry/remap repair path so a
+// marginal save-area sector is retried or retired instead of failing the
+// save; plain *disk.Disk callers get the same policy via defaultWriter.
+type SectorWriter func(addr int, data []byte) error
+
+// defaultWriter wraps a raw device in the bounded-retry/remap policy.
+func defaultWriter(d *disk.Disk) SectorWriter {
+	return func(addr int, data []byte) error {
+		_, _, err := disk.WriteSectorsRetry(d, addr, data, 2)
+		return err
+	}
+}
+
 // Save writes the map and a validity stamp to the save area at base. Only
 // the free bitmap is saved; shadow pages must have been committed first.
 func (v *VAM) Save(d *disk.Disk, base int) error {
+	return v.SaveWith(defaultWriter(d), base)
+}
+
+// SaveWith is Save with an explicit sector-write primitive.
+func (v *VAM) SaveWith(w SectorWriter, base int) error {
 	if v.nshadow != 0 {
 		return fmt.Errorf("vam: %d shadow pages pending at save", v.nshadow)
 	}
 	bitmapSectors := SaveSectors(v.n) - 1
 	buf := make([]byte, bitmapSectors*disk.SectorSize)
-	for i, w := range v.free {
-		binary.BigEndian.PutUint64(buf[i*8:], w)
+	for i, word := range v.free {
+		binary.BigEndian.PutUint64(buf[i*8:], word)
 	}
 	hdr := make([]byte, disk.SectorSize)
 	binary.BigEndian.PutUint32(hdr[0:], saveMagic)
@@ -228,17 +247,22 @@ func (v *VAM) Save(d *disk.Disk, base int) error {
 	binary.BigEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(buf))
 	// Write the bitmap first, the validity header last: a crash between
 	// the two leaves an unstamped save that Load rejects.
-	if err := d.WriteSectors(base+1, buf); err != nil {
+	if err := w(base+1, buf); err != nil {
 		return err
 	}
-	return d.WriteSectors(base, hdr)
+	return w(base, hdr)
 }
 
 // Invalidate destroys the validity stamp. Mount calls it right after a
 // successful Load: from that moment the on-disk copy is stale, and a crash
 // must trigger reconstruction.
 func Invalidate(d *disk.Disk, base int) error {
-	return d.WriteSectors(base, make([]byte, disk.SectorSize))
+	return InvalidateWith(defaultWriter(d), base)
+}
+
+// InvalidateWith is Invalidate with an explicit sector-write primitive.
+func InvalidateWith(w SectorWriter, base int) error {
+	return w(base, make([]byte, disk.SectorSize))
 }
 
 // BitmapSectorOfPage returns the index (within the save area's bitmap

@@ -80,7 +80,7 @@ func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
 	if err := l.writeAnchor(anchor{bootCount: l.bootCount, offset: 0, recordNum: 1}); err != nil {
 		return rs, err
 	}
-	if err := l.d.WriteSectors(l.base+anchorSectors, make([]byte, disk.SectorSize)); err != nil {
+	if err := l.writeData(l.base+anchorSectors, make([]byte, disk.SectorSize)); err != nil {
 		return rs, err
 	}
 	l.mu.Lock()

@@ -31,7 +31,7 @@ func (l *Log) ScrubCopies(write func(addr int, data []byte) error) (LogScrubStat
 	defer l.forceMu.Unlock()
 	var st LogScrubStats
 	if write == nil {
-		write = func(addr int, data []byte) error { return l.d.WriteSectors(addr, data) }
+		write = l.writeData
 	}
 	if err := l.scrubAnchor(&st, write); err != nil {
 		return st, err

@@ -115,6 +115,12 @@ type Config struct {
 	// TargetImages is the batch size the adaptive deadline aims to
 	// accumulate per force. Zero means 16. Ignored unless Adaptive.
 	TargetImages int
+	// WriteRetries bounds the in-place retries of a failed log-sector
+	// write before the error escalates; independently of the retry
+	// budget, a sector that stays damaged after a failed write is remapped
+	// to a spare and the write repeated. Zero means 2; negative disables
+	// retries (remapping still happens).
+	WriteRetries int
 }
 
 // Log is the redo log over a contiguous sector region of a disk.
@@ -168,6 +174,12 @@ type Log struct {
 	// with the image count and the commit sequence they joined. Not
 	// invoked for PreStage images. Called without l.mu held.
 	OnAppend func(images int, seq uint64)
+	// OnWriteFault, when set, is invoked after any log write that needed
+	// the fault path: retried in-place retries and remapped spare-sector
+	// retirements were spent, and err is the final outcome (nil when the
+	// write eventually succeeded). The volume charges its health error
+	// budget from it. Called without l.mu held.
+	OnWriteFault func(retried, remapped int, err error)
 
 	// mu guards the staging state only: pending, pendingIdx, openSeq,
 	// lastForce, stats, and the adaptive-controller EWMAs. It is never
@@ -206,6 +218,30 @@ func (l *Log) thirds() int {
 		return 3
 	}
 	return l.cfg.Thirds
+}
+
+// writeRetries returns the in-place retry budget for log writes.
+func (l *Log) writeRetries() int {
+	switch {
+	case l.cfg.WriteRetries < 0:
+		return 0
+	case l.cfg.WriteRetries == 0:
+		return 2
+	default:
+		return l.cfg.WriteRetries
+	}
+}
+
+// writeData writes a run of log sectors with the bounded-retry and
+// automatic-remap policy, reporting any fault-path activity to OnWriteFault.
+// Every log write (anchors, record area, format erase) goes through here, so
+// a marginal sector never fails a commit that a retry or a spare could save.
+func (l *Log) writeData(addr int, data []byte) error {
+	retried, remapped, err := disk.WriteSectorsRetry(l.d, addr, data, l.writeRetries())
+	if (retried > 0 || remapped > 0 || err != nil) && l.OnWriteFault != nil {
+		l.OnWriteFault(retried, remapped, err)
+	}
+	return err
 }
 
 // recArea returns the sector count of the record area.
@@ -265,10 +301,10 @@ func (l *Log) writeAnchor(a anchor) error {
 	if err := l.d.Sync(); err != nil {
 		return err
 	}
-	if err := l.d.WriteSectors(l.base+0, buf); err != nil {
+	if err := l.writeData(l.base+0, buf); err != nil {
 		return err
 	}
-	if err := l.d.WriteSectors(l.base+2, buf); err != nil {
+	if err := l.writeData(l.base+2, buf); err != nil {
 		return err
 	}
 	return l.d.Sync()
@@ -311,7 +347,7 @@ func Format(d *disk.Disk, base, size int, clk sim.Clock, cfg Config) (*Log, erro
 		if off+n > area {
 			n = area - off
 		}
-		if err := l.d.WriteSectors(l.base+anchorSectors+off, zero[:n*disk.SectorSize]); err != nil {
+		if err := l.writeData(l.base+anchorSectors+off, zero[:n*disk.SectorSize]); err != nil {
 			return nil, err
 		}
 	}
@@ -572,6 +608,7 @@ func (l *Log) forceLocked() error {
 		// reordering drive could otherwise land the record first and
 		// replay would resurrect an entry whose pages never arrived.
 		if err := l.d.Sync(); err != nil {
+			l.restoreBatch(batch)
 			return err
 		}
 	}
@@ -579,6 +616,16 @@ func (l *Log) forceLocked() error {
 	for len(batch) > 0 {
 		consumed, err := l.writeRecord(batch)
 		if err != nil {
+			// A failed force must not lose staged updates: the unwritten
+			// tail — including the record that just failed — goes back
+			// into the pending batch, so a later Force retries it and
+			// commits the same images under a newer sequence (which also
+			// satisfies waiters of this one). committedSeq stays put, so
+			// no waiter observes a phantom commit. Records already written
+			// this force are harmless: they lack the end-of-batch flag, so
+			// recovery either discards them or groups them with the
+			// retry's flagged record, whose images are the same or newer.
+			l.restoreBatch(batch)
 			return err
 		}
 		imgs += consumed
@@ -689,7 +736,7 @@ func (l *Log) writeRecord(batch []PageImage) (int, error) {
 	copy(buf[(4+2*n)*disk.SectorSize:], endPg) // end copy
 
 	addr := l.base + anchorSectors + l.writeOff
-	if err := l.d.WriteSectors(addr, buf); err != nil {
+	if err := l.writeData(addr, buf); err != nil {
 		return 0, err
 	}
 	l.mu.Lock()
@@ -711,6 +758,23 @@ func (l *Log) writeRecord(batch []PageImage) (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// restoreBatch returns the images a failed force could not write to the
+// pending batch, so a write fault never drops a staged update. An image
+// whose key has been re-staged since the batch was captured is discarded —
+// the pending copy is newer.
+func (l *Log) restoreBatch(batch []PageImage) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, im := range batch {
+		k := imageKey{im.Kind, im.Target}
+		if _, ok := l.pendingIdx[k]; ok {
+			continue
+		}
+		l.pendingIdx[k] = len(l.pending)
+		l.pending = append(l.pending, im)
+	}
 }
 
 // enterThird prepares third t for overwriting: flush pages homed only

@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+)
+
+// TestForceRetryAfterTransientWriteFault pins the force retry contract: a
+// Force that fails on a transient write error must leave the staged records
+// intact, so a subsequent Force succeeds and acks the same commit sequence.
+func TestForceRetryAfterTransientWriteFault(t *testing.T) {
+	// Retries disabled so the transient fault surfaces out of Force.
+	l, d, _ := newTestLog(t, Config{Interval: time.Second, WriteRetries: -1})
+	seq, err := l.Append(img(KindNameTable, 1, 0xAA), img(KindNameTable, 2, 0xBB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(disk.FaultConfig{Seed: 1, TransientWrite: 1})
+	if err := l.Force(); err == nil {
+		t.Fatal("force succeeded under a 100% transient write fault")
+	}
+	if got := l.Committed(); got >= seq {
+		t.Fatalf("failed force advanced committed to %d (batch %d)", got, seq)
+	}
+	if got := l.PendingImages(); got != 2 {
+		t.Fatalf("failed force kept %d staged images, want 2", got)
+	}
+	d.InjectFaults(disk.FaultConfig{})
+	if err := l.WaitCommitted(seq); err != nil {
+		t.Fatalf("retry force: %v", err)
+	}
+	if got := l.Committed(); got < seq {
+		t.Fatalf("committed %d after retry, want >= %d", got, seq)
+	}
+	// The retried batch must replay on recovery.
+	_, c, _ := reopen(t, d, d.Clock(), Config{})
+	for target, fill := range map[uint64]byte{1: 0xAA, 2: 0xBB} {
+		got := c.last[imageKey{KindNameTable, target}]
+		if got == nil || !bytes.Equal(got, bytes.Repeat([]byte{fill}, disk.SectorSize)) {
+			t.Fatalf("image %d not recovered after retried force", target)
+		}
+	}
+}
+
+// TestForceRetryAfterMidBatchFailure fails the second record of a
+// multi-record batch: the already-written unflagged record must compose with
+// the retry so that every image of the batch recovers exactly once.
+func TestForceRetryAfterMidBatchFailure(t *testing.T) {
+	l, d, _ := newTestLog(t, Config{Interval: time.Second})
+	const n = MaxImagesPerRecord + 21
+	var seq uint64
+	for i := 0; i < n; i++ {
+		var err error
+		if seq, err = l.Append(img(KindNameTable, uint64(i+1), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the first record's write through, then break the next write
+	// operation before any of its sectors persist. The fault is ErrHalted
+	// without an actual halt, so it is not retryable and surfaces directly.
+	d.SetWriteFault(disk.FailAfterWrites(1, 0))
+	if err := l.Force(); err == nil {
+		t.Fatal("force succeeded with the second record broken")
+	}
+	if got := l.PendingImages(); got != n-MaxImagesPerRecord {
+		t.Fatalf("restored %d images, want %d", got, n-MaxImagesPerRecord)
+	}
+	d.SetWriteFault(nil)
+	d.Revive()
+	if err := l.WaitCommitted(seq); err != nil {
+		t.Fatalf("retry force: %v", err)
+	}
+	_, c, _ := reopen(t, d, d.Clock(), Config{})
+	for i := 0; i < n; i++ {
+		got := c.last[imageKey{KindNameTable, uint64(i + 1)}]
+		if got == nil || got[0] != byte(i) {
+			t.Fatalf("image %d lost or stale after mid-batch retry", i+1)
+		}
+	}
+}
+
+// TestForceAbsorbsWriteFaults runs a multi-force workload under moderate
+// transient and bad-on-write probabilities: the bounded retry + remap policy
+// must hide every fault from the caller, and the history must recover.
+func TestForceAbsorbsWriteFaults(t *testing.T) {
+	l, d, _ := newTestLog(t, Config{Interval: time.Second, WriteRetries: 16})
+	var retriedTotal, remappedTotal int
+	l.OnWriteFault = func(retried, remapped int, err error) {
+		retriedTotal += retried
+		remappedTotal += remapped
+		if err != nil {
+			t.Errorf("log write escalated: %v", err)
+		}
+	}
+	d.InjectFaults(disk.FaultConfig{Seed: faultSeedWAL, TransientWrite: 0.05, BadOnWrite: 0.01})
+	for pass := 0; pass < 30; pass++ {
+		if _, err := l.Append(img(KindNameTable, uint64(pass%7+1), byte(pass))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Force(); err != nil {
+			t.Fatalf("force %d under fault injection: %v", pass, err)
+		}
+	}
+	if retriedTotal == 0 && remappedTotal == 0 {
+		t.Fatal("fault path never exercised at these probabilities")
+	}
+	d.ClearFaults()
+	_, c, _ := reopen(t, d, d.Clock(), Config{})
+	if len(c.last) == 0 {
+		t.Fatal("nothing recovered after faulted workload")
+	}
+}
+
+// faultSeedWAL keeps the probabilistic WAL fault tests deterministic.
+const faultSeedWAL = 42

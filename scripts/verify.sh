@@ -16,6 +16,11 @@ go test ./...
 go test -race ./internal/core ./internal/wal ./internal/disk ./internal/bufcache ./internal/intentq
 go test ./internal/core -count=1 -run 'TestCrashPointSweep|TestTornLogForceSweep|TestScrubRepairsLatentDecay|TestSalvageAfterDoubleNameTableLoss'
 go test -race ./internal/core -count=1 -run 'TestScrubConcurrentWithReaders'
+# Seeded write-fault sweep (PR 7): retries/remaps/hung-I/O absorption and
+# the health FSM's graceful-degradation contract, plus the concurrent
+# health-transition hammer under the race detector.
+go test ./internal/core -count=1 -run 'TestWriteFaultsGracefulDegradation|TestSpareExhaustionTransitionsReadOnly|TestHungIOClassifiedAgainstDeadline|TestIntentFatalFailsOverReadOnly'
+go test -race ./internal/core -count=1 -run 'TestHealthTransitionHammer'
 # Bounded deterministic crash-state sweep: fixed seed, strided sample of
 # the full enumeration (the complete 1000+-state sweep runs in the bench
 # suite); well under a minute.
@@ -23,6 +28,9 @@ go run ./cmd/fsdctl crashcheck -seed 1 -states 200
 # The same oracle with every mutation riding the asynchronous intent queue:
 # acked ops must stay durable, unacked ops atomic.
 go run ./cmd/fsdctl crashcheck -seed 1 -states 100 -async
+# Crash images composed with read decay AND write faults: the recovery
+# mount must absorb or demote, never corrupt.
+go run ./cmd/fsdctl crashcheck -seed 13 -states 60 -decay 0.001 -writedecay 0.01
 # Live-counter table reproduction (Tables 2/3/4/5 from Volume.Stats()):
 # one shared volume, a few seconds; asserts nothing here — the shape
 # checks live in go test ./cmd/benchtab — but must run to completion.
@@ -30,3 +38,5 @@ go run ./cmd/benchtab -table tables
 # Data-path cache ablation smoke (cache on/off x read-ahead on/off over
 # sequential/random/re-read workloads); a few seconds on small windows.
 go run ./cmd/benchtab -table datapath
+# Write-fault-path sweep smoke (retry/remap/hung absorption cost grid).
+go run ./cmd/benchtab -table faultpath
