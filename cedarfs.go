@@ -81,8 +81,12 @@ type (
 	// ScrubStats reports one online scrub pass (copies repaired, sectors
 	// retired).
 	ScrubStats = core.ScrubStats
-	// SalvageStats reports a salvage mount (files recovered vs lost).
+	// SalvageStats reports a salvage mount (files recovered vs lost,
+	// progress-checkpoint resume state).
 	SalvageStats = core.SalvageStats
+	// RecoveryStats reports what the mount-time log replay did; see
+	// Stats.Recovery.
+	RecoveryStats = core.RecoveryStats
 	// VolumeFaultStats aggregates a volume's media-fault handling
 	// (retries, scrub repairs, retirements).
 	VolumeFaultStats = core.FaultStats
@@ -124,6 +128,10 @@ var (
 	ErrIsSymlink = core.ErrIsSymlink
 	ErrReadOnly  = core.ErrReadOnly
 	ErrOffline   = core.ErrOffline
+	// ErrSalvageInProgress marks a volume with a durable salvage
+	// checkpoint: a crash interrupted a salvage sweep, and only a
+	// salvaging mount (AllowSalvage) may touch it.
+	ErrSalvageInProgress = core.ErrSalvageInProgress
 )
 
 // Disk and clock types for callers that want to build their own device.

@@ -23,12 +23,13 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, datapath, faultpath, tables, ablations, all")
+	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, nestedcrash, datapath, faultpath, tables, ablations, all")
 	concJSON := flag.String("concurrency-json", "", "also write the concurrency report to this path (e.g. BENCH_concurrency.json)")
 	dataJSON := flag.String("datapath-json", "", "also write the data-path cache report to this path (e.g. BENCH_datapath.json)")
 	tablesJSON := flag.String("tables-json", "", "also write the live-counter tables report to this path (e.g. BENCH_tables.json)")
 	robJSON := flag.String("robustness-json", "", "also write the robustness report to this path (e.g. BENCH_robustness.json)")
 	sweepJSON := flag.String("crashsweep-json", "", "also write the crash-sweep report to this path (e.g. BENCH_crashsweep.json)")
+	nestedJSON := flag.String("nestedcrash-json", "", "also write the depth-2 nested-crash report to this path (e.g. BENCH_nestedcrash.json)")
 	asyncJSON := flag.String("async-json", "", "also write the async-pipeline report to this path (e.g. BENCH_async.json)")
 	faultJSON := flag.String("faultpath-json", "", "also write the write-fault-path report to this path (e.g. BENCH_faultpath.json)")
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 		{"faultpath", bench.FaultPath},
 		{"robustness", bench.Robustness},
 		{"crashsweep", bench.CrashSweep},
+		{"nestedcrash", bench.NestedCrash},
 		{"datapath", bench.DataPath},
 		{"tables", bench.TablesIOs},
 		{"tables", bench.TablesBatching},
@@ -128,6 +130,15 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s (%d states, %.0f states/sec, max recovery %.2f s)\n",
 			*sweepJSON, rep.States, rep.StatesPerSec, rep.RecoveryMaxS)
+	}
+	if *nestedJSON != "" {
+		rep, err := bench.WriteNestedCrashJSON(*nestedJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: nestedcrash json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d outer / %d inner states, %d depth-2 violations, max recovery-of-recovery %.2f s)\n",
+			*nestedJSON, rep.OuterStates, rep.InnerStates, rep.Violations, rep.RecRecMaxS)
 	}
 	if *asyncJSON != "" {
 		rep, err := bench.WriteAsyncJSON(*asyncJSON)

@@ -19,6 +19,7 @@
 //	fsdctl -img vol.img info                       # volume statistics
 //	fsdctl -img vol.img stats                      # full observability snapshot
 //	fsdctl crashcheck [-seed N] [-states N] ...    # crash-state exploration sweep
+//	fsdctl crashcheck -nested [-depth 2] ...       # depth-2: crash the recovery too
 //
 // The -json flag switches verify/fsck, scrub, salvage, stats, and crashcheck
 // to machine-readable JSON on stdout. Exit codes are 0 (success), 1
@@ -438,6 +439,16 @@ func run(img string, jsonOut bool, args []string) error {
 		fmt.Printf("disk: %d ops (%d reads, %d writes), %d/%d sectors read/written, busy %v simulated\n",
 			st.Disk.Ops, st.Disk.Reads, st.Disk.Writes, st.Disk.SectorsRead,
 			st.Disk.SectorsWritten, st.Disk.BusyTime().Round(time.Millisecond))
+		if rc := st.Recovery; rc.Ran {
+			how := "log replayed"
+			if rc.CleanShutdown {
+				how = "clean shutdown"
+			}
+			fmt.Printf("recovery: %s — %d records, %d images applied, %d repaired, %d torn, %d tail discarded, %d gap breaks, %d sectors read, %v simulated\n",
+				how, rc.Records, rc.Images, rc.Repaired, rc.TornRecords,
+				rc.TailDiscarded, rc.GapBreaks, rc.SectorsRead,
+				rc.Elapsed.Round(time.Millisecond))
+		}
 		fmt.Printf("faults: %d read retries (%d recovered), %d scrub passes, %d copies repaired, %d sectors retired\n",
 			st.Faults.ReadRetries, st.Faults.RetriedOK, st.Faults.Scrubs, st.Faults.Repaired, st.Faults.Retired)
 		fmt.Printf("write path: %d retries, %d remaps, %d hung ops, error budget %d\n",
@@ -473,23 +484,30 @@ func crashcheck(jsonOut bool, args []string) error {
 	writeDecay := fs.Float64("writedecay", 0, "write-fault probability (transient; bad-on-write at 1/4) composed on each crash image")
 	workers := fs.Int("workers", 0, "parallel state executors (0 = GOMAXPROCS)")
 	async := fs.Bool("async", false, "run the workload through the asynchronous intent queue")
+	nested := fs.Bool("nested", false, "depth-2 exploration: crash each state's recovery at its barrier epochs and recover again")
+	depth := fs.Int("depth", 0, "nested exploration depth (only 2 is supported; 0 = 2 with -nested)")
+	inner := fs.Int("inner", 0, "with -nested, inner crash states sampled per outer state (0 = default 8)")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("crashcheck: %w", errUsage)
 	}
 	res, err := crashtest.Run(crashtest.Config{
-		Seed:       *seed,
-		Ops:        *ops,
-		MaxStates:  *states,
-		StateID:    *state,
-		Workers:    *workers,
-		Decay:      *decay,
-		WriteDecay: *writeDecay,
-		Async:      *async,
+		Seed:        *seed,
+		Ops:         *ops,
+		MaxStates:   *states,
+		StateID:     *state,
+		Workers:     *workers,
+		Decay:       *decay,
+		WriteDecay:  *writeDecay,
+		Async:       *async,
+		Nested:      *nested,
+		Depth:       *depth,
+		InnerStates: *inner,
 	})
 	if err != nil {
 		return err
 	}
 	rmin, rmed, rmax := res.RecoverySummary()
+	nmin, nmed, nmax := res.RecoveryOfRecoverySummary()
 	if jsonOut {
 		if err := emitJSON(struct {
 			*crashtest.Result
@@ -497,7 +515,10 @@ func crashcheck(jsonOut bool, args []string) error {
 			RecoveryMin  time.Duration `json:"recovery_min_ns"`
 			RecoveryMed  time.Duration `json:"recovery_median_ns"`
 			RecoveryMax  time.Duration `json:"recovery_max_ns"`
-		}{res, float64(res.States) / res.Elapsed.Seconds(), rmin, rmed, rmax}); err != nil {
+			RecRecMin    time.Duration `json:"recovery_of_recovery_min_ns,omitempty"`
+			RecRecMed    time.Duration `json:"recovery_of_recovery_median_ns,omitempty"`
+			RecRecMax    time.Duration `json:"recovery_of_recovery_max_ns,omitempty"`
+		}{res, float64(res.States) / res.Elapsed.Seconds(), rmin, rmed, rmax, nmin, nmed, nmax}); err != nil {
 			return err
 		}
 	} else {
@@ -510,21 +531,27 @@ func crashcheck(jsonOut bool, args []string) error {
 			res.TornRecords, res.TailDiscarded, res.GapBreaks)
 		fmt.Printf("simulated recovery time: min %v, median %v, max %v\n",
 			rmin.Round(time.Millisecond), rmed.Round(time.Millisecond), rmax.Round(time.Millisecond))
+		if *nested {
+			fmt.Printf("nested: %d/%d inner (depth-2) states, %d inner mount failures, %d depth-2 violations\n",
+				res.InnerStates, res.InnerStatesTotal, res.InnerMountFailures, res.InnerViolations)
+			fmt.Printf("recovery-of-recovery time: min %v, median %v, max %v\n",
+				nmin.Round(time.Millisecond), nmed.Round(time.Millisecond), nmax.Round(time.Millisecond))
+		}
 		if res.MediaLosses > 0 {
 			fmt.Printf("media losses under decay: %d (single-copy data has no redundancy)\n", res.MediaLosses)
 		}
-		if res.MountFailures == 0 && len(res.Violations) == 0 {
+		if res.MountFailures == 0 && res.InnerMountFailures == 0 && len(res.Violations) == 0 {
 			fmt.Println("oracle: every acknowledged op durable, every state mountable — PASS")
 		}
 		for _, viol := range res.Violations {
 			fmt.Printf("VIOLATION: %s\n  repro: fsdctl crashcheck -seed %d -state %d\n  %s\n",
 				viol.Desc, viol.Seed, viol.StateID, viol.State)
 		}
-		if res.MountFailures > 0 {
-			fmt.Printf("MOUNT FAILURES: %d\n", res.MountFailures)
+		if res.MountFailures > 0 || res.InnerMountFailures > 0 {
+			fmt.Printf("MOUNT FAILURES: %d outer, %d inner\n", res.MountFailures, res.InnerMountFailures)
 		}
 	}
-	if res.MountFailures > 0 || len(res.Violations) > 0 {
+	if res.MountFailures > 0 || res.InnerMountFailures > 0 || len(res.Violations) > 0 {
 		return fmt.Errorf("crashcheck: %w", errProblems)
 	}
 	return nil

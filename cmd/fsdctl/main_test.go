@@ -323,6 +323,30 @@ func TestCLICrashcheckSweep(t *testing.T) {
 	}
 }
 
+func TestCLICrashcheckNested(t *testing.T) {
+	// Bounded depth-2 smoke: a handful of outer states, each with its
+	// recovery crashed at sampled epochs and recovered again. Exit-code
+	// contract unchanged: PASS is exit 0.
+	out := captureStdout(t, func() {
+		if err := run("unused.img", false, []string{"crashcheck", "-nested",
+			"-depth", "2", "-seed", "4", "-ops", "40", "-states", "8", "-inner", "3"}); err != nil {
+			t.Fatalf("nested crashcheck: %v", err)
+		}
+	})
+	for _, want := range []string{"nested:", "inner (depth-2) states", "recovery-of-recovery time", "PASS"} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Fatalf("nested output missing %q:\n%s", want, out)
+		}
+	}
+	// Unsupported depth and fault composition are usage-level errors.
+	if err := run("unused.img", false, []string{"crashcheck", "-nested", "-depth", "3"}); err == nil {
+		t.Fatal("depth 3 accepted")
+	}
+	if err := run("unused.img", false, []string{"crashcheck", "-nested", "-decay", "0.01"}); err == nil {
+		t.Fatal("nested with decay accepted")
+	}
+}
+
 // TestStatsCommand checks both renderings of the stats command: the text
 // summary's section lines and the -json snapshot, which must decode back
 // into the public Stats type.
@@ -342,7 +366,7 @@ func TestStatsCommand(t *testing.T) {
 			t.Fatalf("stats: %v", err)
 		}
 	})
-	for _, want := range []string{"ops:", "cache:", "commit:", "commit deadline:", "(fixed)", "disk:", "faults:"} {
+	for _, want := range []string{"ops:", "cache:", "commit:", "commit deadline:", "(fixed)", "disk:", "recovery: clean shutdown", "faults:"} {
 		if !bytes.Contains(out, []byte(want)) {
 			t.Fatalf("stats output missing %q:\n%s", want, out)
 		}

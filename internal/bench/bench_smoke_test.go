@@ -353,3 +353,34 @@ func TestCrashSweepShape(t *testing.T) {
 		t.Errorf("recovery summary not ordered: %f %f %f", rep.RecoveryMinS, rep.RecoveryMedS, rep.RecoveryMaxS)
 	}
 }
+
+func TestNestedCrashShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("depth-2 exploration")
+	}
+	// A reduced outer sample keeps the smoke fast; the acceptance run
+	// (300 outer states) is the benchtab -nestedcrash-json path.
+	rep, err := NestedCrashReportRun(40)
+	if err != nil {
+		t.Fatalf("NestedCrashReportRun: %v", err)
+	}
+	if rep.OuterStates != 40 {
+		t.Errorf("explored %d outer states, want 40", rep.OuterStates)
+	}
+	if rep.InnerStates == 0 || rep.InnerStatesTotal < rep.InnerStates {
+		t.Errorf("inner states wrong: %d of %d", rep.InnerStates, rep.InnerStatesTotal)
+	}
+	if rep.Violations != 0 || rep.MountFailures != 0 || rep.InnerMountFails != 0 {
+		t.Errorf("depth-2 failures: %d violations, %d/%d mount failures",
+			rep.Violations, rep.MountFailures, rep.InnerMountFails)
+	}
+	// Recovery-of-recovery must be measured and stay inside the paper's
+	// observed 1-25 s window, like the first recovery.
+	if rep.RecRecMaxS <= 0 || rep.RecRecMaxS > 25 {
+		t.Errorf("max recovery-of-recovery %.2f s outside the paper's window", rep.RecRecMaxS)
+	}
+	if rep.RecRecMedS > rep.RecRecMaxS || rep.RecRecMinS > rep.RecRecMedS {
+		t.Errorf("recovery-of-recovery summary not ordered: %f %f %f",
+			rep.RecRecMinS, rep.RecRecMedS, rep.RecRecMaxS)
+	}
+}

@@ -114,11 +114,14 @@ func (v *Volume) degradeTo(h Health, why string) bool {
 				OK: h < HealthReadOnly, A: v.faults.budget.Load(),
 			})
 		}
-		if h == HealthDegraded && !v.closed.Load() {
+		if h == HealthDegraded && v.ready.Load() && !v.closed.Load() {
 			// Aggressive scrub: the budget says the media is decaying
 			// faster than the background cadence assumes, so restore
 			// redundancy now. Errors surface through the pass's own
-			// problem list; Scrub serializes behind scrubMu.
+			// problem list; Scrub serializes behind scrubMu. The ready
+			// gate defers the pass when the budget trips mid-mount — the
+			// volume is still being wired (recovery itself charges the
+			// budget now) — and mount schedules it at the end instead.
 			go func() { _, _ = v.Scrub() }()
 		}
 		return true
@@ -170,6 +173,26 @@ func (v *Volume) noteWriteFault(retried, remapped int, err error) {
 			v.degradeTo(HealthReadOnly,
 				"write failed past retries and remap")
 		}
+	}
+}
+
+// noteReadFault records the outcome of one recovery read's bounded-retry
+// policy (the WAL's OnReadFault callback): absorbed retries charge the
+// budget like write retries do, so a mount whose replay limped through
+// decayed media lands Degraded — with the aggressive scrub pass that
+// implies — instead of silently Healthy. A read that stays failed is not
+// escalated here: replay absorbs it through copy repair, and only the
+// replay's own verdict (a failed mount) says whether the volume is lost.
+func (v *Volume) noteReadFault(retried int, err error) {
+	if retried > 0 {
+		v.faults.retries.Add(int64(retried))
+		if err == nil {
+			v.faults.retriedOK.Add(int64(retried))
+		}
+		v.chargeBudget(int64(retried)*weightRetry, "recovery read retries")
+	}
+	if err != nil && errors.Is(err, disk.ErrHalted) {
+		v.degradeTo(HealthOffline, "device halted")
 	}
 }
 

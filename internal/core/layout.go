@@ -179,6 +179,7 @@ func (c Config) walConfig() wal.Config {
 		Adaptive:     c.AdaptiveCommit && !c.Synchronous,
 		Floor:        c.commitFloor(),
 		WriteRetries: c.WriteRetries,
+		ReadRetries:  c.ReadRetries,
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/disk"
@@ -63,9 +64,13 @@ func Mount(d *disk.Disk, cfg Config, opts ...MountOption) (*Volume, MountReport,
 	if err == nil || !o.allowSalvage {
 		return v, rep, err
 	}
-	if rv, rms, rerr := mountReadOnly(d, cfg); rerr == nil {
-		rep.MountStats = rms
-		return rv, rep, nil
+	// A volume mid-salvage skips the read-only rung (which would refuse it
+	// for the same reason) and resumes the salvage directly.
+	if !errors.Is(err, ErrSalvageInProgress) {
+		if rv, rms, rerr := mountReadOnly(d, cfg); rerr == nil {
+			rep.MountStats = rms
+			return rv, rep, nil
+		}
 	}
 	sv, ss, serr := Salvage(d, cfg)
 	rep.Salvage = &ss

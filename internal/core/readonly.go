@@ -37,6 +37,11 @@ func mountReadOnly(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 		return nil, ms, err
 	}
 	lay := root.layout
+	if ck, ok := readSalvageCheckpoint(d, lay); ok {
+		// A half-salvaged name table is not safe to serve even read-only:
+		// copy B may hold the salvage manifest and copy A a partial tree.
+		return nil, ms, fmt.Errorf("core: interrupted salvage (phase %s): %w", ck.phase, ErrSalvageInProgress)
+	}
 	cfg.LogVAM = root.logVAM
 	v := newVolume(d, cfg, lay)
 	v.readOnly = true
@@ -48,12 +53,17 @@ func mountReadOnly(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 
 	leaderImages := make(map[int][]byte)
 	ntImages := make(map[uint64][]byte)
+	var recovered wal.RecoveryStats
 	lg, lerr := wal.Open(d, lay.logBase, lay.logSize, v.clk, wal.Config{
-		Interval: cfg.interval(),
-		Thirds:   cfg.Thirds,
+		Interval:    cfg.interval(),
+		Thirds:      cfg.Thirds,
+		ReadRetries: cfg.ReadRetries,
 	})
 	if lerr == nil {
-		rs, rerr := lg.RecoverDry(func(kind uint8, target uint64, data []byte) error {
+		// Replay reads feed the health budget even read-only, so a mount
+		// that limps through decayed media reports Degraded in Stats().
+		lg.OnReadFault = v.noteReadFault
+		rs, rerr := lg.Replay(func(kind uint8, target uint64, data []byte) error {
 			cp := make([]byte, len(data))
 			copy(cp, data)
 			switch kind {
@@ -75,6 +85,7 @@ func mountReadOnly(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 			ms.LogTornRecords = rs.TornRecords
 			ms.LogTailDiscarded = rs.TailDiscarded
 			ms.LogGapBreaks = rs.GapBreaks
+			recovered = rs
 		}
 	} else {
 		ms.LogUnavailable = true
@@ -110,5 +121,7 @@ func mountReadOnly(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 		}
 	}
 	ms.Elapsed = v.clk.Now() - start
+	v.noteRecovery(recovered, ms)
+	v.finishMount()
 	return v, ms, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"time"
 
@@ -24,21 +25,711 @@ import (
 // (leader.go), the volume can still be rebuilt by scanning the data region
 // for leader pages — the moral equivalent of the CFS scavenger, but driven
 // by one sequential sweep instead of a label pass plus per-file header reads.
+//
+// Salvage is itself re-entrant. It runs in three checkpointed phases —
+// sweep, rebuild, finalize — and records its progress (phase plus sweep
+// cursor) in a self-identifying checkpoint pair on the two reserved sectors
+// inside the log's anchor block (logBase+1 and logBase+3; the anchors own
+// +0 and +2, and wal.Format never touches the odd pair). While a checkpoint
+// is present, plain mounts refuse the volume with ErrSalvageInProgress and
+// a new Salvage call resumes from the recorded phase instead of restarting
+// the full leader sweep. Sweep state (the candidate-leader and damaged
+// sector addresses) is persisted as a manifest in the name-table copy-B
+// region, which salvage is about to overwrite anyway; the checkpoint
+// carries a CRC over the manifest so a torn manifest degrades to a full
+// re-sweep, never to a wrong rebuild.
+
+// ErrSalvageInProgress reports a volume carrying a salvage progress
+// checkpoint: a previous salvage crashed partway. Plain mounts (writable and
+// read-only) refuse such a volume — its name table may be half-destroyed —
+// and Salvage (or Mount with AllowSalvage) resumes from the checkpoint.
+var ErrSalvageInProgress = errors.New("salvage in progress")
 
 // SalvageStats reports what a salvage mount scanned and saved.
 type SalvageStats struct {
 	SectorsScanned   int
-	DamagedSectors   int // unreadable sectors (retired from allocation)
-	CandidateLeaders int // structurally valid leader pages found
-	FilesRecovered   int // entries rebuilt into the fresh name table
-	FilesPartial     int // recovered with a truncated run table (tail lost)
-	ConflictsDropped int // stale leaders losing a page-ownership conflict
+	DamagedSectors   int    // unreadable sectors (retired from allocation)
+	CandidateLeaders int    // structurally valid leader pages found
+	FilesRecovered   int    // entries rebuilt into the fresh name table
+	FilesPartial     int    // recovered with a truncated run table (tail lost)
+	ConflictsDropped int    // stale leaders losing a page-ownership conflict
+	Resumed          bool   // a progress checkpoint from a crashed salvage was found
+	ResumedPhase     string // phase recorded in that checkpoint
+	Checkpoints      int    // progress checkpoints written during this run
 	Problems         []string
 	Elapsed          time.Duration
 }
 
 func (st *SalvageStats) addProblem(format string, args ...interface{}) {
 	st.Problems = append(st.Problems, fmt.Sprintf(format, args...))
+}
+
+// The salvage checkpoint pair lives on the reserved odd sectors of the log
+// anchor block: the anchor and its copy occupy logBase+0 and logBase+2, and
+// every log path (Format included) leaves +1 and +3 alone.
+const (
+	salvageMagic = 0x5A17C4E0
+	salvageCkA   = 1 // sectors past logBase
+	salvageCkB   = 3
+)
+
+// salvagePhase orders the three checkpointed phases of a salvage run.
+type salvagePhase uint32
+
+const (
+	// salvageSweep: the sequential leader scan of the data region. Only the
+	// manifest (name-table copy B) and clamped leaders are written; the data
+	// region itself is never destroyed, so a lost manifest just restarts
+	// the sweep.
+	salvageSweep salvagePhase = iota + 1
+	// salvageRebuild: the destructive phase — fresh log, zeroed name-table
+	// copy A, new B-tree of the recovered entries. Resume replays the phase
+	// from the manifest.
+	salvageRebuild
+	// salvageFinalize: the rebuilt tree is complete and home in copy A;
+	// what remains (root page, VAM save, mirroring A over B, clearing the
+	// checkpoint) is re-derivable from the tree alone.
+	salvageFinalize
+)
+
+func (p salvagePhase) String() string {
+	switch p {
+	case salvageSweep:
+		return "sweep"
+	case salvageRebuild:
+		return "rebuild"
+	case salvageFinalize:
+		return "finalize"
+	default:
+		return fmt.Sprintf("phase(%d)", uint32(p))
+	}
+}
+
+// salvageCheckpoint is the persistent progress record.
+type salvageCheckpoint struct {
+	phase       salvagePhase
+	cursor      int // next unswept data-region sector (sweep phase)
+	cands       int // candidate-leader entries in the manifest
+	damaged     int // damaged-sector entries in the manifest
+	manifestCRC uint32
+}
+
+const salvageCkCRCOff = 24
+
+func encodeSalvageCheckpoint(ck salvageCheckpoint) []byte {
+	buf := make([]byte, disk.SectorSize)
+	be := binary.BigEndian
+	be.PutUint32(buf[0:], salvageMagic)
+	be.PutUint32(buf[4:], uint32(ck.phase))
+	be.PutUint32(buf[8:], uint32(ck.cursor))
+	be.PutUint32(buf[12:], uint32(ck.cands))
+	be.PutUint32(buf[16:], uint32(ck.damaged))
+	be.PutUint32(buf[20:], ck.manifestCRC)
+	be.PutUint32(buf[salvageCkCRCOff:], crc32.ChecksumIEEE(buf[:salvageCkCRCOff]))
+	return buf
+}
+
+func decodeSalvageCheckpoint(buf []byte) (salvageCheckpoint, bool) {
+	be := binary.BigEndian
+	if be.Uint32(buf[0:]) != salvageMagic {
+		return salvageCheckpoint{}, false
+	}
+	if be.Uint32(buf[salvageCkCRCOff:]) != crc32.ChecksumIEEE(buf[:salvageCkCRCOff]) {
+		return salvageCheckpoint{}, false
+	}
+	ck := salvageCheckpoint{
+		phase:       salvagePhase(be.Uint32(buf[4:])),
+		cursor:      int(be.Uint32(buf[8:])),
+		cands:       int(be.Uint32(buf[12:])),
+		damaged:     int(be.Uint32(buf[16:])),
+		manifestCRC: be.Uint32(buf[20:]),
+	}
+	if ck.phase < salvageSweep || ck.phase > salvageFinalize {
+		return salvageCheckpoint{}, false
+	}
+	return ck, true
+}
+
+// readSalvageCheckpoint looks for a valid checkpoint in either copy. Mounts
+// call it right after reading the root page, before touching anything.
+func readSalvageCheckpoint(d *disk.Disk, lay layout) (salvageCheckpoint, bool) {
+	for _, addr := range []int{lay.logBase + salvageCkA, lay.logBase + salvageCkB} {
+		buf, _, err := disk.ReadSectorsRetry(d, addr, 1, 2)
+		if err != nil {
+			continue
+		}
+		if ck, ok := decodeSalvageCheckpoint(buf); ok {
+			return ck, true
+		}
+	}
+	return salvageCheckpoint{}, false
+}
+
+// clearSalvageCheckpoint erases both checkpoint copies. Format calls it so a
+// re-formatted volume never resurrects an old salvage; finalize calls it as
+// the very last durable act of a salvage run.
+func clearSalvageCheckpoint(write func(addr int, data []byte) error, lay layout) error {
+	zero := make([]byte, disk.SectorSize)
+	if err := write(lay.logBase+salvageCkA, zero); err != nil {
+		return err
+	}
+	return write(lay.logBase+salvageCkB, zero)
+}
+
+// The manifest is a flat array of big-endian u32 sector addresses in
+// discovery order — candidate leaders as-is, damaged sectors tagged with the
+// high bit — so it is strictly append-only across sweep flushes: an older
+// checkpoint always describes a CRC-matching prefix of a newer manifest.
+const salvageDamagedBit = 1 << 31
+
+func encodeSalvageManifest(entries []uint32) []byte {
+	buf := make([]byte, 4*len(entries))
+	for i, e := range entries {
+		binary.BigEndian.PutUint32(buf[4*i:], e)
+	}
+	return buf
+}
+
+// salvageCand is one structurally valid leader found by the sweep.
+type salvageCand struct {
+	e     *Entry
+	total int // full run count per the leader (may exceed preamble)
+}
+
+// salvageRun carries one salvage invocation's state across its phases.
+type salvageRun struct {
+	v   *Volume
+	d   *disk.Disk
+	lay layout
+	cfg Config
+	st  *SalvageStats
+
+	cands    []salvageCand
+	damaged  []int
+	seen     map[int]bool // leader addresses already in cands
+	manifest []uint32
+	hasMan   bool // a distinct copy-B region exists to hold the manifest
+
+	entries []salvageCand // claiming winners
+	maxUID  uint64
+
+	uidChunk  uint64
+	formatted time.Duration
+}
+
+// read is the salvage read path: bounded retries, transient faults charged
+// to the health budget (a salvage that limps through decay lands Degraded,
+// like a mount whose replay did). Reads that stay failed are salvage's
+// normal input — damaged sectors become bad blocks — and are not charged;
+// only a halted device escalates.
+func (r *salvageRun) read(addr, n int) ([]byte, error) {
+	buf, retried, err := disk.ReadSectorsRetry(r.d, addr, n, r.cfg.readRetries())
+	if err != nil {
+		if errors.Is(err, disk.ErrHalted) {
+			r.v.degradeTo(HealthOffline, "device halted")
+		}
+		return buf, err
+	}
+	if retried > 0 {
+		r.v.noteReadFault(retried, nil)
+	}
+	return buf, nil
+}
+
+func (r *salvageRun) manifestCapacity() int {
+	return r.lay.ntPages * NTPageSectors * disk.SectorSize / 4
+}
+
+// flush makes progress durable: manifest first, then the checkpoint copies,
+// each behind its own barrier, so a crash between them leaves the previous
+// checkpoint describing a valid prefix of the (append-only) manifest. The
+// two checkpoint copies are separated by a barrier too — otherwise one torn
+// epoch could destroy both and un-mark the volume mid-destruction.
+func (r *salvageRun) flush(phase salvagePhase, cursor int) error {
+	ck := salvageCheckpoint{phase: phase, cursor: cursor}
+	if r.hasMan && len(r.manifest) <= r.manifestCapacity() {
+		data := encodeSalvageManifest(r.manifest)
+		crc := crc32.ChecksumIEEE(data)
+		if pad := len(data) % disk.SectorSize; pad != 0 {
+			data = append(data, make([]byte, disk.SectorSize-pad)...)
+		}
+		for off := 0; off < len(data)/disk.SectorSize; off += MaxTransferSectors {
+			n := MaxTransferSectors
+			if rem := len(data)/disk.SectorSize - off; n > rem {
+				n = rem
+			}
+			if err := r.v.writeSectors(r.lay.ntB+off, data[off*disk.SectorSize:(off+n)*disk.SectorSize]); err != nil {
+				return err
+			}
+		}
+		if err := r.d.Sync(); err != nil {
+			return err
+		}
+		ck.cands, ck.damaged, ck.manifestCRC = len(r.cands), len(r.damaged), crc
+	}
+	buf := encodeSalvageCheckpoint(ck)
+	if err := r.v.writeSectors(r.lay.logBase+salvageCkA, buf); err != nil {
+		return err
+	}
+	if err := r.d.Sync(); err != nil {
+		return err
+	}
+	if err := r.v.writeSectors(r.lay.logBase+salvageCkB, buf); err != nil {
+		return err
+	}
+	r.st.Checkpoints++
+	return r.d.Sync()
+}
+
+// loadManifest rebuilds the sweep's in-memory state from the manifest a
+// checkpoint describes: damaged addresses verbatim, candidate leaders by
+// re-reading and re-decoding their sectors (idempotent — a leader clamped by
+// an earlier claiming pass decodes to its clamped form). It reports false
+// when the manifest is missing or fails its CRC; the caller then restarts
+// the sweep, which is always possible because the data region is never
+// destroyed.
+func (r *salvageRun) loadManifest(ck salvageCheckpoint) bool {
+	if !r.hasMan {
+		return false
+	}
+	total := ck.cands + ck.damaged
+	if total > r.manifestCapacity() {
+		return false
+	}
+	var data []byte
+	if nsec := (4*total + disk.SectorSize - 1) / disk.SectorSize; nsec > 0 {
+		buf, err := r.read(r.lay.ntB, nsec)
+		if err != nil {
+			return false
+		}
+		data = buf[:4*total]
+	}
+	if crc32.ChecksumIEEE(data) != ck.manifestCRC {
+		return false
+	}
+	for i := 0; i < total; i++ {
+		raw := binary.BigEndian.Uint32(data[4*i:])
+		if raw&salvageDamagedBit != 0 {
+			r.damaged = append(r.damaged, int(raw&^uint32(salvageDamagedBit)))
+			r.manifest = append(r.manifest, raw)
+			continue
+		}
+		addr := int(raw)
+		r.seen[addr] = true
+		sec, err := r.read(addr, 1)
+		if err != nil {
+			// Decayed since it was swept: it is a damaged sector now.
+			r.st.addProblem("sector %d: manifested leader unreadable on resume", addr)
+			r.damaged = append(r.damaged, addr)
+			r.manifest = append(r.manifest, raw|salvageDamagedBit)
+			continue
+		}
+		if binary.BigEndian.Uint32(sec) != leaderMagic {
+			r.st.addProblem("sector %d: manifested leader no longer decodes", addr)
+			continue
+		}
+		e, tot, ok := decodeLeaderEntry(sec)
+		if !ok || len(e.Runs) == 0 || int(e.Runs[0].Start) != addr {
+			r.st.addProblem("sector %d: manifested leader no longer decodes", addr)
+			continue
+		}
+		r.cands = append(r.cands, salvageCand{e, tot})
+		r.manifest = append(r.manifest, raw)
+	}
+	r.st.CandidateLeaders = len(r.cands)
+	r.st.DamagedSectors = len(r.damaged)
+	return true
+}
+
+// sweep is phase 1: one sequential pass of the data region looking for
+// leader pages. A candidate must decode, and its first run must start at its
+// own address — a leader names itself as the file's first page, which
+// rejects byte-for-byte copies of leaders living inside file data. Progress
+// (cursor plus manifest) is flushed periodically so a crash resumes from the
+// cursor instead of sector zero.
+func (r *salvageRun) sweep(from int) error {
+	lay, st, v := r.lay, r.st, r.v
+	metaLo, metaHi := lay.logBase, lay.vamBase+lay.vamSectors
+	// The first checkpoint precedes any destructive write (the manifest
+	// overwrites name-table copy B): once it lands, plain mounts refuse
+	// the volume until salvage finishes.
+	if err := r.flush(salvageSweep, from); err != nil {
+		return err
+	}
+	addr := from
+	if addr < lay.dataLo {
+		addr = lay.dataLo
+	}
+	chunks := 0
+	for addr < lay.total {
+		if addr >= metaLo && addr < metaHi {
+			addr = metaHi
+			continue
+		}
+		n := MaxTransferSectors
+		if addr < metaLo && addr+n > metaLo {
+			n = metaLo - addr
+		}
+		if addr+n > lay.total {
+			n = lay.total - addr
+		}
+		buf, err := r.read(addr, n)
+		if err != nil {
+			if errors.Is(err, disk.ErrHalted) {
+				return err
+			}
+			// Damage aborts a multi-sector transfer; fall back to
+			// singles so one bad sector costs one sector.
+			buf = make([]byte, 0, n*disk.SectorSize)
+			for i := 0; i < n; i++ {
+				one, rerr := r.read(addr+i, 1)
+				if rerr != nil {
+					if errors.Is(rerr, disk.ErrHalted) {
+						return rerr
+					}
+					st.DamagedSectors++
+					r.damaged = append(r.damaged, addr+i)
+					r.manifest = append(r.manifest, uint32(addr+i)|salvageDamagedBit)
+					one = make([]byte, disk.SectorSize)
+				}
+				buf = append(buf, one...)
+			}
+		}
+		st.SectorsScanned += n
+		v.cpu.Charge(time.Duration(n) * sim.CostLabelInterpret)
+		for i := 0; i < n; i++ {
+			sec := buf[i*disk.SectorSize : (i+1)*disk.SectorSize]
+			if binary.BigEndian.Uint32(sec) != leaderMagic {
+				continue
+			}
+			v.cpu.Charge(csumCost)
+			e, total, ok := decodeLeaderEntry(sec)
+			if !ok || len(e.Runs) == 0 || int(e.Runs[0].Start) != addr+i {
+				continue
+			}
+			if r.seen[addr+i] {
+				continue
+			}
+			r.seen[addr+i] = true
+			st.CandidateLeaders++
+			r.cands = append(r.cands, salvageCand{e, total})
+			r.manifest = append(r.manifest, uint32(addr+i))
+		}
+		addr += n
+		if chunks++; chunks%32 == 0 {
+			if err := r.flush(salvageSweep, addr); err != nil {
+				return err
+			}
+		}
+	}
+	return r.flush(salvageSweep, lay.total)
+}
+
+// resolve turns candidates into claimed entries. Highest UID wins a
+// (name, version) collision — UIDs are allocation-ordered, so it is the
+// latest incarnation. Then claim pages newest-first: a stale leader (of a
+// deleted file whose pages were reallocated) overlaps the current owner and
+// is dropped. Truncated leaders are rewritten clamped; re-running resolve
+// after a crash re-derives the same winners (the UID order is total) and
+// finds already-clamped leaders consistent, so the pass is idempotent.
+func (r *salvageRun) resolve() error {
+	lay, st := r.lay, r.st
+	byKey := make(map[string]salvageCand)
+	for _, c := range r.cands {
+		k := string(entryKey(c.e.Name, c.e.Version))
+		if prev, ok := byKey[k]; !ok || c.e.UID > prev.e.UID {
+			byKey[k] = c
+		}
+	}
+	resolved := make([]salvageCand, 0, len(byKey))
+	for _, c := range byKey {
+		resolved = append(resolved, c)
+	}
+	st.ConflictsDropped = len(r.cands) - len(resolved)
+	sort.Slice(resolved, func(i, j int) bool { return resolved[i].e.UID > resolved[j].e.UID })
+	owned := make(map[uint32]bool)
+claiming:
+	for _, c := range resolved {
+		pages := 0
+		for _, run := range c.e.Runs {
+			if run.Len == 0 || int(run.Start)+int(run.Len) > lay.total {
+				st.ConflictsDropped++
+				st.addProblem("%s!%d: run [%d,+%d) out of range", c.e.Name, c.e.Version, run.Start, run.Len)
+				continue claiming
+			}
+			for p := run.Start; p < run.Start+run.Len; p++ {
+				if lay.metaRange(int(p)) || owned[p] {
+					st.ConflictsDropped++
+					continue claiming
+				}
+				pages++
+			}
+		}
+		for _, run := range c.e.Runs {
+			for p := run.Start; p < run.Start+run.Len; p++ {
+				owned[p] = true
+			}
+		}
+		if c.total > len(c.e.Runs) {
+			// Only the preamble survived: clamp the byte size to the
+			// reachable pages and rewrite the leader so it describes the
+			// truncated file exactly (runCRC over the trimmed table).
+			st.FilesPartial++
+			if max := uint64(pages-1) * disk.SectorSize; c.e.ByteSize > max {
+				c.e.ByteSize = max
+			}
+			if err := r.v.writeSectors(int(c.e.Runs[0].Start), encodeLeader(c.e)); err != nil {
+				return err
+			}
+			st.addProblem("%s!%d: truncated to %d runs (%d lost with the name table)",
+				c.e.Name, c.e.Version, len(c.e.Runs), c.total-len(c.e.Runs))
+		}
+		r.entries = append(r.entries, c)
+		if c.e.UID > r.maxUID {
+			r.maxUID = c.e.UID
+		}
+	}
+	st.FilesRecovered = len(r.entries)
+	return nil
+}
+
+// rebuild is phase 2: the metadata is rebuilt from scratch — a fresh log,
+// zeroed name-table copy A (stale non-virgin pages must not masquerade as
+// valid after a crash mid-rebuild), and a new B-tree holding the recovered
+// entries, inserted in key order for locality. While a manifest exists,
+// copy B is left alone (it holds the manifest) and the cache runs
+// single-copy; finalize mirrors the finished copy A over it.
+func (r *salvageRun) rebuild() error {
+	v, d, lay, cfg := r.v, r.d, r.lay, r.cfg
+	// Record the phase before the first destructive write, so a crash
+	// anywhere in the rebuild resumes here — from the manifest — instead
+	// of trusting a half-built name table.
+	if err := r.flush(salvageRebuild, lay.total); err != nil {
+		return err
+	}
+	var err error
+	v.log, err = wal.Format(d, lay.logBase, lay.logSize, v.clk, cfg.walConfig())
+	if err != nil {
+		return err
+	}
+	v.cache = newNTCache(v, cfg.cacheSize())
+	if r.hasMan {
+		v.cfg.SingleCopyNT = true
+	}
+	ntSectors := lay.ntPages * NTPageSectors
+	zero := make([]byte, MaxTransferSectors*disk.SectorSize)
+	zeroRegion := func(base int) error {
+		for off := 0; off < ntSectors; off += MaxTransferSectors {
+			n := MaxTransferSectors
+			if off+n > ntSectors {
+				n = ntSectors - off
+			}
+			if err := v.writeSectors(base+off, zero[:n*disk.SectorSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := zeroRegion(lay.ntA); err != nil {
+		return err
+	}
+
+	metaLo, metaHi := lay.logBase, lay.vamBase+lay.vamSectors
+	v.vm = vam.New(lay.total)
+	v.vm.MarkFree(lay.dataLo, lay.total-lay.dataLo)
+	if metaHi > metaLo {
+		v.vm.MarkAllocated(metaLo, metaHi-metaLo)
+	}
+	for _, c := range r.entries {
+		for _, run := range c.e.Runs {
+			v.vm.MarkAllocated(int(run.Start), int(run.Len))
+		}
+	}
+	for _, bad := range r.damaged {
+		// Unreadable data sectors become bad blocks: never allocated.
+		v.vm.MarkAllocated(bad, 1)
+	}
+	v.al, err = alloc.New(v.vm, alloc.Config{
+		Lo:             lay.dataLo,
+		Hi:             lay.dataHi,
+		SmallThreshold: cfg.smallThreshold(),
+		SmallFraction:  (lay.boundary - lay.dataLo) * 100 / (lay.dataHi - lay.dataLo),
+	})
+	if err != nil {
+		return err
+	}
+	v.hookLog()
+
+	v.nt, err = btree.Create(v.cache)
+	if err != nil {
+		return err
+	}
+	sort.Slice(r.entries, func(i, j int) bool {
+		return string(entryKey(r.entries[i].e.Name, r.entries[i].e.Version)) <
+			string(entryKey(r.entries[j].e.Name, r.entries[j].e.Version))
+	})
+	for i, c := range r.entries {
+		v.cpu.Charge(sim.CostBTreeOp)
+		if err := v.nt.Put(entryKey(c.e.Name, c.e.Version), encodeEntry(c.e)); err != nil {
+			return fmt.Errorf("core: salvage rebuild: %w", err)
+		}
+		if (i+1)%64 == 0 {
+			// Bound the staged-image batch so no single force overruns
+			// a log third.
+			if err := v.log.Force(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := v.log.Force(); err != nil {
+		return err
+	}
+	if err := v.cache.flushAll(); err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	// The tree is complete and home in copy A: everything finalize does is
+	// re-derivable from it, so advance the checkpoint past the rebuild.
+	return r.flush(salvageFinalize, lay.total)
+}
+
+// finalize is phase 3: root page, allocation-map save (or invalidation),
+// mirroring the finished name table over the manifest, and — last of all —
+// clearing the checkpoint. Every step can be redone from the tree in copy A,
+// so a crash anywhere here resumes through resumeFinalize.
+func (r *salvageRun) finalize() error {
+	v, lay, cfg := r.v, r.lay, r.cfg
+	uidChunk := r.uidChunk
+	if chunk := (r.maxUID >> 32) + 1; chunk > uidChunk {
+		uidChunk = chunk
+	} else {
+		uidChunk++
+	}
+	v.uidNext.Store(uidChunk << 32)
+	if err := v.writeRoot(rootPage{layout: lay, clean: false, logVAM: cfg.LogVAM, uidChunk: uidChunk, formatted: r.formatted}); err != nil {
+		return err
+	}
+	if cfg.LogVAM {
+		if err := v.vm.SaveWith(v.writeSectors, lay.vamBase); err != nil {
+			return err
+		}
+	} else if err := vam.InvalidateWith(v.writeSectors, lay.vamBase); err != nil {
+		return err
+	}
+	if !cfg.SingleCopyNT && lay.ntB != lay.ntA {
+		// Mirror copy A over the manifest so both name-table copies agree
+		// again, then restore two-copy operation.
+		v.cfg.SingleCopyNT = false
+		ntSectors := lay.ntPages * NTPageSectors
+		for off := 0; off < ntSectors; off += MaxTransferSectors {
+			n := MaxTransferSectors
+			if off+n > ntSectors {
+				n = ntSectors - off
+			}
+			buf, err := r.read(lay.ntA+off, n)
+			if err != nil {
+				if errors.Is(err, disk.ErrHalted) {
+					return err
+				}
+				// A damaged source sector mirrors as a virgin page; the
+				// cache serves the surviving copy and the scrub pass
+				// re-duplicates it.
+				buf = make([]byte, 0, n*disk.SectorSize)
+				for i := 0; i < n; i++ {
+					one, rerr := r.read(lay.ntA+off+i, 1)
+					if rerr != nil {
+						if errors.Is(rerr, disk.ErrHalted) {
+							return rerr
+						}
+						one = make([]byte, disk.SectorSize)
+					}
+					buf = append(buf, one...)
+				}
+			}
+			if err := v.writeSectors(lay.ntB+off, buf); err != nil {
+				return err
+			}
+		}
+	}
+	if err := r.d.Sync(); err != nil {
+		return err
+	}
+	if err := clearSalvageCheckpoint(v.writeSectors, lay); err != nil {
+		return err
+	}
+	if err := r.d.Sync(); err != nil {
+		return err
+	}
+	if cfg.LogVAM {
+		v.enableVAMLogging()
+	}
+	return nil
+}
+
+// resumeFinalize handles a crash after the rebuilt tree was complete in
+// copy A but before the checkpoint was cleared: re-open the tree, rescan it
+// for the allocation map and the UID horizon, and redo the idempotent
+// finalize steps. The interrupted run's damaged-sector list is not
+// recoverable here, so those sectors return to the free pool; reusing one
+// is absorbed by the write path's retry/remap policy.
+func (r *salvageRun) resumeFinalize() error {
+	v, d, lay, cfg, st := r.v, r.d, r.lay, r.cfg, r.st
+	var err error
+	v.log, err = wal.Format(d, lay.logBase, lay.logSize, v.clk, cfg.walConfig())
+	if err != nil {
+		return err
+	}
+	v.cache = newNTCache(v, cfg.cacheSize())
+	if lay.ntB != lay.ntA {
+		// Copy B still holds the manifest (or a torn mirror); trust copy A
+		// alone until finalize mirrors it.
+		v.cfg.SingleCopyNT = true
+	}
+	v.hookLog()
+	v.nt, err = btree.Open(v.cache)
+	if err != nil {
+		return fmt.Errorf("core: salvage resume: rebuilt name table unreadable: %w", err)
+	}
+	metaLo, metaHi := lay.logBase, lay.vamBase+lay.vamSectors
+	v.vm = vam.New(lay.total)
+	v.vm.MarkFree(lay.dataLo, lay.total-lay.dataLo)
+	if metaHi > metaLo {
+		v.vm.MarkAllocated(metaLo, metaHi-metaLo)
+	}
+	err = v.nt.Scan(nil, func(k, val []byte) bool {
+		name, ver, ok := splitKey(k)
+		if !ok {
+			return true
+		}
+		e, derr := decodeEntry(name, ver, val)
+		if derr != nil {
+			return true
+		}
+		v.cpu.Charge(sim.CostBTreeOp / 4)
+		for _, run := range e.Runs {
+			v.vm.MarkAllocated(int(run.Start), int(run.Len))
+		}
+		if e.UID > r.maxUID {
+			r.maxUID = e.UID
+		}
+		st.FilesRecovered++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	v.al, err = alloc.New(v.vm, alloc.Config{
+		Lo:             lay.dataLo,
+		Hi:             lay.dataHi,
+		SmallThreshold: cfg.smallThreshold(),
+		SmallFraction:  (lay.boundary - lay.dataLo) * 100 / (lay.dataHi - lay.dataLo),
+	})
+	if err != nil {
+		return err
+	}
+	return r.finalize()
 }
 
 // Salvage rebuilds a volume whose name table is lost in both copies: it
@@ -55,6 +746,11 @@ func (st *SalvageStats) addProblem(format string, args ...interface{}) {
 // meaningless. Layout comes from the volume root page when either replica
 // survives; otherwise it is recomputed from the geometry and cfg, which must
 // then match the format-time configuration.
+//
+// Salvage is resumable: if the volume carries a progress checkpoint from a
+// salvage that crashed partway, the run continues from the recorded phase
+// (see the package comment above salvagePhase) and SalvageStats.Resumed
+// reports it.
 func Salvage(d *disk.Disk, cfg Config) (*Volume, SalvageStats, error) {
 	var st SalvageStats
 	clk := d.Clock()
@@ -75,243 +771,58 @@ func Salvage(d *disk.Disk, cfg Config) (*Volume, SalvageStats, error) {
 		}
 	}
 	v := newVolume(d, cfg, lay)
+	r := &salvageRun{
+		v: v, d: d, lay: lay, cfg: cfg, st: &st,
+		seen:      make(map[int]bool),
+		hasMan:    lay.ntB != lay.ntA,
+		uidChunk:  uidChunk,
+		formatted: formatted,
+	}
 
-	// Pass 1: one sequential sweep of the data region looking for leader
-	// pages. A candidate must decode, and its first run must start at its
-	// own address — a leader names itself as the file's first page, which
-	// rejects byte-for-byte copies of leaders living inside file data.
-	type cand struct {
-		e     *Entry
-		total int // full run count per the leader (may exceed preamble)
-	}
-	var cands []cand
-	var damaged []int
-	metaLo, metaHi := lay.logBase, lay.vamBase+lay.vamSectors
-	readRetry := func(addr, n int) ([]byte, error) {
-		buf, err := d.ReadSectors(addr, n)
-		var de *disk.DamagedError
-		for tries := 0; err != nil && errors.As(err, &de) && tries < cfg.readRetries(); tries++ {
-			buf, err = d.ReadSectors(addr, n)
-		}
-		return buf, err
-	}
-	addr := lay.dataLo
-	for addr < lay.total {
-		if addr >= metaLo && addr < metaHi {
-			addr = metaHi
-			continue
-		}
-		n := MaxTransferSectors
-		if addr < metaLo && addr+n > metaLo {
-			n = metaLo - addr
-		}
-		if addr+n > lay.total {
-			n = lay.total - addr
-		}
-		buf, err := readRetry(addr, n)
-		if err != nil {
-			// Damage aborts a multi-sector transfer; fall back to
-			// singles so one bad sector costs one sector.
-			buf = make([]byte, 0, n*disk.SectorSize)
-			for i := 0; i < n; i++ {
-				one, err := readRetry(addr+i, 1)
-				if err != nil {
-					st.DamagedSectors++
-					damaged = append(damaged, addr+i)
-					one = make([]byte, disk.SectorSize)
+	entry := salvageSweep
+	sweepFrom := lay.dataLo
+	if ck, ok := readSalvageCheckpoint(d, lay); ok {
+		st.Resumed = true
+		st.ResumedPhase = ck.phase.String()
+		switch ck.phase {
+		case salvageSweep, salvageRebuild:
+			if r.loadManifest(ck) {
+				entry = ck.phase
+				if ck.phase == salvageSweep {
+					sweepFrom = ck.cursor
 				}
-				buf = append(buf, one...)
+			} else {
+				st.addProblem("checkpoint (phase %s) without a usable manifest: restarting the sweep", ck.phase)
 			}
+		case salvageFinalize:
+			entry = salvageFinalize
 		}
-		st.SectorsScanned += n
-		v.cpu.Charge(time.Duration(n) * sim.CostLabelInterpret)
-		for i := 0; i < n; i++ {
-			sec := buf[i*disk.SectorSize : (i+1)*disk.SectorSize]
-			if binary.BigEndian.Uint32(sec) != leaderMagic {
-				continue
-			}
-			v.cpu.Charge(csumCost)
-			e, total, ok := decodeLeaderEntry(sec)
-			if !ok || len(e.Runs) == 0 || int(e.Runs[0].Start) != addr+i {
-				continue
-			}
-			st.CandidateLeaders++
-			cands = append(cands, cand{e, total})
-		}
-		addr += n
 	}
 
-	// Resolve candidates. Highest UID wins a (name, version) collision —
-	// UIDs are allocation-ordered, so it is the latest incarnation. Then
-	// claim pages newest-first: a stale leader (of a deleted file whose
-	// pages were reallocated) overlaps the current owner and is dropped.
-	byKey := make(map[string]cand)
-	for _, c := range cands {
-		k := string(entryKey(c.e.Name, c.e.Version))
-		if prev, ok := byKey[k]; !ok || c.e.UID > prev.e.UID {
-			byKey[k] = c
-		}
-	}
-	resolved := make([]cand, 0, len(byKey))
-	for _, c := range byKey {
-		resolved = append(resolved, c)
-	}
-	st.ConflictsDropped = len(cands) - len(resolved)
-	sort.Slice(resolved, func(i, j int) bool { return resolved[i].e.UID > resolved[j].e.UID })
-	owned := make(map[uint32]bool)
-	var entries []cand
-	var maxUID uint64
-claiming:
-	for _, c := range resolved {
-		pages := 0
-		for _, r := range c.e.Runs {
-			if r.Len == 0 || int(r.Start)+int(r.Len) > lay.total {
-				st.ConflictsDropped++
-				st.addProblem("%s!%d: run [%d,+%d) out of range", c.e.Name, c.e.Version, r.Start, r.Len)
-				continue claiming
-			}
-			for p := r.Start; p < r.Start+r.Len; p++ {
-				if lay.metaRange(int(p)) || owned[p] {
-					st.ConflictsDropped++
-					continue claiming
-				}
-				pages++
-			}
-		}
-		for _, r := range c.e.Runs {
-			for p := r.Start; p < r.Start+r.Len; p++ {
-				owned[p] = true
-			}
-		}
-		if c.total > len(c.e.Runs) {
-			// Only the preamble survived: clamp the byte size to the
-			// reachable pages and rewrite the leader so it describes the
-			// truncated file exactly (runCRC over the trimmed table).
-			st.FilesPartial++
-			if max := uint64(pages-1) * disk.SectorSize; c.e.ByteSize > max {
-				c.e.ByteSize = max
-			}
-			if _, _, err := disk.WriteSectorsRetry(d, int(c.e.Runs[0].Start), encodeLeader(c.e), cfg.writeRetries()); err != nil {
-				return nil, st, err
-			}
-			st.addProblem("%s!%d: truncated to %d runs (%d lost with the name table)",
-				c.e.Name, c.e.Version, len(c.e.Runs), c.total-len(c.e.Runs))
-		}
-		entries = append(entries, c)
-		if c.e.UID > maxUID {
-			maxUID = c.e.UID
-		}
-	}
-	st.FilesRecovered = len(entries)
-
-	// Pass 2: rebuild the metadata from scratch — a fresh log, zeroed
-	// name-table regions (stale non-virgin pages must not masquerade as
-	// valid after a crash mid-rebuild), and a new B-tree holding the
-	// recovered entries, inserted in key order for locality.
-	var err error
-	v.log, err = wal.Format(d, lay.logBase, lay.logSize, v.clk, wal.Config{
-		Interval: cfg.interval(),
-		Thirds:   cfg.Thirds,
-	})
-	if err != nil {
-		return nil, st, err
-	}
-	v.cache = newNTCache(v, cfg.cacheSize())
-	ntSectors := lay.ntPages * NTPageSectors
-	zero := make([]byte, MaxTransferSectors*disk.SectorSize)
-	zeroRegion := func(base int) error {
-		for off := 0; off < ntSectors; off += MaxTransferSectors {
-			n := MaxTransferSectors
-			if off+n > ntSectors {
-				n = ntSectors - off
-			}
-			if _, _, err := disk.WriteSectorsRetry(d, base+off, zero[:n*disk.SectorSize], cfg.writeRetries()); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := zeroRegion(lay.ntA); err != nil {
-		return nil, st, err
-	}
-	if !cfg.SingleCopyNT {
-		if err := zeroRegion(lay.ntB); err != nil {
+	if entry == salvageFinalize {
+		if err := r.resumeFinalize(); err != nil {
 			return nil, st, err
 		}
-	}
-
-	v.vm = vam.New(lay.total)
-	v.vm.MarkFree(lay.dataLo, lay.total-lay.dataLo)
-	if metaHi > metaLo {
-		v.vm.MarkAllocated(metaLo, metaHi-metaLo)
-	}
-	for _, c := range entries {
-		for _, r := range c.e.Runs {
-			v.vm.MarkAllocated(int(r.Start), int(r.Len))
-		}
-	}
-	for _, bad := range damaged {
-		// Unreadable data sectors become bad blocks: never allocated.
-		v.vm.MarkAllocated(bad, 1)
-	}
-	v.al, err = alloc.New(v.vm, alloc.Config{
-		Lo:             lay.dataLo,
-		Hi:             lay.dataHi,
-		SmallThreshold: cfg.smallThreshold(),
-		SmallFraction:  (lay.boundary - lay.dataLo) * 100 / (lay.dataHi - lay.dataLo),
-	})
-	if err != nil {
-		return nil, st, err
-	}
-	v.hookLog()
-
-	v.nt, err = btree.Create(v.cache)
-	if err != nil {
-		return nil, st, err
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		return string(entryKey(entries[i].e.Name, entries[i].e.Version)) <
-			string(entryKey(entries[j].e.Name, entries[j].e.Version))
-	})
-	for i, c := range entries {
-		v.cpu.Charge(sim.CostBTreeOp)
-		if err := v.nt.Put(entryKey(c.e.Name, c.e.Version), encodeEntry(c.e)); err != nil {
-			return nil, st, fmt.Errorf("core: salvage rebuild: %w", err)
-		}
-		if (i+1)%64 == 0 {
-			// Bound the staged-image batch so no single force overruns
-			// a log third.
-			if err := v.log.Force(); err != nil {
-				return nil, st, err
-			}
-		}
-	}
-	if err := v.log.Force(); err != nil {
-		return nil, st, err
-	}
-	if err := v.cache.flushAll(); err != nil {
-		return nil, st, err
-	}
-
-	if chunk := (maxUID >> 32) + 1; chunk > uidChunk {
-		uidChunk = chunk
 	} else {
-		uidChunk++
-	}
-	v.uidNext.Store(uidChunk << 32)
-	if err := v.writeRoot(rootPage{layout: lay, clean: false, logVAM: cfg.LogVAM, uidChunk: uidChunk, formatted: formatted}); err != nil {
-		return nil, st, err
-	}
-	if cfg.LogVAM {
-		if err := v.vm.SaveWith(v.writeSectors, lay.vamBase); err != nil {
+		if entry == salvageSweep {
+			if err := r.sweep(sweepFrom); err != nil {
+				return nil, st, err
+			}
+		}
+		if err := r.resolve(); err != nil {
 			return nil, st, err
 		}
-		v.enableVAMLogging()
-	} else if err := vam.InvalidateWith(v.writeSectors, lay.vamBase); err != nil {
-		return nil, st, err
+		if err := r.rebuild(); err != nil {
+			return nil, st, err
+		}
+		if err := r.finalize(); err != nil {
+			return nil, st, err
+		}
 	}
+
 	st.Elapsed = clk.Now() - start
 	v.startTicker()
+	v.finishMount()
 	return v, st, nil
 }
 

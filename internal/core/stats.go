@@ -83,8 +83,22 @@ type IntentStats struct {
 	ApplierBusy time.Duration
 }
 
-// SpanStats summarizes one public Volume operation: invocations, failures,
-// and the sim-time latency distribution (ns).
+// RecoveryStats snapshots what the mount-time log replay had to absorb: the
+// wal.RecoveryStats counters captured once when the volume came up. Ran is
+// false on volumes created by Format (nothing to replay) and on read-only
+// mounts that skipped the log entirely (MountStats.LogUnavailable).
+type RecoveryStats struct {
+	Ran           bool
+	CleanShutdown bool
+	Records       int // records replayed
+	Images        int // page images applied
+	Repaired      int // images or headers recovered from their copy
+	TornRecords   int // records torn mid-write by the crash
+	TailDiscarded int // images of an incomplete final batch, discarded
+	GapBreaks     int // replay stops at a missing record
+	SectorsRead   int
+	Elapsed       time.Duration // replay sim time
+}
 type SpanStats struct {
 	Count   int64
 	Errors  int64
@@ -107,6 +121,10 @@ type Stats struct {
 	// the last downward transition (empty while healthy).
 	Health       Health
 	HealthReason string
+	// Recovery reports what the mount-time log replay did (torn records,
+	// discarded tails, gap breaks); zero with Ran false on freshly
+	// formatted volumes.
+	Recovery RecoveryStats
 	// Spans maps operation name ("open", "create", ...) to its span
 	// summary. Only operations invoked at least once appear.
 	Spans map[string]SpanStats
@@ -342,6 +360,7 @@ func (v *Volume) Stats() Stats {
 		Faults:       v.FaultStats(),
 		Health:       v.Health(),
 		HealthReason: v.HealthReason(),
+		Recovery:     v.recovery,
 		DiskOpTime:   v.obs.diskOpTime.Snapshot(),
 		LockWait:     v.obs.lockWait.Snapshot(),
 		Spans:        make(map[string]SpanStats),

@@ -160,7 +160,16 @@ type Volume struct {
 	apCPU *sim.CPU
 
 	closed atomic.Bool
-	ops    opCounters
+	// ready marks the volume fully wired (set at the end of Format, mount,
+	// and Salvage). Health transitions consult it before spawning repair
+	// goroutines: recovery itself now charges the error budget, and a scrub
+	// racing a half-wired mount would dereference nil structure.
+	ready atomic.Bool
+	ops   opCounters
+
+	// recovery snapshots what the mount-time replay had to absorb; filled
+	// once before the volume is returned, surfaced as Stats().Recovery.
+	recovery RecoveryStats
 
 	// obs holds the tracing ring and the histograms behind Stats();
 	// always non-nil (newVolume), so hot paths skip nil checks.
@@ -275,12 +284,15 @@ func (v *Volume) invalidateData(runs []alloc.Run) {
 	}
 }
 
-// hookLog installs the WAL callbacks.
+// hookLog installs the WAL callbacks. Mount installs them before replay, so
+// recovery-time faults — retried replay reads, anchor-reset write retries —
+// reach the health FSM like any runtime fault.
 func (v *Volume) hookLog() {
 	v.log.OnForce = v.observeForce
 	// The WAL runs the same bounded-retry + remap policy as core's own
 	// write sites; its outcomes feed the same health FSM.
 	v.log.OnWriteFault = v.noteWriteFault
+	v.log.OnReadFault = v.noteReadFault
 	v.log.OnAppend = func(n int, seq uint64) {
 		if v.obs.tracer.Enabled() {
 			v.obs.tracer.Emit(obs.Event{
@@ -413,6 +425,11 @@ func Format(d *disk.Disk, cfg Config) (*Volume, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A format over a previously salvaged-then-interrupted volume must not
+	// leave the stale salvage checkpoint blocking mounts.
+	if err := clearSalvageCheckpoint(v.writeSectors, lay); err != nil {
+		return nil, err
+	}
 	v.cache = newNTCache(v, cfg.cacheSize())
 
 	// Free-page map: data region free, metadata allocated.
@@ -464,6 +481,7 @@ func Format(d *disk.Disk, cfg Config) (*Volume, error) {
 		v.startIntentQueue()
 	}
 	v.startTicker()
+	v.finishMount()
 	return v, nil
 }
 
@@ -480,6 +498,14 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 		return nil, ms, err
 	}
 	lay := root.layout
+	// A valid salvage checkpoint means a salvage pass was interrupted
+	// mid-rebuild: the name-table regions are in an intermediate state no
+	// ordinary replay can repair, and only resuming the salvage (Mount with
+	// AllowSalvage, or Salvage directly) makes the volume whole.
+	if ck, ok := readSalvageCheckpoint(d, lay); ok {
+		return nil, ms, fmt.Errorf("core: interrupted salvage (phase %s): %w",
+			ck.phase, ErrSalvageInProgress)
+	}
 	// The VAM-logging mode is a property of the volume, recorded at
 	// format: honour it regardless of what the mount config says (a
 	// non-LogVAM volume has no valid save-area base to apply deltas to).
@@ -501,18 +527,26 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 		return nil, ms, err
 	}
 	v.cache = newNTCache(v, cfg.cacheSize())
+	// Callbacks go in before replay: a retried replay read or a faulted
+	// anchor write must charge the health budget like any runtime fault.
+	v.hookLog()
 
-	// Replay: images are buffered last-writer-wins and only the final
-	// image of each page touches the disk, in ascending address order —
-	// the redo pass is then a short sequential sweep over the hot
-	// name-table pages rather than a write per logged image. Leader
-	// images are additionally validated against the post-replay name
-	// table, so a leader image of a since-deleted file can never stomp a
-	// reallocated page.
+	// Replay — without resetting the log. The reset (CompleteRecovery) is
+	// deferred until every replayed image is durably home: the whole
+	// sequence from here to the barrier below is pure redo, so a second
+	// crash anywhere inside it leaves the log intact and the next mount
+	// replays the very same images over whatever subset already landed.
+	//
+	// Images are buffered last-writer-wins and only the final image of
+	// each page touches the disk, in ascending address order — the redo
+	// pass is then a short sequential sweep over the hot name-table pages
+	// rather than a write per logged image. Leader images are additionally
+	// validated against the post-replay name table, so a leader image of a
+	// since-deleted file can never stomp a reallocated page.
 	leaderImages := make(map[int][]byte)
 	ntImages := make(map[uint64][]byte)
 	vamImages := make(map[int][]byte)
-	rs, err := v.log.Recover(func(kind uint8, target uint64, data []byte) error {
+	rs, err := v.log.Replay(func(kind uint8, target uint64, data []byte) error {
 		cp := make([]byte, len(data))
 		copy(cp, data)
 		switch kind {
@@ -537,7 +571,6 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	ms.LogTornRecords = rs.TornRecords
 	ms.LogTailDiscarded = rs.TailDiscarded
 	ms.LogGapBreaks = rs.GapBreaks
-	v.hookLog()
 
 	v.nt, err = btree.Open(v.cache)
 	if err != nil {
@@ -597,6 +630,17 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 		}
 	}
 
+	// Point of no return: every replayed image (name-table pages, VAM
+	// rebase, leaders) is written home — fence them, then reset the log.
+	// A crash before the reset replays the same log again idempotently; a
+	// crash after it finds the home state complete under an empty log.
+	if err := v.d.Sync(); err != nil {
+		return nil, ms, err
+	}
+	if err := v.log.CompleteRecovery(); err != nil {
+		return nil, ms, err
+	}
+
 	v.al, err = alloc.New(v.vm, alloc.Config{
 		Lo:             lay.dataLo,
 		Hi:             lay.dataHi,
@@ -610,11 +654,48 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 		v.enableVAMLogging()
 	}
 	ms.Elapsed = v.clk.Now() - start
+	v.noteRecovery(rs, ms)
 	if cfg.AsyncApply {
 		v.startIntentQueue()
 	}
 	v.startTicker()
+	v.finishMount()
 	return v, ms, nil
+}
+
+// noteRecovery snapshots the replay outcome for Stats().Recovery and emits
+// the EvRecovery trace event (recorded into the ring even while tracing is
+// disabled, so post-mount inspection sees what recovery did).
+func (v *Volume) noteRecovery(rs wal.RecoveryStats, ms MountStats) {
+	v.recovery = RecoveryStats{
+		Ran:           true,
+		CleanShutdown: ms.CleanShutdown,
+		Records:       rs.Records,
+		Images:        rs.Images,
+		Repaired:      rs.Repaired,
+		TornRecords:   rs.TornRecords,
+		TailDiscarded: rs.TailDiscarded,
+		GapBreaks:     rs.GapBreaks,
+		SectorsRead:   rs.SectorsRead,
+		Elapsed:       rs.Elapsed,
+	}
+	v.obs.tracer.Record(obs.Event{
+		Time: v.clk.Now(), Kind: obs.EvRecovery, Op: v.Health().String(),
+		OK: v.Health() < HealthReadOnly,
+		A:  int64(rs.Records), B: int64(rs.Images),
+		C: int64(rs.TornRecords + rs.GapBreaks), D: int64(rs.Elapsed),
+	})
+}
+
+// finishMount marks the volume fully wired and runs any repair work that was
+// deferred while mounting: a volume whose recovery burned through the error
+// budget comes up Degraded with its aggressive scrub pass starting now, not
+// silently Healthy.
+func (v *Volume) finishMount() {
+	v.ready.Store(true)
+	if v.Health() == HealthDegraded && !v.readOnly && !v.closed.Load() {
+		go func() { _, _ = v.Scrub() }()
+	}
 }
 
 // applyNTImages writes the surviving name-table images home. With

@@ -54,6 +54,20 @@ type Config struct {
 	// dedicated core test, while this mode proves the acked/unacked
 	// durability contract is unchanged by the pipeline.
 	Async bool
+	// Nested enables depth-2 exploration: for every executed crash state,
+	// the recovery mount itself runs under a write-back window and is
+	// crashed at each sampled barrier state, then recovered again (see
+	// nested.go for the double-crash oracle). Does not compose with Decay
+	// or WriteDecay — the window bypasses the write-fault injector.
+	Nested bool
+	// Depth selects the nesting depth when Nested is set. 0 and 2 both mean
+	// the supported depth-2 exploration; anything else is rejected (the
+	// field exists so drivers can state their intent explicitly).
+	Depth int
+	// InnerStates caps the inner crash states executed per outer state (an
+	// evenly strided sample of the inner enumeration, like MaxStates).
+	// 0 means 8.
+	InnerStates int
 }
 
 // Violation is one oracle failure, reproducible via Config{Seed, StateID}.
@@ -85,15 +99,32 @@ type Result struct {
 	GapBreaks     int             `json:"gap_breaks"`
 	RecoveryTimes []time.Duration `json:"-"`       // virtual mount times, one per state
 	Elapsed       time.Duration   `json:"elapsed"` // wall clock
+
+	// Nested-mode (depth 2) aggregates.
+	InnerStatesTotal   int             `json:"inner_states_total,omitempty"` // summed inner enumeration sizes
+	InnerStates        int             `json:"inner_states,omitempty"`       // inner states executed
+	InnerMountFailures int             `json:"inner_mount_failures,omitempty"`
+	InnerViolations    int             `json:"inner_violations,omitempty"` // depth-2 oracle failures
+	RecoveryOfRecovery []time.Duration `json:"-"`                          // virtual second-recovery mount times
 }
 
 // RecoverySummary returns min/median/max of the per-state virtual recovery
 // times (zeros when no state ran).
 func (r *Result) RecoverySummary() (min, median, max time.Duration) {
-	if len(r.RecoveryTimes) == 0 {
+	return durSummary(r.RecoveryTimes)
+}
+
+// RecoveryOfRecoverySummary returns min/median/max of the virtual mount
+// times of the second (depth-2) recoveries.
+func (r *Result) RecoveryOfRecoverySummary() (min, median, max time.Duration) {
+	return durSummary(r.RecoveryOfRecovery)
+}
+
+func durSummary(times []time.Duration) (min, median, max time.Duration) {
+	if len(times) == 0 {
 		return
 	}
-	ts := append([]time.Duration(nil), r.RecoveryTimes...)
+	ts := append([]time.Duration(nil), times...)
 	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
 	return ts[0], ts[len(ts)/2], ts[len(ts)-1]
 }
@@ -253,20 +284,7 @@ func runState(base *disk.Disk, trace []disk.JournaledWrite, byEpoch [][]int,
 	st State, plan []fileExp, seed int64, decay, writeDecay float64, async bool) stateResult {
 
 	var res stateResult
-	clk := sim.NewVirtualClock()
-	d := base.Clone(clk)
-	for _, w := range trace {
-		if w.Epoch < st.Cut {
-			d.ApplyJournaled(w)
-		}
-	}
-	cutWrites := byEpoch[st.Cut]
-	for _, i := range st.Order {
-		d.ApplyJournaled(trace[cutWrites[i]])
-	}
-	if st.Torn != nil {
-		d.ApplyTorn(trace[cutWrites[st.Torn.Write]], st.Torn.Persist, st.Torn.DamagePrev)
-	}
+	d := reconstruct(base, trace, byEpoch, st)
 
 	cfg := explorerConfig(async)
 	if decay > 0 || writeDecay > 0 {
@@ -378,6 +396,17 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Ops == 0 {
 		cfg.Ops = 200
 	}
+	if cfg.Nested {
+		if cfg.Depth != 0 && cfg.Depth != 2 {
+			return nil, fmt.Errorf("crashtest: nested depth %d unsupported (only 2)", cfg.Depth)
+		}
+		if cfg.Decay > 0 || cfg.WriteDecay > 0 {
+			return nil, errors.New("crashtest: nested exploration does not compose with decay/write-decay (the write-back window bypasses the fault injector)")
+		}
+		if cfg.InnerStates == 0 {
+			cfg.InnerStates = 8
+		}
+	}
 	wallStart := time.Now()
 	base, trace, epochs, plan, err := buildWorkload(cfg.Seed, cfg.Ops, cfg.Async)
 	if err != nil {
@@ -432,6 +461,35 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for st := range work {
+				if cfg.Nested {
+					nr := runNested(base, trace, byEpoch, st, plan, cfg.Seed, cfg.Async, cfg.InnerStates)
+					mu.Lock()
+					res.States++
+					switch st.Kind {
+					case 'p':
+						res.PrefixStates++
+					case 'r':
+						res.ReorderStates++
+					case 't':
+						res.TornStates++
+					}
+					if nr.outerMountFail {
+						res.MountFailures++
+					} else {
+						res.RecoveryTimes = append(res.RecoveryTimes, nr.outerRecovery)
+					}
+					res.Violations = append(res.Violations, nr.violations...)
+					res.TornRecords += nr.torn
+					res.TailDiscarded += nr.tail
+					res.GapBreaks += nr.gaps
+					res.InnerStatesTotal += nr.innerTotal
+					res.InnerStates += nr.innerStates
+					res.InnerMountFailures += nr.innerMountFail
+					res.InnerViolations += nr.innerViolations
+					res.RecoveryOfRecovery = append(res.RecoveryOfRecovery, nr.rrTimes...)
+					mu.Unlock()
+					continue
+				}
 				sr := runState(base, trace, byEpoch, st, plan, cfg.Seed, cfg.Decay, cfg.WriteDecay, cfg.Async)
 				mu.Lock()
 				res.States++

@@ -3,17 +3,50 @@ package disk
 import "errors"
 
 // WriteSectorsRetry writes data at addr like WriteSectors, but absorbs the
-// write-side fault model: a transient write error is retried in place up to
-// retries times, and a sector that stays damaged after the failed write (a
-// bad-on-write or stuck defect) is retired to a spare with Remap and the run
-// rewritten. Remapping counts as progress and resets the retry budget; the
-// remap loop itself is bounded by the spare pool (ErrNoSpares ends it).
+// write-side fault model. A failed write persists the prefix of the run
+// (sectors before the failing one are on the platter), so the retry resumes
+// at the failing sector rather than re-running the whole transfer: a long
+// run needs only per-sector luck, not end-to-end luck, and every fault that
+// makes progress resets the in-place retry budget (retries is per sector,
+// not per run).
+//
+// A failing sector that reads as damaged is probed with one single-sector
+// rewrite before a spare is spent: a transient failure over media that
+// merely held old damage (a decayed sector being rewritten) clears under
+// the probe, while a bad-on-write or stuck defect either fails it or stays
+// damaged behind an apparent success — only then is the sector retired
+// with Remap. The remap loop is bounded by the spare pool (ErrNoSpares
+// ends it).
 //
 // It returns how many in-place retries and how many remaps were spent, so
 // callers can charge an error budget, plus the final error: nil on success,
 // the last DamagedError when the retry budget ran out, ErrNoSpares when the
 // pool is exhausted, or the original error for non-media failures (ErrHalted,
 // out of range), which are never retried.
+// ReadSectorsRetry reads a run of sectors like ReadSectors, but retries a
+// media-damage failure in place up to retries times — the read-side analogue
+// of WriteSectorsRetry, for transient faults that clear on a re-read. It
+// returns the data, how many retries were spent (so callers can charge an
+// error budget), and the final error: nil on success, the last DamagedError
+// when the budget ran out, or the original error for non-media failures
+// (ErrHalted, out of range), which are never retried.
+func ReadSectorsRetry(d *Disk, addr, n, retries int) (data []byte, retried int, err error) {
+	for {
+		data, err = d.ReadSectors(addr, n)
+		if err == nil {
+			return
+		}
+		var de *DamagedError
+		if !errors.As(err, &de) {
+			return
+		}
+		if retried >= retries {
+			return
+		}
+		retried++
+	}
+}
+
 func WriteSectorsRetry(d *Disk, addr int, data []byte, retries int) (retried, remapped int, err error) {
 	tries := 0
 	for {
@@ -25,9 +58,32 @@ func WriteSectorsRetry(d *Disk, addr int, data []byte, retries int) (retried, re
 		if !errors.As(err, &de) {
 			return
 		}
+		if de.Addr > addr && de.Addr < addr+len(data)/SectorSize {
+			// The prefix persisted: resume at the failing sector. Progress
+			// restores the in-place budget.
+			data = data[(de.Addr-addr)*SectorSize:]
+			addr = de.Addr
+			tries = 0
+		}
 		if d.IsDamaged(de.Addr) {
-			// The sector went bad under the write (or was already a stuck
-			// defect): retire it to a spare and rewrite the whole run.
+			// Damaged could mean a defect born under this write — or old
+			// damage the write was about to clear, hit by an unrelated
+			// transient fault. One single-sector probe tells them apart.
+			perr := d.WriteSectors(de.Addr, data[:SectorSize])
+			retried++
+			if perr == nil && !d.IsDamaged(de.Addr) {
+				// Cleared: transient over stale damage, no spare needed.
+				if len(data) == SectorSize {
+					err = nil
+					return
+				}
+				data = data[SectorSize:]
+				addr++
+				tries = 0
+				continue
+			}
+			// The probe failed too, or "succeeded" with the damage still
+			// there (a stuck defect absorbs writes silently): retire it.
 			if rerr := d.Remap(de.Addr); rerr != nil {
 				err = rerr
 				return

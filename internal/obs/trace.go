@@ -55,6 +55,10 @@ const (
 	// EvHealth is a volume health transition; Op is the new state
 	// ("degraded", "read-only", "offline"), A the error budget consumed.
 	EvHealth
+	// EvRecovery is one mount-time log replay; Op is the health state the
+	// volume mounted in, A=records replayed, B=images applied, C=torn
+	// records + gap breaks, D=replay sim time ns.
+	EvRecovery
 )
 
 // String names the kind for text sinks.
@@ -92,6 +96,8 @@ func (k EventKind) String() string {
 		return "intent-wait"
 	case EvHealth:
 		return "health"
+	case EvRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -173,6 +179,24 @@ func (t *Tracer) Emit(e Event) {
 		t.wrapped = true
 	}
 	if t.sink != nil {
+		t.sink(e)
+	}
+	t.mu.Unlock()
+}
+
+// Record stores an event into the ring regardless of the enabled state —
+// for rare lifecycle events (mount-time recovery) that must be inspectable
+// after the fact even though tracing was off while they happened. The sink,
+// if any, still only sees events emitted while enabled.
+func (t *Tracer) Record(e Event) {
+	t.mu.Lock()
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	if t.sink != nil && t.enabled.Load() {
 		t.sink(e)
 	}
 	t.mu.Unlock()

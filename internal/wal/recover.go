@@ -56,9 +56,34 @@ type Applier func(kind uint8, target uint64, data []byte) error
 // all-or-nothing: images are buffered until the record carrying the
 // end-of-batch flag is validated, and an incomplete tail batch at the crash
 // point is discarded.
+//
+// Recover is the single-step form for callers whose applier writes every
+// image home before returning. A mount that buffers the replayed images and
+// writes them home afterwards must use the re-entrant split instead —
+// Replay, then the home writes, then a barrier, then CompleteRecovery — or a
+// crash between the reset and the home writes silently loses committed
+// updates (the next mount would replay an empty log over stale home copies).
 func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
+	rs, err := l.Replay(apply)
+	if err != nil {
+		return rs, err
+	}
+	start := l.clk.Now()
+	if err := l.CompleteRecovery(); err != nil {
+		return rs, err
+	}
+	rs.Elapsed += l.clk.Now() - start
+	return rs, nil
+}
+
+// Replay replays the log through apply without resetting it: no sector is
+// written, and the log remains exactly as the crash left it, so replay can
+// run again after a second crash and reproduce the same images. Writable
+// mounts call it, write every replayed image home, issue a disk barrier,
+// and only then call CompleteRecovery; MountReadOnly calls it alone.
+func (l *Log) Replay(apply Applier) (RecoveryStats, error) {
 	// Replay owns the write path (forceMu) — nothing may force while the
-	// log is being rebuilt. Recovery runs before the volume admits
+	// log is being read. Recovery runs before the volume admits
 	// operations, so there are no concurrent stagers either.
 	l.forceMu.Lock()
 	defer l.forceMu.Unlock()
@@ -68,42 +93,43 @@ func (l *Log) Recover(apply Applier) (RecoveryStats, error) {
 	if err != nil {
 		return rs, err
 	}
+	l.bootCount = boot
+	rs.Elapsed = l.clk.Now() - start
+	return rs, nil
+}
 
-	// Replay complete: all surviving metadata images are home. Restart
-	// the log empty under a new boot count so stale records can never be
-	// confused with new ones.
-	l.bootCount = boot + 1
+// RecoverDry is Replay under its historical name.
+//
+// Deprecated: use Replay.
+func (l *Log) RecoverDry(apply Applier) (RecoveryStats, error) { return l.Replay(apply) }
+
+// CompleteRecovery restarts the log empty under a new boot count, so stale
+// records can never be confused with new ones. The caller must first have
+// made every replayed image durable in its home location (and issued a disk
+// barrier): the reset is the point of no return after which the old records
+// are unreachable. The reset itself is crash-atomic — the anchor copies are
+// written under a fresh boot count, so a torn reset leaves either the old
+// anchor (the next mount replays the whole log again, idempotently) or the
+// new one (under which no stale record validates, because every surviving
+// record carries the previous boot count).
+func (l *Log) CompleteRecovery() error {
+	l.forceMu.Lock()
+	defer l.forceMu.Unlock()
+	l.bootCount++
 	l.recordNum = 1
 	l.writeOff = 0
 	l.curThird = 0
 	l.thirdFirst = [8]uint64{}
 	if err := l.writeAnchor(anchor{bootCount: l.bootCount, offset: 0, recordNum: 1}); err != nil {
-		return rs, err
+		return err
 	}
 	if err := l.writeData(l.base+anchorSectors, make([]byte, disk.SectorSize)); err != nil {
-		return rs, err
+		return err
 	}
 	l.mu.Lock()
 	l.lastForce = l.clk.Now()
 	l.mu.Unlock()
-	rs.Elapsed = l.clk.Now() - start
-	return rs, nil
-}
-
-// RecoverDry replays the log through apply without resetting it: no sector
-// is written. MountReadOnly uses it to reconstruct the committed state in
-// memory on a volume it must not modify; a later writable mount still finds
-// the log exactly as the crash left it.
-func (l *Log) RecoverDry(apply Applier) (RecoveryStats, error) {
-	l.forceMu.Lock()
-	defer l.forceMu.Unlock()
-	start := l.clk.Now()
-	var rs RecoveryStats
-	if _, err := l.replay(apply, &rs); err != nil {
-		return rs, err
-	}
-	rs.Elapsed = l.clk.Now() - start
-	return rs, nil
+	return nil
 }
 
 // replay is the shared replay loop; it returns the boot count read from the
@@ -154,7 +180,7 @@ func (l *Log) replay(apply Applier, rs *RecoveryStats) (uint32, error) {
 		// Read the record body (everything after the header pair) in
 		// one transfer; individual damaged sectors fall back to the
 		// per-sector path with copy repair.
-		body, berr := l.d.ReadSectors(l.base+anchorSectors+off+3, recLen-3)
+		body, berr := l.readData(l.base+anchorSectors+off+3, recLen-3)
 		if berr != nil {
 			body = nil
 		} else {
@@ -259,7 +285,7 @@ func (l *Log) replay(apply Applier, rs *RecoveryStats) (uint32, error) {
 func (l *Log) readHeader(off int, rec uint64, boot uint32) (header, bool, bool) {
 	addr := l.base + anchorSectors + off
 	try := func(a int) (header, bool) {
-		buf, err := l.d.ReadSectors(a, 1)
+		buf, err := l.readData(a, 1)
 		if err != nil {
 			return header{}, false
 		}
@@ -282,7 +308,7 @@ func (l *Log) readHeader(off int, rec uint64, boot uint32) (header, bool, bool) 
 func (l *Log) readEnd(off, n int, rec uint64, boot uint32, rs *RecoveryStats) bool {
 	addr := l.base + anchorSectors + off
 	for i, delta := range []int{3 + n, 4 + 2*n} {
-		buf, err := l.d.ReadSectors(addr+delta, 1)
+		buf, err := l.readData(addr+delta, 1)
 		rs.SectorsRead++
 		if err == nil && l.validEnd(buf, rec, boot) {
 			if i == 1 {
@@ -298,11 +324,11 @@ func (l *Log) readEnd(off, n int, rec uint64, boot uint32, rs *RecoveryStats) bo
 // copy and repairing from the second. It reports (data, repaired, ok).
 func (l *Log) readImage(off, n, i int, wantCRC uint32) ([]byte, bool, bool) {
 	addr := l.base + anchorSectors + off
-	first, err := l.d.ReadSectors(addr+3+i, 1)
+	first, err := l.readData(addr+3+i, 1)
 	if err == nil && crc32.ChecksumIEEE(first) == wantCRC {
 		return first, false, true
 	}
-	second, err := l.d.ReadSectors(addr+4+n+i, 1)
+	second, err := l.readData(addr+4+n+i, 1)
 	if err == nil && crc32.ChecksumIEEE(second) == wantCRC {
 		return second, true, true
 	}

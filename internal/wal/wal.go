@@ -121,6 +121,12 @@ type Config struct {
 	// to a spare and the write repeated. Zero means 2; negative disables
 	// retries (remapping still happens).
 	WriteRetries int
+	// ReadRetries bounds the in-place retries of a failed log-sector read
+	// (anchor reads, recovery replay) before the failure is taken at face
+	// value; a transient fault that clears on a re-read then never costs a
+	// repair-from-copy or a replay break. Zero means 2; negative disables
+	// retries.
+	ReadRetries int
 }
 
 // Log is the redo log over a contiguous sector region of a disk.
@@ -180,6 +186,13 @@ type Log struct {
 	// write eventually succeeded). The volume charges its health error
 	// budget from it. Called without l.mu held.
 	OnWriteFault func(retried, remapped int, err error)
+	// OnReadFault, when set, is invoked after any log read that needed the
+	// fault path: retried in-place retries were spent, and err is the final
+	// outcome (nil when the read eventually succeeded). Recovery wires it to
+	// the volume's health error budget, so a replay that barely limps
+	// through decayed media mounts Degraded instead of silently Healthy.
+	// Called without l.mu held.
+	OnReadFault func(retried int, err error)
 
 	// mu guards the staging state only: pending, pendingIdx, openSeq,
 	// lastForce, stats, and the adaptive-controller EWMAs. It is never
@@ -230,6 +243,30 @@ func (l *Log) writeRetries() int {
 	default:
 		return l.cfg.WriteRetries
 	}
+}
+
+// readRetries returns the in-place retry budget for log reads.
+func (l *Log) readRetries() int {
+	switch {
+	case l.cfg.ReadRetries < 0:
+		return 0
+	case l.cfg.ReadRetries == 0:
+		return 2
+	default:
+		return l.cfg.ReadRetries
+	}
+}
+
+// readData reads a run of log sectors with the bounded-retry policy,
+// reporting any fault-path activity to OnReadFault. Every recovery read
+// (anchors, headers, record bodies, image copies) goes through here, so a
+// transient fault never breaks a replay that a re-read could save.
+func (l *Log) readData(addr, n int) ([]byte, error) {
+	buf, retried, err := disk.ReadSectorsRetry(l.d, addr, n, l.readRetries())
+	if (retried > 0 || err != nil) && l.OnReadFault != nil {
+		l.OnReadFault(retried, err)
+	}
+	return buf, err
 }
 
 // writeData writes a run of log sectors with the bounded-retry and
@@ -313,7 +350,7 @@ func (l *Log) writeAnchor(a anchor) error {
 // readAnchor returns the first readable, valid anchor copy.
 func (l *Log) readAnchor() (anchor, error) {
 	for _, off := range []int{0, 2} {
-		buf, err := l.d.ReadSectors(l.base+off, 1)
+		buf, err := l.readData(l.base+off, 1)
 		if err != nil {
 			continue
 		}

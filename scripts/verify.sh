@@ -13,7 +13,7 @@ test -z "$(gofmt -l . | tee /dev/stderr)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/core ./internal/wal ./internal/disk ./internal/bufcache ./internal/intentq
+go test -race ./internal/core ./internal/wal ./internal/disk ./internal/bufcache ./internal/intentq ./internal/crashtest
 go test ./internal/core -count=1 -run 'TestCrashPointSweep|TestTornLogForceSweep|TestScrubRepairsLatentDecay|TestSalvageAfterDoubleNameTableLoss'
 go test -race ./internal/core -count=1 -run 'TestScrubConcurrentWithReaders'
 # Seeded write-fault sweep (PR 7): retries/remaps/hung-I/O absorption and
@@ -31,6 +31,13 @@ go run ./cmd/fsdctl crashcheck -seed 1 -states 100 -async
 # Crash images composed with read decay AND write faults: the recovery
 # mount must absorb or demote, never corrupt.
 go run ./cmd/fsdctl crashcheck -seed 13 -states 60 -decay 0.001 -writedecay 0.01
+# Bounded nested (depth-2) sweep: crash each state's recovery at its own
+# barrier epochs and recover again; the full 300-outer-state acceptance run
+# is the benchtab -nestedcrash-json path.
+go run ./cmd/fsdctl crashcheck -nested -depth 2 -seed 1 -states 30 -inner 4
+# Re-entrant recovery under the race detector: mount-scheduled scrub
+# racing a workload, and the composed-fault recovery tests.
+go test -race ./internal/core -count=1 -run 'TestMountWhileScrubHammer|TestMountUnderComposedFaults|TestSalvageCrashResume'
 # Live-counter table reproduction (Tables 2/3/4/5 from Volume.Stats()):
 # one shared volume, a few seconds; asserts nothing here — the shape
 # checks live in go test ./cmd/benchtab — but must run to completion.
