@@ -3,6 +3,7 @@ package cedarfs
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -139,12 +140,11 @@ func TestAPISurface(t *testing.T) {
 		t.Fatalf("tracing produced no events (sink %d, ring %d)", len(got), len(vol.TraceEvents()))
 	}
 
-	// Deprecated accessors still work and agree in shape.
-	if o := vol.Ops(); o.Creates != 2 {
-		t.Fatalf("deprecated Ops() = %+v", o)
+	// Stats is the one snapshot covering every counter family; the old
+	// per-family accessors (Ops, CacheStats, FaultStats) are gone.
+	if o := vol.Stats().Ops; o.Creates != 2 {
+		t.Fatalf("Stats().Ops = %+v", o)
 	}
-	_ = vol.CacheStats()
-	_ = vol.FaultStats()
 	if err := vol.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
@@ -266,5 +266,121 @@ func TestAPISurface(t *testing.T) {
 	}
 	if err := v7.Shutdown(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Compile-time references for the transport-agnostic FS surface.
+var (
+	_ FS
+	_ Handle
+	_ FileInfo
+	_ FSStats
+	_ ErrCode
+	_ = Info
+	_ = NewLocalFS
+)
+
+// TestErrorCodeRegistry freezes the numeric error registry. The numbers are
+// wire protocol: a released code never changes meaning and is never reused,
+// so this table is append-only — a failure here means a protocol break, not
+// a test to update.
+func TestErrorCodeRegistry(t *testing.T) {
+	golden := map[ErrCode]string{
+		0:   "ok",
+		1:   "not-found",
+		2:   "exists",
+		3:   "closed",
+		4:   "is-symlink",
+		5:   "read-only",
+		6:   "offline",
+		7:   "salvage-in-progress",
+		8:   "no-spares",
+		9:   "root-lost",
+		10:  "bad-name",
+		11:  "halted",
+		12:  "busy",
+		13:  "bad-request",
+		14:  "inconsistent",
+		15:  "usage",
+		255: "internal",
+	}
+	for code, name := range golden {
+		if got := code.String(); got != name {
+			t.Errorf("ErrCode(%d).String() = %q, want %q", uint16(code), got, name)
+		}
+	}
+	// code -> error -> code round-trips for every registered code (the
+	// property the wire protocol relies on to carry errors.Is across the
+	// network).
+	for code := range golden {
+		if code == CodeOK || code == CodeInternal {
+			continue
+		}
+		err := CodeError(code)
+		if err == nil {
+			t.Fatalf("CodeError(%v) = nil", code)
+		}
+		if back := Code(err); back != code {
+			t.Errorf("Code(CodeError(%v)) = %v", code, back)
+		}
+	}
+	// Canonical errors map to their codes, including wrapped.
+	cases := []struct {
+		err  error
+		want ErrCode
+	}{
+		{nil, CodeOK},
+		{ErrNotFound, CodeNotFound},
+		{fmt.Errorf("open probe.txt: %w", ErrNotFound), CodeNotFound},
+		{ErrExists, CodeExists},
+		{ErrClosed, CodeClosed},
+		{ErrIsSymlink, CodeIsSymlink},
+		{ErrReadOnly, CodeReadOnly},
+		{ErrOffline, CodeOffline},
+		{ErrSalvageInProgress, CodeSalvageInProgress},
+		{ErrNoSpares, CodeNoSpares},
+		{ErrRootLost, CodeRootLost},
+		{ErrBadName, CodeBadName},
+		{ErrHalted, CodeHalted},
+		{ErrBusy, CodeBusy},
+		{ErrBadRequest, CodeBadRequest},
+		{ErrInconsistent, CodeInconsistent},
+		{ErrUsage, CodeUsage},
+		{errors.New("unmapped"), CodeInternal},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.want {
+			t.Errorf("Code(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	// RemoteError wraps the canonical error for its code, so errors.Is
+	// holds across the network boundary.
+	re := &RemoteError{Code: CodeNotFound, Msg: "remote: not found"}
+	if !errors.Is(re, ErrNotFound) {
+		t.Error("RemoteError{CodeNotFound} does not wrap ErrNotFound")
+	}
+}
+
+// TestExitCodes freezes the tooling exit-code contract derived from the
+// registry: 0 success, 2 usage, 3 inconsistencies, 4 spare-pool
+// exhaustion, 1 anything else.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{ErrUsage, 2},
+		{fmt.Errorf("put needs a file name: %w", ErrUsage), 2},
+		{ErrInconsistent, 3},
+		{ErrNoSpares, 4},
+		{ErrNotFound, 1},
+		{ErrReadOnly, 1},
+		{errors.New("anything else"), 1},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
 	}
 }

@@ -1,0 +1,396 @@
+// Package client is the remote implementation of the cedarfs.FS
+// interface: it speaks the internal/wire protocol to an FSD network
+// server (internal/server, cmd/fsdserver) over a pool of TCP connections.
+//
+// Requests are pipelined: each connection has a single writer path and a
+// reader goroutine that matches replies to waiters by request id, so many
+// operations can be in flight on one connection at once and slow replies
+// (WaitCommitted, which the server parks) do not block fast ones behind
+// them. Handles are session-scoped — a handle opened on one connection is
+// an entry in that connection's server-side table — so all operations on a
+// handle ride the connection that opened it; stateless operations
+// round-robin across the pool.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cedarfs "repro"
+	"repro/internal/wire"
+)
+
+// Options tunes Dial. The zero value is usable.
+type Options struct {
+	// Conns is the connection pool size (default 4).
+	Conns int
+	// MaxFrame bounds accepted reply frames (0 = wire.MaxFrame).
+	MaxFrame int
+	// DialTimeout bounds each TCP dial (0 = 10s).
+	DialTimeout time.Duration
+	// Dialer overrides the transport; tests use it to dial in-process
+	// listeners. nil means net.DialTimeout("tcp", addr, DialTimeout).
+	Dialer func(addr string) (net.Conn, error)
+}
+
+// Client is a connection-pooled, pipelining cedarfs.FS over the wire
+// protocol.
+type Client struct {
+	opts  Options
+	conns []*conn
+	next  atomic.Uint32 // round-robin cursor
+	seq   atomic.Uint64 // newest CommitSeq seen on any ack
+	proto atomic.Uint64 // protocol errors observed
+
+	closed atomic.Bool
+}
+
+var _ cedarfs.FS = (*Client)(nil)
+
+// Dial connects the pool and returns the client.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 4
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	dial := opts.Dialer
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) {
+			return net.DialTimeout("tcp", a, opts.DialTimeout)
+		}
+	}
+	c := &Client{opts: opts}
+	for i := 0; i < opts.Conns; i++ {
+		nc, err := dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		cn := &conn{cl: c, nc: nc, pending: map[uint32]chan *wire.Reply{}}
+		c.conns = append(c.conns, cn)
+		go cn.readLoop()
+	}
+	return c, nil
+}
+
+// LastCommitSeq returns the newest commit sequence any acknowledgement
+// carried: WaitCommitted(LastCommitSeq()) is the client-side fsync over
+// everything this client has been acked.
+func (c *Client) LastCommitSeq() uint64 { return c.seq.Load() }
+
+// ProtocolErrors counts undecodable or mismatched replies observed.
+func (c *Client) ProtocolErrors() uint64 { return c.proto.Load() }
+
+// Close closes every connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, cn := range c.conns {
+		cn.close(cedarfs.ErrClosed)
+	}
+	return nil
+}
+
+// pick selects a pool connection for a stateless request.
+func (c *Client) pick() *conn {
+	n := c.next.Add(1)
+	return c.conns[int(n)%len(c.conns)]
+}
+
+// conn is one pooled connection: a locked writer and a reader goroutine
+// dispatching replies by id.
+type conn struct {
+	cl *Client
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint32]chan *wire.Reply
+	nextID  uint32
+	err     error // set once the connection is dead
+}
+
+// close fails the connection: every pending waiter gets err.
+func (cn *conn) close(err error) {
+	cn.mu.Lock()
+	if cn.err == nil {
+		cn.err = err
+	}
+	waiters := cn.pending
+	cn.pending = map[uint32]chan *wire.Reply{}
+	cn.mu.Unlock()
+	cn.nc.Close()
+	for _, ch := range waiters {
+		close(ch) // receivers translate a closed channel into cn.err
+	}
+}
+
+func (cn *conn) readLoop() {
+	for {
+		body, err := wire.ReadFrame(cn.nc, cn.cl.opts.MaxFrame)
+		if err != nil {
+			if !cn.cl.closed.Load() && err != io.EOF {
+				cn.cl.proto.Add(1)
+			}
+			cn.close(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		p, err := wire.DecodeReply(body)
+		if err != nil {
+			cn.cl.proto.Add(1)
+			cn.close(fmt.Errorf("client: undecodable reply: %w", err))
+			return
+		}
+		cn.mu.Lock()
+		ch, ok := cn.pending[p.ID]
+		delete(cn.pending, p.ID)
+		cn.mu.Unlock()
+		if !ok {
+			// A reply nobody asked for: protocol desync.
+			cn.cl.proto.Add(1)
+			cn.close(fmt.Errorf("client: reply for unknown request %d", p.ID))
+			return
+		}
+		ch <- &p
+	}
+}
+
+// roundTrip sends q on cn and waits for its reply, honoring ctx. The
+// request id is assigned here.
+func (cn *conn) roundTrip(ctx context.Context, q *wire.Request) (*wire.Reply, error) {
+	if cn.cl.closed.Load() {
+		return nil, cedarfs.ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ch := make(chan *wire.Reply, 1)
+	cn.mu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.mu.Unlock()
+		return nil, err
+	}
+	cn.nextID++
+	q.ID = cn.nextID
+	cn.pending[q.ID] = ch
+	cn.mu.Unlock()
+
+	frame := wire.AppendRequest(nil, q)
+	cn.wmu.Lock()
+	err := wire.WriteFrame(cn.nc, frame)
+	cn.wmu.Unlock()
+	if err != nil {
+		cn.close(fmt.Errorf("client: write failed: %w", err))
+		return nil, err
+	}
+
+	select {
+	case p, ok := <-ch:
+		if !ok {
+			cn.mu.Lock()
+			err := cn.err
+			cn.mu.Unlock()
+			if err == nil {
+				err = cedarfs.ErrClosed
+			}
+			return nil, err
+		}
+		if p.Code != 0 {
+			return nil, &cedarfs.RemoteError{Code: cedarfs.ErrCode(p.Code), Msg: p.Msg}
+		}
+		cn.cl.noteSeq(p.CommitSeq)
+		return p, nil
+	case <-ctx.Done():
+		// Abandon the wait; the reply, if it ever lands, is dropped by
+		// the buffered channel after deregistration.
+		cn.mu.Lock()
+		delete(cn.pending, q.ID)
+		cn.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// noteSeq advances the high-water commit sequence.
+func (c *Client) noteSeq(seq uint64) {
+	for {
+		cur := c.seq.Load()
+		if seq <= cur || c.seq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// --- FS implementation ---
+
+func (c *Client) Open(ctx context.Context, name string, version uint32) (cedarfs.Handle, error) {
+	cn := c.pick()
+	p, err := cn.roundTrip(ctx, &wire.Request{Op: wire.OpOpen, Name: name, Version: version})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteHandle{cn: cn, id: p.Handle, info: p.Info}, nil
+}
+
+func (c *Client) Create(ctx context.Context, name string, data []byte) (cedarfs.Handle, error) {
+	cn := c.pick()
+	p, err := cn.roundTrip(ctx, &wire.Request{Op: wire.OpCreate, Name: name, Data: data})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteHandle{cn: cn, id: p.Handle, info: p.Info}, nil
+}
+
+func (c *Client) Stat(ctx context.Context, name string, version uint32) (cedarfs.FileInfo, error) {
+	p, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpStat, Name: name, Version: version})
+	if err != nil {
+		return cedarfs.FileInfo{}, err
+	}
+	return p.Info, nil
+}
+
+func (c *Client) List(ctx context.Context, prefix string) ([]cedarfs.FileInfo, error) {
+	p, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpList, Name: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return p.Infos, nil
+}
+
+func (c *Client) Rename(ctx context.Context, oldName, newName string) error {
+	_, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpRename, Name: oldName, Name2: newName})
+	return err
+}
+
+func (c *Client) Delete(ctx context.Context, name string, version uint32) error {
+	_, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpDelete, Name: name, Version: version})
+	return err
+}
+
+func (c *Client) SetKeep(ctx context.Context, name string, keep uint16) error {
+	_, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpSetKeep, Name: name, Keep: keep})
+	return err
+}
+
+func (c *Client) Force(ctx context.Context) (uint64, error) {
+	p, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpForce})
+	if err != nil {
+		return 0, err
+	}
+	return p.Seq, nil
+}
+
+func (c *Client) WaitCommitted(ctx context.Context, seq uint64) error {
+	_, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpWaitCommitted, Seq: seq})
+	return err
+}
+
+func (c *Client) Stats(ctx context.Context) (cedarfs.FSStats, error) {
+	p, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return cedarfs.FSStats{}, err
+	}
+	return p.Stats, nil
+}
+
+// remoteHandle is a handle in one connection's server-side session table.
+type remoteHandle struct {
+	cn *conn
+	id uint32
+
+	mu     sync.Mutex
+	info   cedarfs.FileInfo
+	closed bool
+}
+
+func (h *remoteHandle) Info() cedarfs.FileInfo {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.info
+}
+
+func (h *remoteHandle) guard() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return cedarfs.ErrClosed
+	}
+	return nil
+}
+
+func (h *remoteHandle) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := h.guard(); err != nil {
+		return 0, err
+	}
+	rep, err := h.cn.roundTrip(ctx, &wire.Request{
+		Op: wire.OpRead, Handle: h.id, Off: uint64(off), N: uint32(len(p)),
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := copy(p, rep.Data)
+	if n < len(p) {
+		// The server answers a read at/past EOF, or one it could only
+		// partially satisfy, with short data; io.ReaderAt semantics say
+		// that is io.EOF.
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *remoteHandle) WriteAt(ctx context.Context, p []byte, off int64) (int, uint64, error) {
+	if err := h.guard(); err != nil {
+		return 0, 0, err
+	}
+	rep, err := h.cn.roundTrip(ctx, &wire.Request{
+		Op: wire.OpWrite, Handle: h.id, Off: uint64(off), Data: p,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	h.mu.Lock()
+	if end := uint64(off) + uint64(rep.N); end > h.info.ByteSize {
+		h.info.ByteSize = end
+	}
+	h.mu.Unlock()
+	return int(rep.N), rep.CommitSeq, nil
+}
+
+func (h *remoteHandle) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	// Releasing the server-side table entry is best-effort: if the
+	// connection is already gone, so is the session table.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := h.cn.roundTrip(ctx, &wire.Request{Op: wire.OpCloseHandle, Handle: h.id})
+	if err != nil && !cedarfsIsTransport(err) {
+		return err
+	}
+	return nil
+}
+
+// cedarfsIsTransport reports errors that mean "the session is gone", which
+// Close treats as success: anything that is not a server-side RemoteError.
+func cedarfsIsTransport(err error) bool {
+	var re *cedarfs.RemoteError
+	return !errors.As(err, &re)
+}

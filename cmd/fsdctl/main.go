@@ -33,7 +33,6 @@ package main
 
 import (
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,15 +46,16 @@ import (
 	"repro/internal/sim"
 )
 
-// Sentinels mapped to process exit codes by main.
+// Exit codes derive from the cedarfs error registry via cedarfs.ExitCode:
+// 0 success, 2 usage, 3 inconsistencies, 4 spare-pool exhaustion, 1 other.
+// The sentinels below alias the registry errors so run() wraps the same
+// values the wire protocol and every other tool agree on. ErrNoSpares
+// matters operationally: exit 4 means "replace the disk", not "run fsck
+// again".
 var (
-	errUsage    = errors.New("usage error")
-	errProblems = errors.New("inconsistencies found")
-	// errNoSpares distinguishes an exhausted spare-sector pool from garden
-	// variety inconsistencies: the media is failing faster than it can be
-	// retired, and the volume has demoted itself to read-only. Operators
-	// alert on exit code 4 for "replace the disk", not "run fsck again".
-	errNoSpares = errors.New("spare-sector pool exhausted")
+	errUsage    = cedarfs.ErrUsage
+	errProblems = cedarfs.ErrInconsistent
+	errNoSpares = cedarfs.ErrNoSpares
 )
 
 // mountAsync switches the working mount to the asynchronous metadata
@@ -78,20 +78,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fsdctl: need a command (format, put, get, ls, rm, stat, burst, crash, fsck, verify, scrub, salvage, info, stats, crashcheck)")
 		os.Exit(2)
 	}
-	switch err := run(*img, *jsonOut, args); {
-	case err == nil:
-	case errors.Is(err, errUsage):
+	if err := run(*img, *jsonOut, args); err != nil {
 		fmt.Fprintf(os.Stderr, "fsdctl: %v\n", err)
-		os.Exit(2)
-	case errors.Is(err, errProblems):
-		fmt.Fprintf(os.Stderr, "fsdctl: %v\n", err)
-		os.Exit(3)
-	case errors.Is(err, errNoSpares):
-		fmt.Fprintf(os.Stderr, "fsdctl: %v\n", err)
-		os.Exit(4)
-	default:
-		fmt.Fprintf(os.Stderr, "fsdctl: %v\n", err)
-		os.Exit(1)
+		os.Exit(cedarfs.ExitCode(err))
 	}
 }
 

@@ -1,0 +1,208 @@
+package cedarfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+// ErrCode is the wire-stable numeric form of a cedarfs error. The numbering
+// is part of the network protocol (internal/wire encodes it in every error
+// reply) and of the fsdctl command-line contract (exit codes derive from
+// it), so codes are append-only: a code, once assigned, never changes
+// meaning and is never reused.
+type ErrCode uint16
+
+// The error registry. Code 0 is success; codes 1..N are the canonical
+// cedarfs errors; CodeInternal is the catch-all for errors with no wire
+// mapping (the message still crosses the wire verbatim).
+const (
+	CodeOK                ErrCode = 0
+	CodeNotFound          ErrCode = 1
+	CodeExists            ErrCode = 2
+	CodeClosed            ErrCode = 3
+	CodeIsSymlink         ErrCode = 4
+	CodeReadOnly          ErrCode = 5
+	CodeOffline           ErrCode = 6
+	CodeSalvageInProgress ErrCode = 7
+	CodeNoSpares          ErrCode = 8
+	CodeRootLost          ErrCode = 9
+	CodeBadName           ErrCode = 10
+	CodeHalted            ErrCode = 11
+	CodeBusy              ErrCode = 12
+	CodeBadRequest        ErrCode = 13
+	CodeInconsistent      ErrCode = 14
+	CodeUsage             ErrCode = 15
+	CodeInternal          ErrCode = 255
+)
+
+// Errors with no core counterpart, born at the API/wire/tooling layer.
+var (
+	// ErrBusy reports transport-level backpressure: the server refused or
+	// stalled the request because the volume's intent queue is saturated.
+	ErrBusy = errors.New("cedarfs: server busy (backpressure)")
+	// ErrBadRequest reports a malformed protocol message or an argument a
+	// conforming client would never send (bad handle, oversized frame).
+	ErrBadRequest = errors.New("cedarfs: bad request")
+	// ErrInconsistent reports that a volume mounted but verification,
+	// scrub, salvage, or a crash-exploration oracle found problems.
+	ErrInconsistent = errors.New("cedarfs: inconsistencies found")
+	// ErrUsage reports a command-line usage error in tooling.
+	ErrUsage = errors.New("cedarfs: usage error")
+)
+
+// codeEntry ties one registry row together: the wire code, the canonical
+// error value it round-trips with, and the process exit code tools derive
+// from it.
+type codeEntry struct {
+	code ErrCode
+	err  error
+	exit int
+}
+
+// registry is ordered by errors.Is specificity: Code matches the first row
+// whose canonical error the argument wraps.
+var registry = []codeEntry{
+	{CodeNotFound, ErrNotFound, 1},
+	{CodeExists, ErrExists, 1},
+	{CodeClosed, ErrClosed, 1},
+	{CodeIsSymlink, ErrIsSymlink, 1},
+	{CodeSalvageInProgress, ErrSalvageInProgress, 1},
+	// NoSpares before ReadOnly/Offline: an exhausted spare pool demotes the
+	// volume, and the pool exhaustion is the actionable fact (exit 4 means
+	// "replace the disk", not "run fsck again").
+	{CodeNoSpares, ErrNoSpares, 4},
+	{CodeReadOnly, ErrReadOnly, 1},
+	{CodeOffline, ErrOffline, 1},
+	{CodeRootLost, ErrRootLost, 1},
+	{CodeBadName, ErrBadName, 1},
+	{CodeHalted, ErrHalted, 1},
+	{CodeBusy, ErrBusy, 1},
+	{CodeBadRequest, ErrBadRequest, 1},
+	{CodeInconsistent, ErrInconsistent, 3},
+	{CodeUsage, ErrUsage, 2},
+}
+
+// Code maps an error to its wire code: CodeOK for nil, the registry row the
+// error wraps, or CodeInternal when no canonical error matches.
+func Code(err error) ErrCode {
+	if err == nil {
+		return CodeOK
+	}
+	for _, e := range registry {
+		if errors.Is(err, e.err) {
+			return e.code
+		}
+	}
+	return CodeInternal
+}
+
+// CodeError maps a wire code back to its canonical error: nil for CodeOK,
+// the registry error for a known code, and a generic error (still carrying
+// the numeric code) otherwise. Code(CodeError(c)) == c for every registered
+// code — the round-trip the wire protocol relies on.
+func CodeError(c ErrCode) error {
+	if c == CodeOK {
+		return nil
+	}
+	for _, e := range registry {
+		if e.code == c {
+			return e.err
+		}
+	}
+	return fmt.Errorf("cedarfs: remote error code %d", c)
+}
+
+// ExitCode maps an error to the fsdctl process exit code: 0 success, 2
+// usage, 3 inconsistencies, 4 spare-pool exhaustion, 1 anything else.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	for _, e := range registry {
+		if errors.Is(err, e.err) {
+			return e.exit
+		}
+	}
+	return 1
+}
+
+// String names the code for logs and tooling.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeNotFound:
+		return "not-found"
+	case CodeExists:
+		return "exists"
+	case CodeClosed:
+		return "closed"
+	case CodeIsSymlink:
+		return "is-symlink"
+	case CodeReadOnly:
+		return "read-only"
+	case CodeOffline:
+		return "offline"
+	case CodeSalvageInProgress:
+		return "salvage-in-progress"
+	case CodeNoSpares:
+		return "no-spares"
+	case CodeRootLost:
+		return "root-lost"
+	case CodeBadName:
+		return "bad-name"
+	case CodeHalted:
+		return "halted"
+	case CodeBusy:
+		return "busy"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeInconsistent:
+		return "inconsistent"
+	case CodeUsage:
+		return "usage"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("ErrCode(%d)", uint16(c))
+	}
+}
+
+// RemoteError is an error received over the wire: the code plus the
+// server's message. It wraps the code's canonical error, so errors.Is
+// against ErrNotFound and friends works transparently through the network
+// boundary.
+type RemoteError struct {
+	Code ErrCode
+	Msg  string
+}
+
+// Error implements error with the server-side message.
+func (e *RemoteError) Error() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	return "cedarfs: remote error: " + e.Code.String()
+}
+
+// Unwrap exposes the canonical error for the code.
+func (e *RemoteError) Unwrap() error { return CodeError(e.Code) }
+
+// Additional canonical errors surfaced by the registry (the rest are
+// re-exported in cedarfs.go).
+var (
+	// ErrExists reports a create of a (name, version) that already exists.
+	ErrExists = core.ErrExists
+	// ErrRootLost reports that both copies of a volume root are unreadable.
+	ErrRootLost = core.ErrRootLost
+	// ErrBadName reports a file name that cannot be encoded (empty,
+	// embedded NUL, or over 255 bytes).
+	ErrBadName = core.ErrBadName
+	// ErrNoSpares reports that the disk's spare-sector pool is exhausted.
+	ErrNoSpares = disk.ErrNoSpares
+	// ErrHalted reports an operation against a halted (crashed) disk.
+	ErrHalted = disk.ErrHalted
+)

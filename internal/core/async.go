@@ -172,6 +172,16 @@ func (v *Volume) IntentDepth() int {
 	return v.q.Depth()
 }
 
+// IntentQueueLimit returns the configured intent-queue depth cap, the
+// denominator of the backpressure signal; 0 when the volume runs the
+// staged path.
+func (v *Volume) IntentQueueLimit() int {
+	if v.q == nil {
+		return 0
+	}
+	return v.cfg.intentQueueDepth()
+}
+
 // enqueueIntent hands a validated mutation to the applier and returns its
 // intent sequence — the volume's commit sequence in async mode.
 func (v *Volume) enqueueIntent(it *intent, names ...string) (uint64, error) {
@@ -602,14 +612,30 @@ func (f *File) extendAsync(morePages int) error {
 	}
 	e := f.e
 	e.Runs = append(append([]alloc.Run(nil), e.Runs...), runs...)
+	// Refresh the leader's run-table image eagerly (reads of this handle
+	// verify against the pending copy) and stage it through the intent so
+	// the log sees it in order with the entry update.
+	leaderAddr, haveLeader := e.LeaderAddr()
+	var leader []byte
+	if haveLeader {
+		leader = encodeLeader(&e)
+		v.lmu.Lock()
+		v.pendingLeaders[leaderAddr] = leader
+		v.lmu.Unlock()
+	}
 	// If the file is deleted before this applies, the delete intent freed
-	// the pre-extension runs; the abort step releases the new ones.
+	// the pre-extension runs; the abort steps release the new ones and
+	// drop the now-orphaned pending leader.
 	it := &intent{
 		op: "extend",
 		steps: []intentStep{
 			{op: stepPutIfPresent, key: entryKey(e.Name, e.Version), val: encodeEntry(&e)},
 		},
 		abortSteps: []intentStep{{op: stepFree, runs: runs}},
+	}
+	if haveLeader {
+		it.steps = append(it.steps, intentStep{op: stepLeader, addr: leaderAddr, page: leader})
+		it.abortSteps = append(it.abortSteps, intentStep{op: stepCancelLeader, addr: leaderAddr})
 	}
 	if _, err := v.enqueueIntent(it, e.Name); err != nil {
 		v.vmMu.Lock()
@@ -660,13 +686,27 @@ func (f *File) contractAsync(newPages int) error {
 	if e.ByteSize > uint64(newPages*disk.SectorSize) {
 		e.ByteSize = uint64(newPages * disk.SectorSize)
 	}
-	// No abort steps: if an earlier delete won, it already freed the whole
-	// file including this tail — freeing again would corrupt the allocator.
+	// Refresh the leader image for the trimmed run table; see extendAsync.
+	leaderAddr, haveLeader := e.LeaderAddr()
+	var leader []byte
+	if haveLeader {
+		leader = encodeLeader(&e)
+		v.lmu.Lock()
+		v.pendingLeaders[leaderAddr] = leader
+		v.lmu.Unlock()
+	}
+	// No free abort steps: if an earlier delete won, it already freed the
+	// whole file including this tail — freeing again would corrupt the
+	// allocator. Only the orphaned pending leader needs cancelling.
 	it := &intent{op: "contract", steps: []intentStep{
 		{op: stepPutIfPresent, key: entryKey(e.Name, e.Version), val: encodeEntry(&e)},
 		{op: stepFree, runs: freed},
 		{op: stepInvalidate, runs: freed},
 	}}
+	if haveLeader {
+		it.steps = append(it.steps, intentStep{op: stepLeader, addr: leaderAddr, page: leader})
+		it.abortSteps = append(it.abortSteps, intentStep{op: stepCancelLeader, addr: leaderAddr})
+	}
 	if _, err := v.enqueueIntent(it, e.Name); err != nil {
 		return err
 	}

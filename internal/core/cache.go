@@ -254,12 +254,15 @@ func (c *ntCache) Write(id uint32, data []byte) error {
 	c.mu.Lock()
 	p, ok := c.pages[id]
 	if !ok {
-		// Never read and never written: the diff base is the home
-		// content, which for a fresh page is all zeroes. Reading it
-		// would cost an I/O the real system does not do (it knows
-		// fresh pages are virgin), so start from zeroes; for safety
-		// this is only correct because the B-tree always reads
-		// existing pages before rewriting them.
+		// Cache miss on write: the diff base is unknown. The page may
+		// be virgin (all zeroes at home) — or it may have been written
+		// before and evicted, in which case its home content is
+		// arbitrary. Diffing against zeroes in the latter case would
+		// skip sectors that are zero in the new image but stale and
+		// nonzero at home, leaving the home copy a mix of old and new
+		// sectors under the new CRC — unreadable in both copies. So on
+		// a miss every sector is staged unconditionally (ok==false
+		// disables the equal-sector skip below).
 		p = newNTPage(id, make([]byte, NTPageSize))
 		c.insert(p)
 	}
@@ -270,7 +273,7 @@ func (c *ntCache) Write(id uint32, data []byte) error {
 	var images []wal.PageImage
 	for j := 0; j < NTPageSectors; j++ {
 		lo, hi := j*disk.SectorSize, (j+1)*disk.SectorSize
-		if bytes.Equal(fresh[lo:hi], p.cur[lo:hi]) {
+		if ok && bytes.Equal(fresh[lo:hi], p.cur[lo:hi]) {
 			continue
 		}
 		images = append(images, wal.PageImage{

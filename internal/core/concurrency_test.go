@@ -144,7 +144,7 @@ func TestConcurrentMixedOps(t *testing.T) {
 			if len(st.Problems) != 0 {
 				t.Fatalf("Verify problems: %v", st.Problems)
 			}
-			ops := v.Ops()
+			ops := v.Stats().Ops
 			if ops.Opens == 0 || ops.Creates == 0 || ops.Deletes == 0 || ops.Reads == 0 {
 				t.Fatalf("op counters incomplete: %+v", ops)
 			}

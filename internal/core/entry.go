@@ -151,18 +151,17 @@ func (e *Entry) PhysContiguousFrom(page, want int) (addr, n, merged int, err err
 	return 0, 0, 0, fmt.Errorf("core: page %d beyond %q!%d", page, e.Name, e.Version)
 }
 
-// Errors in entry validation.
-var (
-	errBadName = errors.New("core: file names must be non-empty and free of NUL bytes")
-)
+// ErrBadName reports a file name that cannot be encoded as a name-table
+// key: empty, containing a NUL byte, or longer than 255 bytes.
+var ErrBadName = errors.New("core: file names must be non-empty, free of NUL bytes, and at most 255 bytes")
 
 // ValidateName checks a file name for key-encoding safety.
 func ValidateName(name string) error {
 	if name == "" || strings.ContainsRune(name, 0) {
-		return errBadName
+		return ErrBadName
 	}
 	if len(name) > 255 {
-		return fmt.Errorf("core: name longer than 255 bytes")
+		return fmt.Errorf("%w: %d bytes", ErrBadName, len(name))
 	}
 	return nil
 }

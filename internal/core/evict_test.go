@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestWriteAfterEvictionKeepsHomeConsistent reproduces the 10k-client-soak
+// name-table corruption at unit scale. With a tiny cache, a page can be
+// evicted between the B-tree's read of it and the write of its new image.
+// The cache's write path used to diff the new image against an all-zero
+// base in that case, so a sector that became all-zero (entries deleted)
+// but was nonzero at home was never staged — the home copies kept the
+// stale sector under a CRC stamped for the new image, and the next cache
+// miss found both copies "unreadable".
+func TestWriteAfterEvictionKeepsHomeConsistent(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheSize = 2 // evictions on nearly every B-tree navigation
+	v, _, _ := newTestVolumeWith(t, cfg)
+
+	// Phase 1: fill leaves in a narrow range and wrap the log so the full
+	// page images reach their home copies (nonzero tail sectors at home).
+	const n = 240
+	for i := 0; i < n; i++ {
+		if _, err := v.Create(fmt.Sprintf("ev/f%04d", i), payload(60, byte(i))); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		if i%8 == 7 {
+			if err := v.Force(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Phase 2: delete most of the range while inserting long-named files
+	// into the same leaves. The inserts force page compaction, which
+	// rewrites each page onto a zeroed buffer — so emptied regions become
+	// all-zero sectors. Every rewrite navigates through the 2-page cache,
+	// so read→evict→write happens constantly.
+	for i := 0; i < n; i++ {
+		if i%8 == 0 {
+			continue // survivors
+		}
+		if err := v.Delete(fmt.Sprintf("ev/f%04d", i), 0); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if i%4 == 1 {
+			long := fmt.Sprintf("ev/f%04d-replacement-with-a-much-longer-name-%04d", i, i)
+			if _, err := v.Create(long, payload(30, byte(i))); err != nil {
+				t.Fatalf("refill %d: %v", i, err)
+			}
+			if err := v.Delete(long, 0); err != nil {
+				t.Fatalf("refill delete %d: %v", i, err)
+			}
+		}
+		if i%16 == 15 {
+			if err := v.Force(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Phase 3: churn a distant range until the log wraps, pushing the
+	// shrunken images home sector-by-sector at third crossings.
+	for i := 0; i < 200; i++ {
+		if _, err := v.Create(fmt.Sprintf("zz/hot%04d", i), payload(50, byte(i))); err != nil {
+			t.Fatalf("hot create %d: %v", i, err)
+		}
+		if i%8 == 7 {
+			if err := v.Force(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := v.Force(); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 4: cold reads. The tiny cache guarantees misses, so every
+	// surviving entry's leaf is reloaded from the home copies.
+	for i := 0; i < n; i += 8 {
+		name := fmt.Sprintf("ev/f%04d", i)
+		if _, err := v.Stat(name, 0); err != nil {
+			t.Fatalf("cold stat %s: %v", name, err)
+		}
+	}
+	if err := v.List("ev/", func(Entry) bool { return true }); err != nil {
+		t.Fatalf("cold scan: %v", err)
+	}
+	// The home copies themselves must be self-consistent (modulo pages
+	// with still-logged sectors, which scrub skips while pinned).
+	if st, err := v.Scrub(); err != nil {
+		t.Fatalf("scrub: %v", err)
+	} else if st.NTLost > 0 {
+		t.Fatalf("scrub found %d lost name-table pages: %+v", st.NTLost, st)
+	}
+	if err := v.Shutdown(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -50,11 +50,16 @@ func (v *Volume) InjectLatentDecay(rng *rand.Rand) (decayed, stuck int) {
 
 // DestroyNameTable damages every sector of both name-table home copies —
 // the double-loss catastrophe that defeats Mount and that Salvage exists
-// for. Call it on a shut-down volume; the disk underneath keeps the damage.
+// for. The log region is destroyed too: a surviving log holds full-page
+// name-table images (every cache-miss write stages the whole page) and
+// replay would quietly rebuild the table, which is the behaviour Salvage
+// is NOT for. Call it on a shut-down volume; the disk underneath keeps
+// the damage.
 func (v *Volume) DestroyNameTable() {
 	ntSectors := v.lay.ntPages * NTPageSectors
 	v.d.CorruptSectors(v.lay.ntA, ntSectors)
 	if v.lay.ntB != v.lay.ntA {
 		v.d.CorruptSectors(v.lay.ntB, ntSectors)
 	}
+	v.d.CorruptSectors(v.lay.logBase, v.lay.logSize)
 }

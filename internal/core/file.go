@@ -796,7 +796,7 @@ func (f *File) Extend(morePages int) (err error) {
 		return err
 	}
 	f.e = e
-	return nil
+	return v.stageLeader(&e)
 }
 
 // Contract trims the file to newPages data pages; the freed tail becomes
@@ -843,7 +843,7 @@ func (f *File) Contract(newPages int) (err error) {
 	v.freeOnCommit(freed)
 	v.invalidateData(freed)
 	f.e = e
-	return nil
+	return v.stageLeader(&e)
 }
 
 // SetByteSize records a new byte size (within the allocated pages).

@@ -83,7 +83,7 @@ func TestAccessorsAndDropCaches(t *testing.T) {
 	if _, err := v.Create("acc/a", payload(100, 1)); err != nil {
 		t.Fatal(err)
 	}
-	cs := v.CacheStats()
+	cs := v.Stats().Cache
 	if cs.Hits == 0 && cs.Misses == 0 {
 		t.Fatal("cache stats all zero after activity")
 	}
@@ -102,8 +102,8 @@ func TestAccessorsAndDropCaches(t *testing.T) {
 	if _, err := f.ReadAll(); err != nil {
 		t.Fatal(err)
 	}
-	if v.Ops().Creates != 1 {
-		t.Fatalf("ops: %+v", v.Ops())
+	if v.Stats().Ops.Creates != 1 {
+		t.Fatalf("ops: %+v", v.Stats().Ops)
 	}
 }
 

@@ -89,10 +89,8 @@ type faultCounters struct {
 	budget                                        atomic.Int64
 }
 
-// FaultStats returns a snapshot of the volume-level fault counters.
-//
-// Deprecated: use Stats().Faults.
-func (v *Volume) FaultStats() FaultStats {
+// faultStats gathers the volume-level fault counters for Stats.
+func (v *Volume) faultStats() FaultStats {
 	return FaultStats{
 		ReadRetries:  int(v.faults.retries.Load()),
 		RetriedOK:    int(v.faults.retriedOK.Load()),

@@ -185,7 +185,7 @@ func TestScrubRetiresStuckSectors(t *testing.T) {
 	if left := d.SparesLeft(); left != spares-st.Retired {
 		t.Fatalf("SparesLeft = %d, want %d", left, spares-st.Retired)
 	}
-	if fs := v.FaultStats(); fs.Retired < 1 || fs.Scrubs != 1 {
+	if fs := v.Stats().Faults; fs.Retired < 1 || fs.Scrubs != 1 {
 		t.Fatalf("FaultStats = %+v", fs)
 	}
 	checkNTCopies(t, v, d)
@@ -225,7 +225,7 @@ func TestReadRetryTransient(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	fs := v.FaultStats()
+	fs := v.Stats().Faults
 	if fs.ReadRetries == 0 || fs.RetriedOK == 0 {
 		t.Fatalf("no retries recorded under 10%% transient faults: %+v", fs)
 	}

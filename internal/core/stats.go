@@ -349,15 +349,15 @@ func (v *Volume) observeForce(e wal.ForceEvent) {
 	}
 }
 
-// Stats returns the full counter snapshot. This is the one documented way
-// to read volume counters; the legacy Ops, CacheStats, and FaultStats
-// accessors are deprecated wrappers over slices of it.
+// Stats returns the full counter snapshot. This is the one way to read
+// volume counters; the legacy Ops, CacheStats, and FaultStats accessors
+// were removed in favour of it.
 func (v *Volume) Stats() Stats {
 	s := Stats{
-		Ops:          v.Ops(),
+		Ops:          v.opsSnapshot(),
 		Cache:        v.cacheStats(),
 		Disk:         v.d.Stats(),
-		Faults:       v.FaultStats(),
+		Faults:       v.faultStats(),
 		Health:       v.Health(),
 		HealthReason: v.HealthReason(),
 		Recovery:     v.recovery,

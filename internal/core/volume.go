@@ -203,11 +203,8 @@ func (v *Volume) Log() *wal.Log { return v.log }
 // VAM exposes the allocation map (read-only use).
 func (v *Volume) VAM() *vam.VAM { return v.vm }
 
-// Ops returns a snapshot of the logical operation counters.
-//
-// Deprecated: use Stats().Ops; Stats is the one snapshot covering every
-// volume counter.
-func (v *Volume) Ops() OpStats {
+// opsSnapshot gathers the logical operation counters for Stats.
+func (v *Volume) opsSnapshot() OpStats {
 	return OpStats{
 		Creates: int(v.ops.creates.Load()),
 		Opens:   int(v.ops.opens.Load()),
@@ -217,13 +214,6 @@ func (v *Volume) Ops() OpStats {
 		Writes:  int(v.ops.writes.Load()),
 		Touches: int(v.ops.touches.Load()),
 	}
-}
-
-// CacheStats returns the name-table cache counters.
-//
-// Deprecated: use Stats().Cache.
-func (v *Volume) CacheStats() CacheStats {
-	return v.cacheStats()
 }
 
 // rlock acquires the monitor for a read-path operation and returns the

@@ -764,7 +764,7 @@ func TestOpsCounters(t *testing.T) {
 	v.Open("x", 0)
 	v.Delete("x", 0)
 	v.List("", func(Entry) bool { return true })
-	ops := v.Ops()
+	ops := v.Stats().Ops
 	if ops.Creates != 1 || ops.Opens != 1 || ops.Deletes != 1 || ops.Lists != 1 {
 		t.Fatalf("ops = %+v", ops)
 	}

@@ -176,3 +176,44 @@ func TestRemapExhaustsSpares(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 }
+
+// TestReadRetryPerSector pins ReadSectorsRetry's per-sector fallback: after
+// a bulk transfer fails, each sector gets its own in-place retry budget, so
+// a long run over a transiently faulty surface needs only per-sector luck.
+// The whole-run retry it replaces needed every sector to pass in one
+// attempt — at this fault rate a 32-sector run would essentially never
+// survive — and, worse, each extra pass rolled the fault model again for
+// sectors that had already read fine, so under a latent-decay model the
+// retries themselves decayed the surface (the amplification that broke
+// crash recovery at scale).
+func TestReadRetryPerSector(t *testing.T) {
+	d := newFaultDisk(t)
+	want := make([]byte, 32*SectorSize)
+	for i := range want {
+		want[i] = byte(i * 31)
+	}
+	if err := d.WriteSectors(100, want); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(FaultConfig{Seed: 42, TransientRead: 0.3})
+	got, retried, err := ReadSectorsRetry(d, 100, 32, 8)
+	if err != nil {
+		t.Fatalf("ReadSectorsRetry: %v after %d retries", err, retried)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("per-sector reassembly returned wrong data")
+	}
+	if retried == 0 {
+		t.Fatal("fault rate 0.3 over 32 sectors spent no retries — injector inactive?")
+	}
+
+	// A persistently damaged sector still fails the run with its own
+	// DamagedError: the fallback retries around damage, not through it.
+	d.InjectFaults(FaultConfig{})
+	d.CorruptSectors(110, 1)
+	_, _, err = ReadSectorsRetry(d, 100, 32, 4)
+	var de *DamagedError
+	if !errors.As(err, &de) || de.Addr != 110 {
+		t.Fatalf("read over damaged sector = %v, want DamagedError{110}", err)
+	}
+}

@@ -31,20 +31,39 @@ import "errors"
 // when the budget ran out, or the original error for non-media failures
 // (ErrHalted, out of range), which are never retried.
 func ReadSectorsRetry(d *Disk, addr, n, retries int) (data []byte, retried int, err error) {
-	for {
-		data, err = d.ReadSectors(addr, n)
-		if err == nil {
-			return
-		}
-		var de *DamagedError
-		if !errors.As(err, &de) {
-			return
-		}
-		if retried >= retries {
-			return
-		}
-		retried++
+	data, err = d.ReadSectors(addr, n)
+	if err == nil {
+		return
 	}
+	var de *DamagedError
+	if !errors.As(err, &de) {
+		return
+	}
+	// One damaged sector fails the whole bulk transfer, and re-running the
+	// full run makes every healthy sector face the fault model again just
+	// to reach the one that failed — under latent decay, each pass can
+	// permanently kill sectors the previous pass read fine. Retry per
+	// sector instead, the read-side analogue of the write path's prefix
+	// resume: each sector is read once plus its own in-place budget, so a
+	// long run needs only per-sector luck, not end-to-end luck.
+	buf := make([]byte, n*SectorSize)
+	for i := 0; i < n; i++ {
+		for tries := 0; ; tries++ {
+			s, rerr := d.ReadSectors(addr+i, 1)
+			if rerr == nil {
+				copy(buf[i*SectorSize:], s)
+				break
+			}
+			if !errors.As(rerr, &de) {
+				return nil, retried, rerr
+			}
+			if tries >= retries {
+				return nil, retried, rerr
+			}
+			retried++
+		}
+	}
+	return buf, retried, nil
 }
 
 func WriteSectorsRetry(d *Disk, addr int, data []byte, retries int) (retried, remapped int, err error) {

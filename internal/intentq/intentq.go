@@ -389,21 +389,25 @@ func (q *Queue) WaitApplied(seq uint64) error {
 // through LockNames(name) hold the stripe, so no new intent for the name can
 // be enqueued while they wait.
 func (q *Queue) WaitName(name string) error {
-	return q.waitKey(q.nameCnt, nameKey(name), "name", name)
+	return q.waitKey(&q.nameCnt, nameKey(name), "name", name)
 }
 
 // WaitPrefix blocks until no pending intent could affect a scan of prefix:
 // it waits on the longest directory-aligned ancestor of the prefix, which
 // conservatively covers every matching name.
 func (q *Queue) WaitPrefix(prefix string) error {
-	return q.waitKey(q.dirCnt, nameKey(dirAligned(prefix)), "prefix", prefix)
+	return q.waitKey(&q.dirCnt, nameKey(dirAligned(prefix)), "prefix", prefix)
 }
 
-func (q *Queue) waitKey(m map[uint64]int, k uint64, kind, label string) error {
+// waitKey takes a pointer to the count map field, not the map itself: a
+// fatal drain (failLocked) swaps in fresh maps, and a waiter parked across
+// that swap must re-read the field or it would loop on a stale count
+// forever.
+func (q *Queue) waitKey(m *map[uint64]int, k uint64, kind, label string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	waited := false
-	for m[k] > 0 && !q.closed {
+	for (*m)[k] > 0 && !q.closed {
 		waited = true
 		q.cond.Wait()
 	}
@@ -415,7 +419,7 @@ func (q *Queue) waitKey(m map[uint64]int, k uint64, kind, label string) error {
 	// NOT returned here: the fatal drain cleared the counts, and readers
 	// keep serving the pre-intent state (see failLocked).
 	var err error
-	if m[k] > 0 {
+	if (*m)[k] > 0 {
 		err = ErrClosed
 	}
 	if waited {

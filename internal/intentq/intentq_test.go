@@ -365,3 +365,48 @@ func TestConcurrentEnqueueDrainRace(t *testing.T) {
 		t.Fatalf("applied = %d, want %d", got, workers*per)
 	}
 }
+
+// TestFatalDrainReleasesParkedWaiters: a WaitName/WaitPrefix caller already
+// parked when a fatal apply error drains the queue must wake and return nil
+// (readers serve the pre-intent state). The fatal drain replaces the count
+// maps, so a waiter looping on a stale map reference would sleep forever —
+// the exact hang a 10k-client soak produced.
+func TestFatalDrainReleasesParkedWaiters(t *testing.T) {
+	clk := sim.NewVirtualClock()
+	boom := errors.New("boom")
+	inApply := make(chan struct{})
+	release := make(chan struct{})
+	q := New(clk, Config{Apply: func(op any) error {
+		close(inApply)
+		<-release
+		return boom
+	}})
+	defer q.Close()
+
+	q.Enqueue("op", "dir/f")
+	<-inApply // the applier is inside the intent that will go fatal
+
+	type res struct{ err error }
+	name := make(chan res, 1)
+	prefix := make(chan res, 1)
+	go func() { name <- res{q.WaitName("dir/f")} }()
+	go func() { prefix <- res{q.WaitPrefix("dir/")} }()
+	// Give both waiters time to park before the fatal drain swaps the maps
+	// (ReaderWaits counts only completed waits, so it cannot be polled here).
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	for i, ch := range []chan res{name, prefix} {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatalf("waiter %d woke with %v, want nil (pre-intent state)", i, r.err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("waiter %d still parked after the fatal drain", i)
+		}
+	}
+	if err := q.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want %v", err, boom)
+	}
+}

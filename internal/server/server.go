@@ -1,0 +1,481 @@
+// Package server is the FSD network front-end: a concurrent TCP file
+// server speaking the internal/wire protocol over any cedarfs.FS — in
+// practice the local adapter over a mounted volume. The paper's FSD served
+// a building of Dorados from one machine; this server is that machine.
+//
+// Concurrency model (the per-session goroutine + shared-applier split):
+// every accepted connection is one session with its own request-loop
+// goroutine and its own handle table; all sessions share the one FS, whose
+// own locking (the split monitor, the intent queue's single applier) is
+// the serialization point. Within a session requests execute in arrival
+// order and replies return in that order — except WaitCommitted, which
+// parks in its own goroutine and replies out of order when the commit
+// lands, so a durability wait never stalls the pipeline of requests
+// behind it (that is the point of the pipelined group commit). A dedicated
+// writer goroutine per session serializes reply frames.
+//
+// Backpressure: when the volume runs the asynchronous metadata pipeline,
+// the session loop consults the intent-queue depth before executing a
+// mutation and stalls (stops consuming from the socket, letting TCP flow
+// control push back on the client) while the queue is above the
+// configured threshold. The signal is the same queue depth that
+// Stats().Intent reports; see Config.BackpressureDepth.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cedarfs "repro"
+	"repro/internal/wire"
+)
+
+// depthReporter is implemented by FS values that can report their intent
+// queue depth cheaply (the local adapter); the server uses it for
+// backpressure when present.
+type depthReporter interface{ IntentDepth() int }
+
+// seqReporter is implemented by FS values that can report the commit
+// sequence cheaply (an atomic load); without it the server stamps replies
+// with a full Stats call.
+type seqReporter interface{ CommitSeq() uint64 }
+
+// Config tunes the server. The zero value serves with the defaults.
+type Config struct {
+	// MaxFrame bounds accepted request frames (0 = wire.MaxFrame).
+	MaxFrame int
+	// MaxSessions caps concurrent sessions; further accepts are closed
+	// immediately. 0 means unlimited.
+	MaxSessions int
+	// BackpressureDepth is the intent-queue depth above which the session
+	// loop stalls mutations. 0 means 3/4 of the queue limit reported by
+	// the FS (or no backpressure when the FS reports none); negative
+	// disables backpressure.
+	BackpressureDepth int
+	// StallPoll is how often a stalled session re-checks the queue depth
+	// (0 = 200µs).
+	StallPoll time.Duration
+}
+
+// Stats is the server's own counter snapshot (the volume's counters live
+// behind FS.Stats).
+type Stats struct {
+	Sessions       uint32 // currently connected
+	SessionsTotal  uint64 // accepted since start
+	SessionsDenied uint64 // closed at accept by MaxSessions
+	Requests       uint64 // requests executed
+	Errors         uint64 // requests answered with an error code
+	ProtocolErrors uint64 // undecodable frames / oversized frames
+	Stalls         uint64 // backpressure stalls
+	OpenHandles    uint32 // handles currently in session tables
+}
+
+// Server serves one FS to many sessions.
+type Server struct {
+	fs  cedarfs.FS
+	cfg Config
+
+	depth   depthReporter // nil when the FS cannot report
+	seq     seqReporter   // nil when the FS cannot report
+	bpLimit int           // resolved backpressure threshold; -1 = off
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	sessions       atomic.Int32
+	sessionsTotal  atomic.Uint64
+	sessionsDenied atomic.Uint64
+	requests       atomic.Uint64
+	errorsN        atomic.Uint64
+	protoErrors    atomic.Uint64
+	stalls         atomic.Uint64
+	openHandles    atomic.Int32
+
+	wg sync.WaitGroup
+}
+
+// New builds a server over fs.
+func New(fs cedarfs.FS, cfg Config) *Server {
+	s := &Server{
+		fs:        fs,
+		cfg:       cfg,
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[net.Conn]struct{}{},
+	}
+	if d, ok := fs.(depthReporter); ok {
+		s.depth = d
+	}
+	if q, ok := fs.(seqReporter); ok {
+		s.seq = q
+	}
+	// Resolve the backpressure threshold once: the queue limit is fixed at
+	// mount time.
+	s.bpLimit = -1
+	if s.depth != nil && cfg.BackpressureDepth >= 0 {
+		if cfg.BackpressureDepth > 0 {
+			s.bpLimit = cfg.BackpressureDepth
+		} else if st, err := fs.Stats(context.Background()); err == nil && st.IntentLimit > 0 {
+			s.bpLimit = int(st.IntentLimit) * 3 / 4
+		}
+	}
+	return s
+}
+
+// Serve accepts sessions on l until the listener fails or the server is
+// closed. It blocks; run it in a goroutine to serve several listeners.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return cedarfs.ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if s.cfg.MaxSessions > 0 && int(s.sessions.Load()) >= s.cfg.MaxSessions {
+			s.sessionsDenied.Add(1)
+			c.Close()
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.sessions.Add(1)
+		s.sessionsTotal.Add(1)
+		s.wg.Add(1)
+		go s.serveSession(c)
+	}
+}
+
+// Close stops accepting, closes every session, and waits for their
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Sessions:       uint32(s.sessions.Load()),
+		SessionsTotal:  s.sessionsTotal.Load(),
+		SessionsDenied: s.sessionsDenied.Load(),
+		Requests:       s.requests.Load(),
+		Errors:         s.errorsN.Load(),
+		ProtocolErrors: s.protoErrors.Load(),
+		Stalls:         s.stalls.Load(),
+		OpenHandles:    uint32(s.openHandles.Load()),
+	}
+}
+
+// session is one connection's state: the handle table and the reply
+// channel feeding the writer goroutine.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	mu      sync.Mutex
+	handles map[uint32]cedarfs.Handle
+	nextH   uint32
+
+	replies chan []byte // framed replies; closed by the request loop
+	wg      sync.WaitGroup
+}
+
+func (s *Server) serveSession(c net.Conn) {
+	defer s.wg.Done()
+	defer s.sessions.Add(-1)
+	sess := &session{
+		srv:     s,
+		conn:    c,
+		handles: map[uint32]cedarfs.Handle{},
+		replies: make(chan []byte, 64),
+	}
+	// Writer goroutine: the single owner of the connection's write side.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for frame := range sess.replies {
+			if err := wire.WriteFrame(c, frame); err != nil {
+				// Reply undeliverable: kill the read side too; the
+				// request loop will exit and drain.
+				c.Close()
+			}
+		}
+	}()
+	sess.loop()
+	// In-flight WaitCommitted goroutines still hold the channel.
+	sess.wg.Wait()
+	close(sess.replies)
+	<-writerDone
+	c.Close()
+	// Release the session's handles.
+	sess.mu.Lock()
+	n := len(sess.handles)
+	for _, h := range sess.handles {
+		h.Close()
+	}
+	sess.handles = nil
+	sess.mu.Unlock()
+	s.openHandles.Add(int32(-n))
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// loop reads and executes requests until the connection dies or a frame is
+// malformed (a session that cannot be parsed cannot be trusted to stay in
+// sync, so it is dropped).
+func (sess *session) loop() {
+	s := sess.srv
+	for {
+		body, err := wire.ReadFrame(sess.conn, s.cfg.MaxFrame)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) {
+				s.protoErrors.Add(1)
+			}
+			return
+		}
+		q, err := wire.DecodeRequest(body)
+		if err != nil {
+			s.protoErrors.Add(1)
+			return
+		}
+		s.requests.Add(1)
+		if q.Op == wire.OpWaitCommitted {
+			// Park the durability wait off the pipeline: requests behind
+			// it keep executing, the reply goes out when the commit
+			// lands.
+			sess.wg.Add(1)
+			go func(q wire.Request) {
+				defer sess.wg.Done()
+				err := s.fs.WaitCommitted(context.Background(), q.Seq)
+				sess.send(sess.reply(&q, err, func(*wire.Reply) {}))
+			}(q)
+			continue
+		}
+		if mutates(q.Op) {
+			sess.stallForBackpressure()
+		}
+		sess.send(sess.execute(&q))
+	}
+}
+
+// mutates reports whether an op feeds the intent queue.
+func mutates(op wire.Op) bool {
+	switch op {
+	case wire.OpCreate, wire.OpWrite, wire.OpRename, wire.OpDelete, wire.OpSetKeep:
+		return true
+	}
+	return false
+}
+
+// stallForBackpressure blocks while the intent queue is above the
+// threshold. TCP flow control propagates the stall to the client.
+func (sess *session) stallForBackpressure() {
+	s := sess.srv
+	limit := s.bpLimit
+	if limit < 0 || s.depth.IntentDepth() <= limit {
+		return
+	}
+	s.stalls.Add(1)
+	poll := s.cfg.StallPoll
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	for s.depth.IntentDepth() > limit {
+		time.Sleep(poll)
+	}
+}
+
+// send queues a framed reply for the writer goroutine.
+func (sess *session) send(frame []byte) {
+	// The replies channel is only closed after loop() returns and the
+	// wait-group drains, and both senders hold either the loop or a
+	// wait-group slot, so this send cannot race the close.
+	sess.replies <- frame
+}
+
+// reply frames a success or error reply for q; fill populates the
+// op-specific payload on success.
+func (sess *session) reply(q *wire.Request, err error, fill func(*wire.Reply)) []byte {
+	p := wire.Reply{ID: q.ID, Op: q.Op}
+	if err != nil {
+		sess.srv.errorsN.Add(1)
+		p.Code = uint16(cedarfs.Code(err))
+		p.Msg = err.Error()
+	} else {
+		p.CommitSeq = sess.srv.commitSeq()
+		fill(&p)
+	}
+	return wire.AppendReply(nil, &p)
+}
+
+// commitSeq samples the ack watermark carried on every success reply.
+func (s *Server) commitSeq() uint64 {
+	if s.seq != nil {
+		return s.seq.CommitSeq()
+	}
+	st, err := s.fs.Stats(context.Background())
+	if err != nil {
+		return 0
+	}
+	return st.CommitSeq
+}
+
+// execute runs one request against the FS and frames the reply.
+func (sess *session) execute(q *wire.Request) []byte {
+	s := sess.srv
+	ctx := context.Background()
+	switch q.Op {
+	case wire.OpOpen:
+		h, err := s.fs.Open(ctx, q.Name, q.Version)
+		return sess.reply(q, err, func(p *wire.Reply) {
+			p.Handle = sess.addHandle(h)
+			p.Info = h.Info()
+		})
+	case wire.OpCreate:
+		h, err := s.fs.Create(ctx, q.Name, q.Data)
+		return sess.reply(q, err, func(p *wire.Reply) {
+			p.Handle = sess.addHandle(h)
+			p.Info = h.Info()
+		})
+	case wire.OpRead:
+		h, err := sess.handle(q.Handle)
+		if err != nil {
+			return sess.reply(q, err, nil)
+		}
+		if int(q.N) > s.maxFrame()-64 {
+			return sess.reply(q, fmt.Errorf("%w: read of %d bytes exceeds frame limit", cedarfs.ErrBadRequest, q.N), nil)
+		}
+		buf := make([]byte, q.N)
+		n, err := h.ReadAt(ctx, buf, int64(q.Off))
+		if err == io.EOF && n > 0 {
+			err = nil // partial read at end of file: success, short data
+		}
+		if err == io.EOF {
+			// Read at/past EOF: success with empty data, the wire form of
+			// io.EOF (the client reconstructs it).
+			err = nil
+			n = 0
+		}
+		return sess.reply(q, err, func(p *wire.Reply) { p.Data = buf[:n] })
+	case wire.OpWrite:
+		h, err := sess.handle(q.Handle)
+		if err != nil {
+			return sess.reply(q, err, nil)
+		}
+		n, seq, err := h.WriteAt(ctx, q.Data, int64(q.Off))
+		return sess.reply(q, err, func(p *wire.Reply) {
+			p.N = uint32(n)
+			p.CommitSeq = seq // the ack rides the write's own sequence
+		})
+	case wire.OpCloseHandle:
+		sess.mu.Lock()
+		h, ok := sess.handles[q.Handle]
+		delete(sess.handles, q.Handle)
+		sess.mu.Unlock()
+		if !ok {
+			return sess.reply(q, fmt.Errorf("%w: unknown handle %d", cedarfs.ErrBadRequest, q.Handle), nil)
+		}
+		s.openHandles.Add(-1)
+		return sess.reply(q, h.Close(), func(*wire.Reply) {})
+	case wire.OpStat:
+		fi, err := s.fs.Stat(ctx, q.Name, q.Version)
+		return sess.reply(q, err, func(p *wire.Reply) { p.Info = fi })
+	case wire.OpList:
+		fis, err := s.fs.List(ctx, q.Name)
+		return sess.reply(q, err, func(p *wire.Reply) { p.Infos = fis })
+	case wire.OpRename:
+		return sess.reply(q, s.fs.Rename(ctx, q.Name, q.Name2), func(*wire.Reply) {})
+	case wire.OpDelete:
+		return sess.reply(q, s.fs.Delete(ctx, q.Name, q.Version), func(*wire.Reply) {})
+	case wire.OpSetKeep:
+		return sess.reply(q, s.fs.SetKeep(ctx, q.Name, q.Keep), func(*wire.Reply) {})
+	case wire.OpForce:
+		seq, err := s.fs.Force(ctx)
+		return sess.reply(q, err, func(p *wire.Reply) {
+			p.Seq = seq
+			p.CommitSeq = seq
+		})
+	case wire.OpStats:
+		st, err := s.fs.Stats(ctx)
+		return sess.reply(q, err, func(p *wire.Reply) {
+			st.Sessions = uint32(s.sessions.Load())
+			p.Stats = st
+		})
+	default:
+		return sess.reply(q, fmt.Errorf("%w: op %d", cedarfs.ErrBadRequest, q.Op), nil)
+	}
+}
+
+func (s *Server) maxFrame() int {
+	if s.cfg.MaxFrame > 0 {
+		return s.cfg.MaxFrame
+	}
+	return wire.MaxFrame
+}
+
+// addHandle registers h in the session table and returns its id.
+func (sess *session) addHandle(h cedarfs.Handle) uint32 {
+	sess.mu.Lock()
+	sess.nextH++
+	id := sess.nextH
+	sess.handles[id] = h
+	sess.mu.Unlock()
+	sess.srv.openHandles.Add(1)
+	return id
+}
+
+// handle looks a handle id up.
+func (sess *session) handle(id uint32) (cedarfs.Handle, error) {
+	sess.mu.Lock()
+	h, ok := sess.handles[id]
+	sess.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown handle %d", cedarfs.ErrBadRequest, id)
+	}
+	return h, nil
+}

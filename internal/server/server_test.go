@@ -1,0 +1,172 @@
+package server_test
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	cedarfs "repro"
+	"repro/client"
+	"repro/internal/disk"
+	"repro/internal/fstest"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// startServer mounts a fresh volume, serves it on a loopback TCP listener,
+// and returns the address. Everything is torn down via t.Cleanup.
+func startServer(t *testing.T, cfg cedarfs.Config, scfg server.Config) (string, *server.Server) {
+	t.Helper()
+	d, err := disk.New(disk.SmallGeometry, disk.DefaultParams, sim.NewVirtualClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := cedarfs.Format(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := cedarfs.NewLocalFS(vol)
+	srv := server.New(fs, scfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		srv.Close()
+		fs.Close()
+		if err := vol.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return l.Addr().String(), srv
+}
+
+// TestRemoteConformance runs the shared FS conformance suite against the
+// remote client over a real loopback socket — the same suite the local
+// adapter passes (TestLocalFSConformance in the root package), which is the
+// tentpole contract: one interface, two transports, identical semantics.
+func TestRemoteConformance(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) cedarfs.FS {
+		addr, _ := startServer(t, cedarfs.Config{}, server.Config{})
+		cl, err := client.Dial(addr, client.Options{Conns: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cl.Close()
+			if n := cl.ProtocolErrors(); n != 0 {
+				t.Errorf("client saw %d protocol errors", n)
+			}
+		})
+		return cl
+	})
+}
+
+// TestRemoteConformanceAsync repeats the suite against a volume running the
+// asynchronous metadata pipeline, where acked commit sequences lag the
+// apply and WaitCommitted does real waiting.
+func TestRemoteConformanceAsync(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) cedarfs.FS {
+		addr, _ := startServer(t, cedarfs.Config{AsyncApply: true, AdaptiveCommit: true}, server.Config{})
+		cl, err := client.Dial(addr, client.Options{Conns: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	})
+}
+
+// TestMaxSessions: connections over the cap are closed at accept.
+func TestMaxSessions(t *testing.T) {
+	addr, srv := startServer(t, cedarfs.Config{}, server.Config{MaxSessions: 1})
+	c1, err := client.Dial(addr, client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.Stats(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	// The second session is denied: its connection dies immediately, which
+	// the client observes as a failed call.
+	c2, err := client.Dial(addr, client.Options{Conns: 1})
+	if err == nil {
+		defer c2.Close()
+		if _, err := c2.Stats(t.Context()); err == nil {
+			t.Fatal("second session over MaxSessions=1 served a request")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().SessionsDenied == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("denied session not counted: %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProtocolErrorDropsSession: a malformed frame kills the session (and
+// is counted) without disturbing other sessions.
+func TestProtocolErrorDropsSession(t *testing.T) {
+	addr, srv := startServer(t, cedarfs.Config{}, server.Config{})
+	cl, err := client.Dial(addr, client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// A framed body too short to hold a request header.
+	frame := make([]byte, 4+2)
+	binary.BigEndian.PutUint32(frame, 2)
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the bad session.
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept a session alive after an undecodable frame")
+	}
+	if n := srv.Stats().ProtocolErrors; n == 0 {
+		t.Fatalf("protocol error not counted: %+v", srv.Stats())
+	}
+	// The well-formed session still works.
+	if _, err := cl.Stats(t.Context()); err != nil {
+		t.Fatalf("good session disturbed: %v", err)
+	}
+}
+
+// TestServerStatsCounters: request/error/handle accounting.
+func TestServerStatsCounters(t *testing.T) {
+	addr, srv := startServer(t, cedarfs.Config{}, server.Config{})
+	cl, err := client.Dial(addr, client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := t.Context()
+	h, err := cl.Create(ctx, "stats/probe", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.OpenHandles != 1 || st.Sessions != 1 {
+		t.Fatalf("after create: %+v", st)
+	}
+	if _, err := cl.Open(ctx, "stats/missing", 0); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.OpenHandles != 0 || st.Requests < 3 || st.Errors == 0 {
+		t.Fatalf("final stats: %+v", st)
+	}
+}

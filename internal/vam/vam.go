@@ -137,6 +137,12 @@ func (v *VAM) Commit() {
 // [lo, hi), searching upward from lo when dir > 0 and downward from hi when
 // dir < 0. If no run of want pages exists it returns the largest available
 // run in the region (possibly length 0).
+//
+// The scan walks the bitmap a word at a time — skipping fully allocated
+// words and swallowing fully free ones in one step — because this runs
+// under the allocator lock on every create and extend; a bit-at-a-time
+// scan of the default 600k-page volume was the file server's throughput
+// ceiling under the 10k-client soak.
 func (v *VAM) FindRun(want, lo, hi, dir int) (start, length int) {
 	if lo < 0 {
 		lo = 0
@@ -144,59 +150,85 @@ func (v *VAM) FindRun(want, lo, hi, dir int) (start, length int) {
 	if hi > v.n {
 		hi = v.n
 	}
-	bestStart, bestLen := 0, 0
+	if lo >= hi {
+		return 0, 0
+	}
+	if want < 1 {
+		want = 1
+	}
+	// One ascending scan serves both directions. Upward (dir >= 0) wants
+	// the lowest run of length >= want and can return the moment a run
+	// grows that long. Downward (dir < 0) wants the top `want` pages of
+	// the highest qualifying run, so every qualifying run it passes
+	// replaces the candidate (later = higher); ties in the largest-run
+	// fallback also keep the later (higher) run, matching the old
+	// top-down scan's first-from-the-top behavior.
+	bestStart, bestLen := 0, 0 // largest-run fallback
+	candStart := -1            // dir < 0: top-want window of the highest qualifying run
 	runStart, runLen := -1, 0
-	consider := func(s, l int) bool {
-		if l >= want {
-			if dir < 0 {
-				// Downward: take the top `want` pages of the run.
-				bestStart, bestLen = s+l-want, want
+	closeRun := func() {
+		if runStart < 0 {
+			return
+		}
+		if runLen >= want {
+			candStart = runStart + runLen - want
+		} else if runLen > bestLen || (dir < 0 && runLen == bestLen) {
+			bestStart, bestLen = runStart, runLen
+		}
+		runStart, runLen = -1, 0
+	}
+	w0, w1 := lo/64, (hi-1)/64
+	for wi := w0; wi <= w1; wi++ {
+		word := v.free[wi]
+		if wi == w0 {
+			word &^= 1<<(lo%64) - 1
+		}
+		if wi == w1 {
+			if rem := hi % 64; rem != 0 {
+				word &= 1<<rem - 1
+			}
+		}
+		base := wi * 64
+		if word == 0 {
+			closeRun()
+			continue
+		}
+		if word == ^uint64(0) {
+			if runStart >= 0 && runStart+runLen == base {
+				runLen += 64
 			} else {
-				bestStart, bestLen = s, want
+				closeRun()
+				runStart, runLen = base, 64
 			}
-			return true
-		}
-		if l > bestLen {
-			bestStart, bestLen = s, l
-		}
-		return false
-	}
-	if dir >= 0 {
-		for i := lo; i < hi; i++ {
-			if v.IsFree(i) {
-				if runStart < 0 {
-					runStart, runLen = i, 0
-				}
-				runLen++
-			} else if runStart >= 0 {
-				if consider(runStart, runLen) {
-					return bestStart, bestLen
-				}
-				runStart, runLen = -1, 0
+			if dir >= 0 && runLen >= want {
+				return runStart, want
 			}
+			continue
 		}
-		if runStart >= 0 {
-			consider(runStart, runLen)
-		}
-		return bestStart, bestLen
-	}
-	// Downward scan: find runs from the top.
-	for i := hi - 1; i >= lo; i-- {
-		if v.IsFree(i) {
-			if runStart < 0 {
-				runStart, runLen = i, 0
+		// Mixed word: walk its free segments low to high.
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			ones := bits.TrailingZeros64(^(word >> uint(tz)))
+			segStart := base + tz
+			if runStart >= 0 && segStart == runStart+runLen {
+				runLen += ones
+			} else {
+				closeRun()
+				runStart, runLen = segStart, ones
 			}
-			runStart = i
-			runLen++
-		} else if runLen > 0 {
-			if consider(runStart, runLen) {
-				return bestStart, bestLen
+			if dir >= 0 && runLen >= want {
+				return runStart, want
 			}
-			runStart, runLen = -1, 0
+			if tz+ones >= 64 {
+				word = 0
+			} else {
+				word &^= (1<<uint(ones) - 1) << uint(tz)
+			}
 		}
 	}
-	if runLen > 0 {
-		consider(runStart, runLen)
+	closeRun()
+	if candStart >= 0 {
+		return candStart, want
 	}
 	return bestStart, bestLen
 }

@@ -2,6 +2,7 @@ package vam
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -365,5 +366,120 @@ func TestTrackerFires(t *testing.T) {
 	v.Commit() // merges the shadowed pages: tracked
 	if len(ranges) <= before {
 		t.Fatal("Commit did not fire the tracker")
+	}
+}
+
+// findRunReference is the original bit-at-a-time FindRun, kept as the
+// executable specification for the word-accelerated scan.
+func findRunReference(v *VAM, want, lo, hi, dir int) (start, length int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.Pages() {
+		hi = v.Pages()
+	}
+	bestStart, bestLen := 0, 0
+	runStart, runLen := -1, 0
+	consider := func(s, l int) bool {
+		if l >= want {
+			if dir < 0 {
+				bestStart, bestLen = s+l-want, want
+			} else {
+				bestStart, bestLen = s, want
+			}
+			return true
+		}
+		if l > bestLen {
+			bestStart, bestLen = s, l
+		}
+		return false
+	}
+	if dir >= 0 {
+		for i := lo; i < hi; i++ {
+			if v.IsFree(i) {
+				if runStart < 0 {
+					runStart, runLen = i, 0
+				}
+				runLen++
+			} else if runStart >= 0 {
+				if consider(runStart, runLen) {
+					return bestStart, bestLen
+				}
+				runStart, runLen = -1, 0
+			}
+		}
+		if runStart >= 0 {
+			consider(runStart, runLen)
+		}
+		return bestStart, bestLen
+	}
+	for i := hi - 1; i >= lo; i-- {
+		if v.IsFree(i) {
+			if runStart < 0 {
+				runStart, runLen = i, 0
+			}
+			runStart = i
+			runLen++
+		} else if runLen > 0 {
+			if consider(runStart, runLen) {
+				return bestStart, bestLen
+			}
+			runStart, runLen = -1, 0
+		}
+	}
+	if runLen > 0 {
+		consider(runStart, runLen)
+	}
+	return bestStart, bestLen
+}
+
+// TestFindRunMatchesReference drives the word-accelerated FindRun against
+// the bit-at-a-time reference over randomized bitmaps, windows, and
+// directions, including word-boundary-straddling runs and edge windows.
+func TestFindRunMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 65 + rng.Intn(1000)
+		v := New(n)
+		// Random free regions with a bias toward runs near word edges.
+		for k := 0; k < 1+rng.Intn(20); k++ {
+			p := rng.Intn(n)
+			l := 1 + rng.Intn(100)
+			if p+l > n {
+				l = n - p
+			}
+			v.MarkFree(p, l)
+		}
+		for q := 0; q < 30; q++ {
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo) + 1
+			want := 1 + rng.Intn(80)
+			dir := 1
+			if rng.Intn(2) == 0 {
+				dir = -1
+			}
+			gs, gl := v.FindRun(want, lo, hi, dir)
+			ws, wl := findRunReference(v, want, lo, hi, dir)
+			if gs != ws || gl != wl {
+				t.Fatalf("trial %d: FindRun(%d, %d, %d, %d) = (%d,%d), reference (%d,%d)",
+					trial, want, lo, hi, dir, gs, gl, ws, wl)
+			}
+		}
+	}
+}
+
+func BenchmarkFindRunSparse(b *testing.B) {
+	// The soak shape: a mostly-allocated 600k-page volume with scattered
+	// free fragments and the free tail at the end.
+	n := 600_000
+	v := New(n)
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 2000; k++ {
+		v.MarkFree(rng.Intn(n/2), 1+rng.Intn(3))
+	}
+	v.MarkFree(n-5000, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.FindRun(8, 0, n, 1)
 	}
 }

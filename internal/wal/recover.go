@@ -98,11 +98,6 @@ func (l *Log) Replay(apply Applier) (RecoveryStats, error) {
 	return rs, nil
 }
 
-// RecoverDry is Replay under its historical name.
-//
-// Deprecated: use Replay.
-func (l *Log) RecoverDry(apply Applier) (RecoveryStats, error) { return l.Replay(apply) }
-
 // CompleteRecovery restarts the log empty under a new boot count, so stale
 // records can never be confused with new ones. The caller must first have
 // made every replayed image durable in its home location (and issued a disk

@@ -1,0 +1,217 @@
+package cedarfs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/disk"
+)
+
+// NewLocalFS wraps a mounted Volume in the transport-agnostic FS
+// interface: the in-process implementation the network server serves, and
+// the reference the conformance suite (internal/fstest) holds the remote
+// client against. Closing the FS invalidates it and its handles but does
+// not shut the volume down.
+func NewLocalFS(v *Volume) FS { return &localFS{v: v} }
+
+type localFS struct {
+	v      *Volume
+	closed atomic.Bool
+}
+
+// ctxErr folds the two ways a call can be refused before touching the
+// volume: the context is done, or the FS was closed.
+func (l *localFS) ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (l *localFS) Open(ctx context.Context, name string, version uint32) (Handle, error) {
+	if err := l.ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	f, err := l.v.Open(name, version)
+	if err != nil {
+		return nil, err
+	}
+	return &localHandle{fs: l, f: f}, nil
+}
+
+func (l *localFS) Create(ctx context.Context, name string, data []byte) (Handle, error) {
+	if err := l.ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	f, err := l.v.Create(name, data)
+	if err != nil {
+		return nil, err
+	}
+	return &localHandle{fs: l, f: f}, nil
+}
+
+func (l *localFS) Stat(ctx context.Context, name string, version uint32) (FileInfo, error) {
+	if err := l.ctxErr(ctx); err != nil {
+		return FileInfo{}, err
+	}
+	e, err := l.v.Stat(name, version)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return Info(e), nil
+}
+
+func (l *localFS) List(ctx context.Context, prefix string) ([]FileInfo, error) {
+	if err := l.ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	var out []FileInfo
+	err := l.v.List(prefix, func(e Entry) bool {
+		out = append(out, Info(&e))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (l *localFS) Rename(ctx context.Context, oldName, newName string) error {
+	if err := l.ctxErr(ctx); err != nil {
+		return err
+	}
+	return l.v.Rename(oldName, newName)
+}
+
+func (l *localFS) Delete(ctx context.Context, name string, version uint32) error {
+	if err := l.ctxErr(ctx); err != nil {
+		return err
+	}
+	return l.v.Delete(name, version)
+}
+
+func (l *localFS) SetKeep(ctx context.Context, name string, keep uint16) error {
+	if err := l.ctxErr(ctx); err != nil {
+		return err
+	}
+	return l.v.SetKeep(name, keep)
+}
+
+func (l *localFS) Force(ctx context.Context) (uint64, error) {
+	if err := l.ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	seq := l.v.CommitSeq()
+	if err := l.v.Force(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+func (l *localFS) WaitCommitted(ctx context.Context, seq uint64) error {
+	if err := l.ctxErr(ctx); err != nil {
+		return err
+	}
+	return l.v.WaitCommitted(seq)
+}
+
+func (l *localFS) Stats(ctx context.Context) (FSStats, error) {
+	if err := l.ctxErr(ctx); err != nil {
+		return FSStats{}, err
+	}
+	st := l.v.Stats()
+	ops := st.Ops
+	return FSStats{
+		CommitSeq: l.v.CommitSeq(),
+		Forces:    uint64(st.Commit.Forces),
+		OpsTotal: uint64(ops.Creates + ops.Opens + ops.Deletes + ops.Lists +
+			ops.Reads + ops.Writes + ops.Touches),
+		IntentDepth: uint32(l.v.IntentDepth()),
+		IntentLimit: uint32(l.v.IntentQueueLimit()),
+		Health:      st.Health,
+	}, nil
+}
+
+func (l *localFS) Close() error {
+	l.closed.Store(true)
+	return nil
+}
+
+// IntentDepth exposes the volume's intent-queue depth to the server's
+// backpressure check without a full Stats snapshot per request; see
+// server.Config.BackpressureDepth.
+func (l *localFS) IntentDepth() int { return l.v.IntentDepth() }
+
+// CommitSeq exposes the ack watermark cheaply (an atomic load, vs the full
+// Stats snapshot): the server stamps it on every reply.
+func (l *localFS) CommitSeq() uint64 { return l.v.CommitSeq() }
+
+// localHandle adapts a *core.File. The mutex guards only the closed flag
+// and the info snapshot; file I/O itself relies on File's own locking.
+type localHandle struct {
+	fs *localFS
+
+	mu     sync.Mutex
+	f      *File
+	closed bool
+}
+
+func (h *localHandle) file() (*File, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.fs.closed.Load() {
+		return nil, ErrClosed
+	}
+	return h.f, nil
+}
+
+func (h *localHandle) Info() FileInfo {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.f.Entry()
+	return Info(&e)
+}
+
+func (h *localHandle) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	return f.ReadAt(p, off)
+}
+
+func (h *localHandle) WriteAt(ctx context.Context, p []byte, off int64) (int, uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	f, err := h.file()
+	if err != nil {
+		return 0, 0, err
+	}
+	// The streaming contract: a write past the allocation grows it in
+	// whole pages first (the wire protocol's write-stream op is a sequence
+	// of these).
+	if end := off + int64(len(p)); end > int64(f.Pages())*disk.SectorSize {
+		have := int64(f.Pages()) * disk.SectorSize
+		needPages := int((end - have + disk.SectorSize - 1) / disk.SectorSize)
+		if err := f.Extend(needPages); err != nil {
+			return 0, 0, err
+		}
+	}
+	n, err := f.WriteAt(p, off)
+	return n, h.fs.v.CommitSeq(), err
+}
+
+func (h *localHandle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -10,10 +10,17 @@ cd "$(dirname "$0")/.."
 # Formatting gate: gofmt must have nothing to say.
 test -z "$(gofmt -l . | tee /dev/stderr)"
 
+# Deprecated-name lint: the per-family Volume accessors and the WAL's
+# historical recovery name were removed in favour of Stats() and Replay;
+# new uses must not creep back in. (disk.FaultStats, receiver d, is a
+# different, live API.)
+! grep -rnE --include='*.go' '\.RecoverDry\(|(v|vol)\.(Ops|CacheStats|FaultStats)\(' . \
+	|| { echo "verify: deprecated accessor resurfaced (use Stats() / Replay)"; exit 1; }
+
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/core ./internal/wal ./internal/disk ./internal/bufcache ./internal/intentq ./internal/crashtest
+go test -race ./internal/core ./internal/wal ./internal/disk ./internal/bufcache ./internal/intentq ./internal/crashtest ./internal/server ./internal/wire ./client
 go test ./internal/core -count=1 -run 'TestCrashPointSweep|TestTornLogForceSweep|TestScrubRepairsLatentDecay|TestSalvageAfterDoubleNameTableLoss'
 go test -race ./internal/core -count=1 -run 'TestScrubConcurrentWithReaders'
 # Seeded write-fault sweep (PR 7): retries/remaps/hung-I/O absorption and
@@ -47,3 +54,10 @@ go run ./cmd/benchtab -table tables
 go run ./cmd/benchtab -table datapath
 # Write-fault-path sweep smoke (retry/remap/hung absorption cost grid).
 go run ./cmd/benchtab -table faultpath
+# Loopback server smoke: an in-process listener, the real client, and the
+# shared FS conformance suite through actual sockets (both commit modes).
+go test ./internal/server -count=1 -run 'TestRemoteConformance'
+# Mini-soak: 2000 concurrent simulated clients for 5 seconds against an
+# in-process server; exits nonzero on any protocol error or if the volume
+# leaves the healthy state.
+go run ./cmd/soak -clients 2000 -conns 16 -duration 5s -rate 5 -json /dev/null
