@@ -30,7 +30,11 @@ import (
 type Options struct {
 	// Conns is the connection pool size (default 4).
 	Conns int
-	// MaxFrame bounds accepted reply frames (0 = wire.MaxFrame).
+	// MaxFrame bounds accepted reply frames and the payload the client
+	// packs into one request frame — large writes and reads are chunked
+	// under it, oversized creates fail with ErrBadRequest. It must not
+	// exceed the server's own frame limit (0 = wire.MaxFrame, the shared
+	// default).
 	MaxFrame int
 	// DialTimeout bounds each TCP dial (0 = 10s).
 	DialTimeout time.Duration
@@ -107,6 +111,33 @@ func (c *Client) Close() error {
 func (c *Client) pick() *conn {
 	n := c.next.Add(1)
 	return c.conns[int(n)%len(c.conns)]
+}
+
+// frameSlack is the request-frame overhead budget: the fixed header fields
+// (id, op, handle, offset, lengths) never approach it, and it matches the
+// margin the server applies to read requests.
+const frameSlack = 64
+
+// maxData returns the largest payload one request frame may carry under
+// the configured frame limit. Sending a frame the server's ReadFrame
+// rejects would not fail one call — it would desync and drop the whole
+// session — so the client never builds one.
+func (c *Client) maxData() int {
+	max := c.opts.MaxFrame
+	if max <= 0 {
+		max = wire.MaxFrame
+	}
+	return max - frameSlack
+}
+
+// checkName rejects names the wire format cannot carry: encoding would
+// truncate them (desync-proof, but silently operating on a different
+// name). The volume's own 255-byte cap is enforced server-side.
+func checkName(name string) error {
+	if len(name) > wire.MaxString {
+		return fmt.Errorf("%w: name of %d bytes exceeds wire limit %d", cedarfs.ErrBadRequest, len(name), wire.MaxString)
+	}
+	return nil
 }
 
 // conn is one pooled connection: a locked writer and a reader goroutine
@@ -215,11 +246,13 @@ func (cn *conn) roundTrip(ctx context.Context, q *wire.Request) (*wire.Reply, er
 		cn.cl.noteSeq(p.CommitSeq)
 		return p, nil
 	case <-ctx.Done():
-		// Abandon the wait; the reply, if it ever lands, is dropped by
-		// the buffered channel after deregistration.
-		cn.mu.Lock()
-		delete(cn.pending, q.ID)
-		cn.mu.Unlock()
+		// Abandon the wait but leave the entry registered: the late reply,
+		// if it ever lands, is absorbed by the 1-buffered channel and the
+		// entry is removed by readLoop as usual. Deregistering here would
+		// make readLoop see the reply as one nobody asked for — a protocol
+		// desync — and close the connection under every other in-flight
+		// request. The entry lingers only until the server replies or the
+		// connection dies.
 		return nil, ctx.Err()
 	}
 }
@@ -237,6 +270,9 @@ func (c *Client) noteSeq(seq uint64) {
 // --- FS implementation ---
 
 func (c *Client) Open(ctx context.Context, name string, version uint32) (cedarfs.Handle, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
 	cn := c.pick()
 	p, err := cn.roundTrip(ctx, &wire.Request{Op: wire.OpOpen, Name: name, Version: version})
 	if err != nil {
@@ -246,6 +282,13 @@ func (c *Client) Open(ctx context.Context, name string, version uint32) (cedarfs
 }
 
 func (c *Client) Create(ctx context.Context, name string, data []byte) (cedarfs.Handle, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	if len(data)+len(name) > c.maxData() {
+		return nil, fmt.Errorf("%w: create of %d bytes exceeds frame limit (create empty and stream with WriteAt)",
+			cedarfs.ErrBadRequest, len(data))
+	}
 	cn := c.pick()
 	p, err := cn.roundTrip(ctx, &wire.Request{Op: wire.OpCreate, Name: name, Data: data})
 	if err != nil {
@@ -255,6 +298,9 @@ func (c *Client) Create(ctx context.Context, name string, data []byte) (cedarfs.
 }
 
 func (c *Client) Stat(ctx context.Context, name string, version uint32) (cedarfs.FileInfo, error) {
+	if err := checkName(name); err != nil {
+		return cedarfs.FileInfo{}, err
+	}
 	p, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpStat, Name: name, Version: version})
 	if err != nil {
 		return cedarfs.FileInfo{}, err
@@ -263,6 +309,9 @@ func (c *Client) Stat(ctx context.Context, name string, version uint32) (cedarfs
 }
 
 func (c *Client) List(ctx context.Context, prefix string) ([]cedarfs.FileInfo, error) {
+	if err := checkName(prefix); err != nil {
+		return nil, err
+	}
 	p, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpList, Name: prefix})
 	if err != nil {
 		return nil, err
@@ -271,16 +320,28 @@ func (c *Client) List(ctx context.Context, prefix string) ([]cedarfs.FileInfo, e
 }
 
 func (c *Client) Rename(ctx context.Context, oldName, newName string) error {
+	if err := checkName(oldName); err != nil {
+		return err
+	}
+	if err := checkName(newName); err != nil {
+		return err
+	}
 	_, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpRename, Name: oldName, Name2: newName})
 	return err
 }
 
 func (c *Client) Delete(ctx context.Context, name string, version uint32) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
 	_, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpDelete, Name: name, Version: version})
 	return err
 }
 
 func (c *Client) SetKeep(ctx context.Context, name string, keep uint16) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
 	_, err := c.pick().roundTrip(ctx, &wire.Request{Op: wire.OpSetKeep, Name: name, Keep: keep})
 	return err
 }
@@ -331,42 +392,79 @@ func (h *remoteHandle) guard() error {
 	return nil
 }
 
+// ReadAt issues one read request per frame-limit-sized chunk; a buffer
+// larger than a frame becomes a sequence of reads rather than a request
+// the server would reject.
 func (h *remoteHandle) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
 	if err := h.guard(); err != nil {
 		return 0, err
 	}
-	rep, err := h.cn.roundTrip(ctx, &wire.Request{
-		Op: wire.OpRead, Handle: h.id, Off: uint64(off), N: uint32(len(p)),
-	})
-	if err != nil {
-		return 0, err
+	max := h.cn.cl.maxData()
+	read := 0
+	for {
+		want := len(p) - read
+		if want > max {
+			want = max
+		}
+		rep, err := h.cn.roundTrip(ctx, &wire.Request{
+			Op: wire.OpRead, Handle: h.id, Off: uint64(off) + uint64(read), N: uint32(want),
+		})
+		if err != nil {
+			return read, err
+		}
+		n := copy(p[read:], rep.Data)
+		read += n
+		if n < want {
+			// The server answers a read at/past EOF, or one it could only
+			// partially satisfy, with short data; io.ReaderAt semantics say
+			// that is io.EOF.
+			return read, io.EOF
+		}
+		if read == len(p) {
+			return read, nil
+		}
 	}
-	n := copy(p, rep.Data)
-	if n < len(p) {
-		// The server answers a read at/past EOF, or one it could only
-		// partially satisfy, with short data; io.ReaderAt semantics say
-		// that is io.EOF.
-		return n, io.EOF
-	}
-	return n, nil
 }
 
+// WriteAt streams p as one write request per frame-limit-sized chunk (the
+// wire protocol's write-stream idiom). A payload the server's frame limit
+// cannot hold must never be sent whole: the server drops the entire
+// session on an oversized frame, it does not fail the one call. The
+// returned sequence is the last chunk's ack; waiting on it covers every
+// chunk before it.
 func (h *remoteHandle) WriteAt(ctx context.Context, p []byte, off int64) (int, uint64, error) {
 	if err := h.guard(); err != nil {
 		return 0, 0, err
 	}
-	rep, err := h.cn.roundTrip(ctx, &wire.Request{
-		Op: wire.OpWrite, Handle: h.id, Off: uint64(off), Data: p,
-	})
-	if err != nil {
-		return 0, 0, err
+	max := h.cn.cl.maxData()
+	written := 0
+	var seq uint64
+	for {
+		chunk := p[written:]
+		if len(chunk) > max {
+			chunk = chunk[:max]
+		}
+		rep, err := h.cn.roundTrip(ctx, &wire.Request{
+			Op: wire.OpWrite, Handle: h.id, Off: uint64(off) + uint64(written), Data: chunk,
+		})
+		if err != nil {
+			return written, seq, err
+		}
+		written += int(rep.N)
+		seq = rep.CommitSeq
+		if int(rep.N) < len(chunk) {
+			return written, seq, io.ErrShortWrite
+		}
+		if written >= len(p) {
+			break
+		}
 	}
 	h.mu.Lock()
-	if end := uint64(off) + uint64(rep.N); end > h.info.ByteSize {
+	if end := uint64(off) + uint64(written); end > h.info.ByteSize {
 		h.info.ByteSize = end
 	}
 	h.mu.Unlock()
-	return int(rep.N), rep.CommitSeq, nil
+	return written, seq, nil
 }
 
 func (h *remoteHandle) Close() error {

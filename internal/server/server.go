@@ -214,6 +214,7 @@ func (s *Server) Stats() Stats {
 type session struct {
 	srv  *Server
 	conn net.Conn
+	ctx  context.Context // cancelled once the connection is done
 
 	mu      sync.Mutex
 	handles map[uint32]cedarfs.Handle
@@ -226,9 +227,11 @@ type session struct {
 func (s *Server) serveSession(c net.Conn) {
 	defer s.wg.Done()
 	defer s.sessions.Add(-1)
+	ctx, cancel := context.WithCancel(context.Background())
 	sess := &session{
 		srv:     s,
 		conn:    c,
+		ctx:     ctx,
 		handles: map[uint32]cedarfs.Handle{},
 		replies: make(chan []byte, 64),
 	}
@@ -245,6 +248,11 @@ func (s *Server) serveSession(c net.Conn) {
 		}
 	}()
 	sess.loop()
+	// The connection is done (client went away, or Close killed it):
+	// cancel the session context so parked WaitCommitted goroutines stop
+	// waiting — otherwise a wait for a commit that never lands would wedge
+	// this wg.Wait, and through it Server.Close.
+	cancel()
 	// In-flight WaitCommitted goroutines still hold the channel.
 	sess.wg.Wait()
 	close(sess.replies)
@@ -285,13 +293,21 @@ func (sess *session) loop() {
 		}
 		s.requests.Add(1)
 		if q.Op == wire.OpWaitCommitted {
+			// A sequence above the ack watermark was never handed out by
+			// this server and can never commit; parking on it would hold
+			// the wait (and session teardown) forever. Reject it up front.
+			if q.Seq > s.commitSeq() {
+				sess.send(sess.reply(&q, fmt.Errorf("%w: wait for unissued commit seq %d", cedarfs.ErrBadRequest, q.Seq), nil))
+				continue
+			}
 			// Park the durability wait off the pipeline: requests behind
 			// it keep executing, the reply goes out when the commit
-			// lands.
+			// lands. The session context unparks it if the connection
+			// dies first.
 			sess.wg.Add(1)
 			go func(q wire.Request) {
 				defer sess.wg.Done()
-				err := s.fs.WaitCommitted(context.Background(), q.Seq)
+				err := s.fs.WaitCommitted(sess.ctx, q.Seq)
 				sess.send(sess.reply(&q, err, func(*wire.Reply) {}))
 			}(q)
 			continue
@@ -368,7 +384,7 @@ func (s *Server) commitSeq() uint64 {
 // execute runs one request against the FS and frames the reply.
 func (sess *session) execute(q *wire.Request) []byte {
 	s := sess.srv
-	ctx := context.Background()
+	ctx := sess.ctx
 	switch q.Op {
 	case wire.OpOpen:
 		h, err := s.fs.Open(ctx, q.Name, q.Version)

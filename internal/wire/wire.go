@@ -123,6 +123,10 @@ const (
 	MaxFrame = 16 << 20
 	// HeaderLen is the frame length prefix.
 	HeaderLen = 4
+	// MaxString is the longest string the format can carry (u16 length
+	// prefix). Volume names are far shorter (core caps them at 255 bytes);
+	// only error messages and unvalidated client input can approach it.
+	MaxString = 65535
 )
 
 // Protocol errors.
@@ -173,6 +177,13 @@ func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32
 func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
 
 func appendString(b []byte, s string) []byte {
+	// Truncate consistently with the u16 prefix: a string the prefix cannot
+	// describe must not desync the frame (the peer rejects trailing garbage
+	// by tearing the connection down). Long server error messages lose
+	// their tail; names are length-validated before they get here.
+	if len(s) > MaxString {
+		s = s[:MaxString]
+	}
 	b = appendU16(b, uint16(len(s)))
 	return append(b, s...)
 }

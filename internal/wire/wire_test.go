@@ -167,6 +167,23 @@ func TestReadFrameEnforcesLimit(t *testing.T) {
 	}
 }
 
+// TestLongStringTruncatedConsistently: a string the u16 length prefix
+// cannot describe (a long server error Msg) is truncated consistently with
+// the prefix — the frame still decodes cleanly instead of desyncing as
+// trailing garbage and tearing the connection down.
+func TestLongStringTruncatedConsistently(t *testing.T) {
+	long := string(bytes.Repeat([]byte{'x'}, MaxString+1000))
+	p := Reply{ID: 7, Op: OpStat, Code: 5, Msg: long}
+	body := AppendReply(nil, &p)[HeaderLen:]
+	got, err := DecodeReply(body)
+	if err != nil {
+		t.Fatalf("long-msg frame did not decode: %v", err)
+	}
+	if got.Msg != long[:MaxString] {
+		t.Fatalf("msg truncated inconsistently: got %d bytes", len(got.Msg))
+	}
+}
+
 // TestListCountBomb verifies the decoder rejects a list reply whose claimed
 // entry count cannot fit in the frame, instead of allocating for it.
 func TestListCountBomb(t *testing.T) {

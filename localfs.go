@@ -116,7 +116,23 @@ func (l *localFS) WaitCommitted(ctx context.Context, seq uint64) error {
 	if err := l.ctxErr(ctx); err != nil {
 		return err
 	}
-	return l.v.WaitCommitted(seq)
+	if ctx.Done() == nil {
+		return l.v.WaitCommitted(seq)
+	}
+	// The volume's wait is not cancellable, so run it aside and let the
+	// caller stop waiting — the server parks one goroutine per durability
+	// wait and must be able to reclaim it when the session dies. The inner
+	// goroutine is not leaked indefinitely: the server only parks waits for
+	// already-issued sequences, which commit (or fail with the volume's
+	// error) in bounded time, and WaitCommitted itself forces as needed.
+	done := make(chan error, 1)
+	go func() { done <- l.v.WaitCommitted(seq) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (l *localFS) Stats(ctx context.Context) (FSStats, error) {
@@ -158,6 +174,8 @@ type localHandle struct {
 	mu     sync.Mutex
 	f      *File
 	closed bool
+
+	growMu sync.Mutex // serializes WriteAt's size-check-then-Extend
 }
 
 func (h *localHandle) file() (*File, error) {
@@ -197,14 +215,20 @@ func (h *localHandle) WriteAt(ctx context.Context, p []byte, off int64) (int, ui
 	}
 	// The streaming contract: a write past the allocation grows it in
 	// whole pages first (the wire protocol's write-stream op is a sequence
-	// of these).
+	// of these). Handles are safe for concurrent use, so the size check
+	// and the extension must be one atomic step — two writes racing past
+	// the allocation would otherwise both size their growth off the same
+	// stale page count and over-extend the file.
+	h.growMu.Lock()
 	if end := off + int64(len(p)); end > int64(f.Pages())*disk.SectorSize {
 		have := int64(f.Pages()) * disk.SectorSize
 		needPages := int((end - have + disk.SectorSize - 1) / disk.SectorSize)
 		if err := f.Extend(needPages); err != nil {
+			h.growMu.Unlock()
 			return 0, 0, err
 		}
 	}
+	h.growMu.Unlock()
 	n, err := f.WriteAt(p, off)
 	return n, h.fs.v.CommitSeq(), err
 }

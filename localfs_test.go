@@ -1,0 +1,69 @@
+package cedarfs_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	cedarfs "repro"
+	"repro/internal/disk"
+)
+
+// TestConcurrentWriteGrowNoOverExtend: handles are safe for concurrent use,
+// so two writes racing past the allocation must not both size their growth
+// off the same stale page count. Extend allocates exactly what it is asked
+// for, so any over-extension shows up as surplus pages on the entry. The
+// stale read needs real interleaving inside the grow window to fire, so on
+// a single-CPU machine this is an invariant check more than a reproducer.
+func TestConcurrentWriteGrowNoOverExtend(t *testing.T) {
+	// The stale-read window only opens when writers truly interleave;
+	// ensure the scheduler has more than one P even on a small machine.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	fs := newLocalFS(cedarfs.Config{})(t)
+	ctx := t.Context()
+	const (
+		workers = 16
+		chunk   = 4 * disk.SectorSize
+	)
+	for round := 0; round < 4; round++ {
+		name := "grow/f" + string(rune('a'+round)) + ".bin"
+		h, err := fs.Create(ctx, name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		start := make(chan struct{}) // barrier: maximize write overlap
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p := make([]byte, chunk)
+				for j := range p {
+					p[j] = byte(i)
+				}
+				<-start
+				if _, _, err := h.WriteAt(ctx, p, int64(i*chunk)); err != nil {
+					errs <- err
+				}
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		fi, err := fs.Stat(ctx, name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint32(workers * chunk / disk.SectorSize); fi.Pages != want {
+			t.Fatalf("round %d: %d pages allocated for %d written, want %d (over-extended)",
+				round, fi.Pages, workers*chunk, want)
+		}
+		h.Close()
+	}
+}
