@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, nestedcrash, datapath, faultpath, tables, ablations, all")
+	table := flag.String("table", "all", "which table to regenerate: hw, 1-5, gc, model, recovery, concurrency, robustness, crashsweep, nestedcrash, pfsck, datapath, faultpath, tables, ablations, all")
 	concJSON := flag.String("concurrency-json", "", "also write the concurrency report to this path (e.g. BENCH_concurrency.json)")
 	dataJSON := flag.String("datapath-json", "", "also write the data-path cache report to this path (e.g. BENCH_datapath.json)")
 	tablesJSON := flag.String("tables-json", "", "also write the live-counter tables report to this path (e.g. BENCH_tables.json)")
@@ -32,6 +32,7 @@ func main() {
 	nestedJSON := flag.String("nestedcrash-json", "", "also write the depth-2 nested-crash report to this path (e.g. BENCH_nestedcrash.json)")
 	asyncJSON := flag.String("async-json", "", "also write the async-pipeline report to this path (e.g. BENCH_async.json)")
 	faultJSON := flag.String("faultpath-json", "", "also write the write-fault-path report to this path (e.g. BENCH_faultpath.json)")
+	pfsckJSON := flag.String("pfsck-json", "", "also write the parallel check & repair report to this path (e.g. BENCH_pfsck.json)")
 	flag.Parse()
 
 	type gen struct {
@@ -55,6 +56,7 @@ func main() {
 		{"robustness", bench.Robustness},
 		{"crashsweep", bench.CrashSweep},
 		{"nestedcrash", bench.NestedCrash},
+		{"pfsck", bench.PFsck},
 		{"datapath", bench.DataPath},
 		{"tables", bench.TablesIOs},
 		{"tables", bench.TablesBatching},
@@ -148,6 +150,15 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s (async-adaptive vs staged-fixed at 8 workers %.2fx)\n",
 			*asyncJSON, rep.Speedup8)
+	}
+	if *pfsckJSON != "" {
+		rep, err := bench.WritePFsckJSON(*pfsckJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: pfsck json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (8-worker verify %.2fx, salvage sweep %.2fx)\n",
+			*pfsckJSON, rep.VerifySpeedup8, rep.SalvageSpeedup8)
 	}
 	if *faultJSON != "" {
 		rep, err := bench.WriteFaultPathJSON(*faultJSON)

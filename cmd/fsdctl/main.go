@@ -22,7 +22,10 @@
 //	fsdctl crashcheck -nested [-depth 2] ...       # depth-2: crash the recovery too
 //
 // The -json flag switches verify/fsck, scrub, salvage, stats, and crashcheck
-// to machine-readable JSON on stdout. Exit codes are 0 (success), 1
+// to machine-readable JSON on stdout. The -workers flag sets the pool width
+// of the parallel check-and-repair passes (fsck/verify, scrub, salvage);
+// the default is GOMAXPROCS, and any width produces identical output —
+// parallelism changes only elapsed time. Exit codes are 0 (success), 1
 // (operational error), 2 (usage error), and 3 (the volume mounted but
 // inconsistencies, losses, or oracle violations were found).
 //
@@ -37,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	cedarfs "repro"
@@ -63,15 +67,34 @@ var (
 // flag; a package variable so tests can flip it per run().
 var mountAsync bool
 
+// mountWorkers is the check-and-repair pool width for fsck/verify, scrub,
+// and salvage (the -workers flag; 0 means GOMAXPROCS). Every scan's output
+// is identical at any width — parallelism changes only elapsed time — so a
+// machine-sized default is always safe.
+var mountWorkers int
+
+func cliWorkers() int {
+	if mountWorkers > 0 {
+		return mountWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // cliConfig is the volume configuration for the working mount.
 func cliConfig() cedarfs.Config {
-	return cedarfs.Config{AsyncApply: mountAsync, AdaptiveCommit: mountAsync}
+	return cedarfs.Config{
+		AsyncApply:     mountAsync,
+		AdaptiveCommit: mountAsync,
+		CheckWorkers:   cliWorkers(),
+		ScrubWorkers:   cliWorkers(),
+	}
 }
 
 func main() {
 	img := flag.String("img", "cedar.img", "disk image file")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (verify/fsck, scrub, salvage, stats, crashcheck)")
 	flag.BoolVar(&mountAsync, "async", false, "mount with the asynchronous intent queue and adaptive group commit")
+	flag.IntVar(&mountWorkers, "workers", 0, "check/repair pool width for fsck/verify, scrub, salvage (0 = GOMAXPROCS)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -136,7 +159,7 @@ func run(img string, jsonOut bool, args []string) error {
 		// Do not even try a normal mount: salvage is for images a mount
 		// rejects (both name-table copies gone), and it works — losing
 		// only leader-unreachable files — on any image.
-		v, st, err := cedarfs.Salvage(d, cedarfs.Config{})
+		v, st, err := cedarfs.Salvage(d, cedarfs.Config{CheckWorkers: cliWorkers()})
 		if err != nil {
 			return err
 		}
@@ -147,15 +170,22 @@ func run(img string, jsonOut bool, args []string) error {
 				FilesRecovered   int           `json:"files_recovered"`
 				FilesPartial     int           `json:"files_partial"`
 				ConflictsDropped int           `json:"conflicts_dropped"`
+				Workers          int           `json:"workers"`
 				Problems         []string      `json:"problems"`
 				ElapsedSim       time.Duration `json:"elapsed_sim_ns"`
+				SweepSim         time.Duration `json:"sweep_sim_ns"`
+				RebuildSim       time.Duration `json:"rebuild_sim_ns"`
+				FinalizeSim      time.Duration `json:"finalize_sim_ns"`
 			}{st.SectorsScanned, st.DamagedSectors, st.FilesRecovered,
-				st.FilesPartial, st.ConflictsDropped, jsonProblems(st.Problems), st.Elapsed}); err != nil {
+				st.FilesPartial, st.ConflictsDropped, st.Workers, jsonProblems(st.Problems),
+				st.Elapsed, st.SweepElapsed, st.RebuildElapsed, st.FinalizeElapsed}); err != nil {
 				return err
 			}
 		} else {
-			fmt.Printf("salvage scanned %d sectors (%d damaged) in %v simulated\n",
-				st.SectorsScanned, st.DamagedSectors, st.Elapsed.Round(1e6))
+			fmt.Printf("salvage scanned %d sectors (%d damaged) in %v simulated (%d workers)\n",
+				st.SectorsScanned, st.DamagedSectors, st.Elapsed.Round(1e6), st.Workers)
+			fmt.Printf("phases: sweep %v, rebuild %v, finalize %v\n",
+				st.SweepElapsed.Round(1e6), st.RebuildElapsed.Round(1e6), st.FinalizeElapsed.Round(1e6))
 			fmt.Printf("recovered %d files (%d truncated, %d stale leaders dropped)\n",
 				st.FilesRecovered, st.FilesPartial, st.ConflictsDropped)
 			for _, p := range st.Problems {
@@ -302,15 +332,22 @@ func run(img string, jsonOut bool, args []string) error {
 				LeadersPending int           `json:"leaders_pending"`
 				Symlinks       int           `json:"symlinks"`
 				Consistent     bool          `json:"consistent"`
+				Workers        int           `json:"workers"`
 				Problems       []string      `json:"problems"`
 				ElapsedSim     time.Duration `json:"elapsed_sim_ns"`
+				WalkSim        time.Duration `json:"walk_sim_ns"`
+				CheckSim       time.Duration `json:"check_sim_ns"`
+				LeaderSim      time.Duration `json:"leader_sim_ns"`
 			}{st.Entries, st.Leaders, st.LeadersPending, st.Symlinks,
-				len(st.Problems) == 0, jsonProblems(st.Problems), st.Elapsed}); err != nil {
+				len(st.Problems) == 0, st.Workers, jsonProblems(st.Problems),
+				st.Elapsed, st.WalkElapsed, st.CheckElapsed, st.LeaderElapsed}); err != nil {
 				return err
 			}
 		} else {
-			fmt.Printf("verified %d entries, %d leaders (%d pending) in %v simulated\n",
-				st.Entries, st.Leaders, st.LeadersPending, st.Elapsed.Round(1e6))
+			fmt.Printf("verified %d entries, %d leaders (%d pending) in %v simulated (%d workers)\n",
+				st.Entries, st.Leaders, st.LeadersPending, st.Elapsed.Round(1e6), st.Workers)
+			fmt.Printf("phases: walk %v, check %v, leaders %v\n",
+				st.WalkElapsed.Round(1e6), st.CheckElapsed.Round(1e6), st.LeaderElapsed.Round(1e6))
 			if len(st.Problems) == 0 {
 				fmt.Println("volume consistent")
 			} else {

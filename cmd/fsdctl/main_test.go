@@ -424,3 +424,67 @@ func TestStatsCommand(t *testing.T) {
 		t.Fatalf("async stats -json missing pipeline state: %+v", st.Intent)
 	}
 }
+
+func TestCLIWorkersFlag(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "vol.img")
+	if err := run(img, false, []string{"format"}); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"w/a.txt", "w/b.txt", "w/c.txt"} {
+		withStdin(t, bytes.Repeat([]byte{'x'}, 600+i*300), func() {
+			if err := run(img, false, []string{"put", name}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	// verify -json at two explicit widths: the reports must agree on
+	// everything except the worker count and the elapsed phases.
+	type report struct {
+		Entries    int      `json:"entries"`
+		Consistent bool     `json:"consistent"`
+		Workers    int      `json:"workers"`
+		Problems   []string `json:"problems"`
+	}
+	verifyAt := func(workers int) report {
+		mountWorkers = workers
+		defer func() { mountWorkers = 0 }()
+		out := captureStdout(t, func() {
+			if err := run(img, true, []string{"verify"}); err != nil {
+				t.Fatalf("verify -workers %d: %v", workers, err)
+			}
+		})
+		var r report
+		if err := json.Unmarshal(out, &r); err != nil {
+			t.Fatalf("verify JSON: %v\n%s", err, out)
+		}
+		return r
+	}
+	seq, wide := verifyAt(1), verifyAt(4)
+	if seq.Workers != 1 || wide.Workers != 4 {
+		t.Fatalf("reported workers %d and %d, want 1 and 4", seq.Workers, wide.Workers)
+	}
+	if seq.Entries != wide.Entries || !seq.Consistent || !wide.Consistent ||
+		len(seq.Problems) != 0 || len(wide.Problems) != 0 {
+		t.Fatalf("width changed the verify report: %+v vs %+v", seq, wide)
+	}
+
+	// salvage honors the width too and reports it with the phase split.
+	mountWorkers = 4
+	defer func() { mountWorkers = 0 }()
+	var sv struct {
+		FilesRecovered int `json:"files_recovered"`
+		Workers        int `json:"workers"`
+	}
+	out := captureStdout(t, func() {
+		if err := run(img, true, []string{"salvage"}); err != nil {
+			t.Fatalf("salvage -workers 4: %v", err)
+		}
+	})
+	if err := json.Unmarshal(out, &sv); err != nil {
+		t.Fatalf("salvage JSON: %v\n%s", err, out)
+	}
+	if sv.Workers != 4 || sv.FilesRecovered != 3 {
+		t.Fatalf("unexpected salvage report: %+v", sv)
+	}
+}

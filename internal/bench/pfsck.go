@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The parallel check & repair experiment (pFSCK). Verify and the salvage
+// sweep run on a shared worker pool (internal/parscan); this benchmark
+// sweeps the pool width over the same seeded image and reports the
+// speedup-vs-workers curve for both passes, committed as BENCH_pfsck.json.
+//
+// Timing model. The simulated disk serializes under its mutex, so a run at
+// width k cannot overlap device time with itself; what parallelism buys is
+// overlapping check CPU with the single ordered device sweep. The
+// sequential run exposes both components exactly — at one worker the pool's
+// critical-path charge equals its total CPU, so
+//
+//	elapsed(1) = disk + cpu
+//
+// and the pipelined bound for k workers is
+//
+//	elapsed(k) = max(disk, cpu/k)
+//
+// with disk and cpu measured, not assumed: disk = elapsed(1) - cpu(1), and
+// cpu(1) is the pool's own accounting (CheckCPU / SweepCPU), which the
+// benchmark asserts is identical at every width. measured_s is the raw
+// simulated elapsed of each run as executed (the coordinator lump-charges
+// the pool's critical path, so it equals disk + cpu/k up to imbalance).
+//
+// Correctness is asserted, not sampled: every width must produce
+// byte-identical Problems / VerifyStats counts and byte-identical
+// normalized SalvageStats, or the benchmark fails.
+
+// PFsckRun is one worker-count point on a curve.
+type PFsckRun struct {
+	Workers   int     `json:"workers"`
+	ElapsedS  float64 `json:"elapsed_s"`  // modeled: max(disk, cpu/k)
+	MeasuredS float64 `json:"measured_s"` // raw simulated elapsed of the run
+	Speedup   float64 `json:"speedup"`    // modeled, vs the 1-worker run
+	Steals    int     `json:"steals"`
+}
+
+// PFsckReport is what BENCH_pfsck.json holds.
+type PFsckReport struct {
+	Model   string `json:"model"`
+	Files   int    `json:"files"`
+	Entries int    `json:"entries"`
+
+	VerifyDiskS    float64    `json:"verify_disk_s"`
+	VerifyCPUS     float64    `json:"verify_cpu_s"`
+	Verify         []PFsckRun `json:"verify"`
+	VerifySpeedup8 float64    `json:"verify_speedup_8"`
+
+	SweepSectors    int        `json:"sweep_sectors"`
+	SweepDiskS      float64    `json:"sweep_disk_s"`
+	SweepCPUS       float64    `json:"sweep_cpu_s"`
+	Salvage         []PFsckRun `json:"salvage_sweep"`
+	SalvageSpeedup8 float64    `json:"salvage_sweep_speedup_8"`
+}
+
+const pfsckModel = "elapsed(1)=disk+cpu measured on the sequential run; " +
+	"elapsed(k)=max(disk, cpu/k): width overlaps check CPU with one ordered device sweep; " +
+	"identical Problems/stats asserted at every width"
+
+// pfsckNormalize zeroes the SalvageStats fields legitimately dependent on
+// width or scheduling, leaving everything the determinism contract covers.
+func pfsckNormalize(st core.SalvageStats) core.SalvageStats {
+	st.Elapsed = 0
+	st.SweepElapsed = 0
+	st.SweepCPU = 0
+	st.RebuildElapsed = 0
+	st.FinalizeElapsed = 0
+	st.Steals = 0
+	st.Workers = 0
+	return st
+}
+
+func pfsckModelElapsed(diskS, cpuS float64, k int) float64 {
+	if k <= 1 {
+		return diskS + cpuS
+	}
+	if p := cpuS / float64(k); p > diskS {
+		return p
+	}
+	return diskS
+}
+
+// pfsckRun populates one image and sweeps both passes over widths. The
+// first width must be 1: it is the baseline the model and the determinism
+// oracle are anchored to.
+func pfsckRun(totalBytes int64, maxFile int, widths []int) (PFsckReport, error) {
+	rep := PFsckReport{Model: pfsckModel}
+	if len(widths) == 0 || widths[0] != 1 {
+		return rep, fmt.Errorf("pfsck: widths must start with the 1-worker baseline")
+	}
+
+	fe, err := newFSD(fsdBenchConfig())
+	if err != nil {
+		return rep, err
+	}
+	names, err := workload.PopulateVolume(fe.t, newRng(23), totalBytes, maxFile)
+	if err != nil {
+		return rep, err
+	}
+	rep.Files = len(names)
+	if err := fe.v.Shutdown(); err != nil {
+		return rep, err
+	}
+
+	// Verify curve: each width mounts its own clone of the clean image.
+	var verifySig string
+	var baseModel float64
+	for i, k := range widths {
+		cfg := fsdBenchConfig()
+		cfg.CheckWorkers = k
+		dc := fe.d.Clone(sim.NewVirtualClock())
+		v, _, err := core.Mount(dc, cfg)
+		if err != nil {
+			return rep, fmt.Errorf("pfsck: mount (workers=%d): %w", k, err)
+		}
+		st, err := v.Verify()
+		if err != nil {
+			return rep, fmt.Errorf("pfsck: verify (workers=%d): %w", k, err)
+		}
+		v.Crash()
+		sig := fmt.Sprintf("%d/%d/%d/%d cpu=%s %v",
+			st.Entries, st.Leaders, st.LeadersPending, st.Symlinks, st.CheckCPU, st.Problems)
+		if i == 0 {
+			verifySig = sig
+			rep.Entries = st.Entries
+			rep.VerifyCPUS = st.CheckCPU.Seconds()
+			rep.VerifyDiskS = st.Elapsed.Seconds() - rep.VerifyCPUS
+			baseModel = pfsckModelElapsed(rep.VerifyDiskS, rep.VerifyCPUS, 1)
+		} else if sig != verifySig {
+			return rep, fmt.Errorf("pfsck: verify output diverges at workers=%d:\n got %s\nwant %s", k, sig, verifySig)
+		}
+		model := pfsckModelElapsed(rep.VerifyDiskS, rep.VerifyCPUS, k)
+		rep.Verify = append(rep.Verify, PFsckRun{
+			Workers: k, ElapsedS: model, MeasuredS: st.Elapsed.Seconds(),
+			Speedup: baseModel / model, Steals: st.Steals,
+		})
+		if k == 8 {
+			rep.VerifySpeedup8 = baseModel / model
+		}
+	}
+
+	// Salvage curve: destroy both name-table copies once, then each width
+	// salvages its own clone of the destroyed image.
+	fe.v.DestroyNameTable()
+	var salvageSig string
+	for i, k := range widths {
+		cfg := fsdBenchConfig()
+		cfg.CheckWorkers = k
+		dc := fe.d.Clone(sim.NewVirtualClock())
+		v, st, err := core.Salvage(dc, cfg)
+		if err != nil {
+			return rep, fmt.Errorf("pfsck: salvage (workers=%d): %w", k, err)
+		}
+		v.Crash()
+		if st.FilesRecovered < rep.Files {
+			return rep, fmt.Errorf("pfsck: salvage (workers=%d) recovered %d of %d files", k, st.FilesRecovered, rep.Files)
+		}
+		sig := fmt.Sprintf("%+v", pfsckNormalize(st))
+		if i == 0 {
+			salvageSig = sig
+			rep.SweepSectors = st.SectorsScanned
+			rep.SweepCPUS = st.SweepCPU.Seconds()
+			rep.SweepDiskS = st.SweepElapsed.Seconds() - rep.SweepCPUS
+			baseModel = pfsckModelElapsed(rep.SweepDiskS, rep.SweepCPUS, 1)
+		} else if sig != salvageSig {
+			return rep, fmt.Errorf("pfsck: salvage output diverges at workers=%d:\n got %s\nwant %s", k, sig, salvageSig)
+		}
+		model := pfsckModelElapsed(rep.SweepDiskS, rep.SweepCPUS, k)
+		rep.Salvage = append(rep.Salvage, PFsckRun{
+			Workers: k, ElapsedS: model, MeasuredS: st.SweepElapsed.Seconds(),
+			Speedup: baseModel / model, Steals: st.Steals,
+		})
+		if k == 8 {
+			rep.SalvageSpeedup8 = baseModel / model
+		}
+	}
+	return rep, nil
+}
+
+// PFsckReportRun is the full experiment: a large seeded image (a few
+// thousand files in the workload's mixed size distribution, where the
+// per-page cross-check CPU dominates the ordered device sweeps) swept at
+// widths 1..16.
+func PFsckReportRun() (PFsckReport, error) {
+	return pfsckRun(60_000_000, 64*1024, []int{1, 2, 4, 8, 16})
+}
+
+// WritePFsckJSON runs the experiment and records it at path
+// (BENCH_pfsck.json at the repo root).
+func WritePFsckJSON(path string) (PFsckReport, error) {
+	rep, err := PFsckReportRun()
+	if err != nil {
+		return rep, err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return rep, err
+	}
+	return rep, os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// PFsck renders a bounded smoke of the experiment as a benchtab table: a
+// small population and two widths, enough to exercise the parallel paths
+// and the determinism assertions in CI without the full curve's cost.
+func PFsck() (Table, error) {
+	rep, err := pfsckRun(6_000_000, 64*1024, []int{1, 4})
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "PFsck",
+		Title:  "Parallel check & repair: Verify and salvage sweep vs pool width (smoke)",
+		Header: []string{"Workers", "Verify (s)", "Speedup", "Sweep (s)", "Speedup"},
+		Notes: []string{
+			fmt.Sprintf("%d files, %d entries; full curve in BENCH_pfsck.json", rep.Files, rep.Entries),
+			rep.Model,
+		},
+	}
+	for i := range rep.Verify {
+		vr, sr := rep.Verify[i], rep.Salvage[i]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(vr.Workers),
+			fmt.Sprintf("%.1f", vr.ElapsedS),
+			fmt.Sprintf("%.2fx", vr.Speedup),
+			fmt.Sprintf("%.1f", sr.ElapsedS),
+			fmt.Sprintf("%.2fx", sr.Speedup),
+		})
+	}
+	return t, nil
+}

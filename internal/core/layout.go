@@ -136,6 +136,12 @@ type Config struct {
 	// background goroutine running a full Scrub pass at that period.
 	// Virtual-clock volumes scrub via explicit Scrub() calls.
 	ScrubInterval time.Duration
+	// CheckWorkers sets the worker-pool width of the check-and-repair
+	// scans: Verify's entry walk and leader cross-check, and Salvage's
+	// whole-disk sweep. 0 or 1 runs them sequentially. The result of
+	// every scan is identical at any width — parallelism changes only
+	// elapsed time.
+	CheckWorkers int
 }
 
 func (c Config) mountWorkers() int {
@@ -276,6 +282,13 @@ func (c Config) scrubWorkers() int {
 		return 1
 	}
 	return c.ScrubWorkers
+}
+
+func (c Config) checkWorkers() int {
+	if c.CheckWorkers <= 1 {
+		return 1
+	}
+	return c.CheckWorkers
 }
 
 // layout describes where everything lives on the volume. The boot pages sit

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/btree"
 	"repro/internal/disk"
+	"repro/internal/parscan"
 	"repro/internal/sim"
 	"repro/internal/vam"
 	"repro/internal/wal"
@@ -58,6 +60,18 @@ type SalvageStats struct {
 	Checkpoints      int    // progress checkpoints written during this run
 	Problems         []string
 	Elapsed          time.Duration
+
+	// Parallel-sweep accounting (ISSUE 10). Workers is the pool width of
+	// the sweep; Steals counts work-stealing migrations (load-balance
+	// diagnostics — nondeterministic, excluded from output equality). The
+	// phase splits let fsdctl and the pfsck bench separate the sweep from
+	// the single-applier rebuild.
+	Workers         int
+	Steals          int
+	SweepElapsed    time.Duration
+	SweepCPU        time.Duration // total worker CPU spent decoding the sweep
+	RebuildElapsed  time.Duration // resolve + rebuild (single applier)
+	FinalizeElapsed time.Duration
 }
 
 func (st *SalvageStats) addProblem(format string, args ...interface{}) {
@@ -341,26 +355,24 @@ func (r *salvageRun) loadManifest(ck salvageCheckpoint) bool {
 	return true
 }
 
-// sweep is phase 1: one sequential pass of the data region looking for
-// leader pages. A candidate must decode, and its first run must start at its
-// own address — a leader names itself as the file's first page, which
-// rejects byte-for-byte copies of leaders living inside file data. Progress
-// (cursor plus manifest) is flushed periodically so a crash resumes from the
-// cursor instead of sector zero.
-func (r *salvageRun) sweep(from int) error {
-	lay, st, v := r.lay, r.st, r.v
+// sweepChunk is one read unit of the sweep's chunk table: the same
+// (addr, n) sequence the original sequential loop produced, precomputed so
+// a worker pool can pull chunks while the merger consumes them in order.
+type sweepChunk struct {
+	addr, n int
+}
+
+// sweepChunks lists the data-region chunks from the cursor on: transfers
+// of up to MaxTransferSectors, clamped at the metadata range (which the
+// sweep skips) and the end of the volume.
+func (r *salvageRun) sweepChunks(from int) []sweepChunk {
+	lay := r.lay
 	metaLo, metaHi := lay.logBase, lay.vamBase+lay.vamSectors
-	// The first checkpoint precedes any destructive write (the manifest
-	// overwrites name-table copy B): once it lands, plain mounts refuse
-	// the volume until salvage finishes.
-	if err := r.flush(salvageSweep, from); err != nil {
-		return err
-	}
 	addr := from
 	if addr < lay.dataLo {
 		addr = lay.dataLo
 	}
-	chunks := 0
+	var chunks []sweepChunk
 	for addr < lay.total {
 		if addr >= metaLo && addr < metaHi {
 			addr = metaHi
@@ -373,54 +385,168 @@ func (r *salvageRun) sweep(from int) error {
 		if addr+n > lay.total {
 			n = lay.total - addr
 		}
-		buf, err := r.read(addr, n)
-		if err != nil {
-			if errors.Is(err, disk.ErrHalted) {
-				return err
-			}
-			// Damage aborts a multi-sector transfer; fall back to
-			// singles so one bad sector costs one sector.
-			buf = make([]byte, 0, n*disk.SectorSize)
-			for i := 0; i < n; i++ {
-				one, rerr := r.read(addr+i, 1)
-				if rerr != nil {
-					if errors.Is(rerr, disk.ErrHalted) {
-						return rerr
-					}
-					st.DamagedSectors++
-					r.damaged = append(r.damaged, addr+i)
-					r.manifest = append(r.manifest, uint32(addr+i)|salvageDamagedBit)
-					one = make([]byte, disk.SectorSize)
-				}
-				buf = append(buf, one...)
-			}
-		}
-		st.SectorsScanned += n
-		v.cpu.Charge(time.Duration(n) * sim.CostLabelInterpret)
-		for i := 0; i < n; i++ {
-			sec := buf[i*disk.SectorSize : (i+1)*disk.SectorSize]
-			if binary.BigEndian.Uint32(sec) != leaderMagic {
-				continue
-			}
-			v.cpu.Charge(csumCost)
-			e, total, ok := decodeLeaderEntry(sec)
-			if !ok || len(e.Runs) == 0 || int(e.Runs[0].Start) != addr+i {
-				continue
-			}
-			if r.seen[addr+i] {
-				continue
-			}
-			r.seen[addr+i] = true
-			st.CandidateLeaders++
-			r.cands = append(r.cands, salvageCand{e, total})
-			r.manifest = append(r.manifest, uint32(addr+i))
-		}
+		chunks = append(chunks, sweepChunk{addr, n})
 		addr += n
-		if chunks++; chunks%32 == 0 {
-			if err := r.flush(salvageSweep, addr); err != nil {
+	}
+	return chunks
+}
+
+// sweepChunkResult is what one swept chunk contributes, in address order
+// within the chunk: unreadable sectors and structurally valid candidate
+// leaders. The merger folds results strictly in chunk order, so the
+// manifest, the stats, and the checkpoint cursor are identical at every
+// worker count.
+type sweepChunkResult struct {
+	damaged []int
+	cands   []salvageCand
+}
+
+// readChunkData reads one sweep chunk, falling back to single sectors when
+// damage aborts the bulk transfer so one bad sector costs one sector. The
+// damaged list is returned rather than recorded: the caller may be a pool
+// worker, and global state belongs to the merger.
+func (r *salvageRun) readChunkData(addr, n int) (buf []byte, damaged []int, err error) {
+	buf, err = r.read(addr, n)
+	if err == nil {
+		return buf, nil, nil
+	}
+	if errors.Is(err, disk.ErrHalted) {
+		return nil, nil, err
+	}
+	buf = make([]byte, 0, n*disk.SectorSize)
+	for i := 0; i < n; i++ {
+		one, rerr := r.read(addr+i, 1)
+		if rerr != nil {
+			if errors.Is(rerr, disk.ErrHalted) {
+				return nil, nil, rerr
+			}
+			damaged = append(damaged, addr+i)
+			one = make([]byte, disk.SectorSize)
+		}
+		buf = append(buf, one...)
+	}
+	return buf, damaged, nil
+}
+
+// sweepChunkScan decodes one chunk's sectors into its result slot,
+// charging the decode cost to the worker.
+func (r *salvageRun) sweepChunkScan(w *parscan.Worker, ch sweepChunk, res *sweepChunkResult) error {
+	buf, damaged, err := r.readChunkData(ch.addr, ch.n)
+	if err != nil {
+		return err
+	}
+	res.damaged = damaged
+	cpu := time.Duration(ch.n) * sim.CostLabelInterpret
+	for i := 0; i < ch.n; i++ {
+		sec := buf[i*disk.SectorSize : (i+1)*disk.SectorSize]
+		if binary.BigEndian.Uint32(sec) != leaderMagic {
+			continue
+		}
+		cpu += csumCost
+		e, total, ok := decodeLeaderEntry(sec)
+		if !ok || len(e.Runs) == 0 || int(e.Runs[0].Start) != ch.addr+i {
+			continue
+		}
+		res.cands = append(res.cands, salvageCand{e, total})
+	}
+	w.Charge(cpu)
+	for range damaged {
+		w.Fault()
+	}
+	return nil
+}
+
+// sweep is phase 1: one pass of the data region looking for leader pages.
+// A candidate must decode, and its first run must start at its own
+// address — a leader names itself as the file's first page, which rejects
+// byte-for-byte copies of leaders living inside file data.
+//
+// The pass is parallel across Config.CheckWorkers: stealing workers read
+// and decode chunks, while this goroutine — the merger — folds finished
+// results strictly in chunk order. Everything order-dependent stays with
+// the merger: the seen-address dedup, the append-only manifest, the stats,
+// and the periodic flush. The checkpoint cursor therefore advances only
+// past the fully-merged contiguous prefix, which preserves the PR 8
+// resume contract exactly: a crash mid-sweep resumes from a cursor whose
+// manifest prefix describes every sector before it, never a sector some
+// straggler worker hadn't finished.
+func (r *salvageRun) sweep(from int) error {
+	lay, st, v := r.lay, r.st, r.v
+	// The first checkpoint precedes any destructive write (the manifest
+	// overwrites name-table copy B): once it lands, plain mounts refuse
+	// the volume until salvage finishes.
+	if err := r.flush(salvageSweep, from); err != nil {
+		return err
+	}
+	sweepStart := v.clk.Now()
+	chunks := r.sweepChunks(from)
+	st.Workers = r.cfg.checkWorkers()
+
+	results := make([]sweepChunkResult, len(chunks))
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	done := make([]bool, len(chunks))
+	failedAt := len(chunks) // lowest chunk index that failed
+
+	pool := parscan.Start(st.Workers, len(chunks), func(w *parscan.Worker, c int) error {
+		err := r.sweepChunkScan(w, chunks[c], &results[c])
+		mu.Lock()
+		if err != nil && c < failedAt {
+			failedAt = c
+		}
+		done[c] = true
+		cond.Broadcast()
+		mu.Unlock()
+		return err
+	})
+
+	merged := 0
+	for c := range chunks {
+		mu.Lock()
+		for !done[c] && failedAt > c {
+			cond.Wait()
+		}
+		failed := failedAt <= c
+		mu.Unlock()
+		if failed {
+			break
+		}
+		ch, res := chunks[c], &results[c]
+		st.SectorsScanned += ch.n
+		for _, bad := range res.damaged {
+			st.DamagedSectors++
+			r.damaged = append(r.damaged, bad)
+			r.manifest = append(r.manifest, uint32(bad)|salvageDamagedBit)
+		}
+		for _, cand := range res.cands {
+			addr := int(cand.e.Runs[0].Start)
+			if r.seen[addr] {
+				continue
+			}
+			r.seen[addr] = true
+			st.CandidateLeaders++
+			r.cands = append(r.cands, cand)
+			r.manifest = append(r.manifest, uint32(addr))
+		}
+		if merged++; merged%32 == 0 {
+			if err := r.flush(salvageSweep, ch.addr+ch.n); err != nil {
+				pool.Cancel()
+				pool.Wait()
 				return err
 			}
 		}
+	}
+
+	stats, err := pool.Wait()
+	// The merger, not the workers, charges the pool's CPU critical path —
+	// the balanced share, which is deterministic and at one worker equals
+	// the sequential total.
+	v.cpu.Charge(stats.BalancedCPU())
+	st.SweepCPU = stats.TotalCPU()
+	st.Steals = stats.Steals()
+	st.SweepElapsed = v.clk.Now() - sweepStart
+	if err != nil {
+		return err
 	}
 	return r.flush(salvageSweep, lay.total)
 }
@@ -799,25 +925,31 @@ func Salvage(d *disk.Disk, cfg Config) (*Volume, SalvageStats, error) {
 		}
 	}
 
+	st.Workers = cfg.checkWorkers()
 	if entry == salvageFinalize {
 		if err := r.resumeFinalize(); err != nil {
 			return nil, st, err
 		}
+		st.FinalizeElapsed = clk.Now() - start
 	} else {
 		if entry == salvageSweep {
 			if err := r.sweep(sweepFrom); err != nil {
 				return nil, st, err
 			}
 		}
+		rebuildStart := clk.Now()
 		if err := r.resolve(); err != nil {
 			return nil, st, err
 		}
 		if err := r.rebuild(); err != nil {
 			return nil, st, err
 		}
+		st.RebuildElapsed = clk.Now() - rebuildStart
+		finalizeStart := clk.Now()
 		if err := r.finalize(); err != nil {
 			return nil, st, err
 		}
+		st.FinalizeElapsed = clk.Now() - finalizeStart
 	}
 
 	st.Elapsed = clk.Now() - start

@@ -4,11 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/parscan"
 )
 
 // The online scrubber: the active half of the paper's cheap-redundancy
@@ -107,15 +107,24 @@ func (v *Volume) faultStats() FaultStats {
 // readSectorsRetry reads with bounded in-place retries: a transient fault
 // clears on another revolution; a genuine latent error keeps failing and
 // surfaces to the caller, who repairs from a duplicate or reports loss.
+// During the mount recovery window the retries also charge the error
+// budget — recovery limping through decayed media is a health event — but
+// in steady state they only count: a scrub retrying damage it is about to
+// repair must not demote the volume for doing its job.
 func (v *Volume) readSectorsRetry(addr, n int) ([]byte, error) {
 	buf, err := v.d.ReadSectors(addr, n)
 	var de *disk.DamagedError
+	retried := 0
 	for tries := 0; err != nil && errors.As(err, &de) && tries < v.cfg.readRetries(); tries++ {
 		v.faults.retries.Add(1)
+		retried++
 		buf, err = v.d.ReadSectors(addr, n)
 		if err == nil {
 			v.faults.retriedOK.Add(1)
 		}
+	}
+	if retried > 0 && v.recovering.Load() {
+		v.chargeBudget(int64(retried)*weightRetry, "recovery read retries")
 	}
 	return buf, err
 }
@@ -223,46 +232,25 @@ func (v *Volume) scrubRoots(st *ScrubStats) {
 	}
 }
 
-// scrubNameTable cross-checks both home copies of every name-table page,
-// fanning out over ScrubWorkers (the pFSCK-style pattern from the mount
-// path). Single-copy volumes have nothing to cross-check.
+// scrubNameTable cross-checks both home copies of every name-table page on
+// the shared parscan pool (one chunk per page, ScrubWorkers wide, work
+// stealing across pages whose repairs run long). Results merge per page in
+// page order, so the problem report is deterministic at any worker count.
+// Single-copy volumes have nothing to cross-check.
 func (v *Volume) scrubNameTable(st *ScrubStats) error {
 	if v.cfg.SingleCopyNT {
 		return nil
 	}
 	ids := v.lay.ntPages
-	workers := v.cfg.scrubWorkers()
-	if workers > ids {
-		workers = ids
-	}
-	if workers <= 1 {
-		for id := 0; id < ids; id++ {
-			v.scrubNTPage(uint32(id), st)
-		}
+	parts := make([]ScrubStats, ids)
+	if _, err := parscan.Run(v.cfg.scrubWorkers(), ids, func(_ *parscan.Worker, c int) error {
+		v.scrubNTPage(uint32(c), &parts[c])
 		return nil
+	}); err != nil {
+		return err
 	}
-	parts := make([]ScrubStats, workers)
-	chunk := (ids + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > ids {
-			hi = ids
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(part *ScrubStats, lo, hi int) {
-			defer wg.Done()
-			for id := lo; id < hi; id++ {
-				v.scrubNTPage(uint32(id), part)
-			}
-		}(&parts[w], lo, hi)
-	}
-	wg.Wait()
-	for _, part := range parts {
-		st.merge(part)
+	for i := range parts {
+		st.merge(parts[i])
 	}
 	return nil
 }
@@ -349,15 +337,31 @@ func (v *Volume) scrubLeaders(st *ScrubStats) error {
 	if err != nil {
 		return err
 	}
-	for _, ref := range refs {
-		if v.closed.Load() {
-			return nil
+	// The leader walk joins the NT fanout on the same pool: chunks of
+	// refs pulled by stealing workers, per-chunk stats merged in chunk
+	// order so repairs and problems report deterministically.
+	const chunkRefs = 32
+	chunks := (len(refs) + chunkRefs - 1) / chunkRefs
+	parts := make([]ScrubStats, chunks)
+	_, perr := parscan.Run(v.cfg.scrubWorkers(), chunks, func(_ *parscan.Worker, c int) error {
+		lo, hi := c*chunkRefs, (c+1)*chunkRefs
+		if hi > len(refs) {
+			hi = len(refs)
 		}
-		if err := v.scrubLeader(ref.name, ref.ver, st); err != nil {
-			return err
+		for _, ref := range refs[lo:hi] {
+			if v.closed.Load() {
+				return nil
+			}
+			if err := v.scrubLeader(ref.name, ref.ver, &parts[c]); err != nil {
+				return err
+			}
 		}
+		return nil
+	})
+	for i := range parts {
+		st.merge(parts[i])
 	}
-	return nil
+	return perr
 }
 
 func (v *Volume) scrubLeader(name string, ver uint32, st *ScrubStats) error {

@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"repro/internal/disk"
+	"repro/internal/parscan"
 	"repro/internal/sim"
 )
 
@@ -13,8 +16,37 @@ type VerifyStats struct {
 	Leaders        int
 	LeadersPending int // deferred leaders verified from memory
 	Symlinks       int
-	Problems       []string
-	Elapsed        time.Duration
+	// Problems is in canonical order: grouped by name-table entry in key
+	// order (the B-tree's scan order), and within an entry in check order
+	// (decode, runs, byte size, leader). The order — and every string —
+	// is identical at every CheckWorkers setting.
+	Problems []string
+	Elapsed  time.Duration
+
+	// Parallel-scan accounting (ISSUE 10). Workers is the pool width the
+	// pass actually used; Steals counts work-stealing migrations (load
+	// balance diagnostics — nondeterministic, excluded from output
+	// equality). The phase splits let fsdctl and the pfsck bench separate
+	// device time from check CPU.
+	Workers       int
+	Steals        int
+	WalkElapsed   time.Duration // name-table walk + entry snapshot
+	CheckElapsed  time.Duration // parallel decode + cross-check phases
+	LeaderElapsed time.Duration // leader sweep (ordered reads + checks)
+	CheckCPU      time.Duration // total worker CPU across all phases
+}
+
+// verifyChunk is the per-entry granularity the pool schedules over: big
+// enough that chunk claim overhead vanishes, small enough that stealing
+// can rebalance a skewed region (one directory of huge files, say).
+const verifyChunk = 256
+
+// vEntry is one snapshot name-table entry being verified.
+type vEntry struct {
+	name string
+	ver  uint32
+	e    *Entry // nil when the key or entry failed to decode
+	bad  string // the pre-formatted decode problem when e is nil
 }
 
 // Verify walks the entire volume checking every invariant the mutually
@@ -23,6 +55,22 @@ type VerifyStats struct {
 // the leader page of every file against its name-table entry. It is the
 // FSD analogue of fsck — but unlike fsck it is advisory: FSD never needs it
 // for recovery.
+//
+// The scan is parallel (pFSCK-style) across Config.CheckWorkers:
+//
+//  1. Walk: snapshot every (key, entry) pair from the name table in key
+//     order — the only phase that needs the B-tree itself.
+//  2. Check: a worker pool decodes entries and claims every data page
+//     into a striped owner table (lowest entry index wins a collision),
+//     then cross-checks runs against the metadata range, the owner
+//     table, and the VAM, and byte sizes against page counts.
+//  3. Leaders: a single driver reads every home leader page in ascending
+//     disk order — one sequential sweep instead of per-worker seek
+//     thrash, and media faults charge the health budget exactly once —
+//     and the pool checks the images against their entries.
+//
+// Problems are accumulated per entry and emitted grouped by entry in key
+// order, so the report is byte-identical at every worker count.
 func (v *Volume) Verify() (_ VerifyStats, err error) {
 	defer v.span("verify")(&err)
 	// Exclusive: a whole-volume audit wants a quiescent name table. Log
@@ -40,90 +88,223 @@ func (v *Volume) Verify() (_ VerifyStats, err error) {
 		return st, err
 	}
 	start := v.clk.Now()
+	st.Workers = v.cfg.checkWorkers()
 	if err := v.nt.Check(); err != nil {
 		return st, fmt.Errorf("core: name table structure: %w", err)
 	}
-	owned := make(map[uint32]string)
-	addProblem := func(format string, args ...interface{}) {
-		st.Problems = append(st.Problems, fmt.Sprintf(format, args...))
-	}
+
+	// Phase 1: snapshot the table in key order. Keys and values alias the
+	// cache's page buffers, so the snapshot copies them out; the pool then
+	// never touches the B-tree.
+	var raw []vEntry
 	err = v.nt.Scan(nil, func(k, val []byte) bool {
 		name, ver, ok := splitKey(k)
 		if !ok {
-			addProblem("undecodable key % x", k)
+			raw = append(raw, vEntry{bad: fmt.Sprintf("undecodable key % x", k)})
 			return true
 		}
-		e, err := decodeEntry(name, ver, val)
-		if err != nil {
-			addProblem("%s!%d: %v", name, ver, err)
-			return true
+		e, derr := decodeEntry(name, ver, append([]byte(nil), val...))
+		ve := vEntry{name: name, ver: ver, e: e}
+		if derr != nil {
+			ve.e = nil
+			ve.bad = fmt.Sprintf("%s!%d: %v", name, ver, derr)
 		}
-		st.Entries++
-		v.cpu.Charge(sim.CostBTreeOp / 4)
-		if e.Class == SymLink {
-			st.Symlinks++
-			if len(e.Runs) != 0 {
-				addProblem("%s!%d: symlink with data pages", name, ver)
-			}
-			return true
-		}
-		// Run-table sanity: in range, not in metadata, no overlaps.
-		for _, r := range e.Runs {
-			if int(r.Start)+int(r.Len) > v.lay.total || r.Len == 0 {
-				addProblem("%s!%d: run [%d,+%d) out of range", name, ver, r.Start, r.Len)
-				continue
-			}
-			for p := r.Start; p < r.Start+r.Len; p++ {
-				if v.lay.metaRange(int(p)) {
-					addProblem("%s!%d: page %d inside metadata", name, ver, p)
-					break
-				}
-				if prev, dup := owned[p]; dup {
-					addProblem("%s!%d: page %d also owned by %s", name, ver, p, prev)
-					break
-				}
-				owned[p] = fmt.Sprintf("%s!%d", name, ver)
-				v.vmMu.Lock()
-				free := v.vm.IsFree(int(p))
-				v.vmMu.Unlock()
-				if free {
-					addProblem("%s!%d: page %d owned but marked free", name, ver, p)
-					break
-				}
-			}
-		}
-		if e.ByteSize > uint64(e.Pages())*512 {
-			addProblem("%s!%d: byte size %d exceeds %d pages", name, ver, e.ByteSize, e.Pages())
-		}
-		// Leader cross-check.
-		addr, has := e.LeaderAddr()
-		if !has {
-			return true
-		}
-		st.Leaders++
-		v.lmu.Lock()
-		pending, okp := v.pendingLeaders[addr]
-		v.lmu.Unlock()
-		if okp {
-			st.LeadersPending++
-			if err := verifyLeader(pending, e); err != nil {
-				addProblem("%v", err)
-			}
-			return true
-		}
-		buf, err := v.readSectorsRetry(addr, 1)
-		if err != nil {
-			addProblem("%s!%d: leader unreadable: %v", name, ver, err)
-			return true
-		}
-		v.cpu.Charge(sim.CostChecksumPage)
-		if err := verifyLeader(buf, e); err != nil {
-			addProblem("%v", err)
-		}
+		raw = append(raw, ve)
 		return true
 	})
 	if err != nil {
 		return st, err
+	}
+	st.WalkElapsed = v.clk.Now() - start
+
+	// Phase 2: parallel claim + cross-check over entry chunks. Problems
+	// land in per-entry slots — each entry belongs to exactly one chunk,
+	// so no two workers write the same slot — and are concatenated in
+	// entry order afterwards.
+	probs := make([][]string, len(raw))
+	owners := parscan.NewOwnerTable(v.lay.total)
+	counts := make([]VerifyStats, (len(raw)+verifyChunk-1)/verifyChunk)
+	type leaderRef struct {
+		idx  int // entry index
+		addr int
+	}
+	leaderRefs := make([][]leaderRef, len(counts))
+	checkStart := v.clk.Now()
+
+	chunkRange := func(c int) (lo, hi int) {
+		lo = c * verifyChunk
+		hi = lo + verifyChunk
+		if hi > len(raw) {
+			hi = len(raw)
+		}
+		return
+	}
+
+	// Pass 2a: decode bookkeeping + page claims. Claims must all land
+	// before any worker reads the owner table, so this pass is a barrier.
+	claimStats, _ := parscan.Run(st.Workers, len(counts), func(w *parscan.Worker, c int) error {
+		lo, hi := chunkRange(c)
+		for i := lo; i < hi; i++ {
+			ve := raw[i]
+			w.Charge(sim.CostBTreeOp / 4)
+			if ve.e == nil {
+				continue
+			}
+			for _, r := range ve.e.Runs {
+				if int(r.Start)+int(r.Len) > v.lay.total || r.Len == 0 {
+					continue // reported in pass 2b
+				}
+				for p := int(r.Start); p < int(r.Start)+int(r.Len); p++ {
+					if !v.lay.metaRange(p) {
+						owners.Claim(p, int32(i))
+					}
+				}
+			}
+		}
+		return nil
+	})
+
+	// Pass 2b: the cross-check proper, reading the now-complete owner
+	// table. Same chunking, so problems stay with their entries.
+	checkStats, _ := parscan.Run(st.Workers, len(counts), func(w *parscan.Worker, c int) error {
+		lo, hi := chunkRange(c)
+		part := &counts[c]
+		addProblem := func(i int, format string, args ...interface{}) {
+			probs[i] = append(probs[i], fmt.Sprintf(format, args...))
+		}
+		for i := lo; i < hi; i++ {
+			ve := raw[i]
+			if ve.e == nil {
+				addProblem(i, "%s", ve.bad)
+				continue
+			}
+			e := ve.e
+			part.Entries++
+			w.Charge(sim.CostBTreeOp)
+			if e.Class == SymLink {
+				part.Symlinks++
+				if len(e.Runs) != 0 {
+					addProblem(i, "%s!%d: symlink with data pages", ve.name, ve.ver)
+				}
+				continue
+			}
+			// Run-table sanity: in range, not in metadata, no overlaps,
+			// allocated in the VAM.
+			for _, r := range e.Runs {
+				if int(r.Start)+int(r.Len) > v.lay.total || r.Len == 0 {
+					addProblem(i, "%s!%d: run [%d,+%d) out of range", ve.name, ve.ver, r.Start, r.Len)
+					continue
+				}
+				w.Charge(time.Duration(r.Len) * sim.CostChecksumPage)
+				for p := int(r.Start); p < int(r.Start)+int(r.Len); p++ {
+					if v.lay.metaRange(p) {
+						addProblem(i, "%s!%d: page %d inside metadata", ve.name, ve.ver, p)
+						break
+					}
+					if own := owners.Owner(p); own != int32(i) {
+						prev := raw[own]
+						addProblem(i, "%s!%d: page %d also owned by %s!%d", ve.name, ve.ver, p, prev.name, prev.ver)
+						break
+					}
+					v.vmMu.Lock()
+					free := v.vm.IsFree(p)
+					v.vmMu.Unlock()
+					if free {
+						addProblem(i, "%s!%d: page %d owned but marked free", ve.name, ve.ver, p)
+						break
+					}
+				}
+			}
+			if e.ByteSize > uint64(e.Pages())*512 {
+				addProblem(i, "%s!%d: byte size %d exceeds %d pages", ve.name, ve.ver, e.ByteSize, e.Pages())
+			}
+			// Leader cross-check: deferred leaders are verified from the
+			// in-memory image here; home leaders queue for the ordered
+			// disk sweep in phase 3.
+			addr, has := e.LeaderAddr()
+			if !has {
+				continue
+			}
+			part.Leaders++
+			v.lmu.Lock()
+			pending, okp := v.pendingLeaders[addr]
+			if okp {
+				pending = append([]byte(nil), pending...)
+			}
+			v.lmu.Unlock()
+			if okp {
+				part.LeadersPending++
+				w.Charge(sim.CostChecksumPage)
+				if err := verifyLeader(pending, e); err != nil {
+					addProblem(i, "%v", err)
+				}
+				continue
+			}
+			leaderRefs[c] = append(leaderRefs[c], leaderRef{idx: i, addr: addr})
+		}
+		return nil
+	})
+	for _, part := range counts {
+		st.Entries += part.Entries
+		st.Symlinks += part.Symlinks
+		st.Leaders += part.Leaders
+		st.LeadersPending += part.LeadersPending
+	}
+	// Charge the pool's CPU critical path — the balanced share, which is
+	// deterministic and at one worker equals the sequential total.
+	v.cpu.Charge(claimStats.BalancedCPU() + checkStats.BalancedCPU())
+	st.CheckCPU += claimStats.TotalCPU() + checkStats.TotalCPU()
+	st.Steals += claimStats.Steals() + checkStats.Steals()
+	st.CheckElapsed = v.clk.Now() - checkStart
+
+	// Phase 3: the leader sweep. A single driver reads every home leader
+	// in ascending address order — the head moves once across the disk,
+	// and a damaged sector's retries charge the health budget exactly once
+	// however many workers are checking — then the pool verifies the
+	// images against their entries.
+	leaderStart := v.clk.Now()
+	var refs []leaderRef
+	for _, lr := range leaderRefs {
+		refs = append(refs, lr...)
+	}
+	sort.Slice(refs, func(a, b int) bool { return refs[a].addr < refs[b].addr })
+	bufs := make([][]byte, len(refs))
+	for j, ref := range refs {
+		buf, retried, rerr := disk.ReadSectorsRetry(v.d, ref.addr, 1, v.cfg.readRetries())
+		v.noteReadFault(retried, rerr)
+		if rerr != nil {
+			ve := raw[ref.idx]
+			probs[ref.idx] = append(probs[ref.idx], fmt.Sprintf("%s!%d: leader unreadable: %v", ve.name, ve.ver, rerr))
+			continue
+		}
+		bufs[j] = buf
+	}
+	leaderChunks := (len(refs) + verifyChunk - 1) / verifyChunk
+	leaderStats, _ := parscan.Run(st.Workers, leaderChunks, func(w *parscan.Worker, c int) error {
+		lo := c * verifyChunk
+		hi := lo + verifyChunk
+		if hi > len(refs) {
+			hi = len(refs)
+		}
+		for j := lo; j < hi; j++ {
+			if bufs[j] == nil {
+				continue
+			}
+			w.Charge(sim.CostChecksumPage)
+			if err := verifyLeader(bufs[j], raw[refs[j].idx].e); err != nil {
+				probs[refs[j].idx] = append(probs[refs[j].idx], fmt.Sprintf("%v", err))
+			}
+		}
+		return nil
+	})
+	v.cpu.Charge(leaderStats.BalancedCPU())
+	st.CheckCPU += leaderStats.TotalCPU()
+	st.Steals += leaderStats.Steals()
+	st.LeaderElapsed = v.clk.Now() - leaderStart
+
+	// Canonical merge: per-entry problem groups concatenated in key order.
+	for _, ps := range probs {
+		st.Problems = append(st.Problems, ps...)
 	}
 	st.Elapsed = v.clk.Now() - start
 	return st, nil

@@ -165,7 +165,16 @@ type Volume struct {
 	// goroutines: recovery itself now charges the error budget, and a scrub
 	// racing a half-wired mount would dereference nil structure.
 	ready atomic.Bool
-	ops   opCounters
+	// recovering marks the writable mount's recovery window — from wiring
+	// the volume to finishMount. Non-log reads that needed in-place retries
+	// inside it (name-table cache fills, the VAM/leader rebuild scan)
+	// charge the error budget like the WAL's own replay reads do, so a
+	// mount that limped through decayed media lands Degraded instead of
+	// silently Healthy. Outside the window readSectorsRetry only counts:
+	// a scrub retrying latent decay it is about to repair is routine work,
+	// not a health event.
+	recovering atomic.Bool
+	ops        opCounters
 
 	// recovery snapshots what the mount-time replay had to absorb; filled
 	// once before the volume is returned, surfaced as Stats().Recovery.
@@ -501,6 +510,7 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	// non-LogVAM volume has no valid save-area base to apply deltas to).
 	cfg.LogVAM = root.logVAM
 	v := newVolume(d, cfg, lay)
+	v.recovering.Store(true)
 	wasClean := root.clean
 	ms.CleanShutdown = wasClean
 
@@ -648,6 +658,7 @@ func mountWritable(d *disk.Disk, cfg Config) (*Volume, MountStats, error) {
 	if cfg.AsyncApply {
 		v.startIntentQueue()
 	}
+	v.recovering.Store(false)
 	v.startTicker()
 	v.finishMount()
 	return v, ms, nil

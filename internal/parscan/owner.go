@@ -1,0 +1,82 @@
+package parscan
+
+import "sync/atomic"
+
+// OwnerNone marks an unclaimed page in an OwnerTable.
+const OwnerNone int32 = -1
+
+// ownerStripeShift sizes the lazily-allocated stripes: 1<<14 pages per
+// stripe is 64 KiB of owner words, small enough that a sparse claim
+// pattern allocates little and large enough that a dense one touches few
+// stripes.
+const ownerStripeShift = 14
+
+// OwnerTable maps page numbers in [0, n) to the index of the first
+// claimant — the replacement for Verify's old map[uint32]string, which
+// allocated an entry per owned page and serialized every claim behind the
+// map. The table is striped: each stripe is a slab of atomic owner words
+// allocated on first touch, so a million-page volume with a sparse data
+// region costs only the stripes its files actually live in, and claims
+// from concurrent workers are lock-free CAS races.
+//
+// Claim is deterministic across worker counts because ties are resolved
+// by value, not by arrival: the lowest owner index wins, so whichever
+// worker gets there first, the surviving owner is the same.
+type OwnerTable struct {
+	stripes []atomic.Pointer[ownerStripe]
+}
+
+type ownerStripe struct {
+	words [1 << ownerStripeShift]int32
+}
+
+// NewOwnerTable makes a table covering pages [0, n).
+func NewOwnerTable(n int) *OwnerTable {
+	stripes := (n + (1 << ownerStripeShift) - 1) >> ownerStripeShift
+	return &OwnerTable{stripes: make([]atomic.Pointer[ownerStripe], stripes)}
+}
+
+func (t *OwnerTable) stripe(page int, alloc bool) *ownerStripe {
+	slot := &t.stripes[page>>ownerStripeShift]
+	s := slot.Load()
+	if s == nil && alloc {
+		fresh := &ownerStripe{}
+		for i := range fresh.words {
+			fresh.words[i] = OwnerNone
+		}
+		if slot.CompareAndSwap(nil, fresh) {
+			return fresh
+		}
+		s = slot.Load()
+	}
+	return s
+}
+
+// Claim records owner as the claimant of page and returns the previous
+// owner: OwnerNone if the page was unclaimed (the claim stuck), or the
+// surviving owner index on a collision. When two claimants race, the
+// lower index wins regardless of arrival order, and the loser is told the
+// winner — so duplicate-ownership detection reports the same pair no
+// matter how chunks were scheduled. owner must be >= 0.
+func (t *OwnerTable) Claim(page int, owner int32) int32 {
+	s := t.stripe(page, true)
+	w := &s.words[page&(1<<ownerStripeShift-1)]
+	for {
+		cur := atomic.LoadInt32(w)
+		if cur != OwnerNone && cur <= owner {
+			return cur
+		}
+		if atomic.CompareAndSwapInt32(w, cur, owner) {
+			return cur
+		}
+	}
+}
+
+// Owner returns the page's recorded claimant, or OwnerNone.
+func (t *OwnerTable) Owner(page int) int32 {
+	s := t.stripe(page, false)
+	if s == nil {
+		return OwnerNone
+	}
+	return atomic.LoadInt32(&s.words[page&(1<<ownerStripeShift-1)])
+}

@@ -1,0 +1,293 @@
+// Package parscan is the shared parallel-scan infrastructure for the
+// volume's check-and-repair paths (Verify, the salvage sweep, Scrub) —
+// the pFSCK idea applied to FSD: a whole-structure scan splits into
+// chunks, a bounded worker pool pulls chunks from per-worker interval
+// queues with work stealing, and the results merge back in chunk order,
+// so the output is identical at every worker count.
+//
+// The pool deliberately knows nothing about disks or volumes. A chunk is
+// just an index; the chunk function does whatever reading and checking
+// the caller needs and records its findings into caller-owned per-chunk
+// slots. Determinism then falls out of two rules the callers follow:
+//
+//   - results are merged in chunk order, never in completion order;
+//   - anything order-dependent (dedup against earlier finds, checkpoint
+//     cursors, problem lists) is done by the single merging goroutine
+//     over that ordered stream, not by the workers.
+//
+// CPU cost is accumulated per worker through Worker.Charge rather than
+// charged to the simulated CPU directly: charging would advance the
+// virtual clock once per worker for the same wall-clock instant. The
+// caller charges the pool's critical path (BalancedCPU) in one lump,
+// which degenerates to the exact sequential total at one worker.
+package parscan
+
+import (
+	"sync"
+	"time"
+)
+
+// WorkerStats is one worker's accounting for a pool run.
+type WorkerStats struct {
+	Chunks int           // chunks this worker executed
+	Steals int           // chunks it took from another worker's interval
+	Faults int           // media faults it observed (caller-defined)
+	CPU    time.Duration // processor cost accumulated via Charge
+}
+
+// Stats reports a completed pool run.
+type Stats struct {
+	Workers   int
+	PerWorker []WorkerStats
+}
+
+// TotalCPU sums the processor cost across all workers — the work the scan
+// performed, independent of how it was spread.
+func (s Stats) TotalCPU() time.Duration {
+	var t time.Duration
+	for _, w := range s.PerWorker {
+		t += w.CPU
+	}
+	return t
+}
+
+// MaxCPU is the busiest worker's processor cost as observed — a load
+// balance diagnostic. It is NOT the virtual-time critical path: simulated
+// CPU charges consume no real time, so the real scheduler is free to let
+// one goroutine drain most of the queue, and the observed maximum is both
+// pessimistic and nondeterministic. Use BalancedCPU for clock charges.
+func (s Stats) MaxCPU() time.Duration {
+	var m time.Duration
+	for _, w := range s.PerWorker {
+		if w.CPU > m {
+			m = w.CPU
+		}
+	}
+	return m
+}
+
+// BalancedCPU is the pool's modeled CPU critical path in virtual time:
+// the total work divided across the width, rounded up. Stealing keeps the
+// real pool within one chunk of balanced, and virtual time must not
+// inherit the real scheduler's whims — a deterministic simulation charges
+// the deterministic critical path. At one worker it equals TotalCPU.
+func (s Stats) BalancedCPU() time.Duration {
+	n := time.Duration(s.Workers)
+	if n <= 0 {
+		return 0
+	}
+	return (s.TotalCPU() + n - 1) / n
+}
+
+// Steals sums the stolen-chunk count across workers.
+func (s Stats) Steals() int {
+	n := 0
+	for _, w := range s.PerWorker {
+		n += w.Steals
+	}
+	return n
+}
+
+// Faults sums the observed-fault count across workers.
+func (s Stats) Faults() int {
+	n := 0
+	for _, w := range s.PerWorker {
+		n += w.Faults
+	}
+	return n
+}
+
+// merge folds a finished worker's accounting into the run stats.
+func (s *Stats) merge(id int, w WorkerStats) {
+	s.PerWorker[id] = w
+}
+
+// Worker is the per-goroutine context handed to the chunk function.
+type Worker struct {
+	id    int
+	stats WorkerStats
+}
+
+// ID is the worker's index in [0, workers).
+func (w *Worker) ID() int { return w.id }
+
+// Charge accumulates processor cost privately; the pool owner charges the
+// simulated CPU once, from the merged stats.
+func (w *Worker) Charge(d time.Duration) {
+	if d > 0 {
+		w.stats.CPU += d
+	}
+}
+
+// Fault counts one observed media fault against this worker.
+func (w *Worker) Fault() { w.stats.Faults++ }
+
+// interval is one worker's remaining contiguous chunk range [lo, hi).
+type interval struct {
+	lo, hi int
+}
+
+// Pool is a running parallel scan. Start launches it; Wait collects it.
+type Pool struct {
+	workers int
+	fn      func(w *Worker, chunk int) error
+
+	mu        sync.Mutex
+	intervals []interval
+	stopped   bool
+
+	errMu    sync.Mutex
+	errChunk int
+	err      error
+
+	wg    sync.WaitGroup
+	stats Stats
+}
+
+// Start launches workers goroutines executing fn once for every chunk in
+// [0, chunks). Chunks are dealt as contiguous per-worker intervals; a
+// worker that drains its own interval steals the tail half of the largest
+// remaining one, so a slow region (decayed sectors paying retries, say)
+// does not leave the rest of the pool idle. fn may be called from any
+// worker concurrently with any other chunk; an error stops the pool and
+// Wait returns the error of the lowest-numbered failing chunk, so the
+// error surface is deterministic too.
+func Start(workers, chunks int, fn func(w *Worker, chunk int) error) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > chunks && chunks > 0 {
+		workers = chunks
+	}
+	p := &Pool{
+		workers:   workers,
+		fn:        fn,
+		intervals: make([]interval, workers),
+		errChunk:  -1,
+	}
+	p.stats = Stats{Workers: workers, PerWorker: make([]WorkerStats, workers)}
+	// Deal [0, chunks) as equal contiguous intervals.
+	per := 0
+	if workers > 0 {
+		per = (chunks + workers - 1) / workers
+	}
+	for i := range p.intervals {
+		lo := i * per
+		hi := lo + per
+		if lo > chunks {
+			lo = chunks
+		}
+		if hi > chunks {
+			hi = chunks
+		}
+		p.intervals[i] = interval{lo, hi}
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.run(i)
+	}
+	return p
+}
+
+// Run executes the scan and waits for it: Start + Wait.
+func Run(workers, chunks int, fn func(w *Worker, chunk int) error) (Stats, error) {
+	return Start(workers, chunks, fn).Wait()
+}
+
+// next hands worker id its next chunk: the head of its own interval, or a
+// stolen tail half of the largest remaining interval. ok=false means the
+// scan is over (drained or stopped).
+func (p *Pool) next(id int) (chunk int, stolen, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return 0, false, false
+	}
+	own := &p.intervals[id]
+	if own.lo < own.hi {
+		chunk = own.lo
+		own.lo++
+		return chunk, false, true
+	}
+	// Steal from the victim with the most chunks left.
+	victim, best := -1, 0
+	for i := range p.intervals {
+		if n := p.intervals[i].hi - p.intervals[i].lo; n > best {
+			victim, best = i, n
+		}
+	}
+	if victim < 0 {
+		return 0, false, false
+	}
+	v := &p.intervals[victim]
+	// Take the tail half (at least one chunk) as the thief's new interval,
+	// and return its first chunk.
+	take := (v.hi - v.lo + 1) / 2
+	own.lo, own.hi = v.hi-take, v.hi
+	v.hi -= take
+	chunk = own.lo
+	own.lo++
+	return chunk, true, true
+}
+
+// fail records a chunk's error; the lowest chunk index wins. Chunks above
+// the failing one are retracted, but chunks below it keep running: any of
+// them could fail with a lower index, so the pool converges on the true
+// lowest failing chunk no matter which worker hit an error first — the
+// error surface is deterministic, not a scheduling accident.
+func (p *Pool) fail(chunk int, err error) {
+	p.errMu.Lock()
+	if p.errChunk < 0 || chunk < p.errChunk {
+		p.errChunk, p.err = chunk, err
+	}
+	p.errMu.Unlock()
+	p.mu.Lock()
+	for i := range p.intervals {
+		if p.intervals[i].hi > chunk {
+			p.intervals[i].hi = chunk
+		}
+		if p.intervals[i].lo > p.intervals[i].hi {
+			p.intervals[i].lo = p.intervals[i].hi
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pool) run(id int) {
+	defer p.wg.Done()
+	w := &Worker{id: id}
+	for {
+		chunk, stolen, ok := p.next(id)
+		if !ok {
+			break
+		}
+		w.stats.Chunks++
+		if stolen {
+			w.stats.Steals++
+		}
+		if err := p.fn(w, chunk); err != nil {
+			p.fail(chunk, err)
+			break
+		}
+	}
+	p.mu.Lock()
+	p.stats.merge(id, w.stats)
+	p.mu.Unlock()
+}
+
+// Cancel stops handing out new chunks; in-flight chunk functions finish.
+// The merging goroutine uses it when its own (ordered) work fails.
+func (p *Pool) Cancel() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+}
+
+// Wait blocks until every worker has stopped and returns the merged stats
+// and the deterministic first error (by chunk order, not completion order).
+func (p *Pool) Wait() (Stats, error) {
+	p.wg.Wait()
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.stats, p.err
+}

@@ -61,3 +61,13 @@ go test ./internal/server -count=1 -run 'TestRemoteConformance'
 # in-process server; exits nonzero on any protocol error or if the volume
 # leaves the healthy state.
 go run ./cmd/soak -clients 2000 -conns 16 -duration 5s -rate 5 -json /dev/null
+# Parallel check & repair (pFSCK pool) under the race detector: the
+# parscan pool itself plus the determinism goldens — byte-identical
+# Verify problems at widths 1/2/8, salvage crash/resume across widths,
+# and a wide Verify racing concurrent readers.
+go test -race ./internal/parscan -count=1
+go test -race ./internal/core -count=1 -run 'TestVerifyProblemsDeterministic|TestVerifyDuplicateOwnerDeterministic|TestVerifyUnderDecay|TestVerifyParallelWithReaders|TestParallelSalvageMatchesSequential'
+# Bounded pfsck smoke (small volume, widths 1 and 4): runs both passes
+# through the pool and asserts identical output at both widths; the full
+# 1/2/4/8/16 curve is the benchtab -pfsck-json path.
+go run ./cmd/benchtab -table pfsck
